@@ -1,0 +1,107 @@
+//! The benchmarked convolutional layers of paper Table 2.
+
+use lowino::ConvShape;
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSpec {
+    /// Paper name (e.g. `VGG16_b`).
+    pub name: &'static str,
+    /// Batch size `B`.
+    pub batch: usize,
+    /// Input channels `C`.
+    pub c: usize,
+    /// Output channels `K`.
+    pub k: usize,
+    /// Spatial size `H = W`.
+    pub hw: usize,
+    /// Filter size `r`.
+    pub r: usize,
+}
+
+impl LayerSpec {
+    /// The layer as a validated [`ConvShape`] ("same" padding, stride 1 —
+    /// the Table 2 configuration), optionally scaled down for small hosts:
+    /// `batch_div` divides the batch, `hw_div` divides the spatial size
+    /// (both clamped so dimensions stay legal).
+    pub fn shape(&self, batch_div: usize, hw_div: usize) -> ConvShape {
+        let batch = (self.batch / batch_div.max(1)).max(1);
+        let hw = (self.hw / hw_div.max(1)).max(self.r + 1);
+        ConvShape::same(batch, self.c, self.k, hw, self.r)
+            .validate()
+            .expect("Table 2 layer is valid")
+    }
+}
+
+/// All 20 layers of paper Table 2, verbatim.
+pub fn paper_layers() -> Vec<LayerSpec> {
+    let l = |name, batch, c, k, hw| LayerSpec {
+        name,
+        batch,
+        c,
+        k,
+        hw,
+        r: 3,
+    };
+    vec![
+        l("AlexNet_a", 64, 384, 384, 13),
+        l("AlexNet_b", 64, 384, 256, 13),
+        l("VGG16_a", 64, 256, 256, 58),
+        l("VGG16_b", 64, 512, 512, 30),
+        l("VGG16_c", 64, 512, 512, 16),
+        l("ResNet-50_a", 64, 128, 128, 28),
+        l("ResNet-50_b", 64, 256, 256, 14),
+        l("ResNet-50_c", 64, 512, 512, 7),
+        l("GoogLeNet_a", 64, 128, 192, 28),
+        l("GoogLeNet_b", 64, 128, 256, 14),
+        l("GoogLeNet_c", 64, 192, 384, 7),
+        l("YOLOv3_a", 1, 64, 128, 64),
+        l("YOLOv3_b", 1, 128, 256, 32),
+        l("YOLOv3_c", 1, 256, 512, 16),
+        l("FusionNet_a", 1, 128, 128, 320),
+        l("FusionNet_b", 1, 256, 256, 160),
+        l("FusionNet_c", 1, 512, 512, 80),
+        l("U-Net_a", 1, 128, 128, 282),
+        l("U-Net_b", 1, 256, 256, 138),
+        l("U-Net_c", 1, 512, 512, 66),
+    ]
+}
+
+/// Look up a Table 2 layer by name.
+pub fn layer_by_name(name: &str) -> Option<LayerSpec> {
+    paper_layers().into_iter().find(|l| l.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_twenty_layers() {
+        let ls = paper_layers();
+        assert_eq!(ls.len(), 20);
+        assert!(ls.iter().all(|l| l.r == 3));
+        // Classification nets use batch 64, detection/segmentation batch 1
+        // (paper §5.1 convention).
+        assert!(ls.iter().filter(|l| l.batch == 64).count() == 11);
+        assert!(ls.iter().filter(|l| l.batch == 1).count() == 9);
+    }
+
+    #[test]
+    fn shapes_validate_and_scale() {
+        for l in paper_layers() {
+            let full = l.shape(1, 1);
+            assert_eq!(full.h, l.hw);
+            assert_eq!(full.batch, l.batch);
+            let scaled = l.shape(16, 2);
+            assert!(scaled.batch >= 1);
+            assert!(scaled.h >= 4);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(layer_by_name("VGG16_b").unwrap().k, 512);
+        assert!(layer_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared execution machinery for the harness binaries and benches.
+
+use lowino::prelude::*;
+use lowino::{ConvContext, ConvError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The algorithm set compared in the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchAlgo {
+    /// FP32 direct convolution (§5.1 full-precision reference).
+    DirectF32,
+    /// FP32 Winograd.
+    WinogradF32(usize),
+    /// INT8 direct ("INT8 Direct Convolution – oneDNN").
+    DirectInt8,
+    /// Down-scaling INT8 Winograd ("INT8 Winograd F(2x2,3x3) – oneDNN").
+    DownScale(usize),
+    /// LoWino.
+    LoWino(usize),
+    /// Up-casting INT16 Winograd (ncnn-style).
+    UpCast(usize),
+}
+
+impl BenchAlgo {
+    /// Column label used in the reports (matches the paper's legends).
+    pub fn label(&self) -> String {
+        match self {
+            BenchAlgo::DirectF32 => "FP32 Direct".into(),
+            BenchAlgo::WinogradF32(m) => format!("FP32 Winograd F({m}x{m})"),
+            BenchAlgo::DirectInt8 => "INT8 Direct (oneDNN-like)".into(),
+            BenchAlgo::DownScale(m) => format!("INT8 Winograd F({m}x{m}) (oneDNN-like)"),
+            BenchAlgo::LoWino(m) => format!("INT8 Winograd F({m}x{m}) LoWino"),
+            BenchAlgo::UpCast(m) => format!("INT16 Winograd F({m}x{m}) (ncnn-like)"),
+        }
+    }
+
+    /// The underlying algorithm enum.
+    pub fn algorithm(&self) -> Algorithm {
+        match *self {
+            BenchAlgo::DirectF32 => Algorithm::DirectF32,
+            BenchAlgo::WinogradF32(m) => Algorithm::WinogradF32 { m },
+            BenchAlgo::DirectInt8 => Algorithm::DirectInt8,
+            BenchAlgo::DownScale(m) => Algorithm::DownScale { m },
+            BenchAlgo::LoWino(m) => Algorithm::LoWino { m },
+            BenchAlgo::UpCast(m) => Algorithm::UpCast { m },
+        }
+    }
+}
+
+/// Deterministic synthetic activations with a bell-ish distribution.
+pub fn synth_input(spec: &ConvShape, seed: u64) -> Tensor4 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tensor4::zeros(spec.batch, spec.in_c, spec.h, spec.w);
+    for v in t.data_mut() {
+        *v = (0..4).map(|_| rng.gen_range(-0.5..0.5f32)).sum();
+    }
+    t
+}
+
+/// Deterministic synthetic weights.
+pub fn synth_weights(spec: &ConvShape, seed: u64) -> Tensor4 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let scale = (2.0 / (spec.in_c * spec.r * spec.r) as f32).sqrt();
+    let mut t = Tensor4::zeros(spec.out_c, spec.in_c, spec.r, spec.r);
+    for v in t.data_mut() {
+        *v = rng.gen_range(-1.0..1.0f32) * scale;
+    }
+    t
+}
+
+/// Plan an executor for one benchmark algorithm (calibrating on the given
+/// input, which the figures also use as the measured workload).
+pub fn build_executor(
+    algo: BenchAlgo,
+    spec: &ConvShape,
+    weights: &Tensor4,
+    input: &BlockedImage,
+    engine: &Engine,
+) -> Result<Layer, ConvError> {
+    LayerBuilder::new(*spec, weights)
+        .algorithm(AlgoChoice::Fixed(algo.algorithm()))
+        .calibration_samples(vec![input.clone()])
+        .build(engine)
+}
+
+/// Run `reps` timed executions (after one warm-up) and return the
+/// best-of-reps timings (the rep with the smallest total — standard
+/// practice on noisy shared hosts).
+pub fn run_timed(
+    layer: &mut Layer,
+    input: &BlockedImage,
+    output: &mut BlockedImage,
+    ctx: &mut ConvContext,
+    reps: u32,
+) -> StageTimings {
+    let exec = layer.executor_mut();
+    let _ = exec.execute(input, output, ctx); // warm-up
+    let mut best: Option<StageTimings> = None;
+    for _ in 0..reps.max(1) {
+        let t = exec.execute(input, output, ctx);
+        if best.as_ref().is_none_or(|b| t.total() < b.total()) {
+            best = Some(t);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Tiny argv parser for the harness binaries: `--key value` pairs.
+pub fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Flag presence.
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(BenchAlgo::LoWino(4).label(), "INT8 Winograd F(4x4) LoWino");
+        assert_eq!(
+            BenchAlgo::DownScale(2).algorithm(),
+            Algorithm::DownScale { m: 2 }
+        );
+    }
+
+    #[test]
+    fn synth_data_is_deterministic() {
+        let spec = ConvShape::same(1, 8, 8, 8, 3).validate().unwrap();
+        assert_eq!(
+            synth_input(&spec, 5).max_abs_diff(&synth_input(&spec, 5)),
+            0.0
+        );
+        assert!(synth_input(&spec, 5).max_abs_diff(&synth_input(&spec, 6)) > 0.0);
+        assert!(synth_weights(&spec, 1).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn run_timed_executes() {
+        let spec = ConvShape::same(1, 8, 8, 8, 3).validate().unwrap();
+        let w = synth_weights(&spec, 1);
+        let input = BlockedImage::from_nchw(&synth_input(&spec, 2));
+        let mut engine = Engine::new(1);
+        let mut layer = build_executor(BenchAlgo::LoWino(2), &spec, &w, &input, &engine).unwrap();
+        let mut out = engine.alloc_output(&spec);
+        let ctx = engine.context_mut();
+        let t = run_timed(&mut layer, &input, &mut out, ctx, 2);
+        assert!(t.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--reps", "7", "--flag"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg(&args, "--reps", 3u32), 7);
+        assert_eq!(arg(&args, "--missing", 3u32), 3);
+        assert!(has_flag(&args, "--flag"));
+        assert!(!has_flag(&args, "--other"));
+    }
+}

@@ -1,0 +1,449 @@
+//! **LoWino** — low-precision Winograd convolution with Winograd-domain
+//! post-training quantization (the paper's contribution, §3–4).
+//!
+//! Pipeline (Fig. 3):
+//!
+//! 1. **Input transformation ①** — gather each `n×n×64` tile from the
+//!    blocked image, transform in FP32 (`V = Bᵀ d B`), quantize *in the
+//!    Winograd domain* with the calibrated `α_V` (Eq. 4), add the +128
+//!    compensation, and scatter each 64-channel group as one cache line
+//!    into the `V` panel with non-temporal stores (§4.2.1);
+//! 2. **Batched GEMM ②** — `T` tall-and-skinny `u8×i8→i32` products with
+//!    compensation seeding (§4.3);
+//! 3. **Output transformation ③** — read each tile's `T×64` block
+//!    contiguously from `Z`, de-quantize by `1/(α_V·α_U)` (Eq. 6),
+//!    inverse-transform (`y = Aᵀ Z A`) and scatter to the blocked output.
+//!
+//! Unlike the down-scaling baseline, the FP32 input is loaded directly (4×
+//! the bytes of an INT8 load — the §5.3 transformation-time trade-off) and
+//! no precision is lost to transform-domain rescaling; unlike the
+//! up-casting baseline, the multiply stage runs at full `vpdpbusd`
+//! throughput.
+
+use std::time::Instant;
+
+use lowino_gemm::{batched_gemm_u8i8, Blocking, GemmShape, UPanel, VPanel, ZPanel};
+use lowino_quant::QParams;
+use lowino_simd::{quantize_f32_lanes_i8, store::stream_fence, stream_store_u8_64};
+use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
+use lowino_winograd::TileTransformer;
+
+use crate::algo::{check_io, Algorithm, ConvExecutor};
+use crate::context::ConvContext;
+use crate::error::ConvError;
+use crate::filter::{pack_filters_lowino, pack_filters_lowino_per_position};
+use crate::stats::StageTimings;
+use crate::tiles::{gather_patch, scatter_output_tile, tile_coords, tile_origin};
+
+/// The LoWino executor.
+pub struct LoWinoConv {
+    spec: ConvShape,
+    geom: TileGeometry,
+    tt: TileTransformer,
+    u_panel: UPanel,
+    /// Input scale per tile position (a per-tensor scale is broadcast).
+    alpha_v: Vec<f32>,
+    /// Filter scale per tile position.
+    alpha_u: Vec<f32>,
+    /// De-quantization factors `1/(α_V[t]·α_U[t])`.
+    inv_alpha: Vec<f32>,
+    per_position: bool,
+    v_panel: VPanel,
+    z_panel: ZPanel,
+    blocking_override: Option<Blocking>,
+}
+
+impl LoWinoConv {
+    /// Plan a LoWino convolution for `F(m×m, r×r)`.
+    ///
+    /// `input_scale` is the Winograd-domain activation scale from
+    /// [`crate::calibrate_winograd_domain`] (or any externally chosen
+    /// `α_V`). Filters are transformed, quantized and interleaved here —
+    /// offline, exactly once.
+    pub fn new(
+        spec: ConvShape,
+        m: usize,
+        weights: &Tensor4,
+        input_scale: QParams,
+    ) -> Result<Self, ConvError> {
+        let spec = spec.validate()?;
+        let geom = spec.tiles(m)?;
+        let tt = TileTransformer::new(m, spec.r)?;
+        let (u_panel, alpha_u) = pack_filters_lowino(&spec, &geom, &tt, weights)?;
+        let t_count = geom.t();
+        Ok(Self::assemble(
+            spec,
+            geom,
+            tt,
+            u_panel,
+            vec![input_scale.alpha; t_count],
+            vec![alpha_u.alpha; t_count],
+            false,
+        ))
+    }
+
+    /// Plan with **per-tile-position** scales (the scale-granularity
+    /// extension; required for `m = 6`). `input_scales` comes from
+    /// [`crate::calibrate::calibrate_winograd_domain_per_position`] and
+    /// must have exactly `(m+r−1)²` entries.
+    pub fn new_per_position(
+        spec: ConvShape,
+        m: usize,
+        weights: &Tensor4,
+        input_scales: &[QParams],
+    ) -> Result<Self, ConvError> {
+        let spec = spec.validate()?;
+        let geom = spec.tiles(m)?;
+        let t_count = geom.t();
+        if input_scales.len() != t_count {
+            return Err(ConvError::Calibration(format!(
+                "expected {t_count} per-position scales, got {}",
+                input_scales.len()
+            )));
+        }
+        let tt = TileTransformer::new(m, spec.r)?;
+        let (u_panel, alpha_u) = pack_filters_lowino_per_position(&spec, &geom, &tt, weights)?;
+        Ok(Self::assemble(
+            spec,
+            geom,
+            tt,
+            u_panel,
+            input_scales.iter().map(|q| q.alpha).collect(),
+            alpha_u.iter().map(|q| q.alpha).collect(),
+            true,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        spec: ConvShape,
+        geom: TileGeometry,
+        tt: TileTransformer,
+        u_panel: UPanel,
+        alpha_v: Vec<f32>,
+        alpha_u: Vec<f32>,
+        per_position: bool,
+    ) -> Self {
+        let t_count = geom.t();
+        let inv_alpha = (0..t_count)
+            .map(|t| 1.0 / (alpha_v[t] * alpha_u[t]))
+            .collect();
+        Self {
+            spec,
+            geom,
+            tt,
+            u_panel,
+            alpha_v,
+            alpha_u,
+            inv_alpha,
+            per_position,
+            v_panel: VPanel::new(t_count, geom.total, spec.in_c),
+            z_panel: ZPanel::new(t_count, geom.total, spec.out_c),
+            blocking_override: None,
+        }
+    }
+
+    /// Whether per-tile-position scales are in use.
+    pub fn is_per_position(&self) -> bool {
+        self.per_position
+    }
+
+    /// Override the GEMM blocking (wisdom/tuner integration and the
+    /// blocking ablation bench).
+    pub fn set_blocking(&mut self, b: Blocking) {
+        self.blocking_override = Some(b);
+    }
+
+    /// The GEMM shape of stage ② (for tuning).
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape {
+            t: self.geom.t(),
+            n: self.geom.total,
+            c: self.spec.in_c,
+            k: self.spec.out_c,
+        }
+    }
+
+    /// The Winograd-domain scales `(α_V[t], α_U[t])` — constant vectors
+    /// when planned per-tensor.
+    pub fn scales(&self) -> (&[f32], &[f32]) {
+        (&self.alpha_v, &self.alpha_u)
+    }
+
+    /// Tile geometry.
+    pub fn geometry(&self) -> &TileGeometry {
+        &self.geom
+    }
+}
+
+impl ConvExecutor for LoWinoConv {
+    fn spec(&self) -> &ConvShape {
+        &self.spec
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::LoWino { m: self.geom.m }
+    }
+
+    fn execute(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        ctx: &mut ConvContext,
+    ) -> StageTimings {
+        check_io(&self.spec, input, output);
+        let mut timings = StageTimings::default();
+        let spec = self.spec;
+        let geom = self.geom;
+        let (n, m, t_count) = (geom.n, geom.m, geom.t());
+        let tt = &self.tt;
+        let tier = ctx.tier;
+        let alpha_v: &[f32] = &self.alpha_v;
+
+        // -- Stage ①: input transformation + Winograd-domain quantization.
+        let start = Instant::now();
+        let vp: &VPanel = &self.v_panel;
+        let c_blocks = input.c_blocks();
+        let tasks = c_blocks * geom.total;
+        ctx.pool.run(tasks, |_, range| {
+            let mut scratch = tt.make_scratch(LANES);
+            let mut patch = vec![0f32; n * n * LANES];
+            let mut v = vec![0f32; n * n * LANES];
+            let mut q = [0u8; LANES];
+            for task in range {
+                let cb = task / geom.total;
+                let tile = task % geom.total;
+                let (b, ty, tx) = tile_coords(&geom, tile);
+                let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                gather_patch(input, b, cb, y0, x0, n, &mut patch);
+                tt.input_tile_f32(&patch, &mut v, &mut scratch);
+                for t in 0..t_count {
+                    quantize_f32_lanes_i8(&v[t * LANES..(t + 1) * LANES], alpha_v[t], true, &mut q);
+                    // SAFETY: each (t, tile, cb) cache line is written by
+                    // exactly one task; rows are 64-byte aligned.
+                    unsafe {
+                        let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                        let dst = core::slice::from_raw_parts_mut(dst, LANES);
+                        stream_store_u8_64(tier, dst, &q);
+                    }
+                }
+            }
+            stream_fence();
+        });
+        timings.input_transform = start.elapsed();
+
+        // -- Stage ②: batched low-precision GEMM.
+        let start = Instant::now();
+        let shape = self.gemm_shape();
+        let blocking = self
+            .blocking_override
+            .unwrap_or_else(|| ctx.wisdom.blocking_or_default(&shape));
+        batched_gemm_u8i8(
+            tier,
+            &shape,
+            &blocking,
+            &self.v_panel,
+            &self.u_panel,
+            &mut self.z_panel,
+            &mut ctx.pool,
+        );
+        timings.gemm = start.elapsed();
+
+        // -- Stage ③: de-quantize + output transformation.
+        let start = Instant::now();
+        let inv_alpha: &[f32] = &self.inv_alpha;
+        let zp: &ZPanel = &self.z_panel;
+        let out_ref: &BlockedImage = output;
+        let k_blocks = output.c_blocks();
+        let tasks = k_blocks * geom.total;
+        ctx.pool.run(tasks, |_, range| {
+            let mut scratch = tt.make_scratch(LANES);
+            let mut zf = vec![0f32; t_count * LANES];
+            let mut y = vec![0f32; m * m * LANES];
+            for task in range {
+                let kg = task / geom.total;
+                let tile = task % geom.total;
+                let (b, ty, tx) = tile_coords(&geom, tile);
+                let block = zp.tile_block(kg, tile);
+                for t in 0..t_count {
+                    lowino_simd::dequantize_i32_lanes(
+                        &block[t * LANES..(t + 1) * LANES],
+                        inv_alpha[t],
+                        &mut zf[t * LANES..(t + 1) * LANES],
+                    );
+                }
+                tt.output_tile_f32(&zf, &mut y, &mut scratch);
+                // SAFETY: output tiles never overlap; one task per tile.
+                unsafe {
+                    scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, &y);
+                }
+            }
+        });
+        timings.output_transform = start.elapsed();
+        timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::direct_f32::reference_conv_nchw;
+    use crate::calibrate::calibrate_winograd_domain;
+
+    fn run_case(spec: ConvShape, m: usize, threads: usize) -> f64 {
+        let spec = spec.validate().unwrap();
+        let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+            ((b * 131 + c * 31 + y * 7 + x) as f32 * 0.29).sin() * 1.5
+        });
+        let weights = Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+            ((k * 17 + c * 5 + y * 3 + x) as f32 * 0.53).cos() * 0.25
+        });
+        let want = reference_conv_nchw(&spec, &input, &weights);
+        let img = BlockedImage::from_nchw(&input);
+        let cal = calibrate_winograd_domain(&spec, m, &[img.clone()]).unwrap();
+        let mut conv = LoWinoConv::new(spec, m, &weights, cal).unwrap();
+        let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+        let mut ctx = ConvContext::new(threads);
+        conv.execute(&img, &mut out, &mut ctx);
+        out.to_nchw().rel_l2_error(&want)
+    }
+
+    #[test]
+    fn f2_accuracy_small_layer() {
+        let err = run_case(ConvShape::same(1, 8, 8, 10, 3), 2, 1);
+        assert!(err < 0.03, "rel error {err}");
+    }
+
+    #[test]
+    fn f4_accuracy_small_layer() {
+        // Quantization noise on an 8-16 channel toy layer; real layers
+        // (C >= 128) average the error down well below this.
+        let err = run_case(ConvShape::same(2, 16, 16, 12, 3), 4, 2);
+        assert!(err < 0.06, "rel error {err}");
+    }
+
+    fn run_case_per_position(spec: ConvShape, m: usize) -> f64 {
+        let spec = spec.validate().unwrap();
+        let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+            ((b * 131 + c * 31 + y * 7 + x) as f32 * 0.29).sin() * 1.5
+        });
+        let weights = Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+            ((k * 17 + c * 5 + y * 3 + x) as f32 * 0.53).cos() * 0.25
+        });
+        let want = crate::algo::direct_f32::reference_conv_nchw(&spec, &input, &weights);
+        let img = BlockedImage::from_nchw(&input);
+        let cal =
+            crate::calibrate::calibrate_winograd_domain_per_position(&spec, m, &[img.clone()])
+                .unwrap();
+        let mut conv = LoWinoConv::new_per_position(spec, m, &weights, &cal).unwrap();
+        assert!(conv.is_per_position());
+        let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+        let mut ctx = ConvContext::new(1);
+        conv.execute(&img, &mut out, &mut ctx);
+        out.to_nchw().rel_l2_error(&want)
+    }
+
+    #[test]
+    fn f6_per_position_scales_make_large_tiles_usable() {
+        // Per-tensor scales cannot span the cross-position magnitude
+        // disparity of F(6,3) (the quiet central positions quantize to
+        // ~nothing); per-position scales — the granularity extension —
+        // recover the accuracy. This is the scale-granularity ablation.
+        let spec = ConvShape::same(1, 8, 8, 14, 3);
+        let per_tensor = run_case(spec, 6, 1);
+        let per_position = run_case_per_position(spec, 6);
+        assert!(
+            per_position < 0.08,
+            "per-position rel error {per_position}"
+        );
+        assert!(
+            per_position < per_tensor / 3.0,
+            "per-position {per_position} vs per-tensor {per_tensor}"
+        );
+    }
+
+    #[test]
+    fn f4_per_position_no_worse_than_per_tensor() {
+        let spec = ConvShape::same(1, 16, 16, 12, 3);
+        let pt = run_case(spec, 4, 1);
+        let pp = run_case_per_position(spec, 4);
+        assert!(pp <= pt * 1.5, "pp={pp} pt={pt}");
+    }
+
+    #[test]
+    fn per_position_scale_count_validated() {
+        let spec = ConvShape::same(1, 8, 8, 8, 3).validate().unwrap();
+        let weights = Tensor4::zeros(8, 8, 3, 3);
+        let err = LoWinoConv::new_per_position(spec, 2, &weights, &[QParams::UNIT; 3]);
+        assert!(matches!(err, Err(ConvError::Calibration(_))));
+    }
+
+    #[test]
+    fn ragged_tiles_and_many_channels() {
+        // H' = 11 not divisible by m = 4; C crosses a 64 block.
+        let err = run_case(ConvShape::same(1, 70, 66, 11, 3), 4, 2);
+        assert!(err < 0.04, "rel error {err}");
+    }
+
+    #[test]
+    fn multi_thread_matches_single_thread() {
+        let spec = ConvShape::same(2, 8, 8, 10, 3).validate().unwrap();
+        let input = Tensor4::from_fn(2, 8, 10, 10, |b, c, y, x| {
+            ((b + c * 3 + y * 5 + x * 7) as f32 * 0.37).sin()
+        });
+        let weights = Tensor4::from_fn(8, 8, 3, 3, |k, c, y, x| {
+            ((k + c + y + x) as f32 * 0.41).cos() * 0.3
+        });
+        let img = BlockedImage::from_nchw(&input);
+        let cal = calibrate_winograd_domain(&spec, 2, &[img.clone()]).unwrap();
+        let mut outs = Vec::new();
+        for threads in [1, 3] {
+            let mut conv = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
+            let mut out = BlockedImage::zeros(2, 8, 10, 10);
+            let mut ctx = ConvContext::new(threads);
+            conv.execute(&img, &mut out, &mut ctx);
+            outs.push(out.to_nchw());
+        }
+        assert_eq!(outs[0].max_abs_diff(&outs[1]), 0.0);
+    }
+
+    #[test]
+    fn blocking_override_is_used_and_equivalent() {
+        let spec = ConvShape::same(1, 8, 8, 8, 3).validate().unwrap();
+        let input = Tensor4::from_fn(1, 8, 8, 8, |_, c, y, x| ((c + y + x) as f32 * 0.3).sin());
+        let weights = Tensor4::from_fn(8, 8, 3, 3, |k, c, y, x| {
+            ((k * 2 + c + y + x) as f32 * 0.5).cos() * 0.2
+        });
+        let img = BlockedImage::from_nchw(&input);
+        let cal = calibrate_winograd_domain(&spec, 2, &[img.clone()]).unwrap();
+        let mut a = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
+        let mut b = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
+        b.set_blocking(Blocking {
+            n_blk: 4,
+            c_blk: 4,
+            k_blk: 64,
+            row_blk: 2,
+            col_blk: 1,
+        });
+        let mut ctx = ConvContext::new(1);
+        let mut out_a = BlockedImage::zeros(1, 8, 8, 8);
+        let mut out_b = BlockedImage::zeros(1, 8, 8, 8);
+        a.execute(&img, &mut out_a, &mut ctx);
+        b.execute(&img, &mut out_b, &mut ctx);
+        assert_eq!(out_a.to_nchw().max_abs_diff(&out_b.to_nchw()), 0.0);
+    }
+
+    #[test]
+    fn io_mismatch_panics() {
+        let spec = ConvShape::same(1, 8, 8, 8, 3).validate().unwrap();
+        let weights = Tensor4::zeros(8, 8, 3, 3);
+        let mut conv = LoWinoConv::new(spec, 2, &weights, QParams::UNIT).unwrap();
+        let img = BlockedImage::zeros(1, 8, 9, 9); // wrong H/W
+        let mut out = BlockedImage::zeros(1, 8, 8, 8);
+        let mut ctx = ConvContext::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv.execute(&img, &mut out, &mut ctx);
+        }));
+        assert!(result.is_err());
+    }
+}

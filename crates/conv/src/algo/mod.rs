@@ -1,0 +1,136 @@
+//! The convolution algorithm implementations.
+
+pub mod direct_f32;
+pub mod direct_i8;
+pub mod downscale;
+pub mod lowino;
+pub mod upcast;
+pub mod wino_f32;
+
+use lowino_tensor::{BlockedImage, ConvShape};
+
+use crate::context::ConvContext;
+use crate::stats::StageTimings;
+
+/// Algorithm identifiers (the paper's comparison set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// FP32 direct convolution (reference / §5.1 baseline).
+    DirectF32,
+    /// INT8 direct convolution (im2col + VNNI GEMM; "oneDNN direct").
+    DirectInt8,
+    /// FP32 Winograd `F(m×m, r×r)`.
+    WinogradF32 {
+        /// Output tile size `m`.
+        m: usize,
+    },
+    /// LoWino: Winograd-domain PTQ INT8 Winograd (the paper's approach).
+    LoWino {
+        /// Output tile size `m`.
+        m: usize,
+    },
+    /// Down-scaling INT8 Winograd (oneDNN-style baseline, §2.3).
+    DownScale {
+        /// Output tile size `m`.
+        m: usize,
+    },
+    /// Up-casting INT16 Winograd (ncnn-style baseline, §2.3).
+    UpCast {
+        /// Output tile size `m`.
+        m: usize,
+    },
+}
+
+impl Algorithm {
+    /// Human-readable name used in harness output.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::DirectF32 => "direct-f32".into(),
+            Algorithm::DirectInt8 => "direct-int8".into(),
+            Algorithm::WinogradF32 { m } => format!("winograd-f32 F({m}x{m},3x3)"),
+            Algorithm::LoWino { m } => format!("lowino F({m}x{m},3x3)"),
+            Algorithm::DownScale { m } => format!("downscale F({m}x{m},3x3)"),
+            Algorithm::UpCast { m } => format!("upcast F({m}x{m},3x3)"),
+        }
+    }
+
+    /// The Winograd tile size, if this is a Winograd algorithm.
+    pub fn tile_m(&self) -> Option<usize> {
+        match self {
+            Algorithm::WinogradF32 { m }
+            | Algorithm::LoWino { m }
+            | Algorithm::DownScale { m }
+            | Algorithm::UpCast { m } => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Whether the algorithm needs a spatial-domain input scale.
+    pub fn needs_spatial_scale(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::DirectInt8 | Algorithm::DownScale { .. } | Algorithm::UpCast { .. }
+        )
+    }
+
+    /// Whether the algorithm needs a Winograd-domain input scale (LoWino).
+    pub fn needs_winograd_scale(&self) -> bool {
+        matches!(self, Algorithm::LoWino { .. })
+    }
+}
+
+impl core::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A prepared convolution executor: weights packed, workspaces allocated;
+/// `execute` runs the layer on a batch and reports per-stage timings.
+pub trait ConvExecutor {
+    /// The layer specification this executor was planned for.
+    fn spec(&self) -> &ConvShape;
+
+    /// Which algorithm this executor implements.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Run the convolution. `input` must match the spec's `(B, C, H, W)`;
+    /// `output` must be pre-allocated as `(B, K, H', W')`.
+    fn execute(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        ctx: &mut ConvContext,
+    ) -> StageTimings;
+}
+
+/// Shared input/output dimension assertions for all executors.
+pub(crate) fn check_io(spec: &ConvShape, input: &BlockedImage, output: &BlockedImage) {
+    assert_eq!(
+        input.dims(),
+        (spec.batch, spec.in_c, spec.h, spec.w),
+        "input dims don't match spec"
+    );
+    assert_eq!(
+        output.dims(),
+        (spec.batch, spec.out_c, spec.out_h(), spec.out_w()),
+        "output dims don't match spec"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(Algorithm::DirectF32.name(), "direct-f32");
+        assert_eq!(Algorithm::LoWino { m: 4 }.tile_m(), Some(4));
+        assert_eq!(Algorithm::DirectInt8.tile_m(), None);
+        assert!(Algorithm::DownScale { m: 2 }.needs_spatial_scale());
+        assert!(!Algorithm::DownScale { m: 2 }.needs_winograd_scale());
+        assert!(Algorithm::LoWino { m: 2 }.needs_winograd_scale());
+        assert!(!Algorithm::DirectF32.needs_spatial_scale());
+        assert_eq!(format!("{}", Algorithm::UpCast { m: 2 }), "upcast F(2x2,3x3)");
+    }
+}

@@ -1,0 +1,285 @@
+//! The up-casting low-precision Winograd baseline (paper §2.3, Fig. 2a —
+//! the ncnn-style design).
+//!
+//! The input is quantized in the spatial domain (INT8) and transformed with
+//! the integer `Bᵀ` **exactly** — the result is simply kept in a wider
+//! type (INT16) instead of being squeezed back to INT8. No transform-domain
+//! precision is lost (❶ of Fig. 2a is lossless), but the multiply stage
+//! must run on `vpdpwssd`, at half the per-instruction MAC throughput of
+//! `vpdpbusd` — the performance cost the paper attributes to this design.
+//!
+//! INT16 capacity bounds the tile size: the transform amplifies magnitudes
+//! by `growth(m)`, so `growth(m)·127` must fit in i16 — true for `m ≤ 4`,
+//! false for `m = 6`, which is exactly why ncnn only ships small tiles.
+
+use std::time::Instant;
+
+use lowino_gemm::int16::batched_gemm_i16;
+use lowino_gemm::{GemmShape, UPanelI16, VPanelI16, ZPanel};
+use lowino_quant::QParams;
+use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
+use lowino_winograd::{range_growth_2d, TileTransformer};
+
+use crate::algo::{check_io, Algorithm, ConvExecutor};
+use crate::context::ConvContext;
+use crate::error::ConvError;
+use crate::filter::pack_filters_upcast;
+use crate::stats::StageTimings;
+use crate::tiles::{scatter_output_tile, tile_coords, tile_origin};
+
+/// Up-casting Winograd INT16 executor.
+pub struct UpCastConv {
+    spec: ConvShape,
+    geom: TileGeometry,
+    tt: TileTransformer,
+    u_panel: UPanelI16,
+    alpha_in: QParams,
+    alpha_u: QParams,
+    /// Spatially-quantized padded input (INT8, quantized once per execute).
+    qbuf: AlignedBuf<i8>,
+    hp: usize,
+    wp: usize,
+    v_panel: VPanelI16,
+    z_panel: ZPanel,
+}
+
+impl UpCastConv {
+    /// Plan an up-casting Winograd convolution. `input_scale` is the
+    /// spatial-domain scale from [`crate::calibrate_spatial`].
+    ///
+    /// Fails with [`ConvError::Unsupported`] when the transform growth
+    /// exceeds INT16 capacity (`m ≥ 6` for `r = 3`) — the same limitation
+    /// as the production up-casting implementations.
+    pub fn new(
+        spec: ConvShape,
+        m: usize,
+        weights: &Tensor4,
+        input_scale: QParams,
+    ) -> Result<Self, ConvError> {
+        let spec = spec.validate()?;
+        let geom = spec.tiles(m)?;
+        let growth = range_growth_2d(m, spec.r)?;
+        if growth * 127.0 > f64::from(i16::MAX) {
+            return Err(ConvError::Unsupported(format!(
+                "up-casting F({m},{}) would overflow INT16: growth {growth:.0}× of ±127",
+                spec.r
+            )));
+        }
+        let tt = TileTransformer::new(m, spec.r)?;
+        let (u_panel, alpha_u) = pack_filters_upcast(&spec, &geom, &tt, weights)?;
+        let t_count = geom.t();
+        let cp = lowino_tensor::round_up(spec.in_c, LANES);
+        let hp = ((geom.tiles_h - 1) * geom.m + geom.n).max(spec.h + 2 * spec.pad);
+        let wp = ((geom.tiles_w - 1) * geom.m + geom.n).max(spec.w + 2 * spec.pad);
+        Ok(Self {
+            spec,
+            geom,
+            tt,
+            u_panel,
+            alpha_in: input_scale,
+            alpha_u,
+            qbuf: AlignedBuf::zeroed(spec.batch * hp * wp * cp),
+            hp,
+            wp,
+            v_panel: VPanelI16::new(t_count, geom.total, spec.in_c),
+            z_panel: ZPanel::new(t_count, geom.total, spec.out_c),
+        })
+    }
+}
+
+impl ConvExecutor for UpCastConv {
+    fn spec(&self) -> &ConvShape {
+        &self.spec
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::UpCast { m: self.geom.m }
+    }
+
+    fn execute(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        ctx: &mut ConvContext,
+    ) -> StageTimings {
+        check_io(&self.spec, input, output);
+        let mut timings = StageTimings::default();
+        let spec = self.spec;
+        let geom = self.geom;
+        let (n, m, t_count) = (geom.n, geom.m, geom.t());
+        let tt = &self.tt;
+        let alpha_in = self.alpha_in.alpha;
+
+        // Stage ① part A: quantize the input once into the padded INT8
+        // buffer (shared design with the down-scaling baseline).
+        let start = Instant::now();
+        let (hp, wp) = (self.hp, self.wp);
+        let cp = lowino_tensor::round_up(spec.in_c, LANES);
+        let c_blocks = cp / LANES;
+        {
+            let qb: &AlignedBuf<i8> = &self.qbuf;
+            let rows = spec.batch * spec.h;
+            ctx.pool.run(rows, |_, range| {
+                for row in range {
+                    let b = row / spec.h;
+                    let y = row % spec.h;
+                    for x in 0..spec.w {
+                        for cb in 0..c_blocks {
+                            let lanes = input.lanes(b, cb, y, x);
+                            let off =
+                                ((b * hp + y + spec.pad) * wp + x + spec.pad) * cp + cb * LANES;
+                            // SAFETY: each (b, y) row is owned by one task.
+                            unsafe {
+                                let dst = qb.as_ptr().add(off) as *mut i8;
+                                for (l, &s) in lanes.iter().enumerate() {
+                                    *dst.add(l) = (s * alpha_in)
+                                        .round_ties_even()
+                                        .clamp(-127.0, 127.0)
+                                        as i8;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Stage ① part B: exact integer transform of INT8 tiles -> INT16.
+        let vp: &VPanelI16 = &self.v_panel;
+        let qb: &AlignedBuf<i8> = &self.qbuf;
+        let tasks = c_blocks * geom.total;
+        ctx.pool.run(tasks, |_, range| {
+            let mut scratch = tt.make_scratch(LANES);
+            let mut patch_q = vec![0i32; n * n * LANES];
+            let mut v_int = vec![0i32; n * n * LANES];
+            for task in range {
+                let cb = task / geom.total;
+                let tile = task % geom.total;
+                let (b, ty, tx) = tile_coords(&geom, tile);
+                let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                for i in 0..n {
+                    for j in 0..n {
+                        let yy = (y0 + i as isize + spec.pad as isize) as usize;
+                        let xx = (x0 + j as isize + spec.pad as isize) as usize;
+                        let off = ((b * hp + yy) * wp + xx) * cp + cb * LANES;
+                        let src = &qb.as_slice()[off..off + LANES];
+                        let dst = &mut patch_q[(i * n + j) * LANES..][..LANES];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = i32::from(s);
+                        }
+                    }
+                }
+                tt.input_tile_i32(&patch_q, &mut v_int, &mut scratch);
+                // Up-cast ❶: exact in INT16 (capacity checked at plan time).
+                for t in 0..t_count {
+                    // SAFETY: disjoint (t, tile, cb) groups per task.
+                    unsafe {
+                        let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                        for l in 0..LANES {
+                            let val = v_int[t * LANES + l];
+                            debug_assert!(val >= i32::from(i16::MIN) && val <= i32::from(i16::MAX));
+                            *dst.add(l) = val as i16;
+                        }
+                    }
+                }
+            }
+        });
+        timings.input_transform = start.elapsed();
+
+        // Stage ②: INT16 GEMM (vpdpwssd — half VNNI throughput).
+        let start = Instant::now();
+        let shape = GemmShape {
+            t: t_count,
+            n: geom.total,
+            c: spec.in_c,
+            k: spec.out_c,
+        };
+        batched_gemm_i16(
+            ctx.tier,
+            &shape,
+            &self.v_panel,
+            &self.u_panel,
+            &mut self.z_panel,
+            &mut ctx.pool,
+        );
+        timings.gemm = start.elapsed();
+
+        // Stage ③: de-quantize + output transform. The integer transform is
+        // exact, so the only scales are the spatial α_in and the filter α_U.
+        let start = Instant::now();
+        let inv = 1.0 / (alpha_in * self.alpha_u.alpha);
+        let zp: &ZPanel = &self.z_panel;
+        let out_ref: &BlockedImage = output;
+        let tasks = output.c_blocks() * geom.total;
+        ctx.pool.run(tasks, |_, range| {
+            let mut scratch = tt.make_scratch(LANES);
+            let mut zf = vec![0f32; t_count * LANES];
+            let mut y = vec![0f32; m * m * LANES];
+            for task in range {
+                let kg = task / geom.total;
+                let tile = task % geom.total;
+                let (b, ty, tx) = tile_coords(&geom, tile);
+                lowino_simd::dequantize_i32_lanes(zp.tile_block(kg, tile), inv, &mut zf);
+                tt.output_tile_f32(&zf, &mut y, &mut scratch);
+                // SAFETY: output tiles never overlap.
+                unsafe {
+                    scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, &y);
+                }
+            }
+        });
+        timings.output_transform = start.elapsed();
+        timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::direct_f32::reference_conv_nchw;
+    use crate::calibrate::calibrate_spatial;
+
+    fn run_case(spec: ConvShape, m: usize) -> f64 {
+        let spec = spec.validate().unwrap();
+        let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+            ((b * 71 + c * 37 + y * 13 + x) as f32 * 0.27).sin()
+        });
+        let weights = Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+            ((k * 5 + c * 3 + y * 2 + x) as f32 * 0.67).cos() * 0.3
+        });
+        let want = reference_conv_nchw(&spec, &input, &weights);
+        let img = BlockedImage::from_nchw(&input);
+        let cal = calibrate_spatial(&[img.clone()]).unwrap();
+        let mut conv = UpCastConv::new(spec, m, &weights, cal).unwrap();
+        let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+        let mut ctx = ConvContext::new(2);
+        conv.execute(&img, &mut out, &mut ctx);
+        out.to_nchw().rel_l2_error(&want)
+    }
+
+    #[test]
+    fn f2_accuracy_is_spatial_quant_limited() {
+        let err = run_case(ConvShape::same(1, 8, 8, 10, 3), 2);
+        assert!(err < 0.04, "rel error {err}");
+    }
+
+    #[test]
+    fn f4_accuracy_no_downscale_collapse() {
+        // Up-casting quantizes in the spatial domain, so its rounding error
+        // is amplified by the transform (up to 100x for F(4,3)) — worse
+        // than LoWino, but nothing like the down-scaling collapse. Its real
+        // cost is throughput (INT16 multiply), not a broken output.
+        let err = run_case(ConvShape::same(1, 16, 8, 12, 3), 4);
+        assert!(err < 0.25, "rel error {err}");
+    }
+
+    #[test]
+    fn f6_rejected_for_int16_overflow() {
+        let spec = ConvShape::same(1, 4, 4, 12, 3).validate().unwrap();
+        let err = match UpCastConv::new(spec, 6, &Tensor4::zeros(4, 4, 3, 3), QParams::UNIT) {
+            Err(e) => e,
+            Ok(_) => panic!("F(6,3) up-casting must be rejected"),
+        };
+        assert!(matches!(err, ConvError::Unsupported(_)), "{err}");
+        assert!(err.to_string().contains("INT16"));
+    }
+}

@@ -1,0 +1,178 @@
+//! FP32 Winograd convolution — the full-precision fast-algorithm baseline.
+//!
+//! Same three-stage pipeline as LoWino, with no quantization anywhere: the
+//! transformed tiles stay in f32 and the GEMM runs at FP32 throughput
+//! (16 lanes/instr vs. VNNI's 64 MACs/instr — the 4× theoretical gap of
+//! paper §2.1).
+
+use std::time::Instant;
+
+use lowino_gemm::f32gemm::batched_gemm_f32;
+use lowino_gemm::{GemmShape, UPanelF32, VPanelF32, ZPanelF32};
+use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
+use lowino_winograd::TileTransformer;
+
+use crate::algo::{check_io, Algorithm, ConvExecutor};
+use crate::context::ConvContext;
+use crate::error::ConvError;
+use crate::filter::pack_filters_f32;
+use crate::stats::StageTimings;
+use crate::tiles::{gather_patch, scatter_output_tile, tile_coords, tile_origin};
+
+/// FP32 Winograd executor.
+pub struct WinogradF32Conv {
+    spec: ConvShape,
+    geom: TileGeometry,
+    tt: TileTransformer,
+    u_panel: UPanelF32,
+    v_panel: VPanelF32,
+    z_panel: ZPanelF32,
+}
+
+impl WinogradF32Conv {
+    /// Plan an FP32 `F(m×m, r×r)` Winograd convolution.
+    pub fn new(spec: ConvShape, m: usize, weights: &Tensor4) -> Result<Self, ConvError> {
+        let spec = spec.validate()?;
+        let geom = spec.tiles(m)?;
+        let tt = TileTransformer::new(m, spec.r)?;
+        let u_panel = pack_filters_f32(&spec, &geom, &tt, weights)?;
+        let t_count = geom.t();
+        Ok(Self {
+            spec,
+            geom,
+            tt,
+            u_panel,
+            v_panel: VPanelF32::new(t_count, geom.total, spec.in_c),
+            z_panel: ZPanelF32::new(t_count, geom.total, spec.out_c),
+        })
+    }
+}
+
+impl ConvExecutor for WinogradF32Conv {
+    fn spec(&self) -> &ConvShape {
+        &self.spec
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::WinogradF32 { m: self.geom.m }
+    }
+
+    fn execute(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        ctx: &mut ConvContext,
+    ) -> StageTimings {
+        check_io(&self.spec, input, output);
+        let mut timings = StageTimings::default();
+        let spec = self.spec;
+        let geom = self.geom;
+        let (n, m, t_count) = (geom.n, geom.m, geom.t());
+        let tt = &self.tt;
+
+        // Stage ①: FP32 input transform into the V panel.
+        let start = Instant::now();
+        let vp: &VPanelF32 = &self.v_panel;
+        let tasks = input.c_blocks() * geom.total;
+        ctx.pool.run(tasks, |_, range| {
+            let mut scratch = tt.make_scratch(LANES);
+            let mut patch = vec![0f32; n * n * LANES];
+            let mut v = vec![0f32; n * n * LANES];
+            for task in range {
+                let cb = task / geom.total;
+                let tile = task % geom.total;
+                let (b, ty, tx) = tile_coords(&geom, tile);
+                let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                gather_patch(input, b, cb, y0, x0, n, &mut patch);
+                tt.input_tile_f32(&patch, &mut v, &mut scratch);
+                for t in 0..t_count {
+                    // SAFETY: disjoint (t, tile, cb) groups per task.
+                    unsafe {
+                        let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                        core::ptr::copy_nonoverlapping(v.as_ptr().add(t * LANES), dst, LANES);
+                    }
+                }
+            }
+        });
+        timings.input_transform = start.elapsed();
+
+        // Stage ②: FP32 batched GEMM.
+        let start = Instant::now();
+        let shape = GemmShape {
+            t: t_count,
+            n: geom.total,
+            c: spec.in_c,
+            k: spec.out_c,
+        };
+        batched_gemm_f32(&shape, &self.v_panel, &self.u_panel, &mut self.z_panel, &mut ctx.pool);
+        timings.gemm = start.elapsed();
+
+        // Stage ③: output transform.
+        let start = Instant::now();
+        let zp: &ZPanelF32 = &self.z_panel;
+        let out_ref: &BlockedImage = output;
+        let tasks = output.c_blocks() * geom.total;
+        ctx.pool.run(tasks, |_, range| {
+            let mut scratch = tt.make_scratch(LANES);
+            let mut y = vec![0f32; m * m * LANES];
+            for task in range {
+                let kg = task / geom.total;
+                let tile = task % geom.total;
+                let (b, ty, tx) = tile_coords(&geom, tile);
+                let block = zp.tile_block(kg, tile);
+                tt.output_tile_f32(block, &mut y, &mut scratch);
+                // SAFETY: output tiles never overlap.
+                unsafe {
+                    scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, &y);
+                }
+            }
+        });
+        timings.output_transform = start.elapsed();
+        timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::direct_f32::reference_conv_nchw;
+
+    fn check(spec: ConvShape, m: usize, threads: usize, tol: f32) {
+        let spec = spec.validate().unwrap();
+        let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+            ((b * 53 + c * 11 + y * 5 + x) as f32 * 0.33).sin()
+        });
+        let weights = Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+            ((k * 7 + c * 3 + y * 2 + x) as f32 * 0.61).cos() * 0.3
+        });
+        let want = reference_conv_nchw(&spec, &input, &weights);
+        let img = BlockedImage::from_nchw(&input);
+        let mut conv = WinogradF32Conv::new(spec, m, &weights).unwrap();
+        let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+        let mut ctx = ConvContext::new(threads);
+        conv.execute(&img, &mut out, &mut ctx);
+        let diff = out.to_nchw().max_abs_diff(&want);
+        assert!(diff < tol, "diff {diff} (m={m}, spec={spec:?})");
+    }
+
+    #[test]
+    fn f2_matches_direct() {
+        check(ConvShape::same(1, 8, 8, 10, 3), 2, 1, 1e-3);
+    }
+
+    #[test]
+    fn f4_matches_direct() {
+        check(ConvShape::same(2, 16, 8, 12, 3), 4, 2, 1e-3);
+    }
+
+    #[test]
+    fn f6_matches_direct_with_looser_tolerance() {
+        // FP32 Winograd with m = 6 is numerically less stable (paper §2.2).
+        check(ConvShape::same(1, 8, 8, 12, 3), 6, 1, 5e-2);
+    }
+
+    #[test]
+    fn ragged_and_crossing_blocks() {
+        check(ConvShape::same(1, 65, 70, 9, 3), 2, 2, 1e-3);
+    }
+}

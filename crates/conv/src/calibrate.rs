@@ -1,0 +1,202 @@
+//! Activation calibration for the quantized convolutions (paper §3, Eq. 7).
+//!
+//! * [`calibrate_spatial`] — spatial-domain threshold over raw activations,
+//!   used by the direct-INT8, down-scaling and up-casting baselines (they
+//!   quantize *before* the Winograd transform);
+//! * [`calibrate_winograd_domain`] — **LoWino's calibration**: the sample
+//!   activations are pushed through the `Bᵀ d B` transform first and the
+//!   KL search runs on the *transformed* distribution, so the chosen `τ`
+//!   (and hence `α_V`) lives in the Winograd domain where the actual
+//!   quantization happens.
+
+use lowino_quant::{calibrate_kl, Histogram, QParams};
+use lowino_tensor::{BlockedImage, ConvShape, LANES};
+use lowino_winograd::TileTransformer;
+
+use crate::error::ConvError;
+use crate::tiles::{gather_patch, tile_coords, tile_origin};
+
+/// Histogram bin count used by all calibrations (TensorRT convention).
+const CAL_BINS: usize = 2048;
+
+/// Spatial-domain KL calibration over raw activation samples.
+///
+/// Only logical channels are histogrammed — the blocked layout's zero
+/// padding lanes would otherwise flood the distribution with structural
+/// zeros and bias the KL search toward tiny thresholds.
+pub fn calibrate_spatial(samples: &[BlockedImage]) -> Result<QParams, ConvError> {
+    if samples.is_empty() {
+        return Err(ConvError::Calibration("empty sample set".into()));
+    }
+    let mut hist = Histogram::new(CAL_BINS);
+    for s in samples {
+        let (b_dim, c_dim, h, w) = s.dims();
+        for b in 0..b_dim {
+            for cb in 0..s.c_blocks() {
+                let real = (c_dim - cb * LANES).min(LANES);
+                for y in 0..h {
+                    for x in 0..w {
+                        hist.record(&s.lanes(b, cb, y, x)[..real]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(QParams::from_threshold(calibrate_kl(&hist).tau))
+}
+
+/// Winograd-domain KL calibration (the LoWino scheme): every tile of every
+/// sample is transformed with `Bᵀ·B` for `F(m, r)` and the histogram is
+/// collected over the transformed values.
+pub fn calibrate_winograd_domain(
+    spec: &ConvShape,
+    m: usize,
+    samples: &[BlockedImage],
+) -> Result<QParams, ConvError> {
+    if samples.is_empty() {
+        return Err(ConvError::Calibration("empty sample set".into()));
+    }
+    let tt = TileTransformer::new(m, spec.r)?;
+    let geom = spec.tiles(m)?;
+    let n = geom.n;
+    let mut hist = Histogram::new(CAL_BINS);
+    let mut scratch = tt.make_scratch(LANES);
+    let mut patch = vec![0f32; n * n * LANES];
+    let mut v = vec![0f32; n * n * LANES];
+    for sample in samples {
+        let (b_dim, c_dim, h, w) = sample.dims();
+        if (c_dim, h, w) != (spec.in_c, spec.h, spec.w) {
+            return Err(ConvError::Calibration(format!(
+                "sample dims ({c_dim},{h},{w}) don't match spec ({},{},{})",
+                spec.in_c, spec.h, spec.w
+            )));
+        }
+        let tiles = b_dim * geom.per_image;
+        for tile in 0..tiles {
+            let (b, ty, tx) = tile_coords(&geom, tile);
+            let (y0, x0) = tile_origin(spec, &geom, ty, tx);
+            for cb in 0..sample.c_blocks() {
+                gather_patch(sample, b, cb, y0, x0, n, &mut patch);
+                tt.input_tile_f32(&patch, &mut v, &mut scratch);
+                // Only histogram real channels (padding lanes are zero and
+                // would skew the distribution toward 0).
+                let real = (spec.in_c - cb * LANES).min(LANES);
+                if real == LANES {
+                    hist.record(&v);
+                } else {
+                    for slot in 0..n * n {
+                        hist.record(&v[slot * LANES..slot * LANES + real]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(QParams::from_threshold(calibrate_kl(&hist).tau))
+}
+
+/// Per-tile-position Winograd-domain calibration: one threshold per
+/// position `t ∈ 0..(m+r−1)²`.
+///
+/// The transform coefficients differ wildly across tile positions for
+/// large tiles (the corner rows of `Bᵀ⟨6,3⟩` amplify ~27× more than the
+/// central ones), so a single per-tensor scale wastes most of the INT8
+/// range on the quiet positions. Per-position scales fix this — the
+/// granularity extension evaluated in the scale-granularity ablation, and
+/// what makes `F(6×6)` LoWino usable.
+pub fn calibrate_winograd_domain_per_position(
+    spec: &ConvShape,
+    m: usize,
+    samples: &[BlockedImage],
+) -> Result<Vec<QParams>, ConvError> {
+    if samples.is_empty() {
+        return Err(ConvError::Calibration("empty sample set".into()));
+    }
+    let tt = TileTransformer::new(m, spec.r)?;
+    let geom = spec.tiles(m)?;
+    let n = geom.n;
+    let t_count = geom.t();
+    let mut hists: Vec<Histogram> = (0..t_count).map(|_| Histogram::new(CAL_BINS)).collect();
+    let mut scratch = tt.make_scratch(LANES);
+    let mut patch = vec![0f32; n * n * LANES];
+    let mut v = vec![0f32; n * n * LANES];
+    for sample in samples {
+        let (b_dim, c_dim, h, w) = sample.dims();
+        if (c_dim, h, w) != (spec.in_c, spec.h, spec.w) {
+            return Err(ConvError::Calibration(format!(
+                "sample dims ({c_dim},{h},{w}) don't match spec ({},{},{})",
+                spec.in_c, spec.h, spec.w
+            )));
+        }
+        let tiles = b_dim * geom.per_image;
+        for tile in 0..tiles {
+            let (b, ty, tx) = tile_coords(&geom, tile);
+            let (y0, x0) = tile_origin(spec, &geom, ty, tx);
+            for cb in 0..sample.c_blocks() {
+                gather_patch(sample, b, cb, y0, x0, n, &mut patch);
+                tt.input_tile_f32(&patch, &mut v, &mut scratch);
+                let real = (spec.in_c - cb * LANES).min(LANES);
+                for (t, hist) in hists.iter_mut().enumerate() {
+                    hist.record(&v[t * LANES..t * LANES + real]);
+                }
+            }
+        }
+    }
+    Ok(hists
+        .iter()
+        .map(|h| QParams::from_threshold(calibrate_kl(h).tau))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowino_tensor::Tensor4;
+    use lowino_winograd::range_growth_2d;
+
+    fn sample_image(spec: &ConvShape, scale: f32) -> BlockedImage {
+        let t = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+            ((b + c * 3 + y * 7 + x * 11) as f32 * 0.17).sin() * scale
+        });
+        BlockedImage::from_nchw(&t)
+    }
+
+    #[test]
+    fn spatial_calibration_covers_data() {
+        let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+        let q = calibrate_spatial(&[sample_image(&spec, 2.0)]).unwrap();
+        // τ within (0, max]; for this smooth data it should be near max.
+        assert!(q.tau() > 0.5 && q.tau() <= 2.01, "tau={}", q.tau());
+    }
+
+    #[test]
+    fn winograd_domain_tau_reflects_range_growth() {
+        // The transformed values are amplified by up to growth(m); the
+        // Winograd-domain τ must be substantially larger than the spatial
+        // one — this is the heart of the LoWino scheme (Fig. 9).
+        let spec = ConvShape::same(1, 8, 8, 12, 3).validate().unwrap();
+        let samples = [sample_image(&spec, 1.0)];
+        let spatial = calibrate_spatial(&samples).unwrap();
+        let wd2 = calibrate_winograd_domain(&spec, 2, &samples).unwrap();
+        let wd4 = calibrate_winograd_domain(&spec, 4, &samples).unwrap();
+        assert!(wd2.tau() > spatial.tau(), "{} vs {}", wd2.tau(), spatial.tau());
+        assert!(wd4.tau() > wd2.tau(), "{} vs {}", wd4.tau(), wd2.tau());
+        // And bounded by the analytic growth.
+        let g4 = range_growth_2d(4, 3).unwrap() as f32;
+        assert!(wd4.tau() <= spatial.tau() * g4 * 1.1);
+    }
+
+    #[test]
+    fn empty_samples_error() {
+        let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+        assert!(calibrate_spatial(&[]).is_err());
+        assert!(calibrate_winograd_domain(&spec, 2, &[]).is_err());
+    }
+
+    #[test]
+    fn mismatched_sample_dims_error() {
+        let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+        let wrong = BlockedImage::zeros(1, 8, 11, 11);
+        let err = calibrate_winograd_domain(&spec, 2, &[wrong]).unwrap_err();
+        assert!(matches!(err, ConvError::Calibration(_)));
+    }
+}

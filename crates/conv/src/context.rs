@@ -1,0 +1,57 @@
+//! Shared execution resources: thread pool, SIMD tier, wisdom.
+
+use lowino_gemm::Wisdom;
+use lowino_parallel::StaticPool;
+use lowino_simd::SimdTier;
+
+/// Execution context shared across layers: the static-scheduling thread
+/// pool (paper §4.4), the detected SIMD tier, and the auto-tuning wisdom
+/// (§4.3.4).
+pub struct ConvContext {
+    /// Fork-join pool; worker count fixed at construction.
+    pub pool: StaticPool,
+    /// Instruction tier all kernels run on.
+    pub tier: SimdTier,
+    /// Tuned GEMM blockings.
+    pub wisdom: Wisdom,
+}
+
+impl ConvContext {
+    /// Context with `threads` execution slots and the best available tier.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: StaticPool::new(threads),
+            tier: SimdTier::detect(),
+            wisdom: Wisdom::new(),
+        }
+    }
+
+    /// Context pinned to a specific tier (ablation benches).
+    pub fn with_tier(threads: usize, tier: SimdTier) -> Self {
+        Self {
+            pool: StaticPool::new(threads),
+            tier,
+            wisdom: Wisdom::new(),
+        }
+    }
+
+    /// Number of execution slots.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let ctx = ConvContext::new(2);
+        assert_eq!(ctx.threads(), 2);
+        assert_eq!(ctx.tier, SimdTier::detect());
+        let ctx = ConvContext::with_tier(1, SimdTier::Scalar);
+        assert_eq!(ctx.tier, SimdTier::Scalar);
+        assert!(ctx.wisdom.is_empty());
+    }
+}

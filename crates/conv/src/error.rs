@@ -1,0 +1,89 @@
+//! Error type for convolution planning and execution.
+
+use lowino_tensor::ShapeError;
+use lowino_winograd::matrices::MatrixError;
+
+/// Errors surfaced when constructing or running a convolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// Invalid layer shape.
+    Shape(ShapeError),
+    /// Unsupported Winograd algorithm.
+    Matrix(MatrixError),
+    /// Weight tensor dimensions don't match the layer spec.
+    WeightShape {
+        /// Expected (K, C, r, r).
+        expected: (usize, usize, usize, usize),
+        /// What was provided.
+        got: (usize, usize, usize, usize),
+    },
+    /// The algorithm can't support this configuration (with reason).
+    Unsupported(String),
+    /// Calibration failed (e.g. empty sample set).
+    Calibration(String),
+}
+
+impl core::fmt::Display for ConvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConvError::Shape(e) => write!(f, "shape error: {e}"),
+            ConvError::Matrix(e) => write!(f, "matrix error: {e}"),
+            ConvError::WeightShape { expected, got } => {
+                write!(f, "weight shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            ConvError::Unsupported(s) => write!(f, "unsupported configuration: {s}"),
+            ConvError::Calibration(s) => write!(f, "calibration error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvError {}
+
+impl From<ShapeError> for ConvError {
+    fn from(e: ShapeError) -> Self {
+        ConvError::Shape(e)
+    }
+}
+
+impl From<MatrixError> for ConvError {
+    fn from(e: MatrixError) -> Self {
+        ConvError::Matrix(e)
+    }
+}
+
+/// Validate a weight tensor against a spec; shared by all constructors.
+pub(crate) fn check_weights(
+    spec: &lowino_tensor::ConvShape,
+    weights: &lowino_tensor::Tensor4,
+) -> Result<(), ConvError> {
+    let got = weights.dims();
+    let expected = (spec.out_c, spec.in_c, spec.r, spec.r);
+    if got != expected {
+        return Err(ConvError::WeightShape { expected, got });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowino_tensor::{ConvShape, Tensor4};
+
+    #[test]
+    fn weight_check() {
+        let spec = ConvShape::same(1, 4, 8, 6, 3);
+        assert!(check_weights(&spec, &Tensor4::zeros(8, 4, 3, 3)).is_ok());
+        let err = check_weights(&spec, &Tensor4::zeros(4, 8, 3, 3)).unwrap_err();
+        assert!(matches!(err, ConvError::WeightShape { .. }));
+        assert!(err.to_string().contains("weight shape mismatch"));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: ConvError = ShapeError::ZeroDim("h").into();
+        assert!(e.to_string().contains("shape error"));
+        let e: ConvError = MatrixError::Unsupported { m: 9, r: 3 }.into();
+        assert!(e.to_string().contains("F(9,3)"));
+        assert!(ConvError::Unsupported("x".into()).to_string().contains("x"));
+    }
+}

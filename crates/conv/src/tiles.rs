@@ -1,0 +1,149 @@
+//! Tile geometry helpers: gather input patches (with the zero-padding halo)
+//! and scatter output tiles (with edge clipping) over the blocked layout.
+//!
+//! The input image is decomposed into `⌈H'/m⌉ × ⌈W'/m⌉` tiles per image with
+//! an overlap of `r−1` (paper §2.2); ragged edge tiles read zeros outside
+//! the image and write only the valid portion of the output.
+
+use lowino_tensor::{BlockedImage, ConvShape, TileGeometry, LANES};
+
+/// Decompose a global tile index into `(batch, tile_y, tile_x)`.
+#[inline]
+pub fn tile_coords(geom: &TileGeometry, tile: usize) -> (usize, usize, usize) {
+    let b = tile / geom.per_image;
+    let rem = tile % geom.per_image;
+    (b, rem / geom.tiles_w, rem % geom.tiles_w)
+}
+
+/// Input-space origin (top-left of the `n×n` patch) of a tile, including
+/// the padding offset — may be negative.
+#[inline]
+pub fn tile_origin(spec: &ConvShape, geom: &TileGeometry, ty: usize, tx: usize) -> (isize, isize) {
+    (
+        (ty * geom.m) as isize - spec.pad as isize,
+        (tx * geom.m) as isize - spec.pad as isize,
+    )
+}
+
+/// Gather an `n×n×64` patch from the blocked image into `dst`
+/// (row-major tile slots of 64 lanes), reading zeros outside the image.
+pub fn gather_patch(
+    img: &BlockedImage,
+    b: usize,
+    c_block: usize,
+    y0: isize,
+    x0: isize,
+    n: usize,
+    dst: &mut [f32],
+) {
+    debug_assert!(dst.len() >= n * n * LANES);
+    for i in 0..n {
+        for j in 0..n {
+            let slot = (i * n + j) * LANES;
+            img.read_lanes_padded(
+                b,
+                c_block,
+                y0 + i as isize,
+                x0 + j as isize,
+                &mut dst[slot..slot + LANES],
+            );
+        }
+    }
+}
+
+/// Scatter an `m×m×64` output tile into the blocked output image, clipping
+/// rows/columns that fall outside `H'×W'` (ragged edge tiles).
+///
+/// # Safety
+///
+/// Uses `lanes_ptr_shared`; the caller's schedule must guarantee that no
+/// other thread writes the same output tile (output tiles never overlap, so
+/// partitioning by tile index is sufficient).
+pub unsafe fn scatter_output_tile(
+    out: &BlockedImage,
+    b: usize,
+    k_block: usize,
+    oy0: usize,
+    ox0: usize,
+    m: usize,
+    src: &[f32],
+) {
+    let (_, _, out_h, out_w) = out.dims();
+    debug_assert!(src.len() >= m * m * LANES);
+    for i in 0..m {
+        let y = oy0 + i;
+        if y >= out_h {
+            break;
+        }
+        for j in 0..m {
+            let x = ox0 + j;
+            if x >= out_w {
+                break;
+            }
+            let slot = (i * m + j) * LANES;
+            let dst = out.lanes_ptr_shared(b, k_block, y, x);
+            core::ptr::copy_nonoverlapping(src.as_ptr().add(slot), dst, LANES);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowino_tensor::Tensor4;
+
+    #[test]
+    fn tile_coords_round_trip() {
+        let spec = ConvShape::same(3, 64, 64, 10, 3).validate().unwrap();
+        let geom = spec.tiles(4).unwrap();
+        assert_eq!(geom.tiles_h, 3);
+        assert_eq!(geom.per_image, 9);
+        assert_eq!(tile_coords(&geom, 0), (0, 0, 0));
+        assert_eq!(tile_coords(&geom, 5), (0, 1, 2));
+        assert_eq!(tile_coords(&geom, 9), (1, 0, 0));
+        assert_eq!(tile_coords(&geom, 26), (2, 2, 2));
+    }
+
+    #[test]
+    fn tile_origin_includes_padding() {
+        let spec = ConvShape::same(1, 64, 64, 8, 3).validate().unwrap();
+        let geom = spec.tiles(2).unwrap();
+        assert_eq!(tile_origin(&spec, &geom, 0, 0), (-1, -1));
+        assert_eq!(tile_origin(&spec, &geom, 1, 2), (1, 3));
+    }
+
+    #[test]
+    fn gather_reads_padding_zeros() {
+        let t = Tensor4::from_fn(1, 1, 4, 4, |_, _, y, x| (y * 4 + x + 1) as f32);
+        let img = BlockedImage::from_nchw(&t);
+        let mut patch = vec![9.0f32; 4 * 4 * LANES];
+        gather_patch(&img, 0, 0, -1, -1, 4, &mut patch);
+        // Slot (0,0) is outside -> zeros; slot (1,1) is image (0,0) = 1.
+        assert_eq!(patch[0], 0.0);
+        assert_eq!(patch[(4 + 1) * LANES], 1.0);
+        // Channel lane 1 is padding (C = 1) -> zero.
+        assert_eq!(patch[(4 + 1) * LANES + 1], 0.0);
+        assert_eq!(patch[(2 * 4 + 2) * LANES], 6.0); // image (1,1)
+    }
+
+    #[test]
+    fn scatter_clips_ragged_edges() {
+        let out = BlockedImage::zeros(1, 64, 5, 5);
+        let mut tile = vec![0.0f32; 4 * 4 * LANES];
+        for i in 0..4 {
+            for j in 0..4 {
+                tile[(i * 4 + j) * LANES] = (10 * i + j) as f32;
+            }
+        }
+        // Place the 4x4 tile at (3, 3) of a 5x5 output: only 2x2 fits.
+        // SAFETY: single-threaded test.
+        unsafe { scatter_output_tile(&out, 0, 0, 3, 3, 4, &tile) };
+        let nchw = out.to_nchw();
+        assert_eq!(nchw.at(0, 0, 3, 3), 0.0 * 1.0);
+        assert_eq!(nchw.at(0, 0, 3, 4), 1.0);
+        assert_eq!(nchw.at(0, 0, 4, 3), 10.0);
+        assert_eq!(nchw.at(0, 0, 4, 4), 11.0);
+        // Nothing outside was touched (no panic = no OOB write).
+        assert_eq!(nchw.at(0, 0, 2, 2), 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The user-facing engine and layer builder.
+//!
+//! [`Engine`] owns the shared execution resources (thread pool, SIMD tier,
+//! wisdom); [`LayerBuilder`] plans one convolution layer — choosing the
+//! algorithm (explicitly or via the cost model), running whatever
+//! calibration the chosen scheme needs, packing the filters, and allocating
+//! workspaces — into a reusable [`Layer`].
+
+use lowino_conv::{
+    calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext, ConvError,
+    ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, LoWinoConv, StageTimings,
+    UpCastConv, WinogradF32Conv,
+};
+use lowino_conv::calibrate::calibrate_winograd_domain_per_position;
+use lowino_quant::QParams;
+use lowino_tensor::{BlockedImage, ConvShape, Tensor4};
+
+use crate::select::select_algorithm;
+
+/// How the builder picks the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Use the §7 cost model ([`crate::select::select_algorithm`]).
+    Auto,
+    /// Use exactly this algorithm.
+    Fixed(Algorithm),
+}
+
+/// Shared execution engine.
+pub struct Engine {
+    ctx: ConvContext,
+}
+
+impl Engine {
+    /// An engine with `threads` execution slots on the best SIMD tier.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            ctx: ConvContext::new(threads),
+        }
+    }
+
+    /// An engine pinned to a SIMD tier (ablation benches).
+    pub fn with_tier(threads: usize, tier: lowino_simd::SimdTier) -> Self {
+        Self {
+            ctx: ConvContext::with_tier(threads, tier),
+        }
+    }
+
+    /// The underlying context (advanced use: wisdom, tier inspection).
+    pub fn context_mut(&mut self) -> &mut ConvContext {
+        &mut self.ctx
+    }
+
+    /// Allocate a correctly-shaped blocked output for a layer spec.
+    pub fn alloc_output(&self, spec: &ConvShape) -> BlockedImage {
+        BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w())
+    }
+
+    /// Run a planned layer.
+    pub fn execute(
+        &mut self,
+        layer: &mut Layer,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+    ) -> StageTimings {
+        layer.exec.execute(input, output, &mut self.ctx)
+    }
+}
+
+/// A planned, reusable convolution layer.
+pub struct Layer {
+    exec: Box<dyn ConvExecutor + Send>,
+}
+
+impl Layer {
+    /// The algorithm that was planned.
+    pub fn algorithm(&self) -> Algorithm {
+        self.exec.algorithm()
+    }
+
+    /// The layer spec.
+    pub fn spec(&self) -> &ConvShape {
+        self.exec.spec()
+    }
+
+    /// Borrow the underlying executor.
+    pub fn executor_mut(&mut self) -> &mut (dyn ConvExecutor + Send) {
+        &mut *self.exec
+    }
+}
+
+/// Builder for a [`Layer`].
+pub struct LayerBuilder<'w> {
+    spec: ConvShape,
+    weights: &'w Tensor4,
+    algo: AlgoChoice,
+    samples: Vec<BlockedImage>,
+    input_scale: Option<QParams>,
+    per_position: bool,
+}
+
+impl<'w> LayerBuilder<'w> {
+    /// Start planning a layer with `K×C×r×r` weights.
+    pub fn new(spec: ConvShape, weights: &'w Tensor4) -> Self {
+        Self {
+            spec,
+            weights,
+            algo: AlgoChoice::Auto,
+            samples: Vec::new(),
+            input_scale: None,
+            per_position: false,
+        }
+    }
+
+    /// Choose the algorithm (default: [`AlgoChoice::Auto`]).
+    pub fn algorithm(mut self, algo: AlgoChoice) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Provide unlabelled activation samples for calibration (paper §3:
+    /// "~500s of unlabelled sample images"). Required by every quantized
+    /// algorithm unless [`input_scale`](Self::input_scale) is given.
+    pub fn calibration_samples(mut self, samples: Vec<BlockedImage>) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Skip calibration and use an explicit input scale.
+    pub fn input_scale(mut self, scale: QParams) -> Self {
+        self.input_scale = Some(scale);
+        self
+    }
+
+    /// Use per-tile-position scale granularity for LoWino (the extension
+    /// that enables `F(6×6)`; requires calibration samples).
+    pub fn per_position_scales(mut self, on: bool) -> Self {
+        self.per_position = on;
+        self
+    }
+
+    /// Plan the layer.
+    pub fn build(self, _engine: &Engine) -> Result<Layer, ConvError> {
+        let spec = self.spec.validate()?;
+        let algo = match self.algo {
+            AlgoChoice::Fixed(a) => a,
+            AlgoChoice::Auto => select_algorithm(&spec),
+        };
+        let need_samples = self.input_scale.is_none()
+            && (algo.needs_spatial_scale() || algo.needs_winograd_scale());
+        if need_samples && self.samples.is_empty() {
+            return Err(ConvError::Calibration(format!(
+                "{algo} needs calibration samples (or an explicit input_scale)"
+            )));
+        }
+        let exec: Box<dyn ConvExecutor + Send> = match algo {
+            Algorithm::DirectF32 => Box::new(DirectF32Conv::new(spec, self.weights)?),
+            Algorithm::WinogradF32 { m } => {
+                Box::new(WinogradF32Conv::new(spec, m, self.weights)?)
+            }
+            Algorithm::DirectInt8 => {
+                let scale = match self.input_scale {
+                    Some(s) => s,
+                    None => calibrate_spatial(&self.samples)?,
+                };
+                Box::new(DirectInt8Conv::new(spec, self.weights, scale)?)
+            }
+            Algorithm::DownScale { m } => {
+                let scale = match self.input_scale {
+                    Some(s) => s,
+                    None => calibrate_spatial(&self.samples)?,
+                };
+                Box::new(DownScaleConv::new(spec, m, self.weights, scale)?)
+            }
+            Algorithm::UpCast { m } => {
+                let scale = match self.input_scale {
+                    Some(s) => s,
+                    None => calibrate_spatial(&self.samples)?,
+                };
+                Box::new(UpCastConv::new(spec, m, self.weights, scale)?)
+            }
+            Algorithm::LoWino { m } => {
+                if self.per_position {
+                    if self.samples.is_empty() {
+                        return Err(ConvError::Calibration(
+                            "per-position scales require calibration samples".into(),
+                        ));
+                    }
+                    let scales =
+                        calibrate_winograd_domain_per_position(&spec, m, &self.samples)?;
+                    Box::new(LoWinoConv::new_per_position(spec, m, self.weights, &scales)?)
+                } else {
+                    let scale = match self.input_scale {
+                        Some(s) => s,
+                        None => calibrate_winograd_domain(&spec, m, &self.samples)?,
+                    };
+                    Box::new(LoWinoConv::new(spec, m, self.weights, scale)?)
+                }
+            }
+        };
+        Ok(Layer { exec })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowino_tensor::Tensor4;
+
+    fn setup() -> (ConvShape, Tensor4, BlockedImage) {
+        let spec = ConvShape::same(1, 8, 8, 8, 3).validate().unwrap();
+        let w = Tensor4::from_fn(8, 8, 3, 3, |k, c, y, x| {
+            ((k + c + y + x) as f32 * 0.3).sin() * 0.2
+        });
+        let input = Tensor4::from_fn(1, 8, 8, 8, |_, c, y, x| ((c + y + x) as f32 * 0.5).cos());
+        (spec, w, BlockedImage::from_nchw(&input))
+    }
+
+    #[test]
+    fn all_fixed_algorithms_build_and_run() {
+        let (spec, w, img) = setup();
+        let mut engine = Engine::new(1);
+        for algo in [
+            Algorithm::DirectF32,
+            Algorithm::DirectInt8,
+            Algorithm::WinogradF32 { m: 2 },
+            Algorithm::LoWino { m: 2 },
+            Algorithm::LoWino { m: 4 },
+            Algorithm::DownScale { m: 2 },
+            Algorithm::UpCast { m: 2 },
+        ] {
+            let mut layer = LayerBuilder::new(spec, &w)
+                .algorithm(AlgoChoice::Fixed(algo))
+                .calibration_samples(vec![img.clone()])
+                .build(&engine)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert_eq!(layer.algorithm(), algo);
+            assert_eq!(*layer.spec(), spec);
+            let mut out = engine.alloc_output(&spec);
+            let t = engine.execute(&mut layer, &img, &mut out);
+            assert!(t.total() > std::time::Duration::ZERO, "{algo}");
+            assert!(out.max_abs() > 0.0, "{algo} produced all zeros");
+        }
+    }
+
+    #[test]
+    fn auto_selection_builds() {
+        let (spec, w, img) = setup();
+        let engine = Engine::new(1);
+        let layer = LayerBuilder::new(spec, &w)
+            .calibration_samples(vec![img])
+            .build(&engine)
+            .unwrap();
+        // Whatever was chosen must be a quantized algorithm.
+        assert!(
+            layer.algorithm().needs_spatial_scale() || layer.algorithm().needs_winograd_scale()
+        );
+    }
+
+    #[test]
+    fn missing_calibration_is_an_error() {
+        let (spec, w, _) = setup();
+        let engine = Engine::new(1);
+        let err = LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+            .build(&engine);
+        assert!(matches!(err, Err(ConvError::Calibration(_))));
+        // FP32 algorithms don't need calibration.
+        assert!(LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(Algorithm::DirectF32))
+            .build(&engine)
+            .is_ok());
+    }
+
+    #[test]
+    fn explicit_scale_skips_calibration() {
+        let (spec, w, img) = setup();
+        let mut engine = Engine::new(1);
+        let mut layer = LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+            .input_scale(QParams::from_threshold(8.0))
+            .build(&engine)
+            .unwrap();
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        assert!(out.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn per_position_layer_builds() {
+        let (spec, w, img) = setup();
+        let mut engine = Engine::new(1);
+        let mut layer = LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+            .calibration_samples(vec![img.clone()])
+            .per_position_scales(true)
+            .build(&engine)
+            .unwrap();
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        assert!(out.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let (_, w, _) = setup();
+        let engine = Engine::new(1);
+        let mut spec = ConvShape::same(1, 8, 8, 8, 3);
+        spec.out_c = 0;
+        assert!(LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(Algorithm::DirectF32))
+            .build(&engine)
+            .is_err());
+    }
+}

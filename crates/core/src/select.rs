@@ -1,0 +1,179 @@
+//! Automatic algorithm selection — the paper's §7 future-work item
+//! ("explore an automatic mechanism to select the optimal algorithm for a
+//! convolutional layer among direct, Winograd, and others"), implemented as
+//! a roofline-style cost model.
+//!
+//! The model reflects the §5.1/§5.3 observations:
+//!
+//! * the GEMM stage is compute-bound: cost ∝ padded MACs at the INT8 rate;
+//! * the transformations are memory-bound: cost ∝ bytes moved (FP32 input
+//!   reads, panel writes, Z reads, output writes);
+//! * Winograd saves MACs by `m²r²/(m+r−1)²` but *adds* transform traffic
+//!   that grows with `T = (m+r−1)²` — which is why direct convolution wins
+//!   on transform-bound layers like YOLOv3_a and `F(4,3)` wins on
+//!   compute-heavy ones.
+
+use lowino_conv::Algorithm;
+use lowino_tensor::{round_up, ConvShape, LANES};
+
+/// Machine constants for the cost model. Defaults are calibrated to a
+/// single AVX-512-VNNI core; ratios (not absolutes) drive the selection.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// INT8 MAC throughput (MAC/s) of the GEMM stage.
+    pub int8_macs_per_sec: f64,
+    /// Effective memory bandwidth (bytes/s) of the transform stages.
+    pub bytes_per_sec: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            int8_macs_per_sec: 150e9,
+            bytes_per_sec: 8e9,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated execution time (seconds) of `algo` on `spec`.
+    ///
+    /// Returns `None` for configurations the algorithm cannot run
+    /// (e.g. Winograd with stride ≠ 1).
+    pub fn estimate(&self, spec: &ConvShape, algo: Algorithm) -> Option<f64> {
+        let cp = round_up(spec.in_c, LANES) as f64;
+        let kp = round_up(spec.out_c, LANES) as f64;
+        let out_pixels = (spec.batch * spec.out_h() * spec.out_w()) as f64;
+        match algo {
+            Algorithm::DirectF32 => {
+                // FP32 direct: MACs at 1/4 the INT8 rate, light traffic.
+                let macs = out_pixels * cp * kp * (spec.r * spec.r) as f64;
+                Some(macs / (self.int8_macs_per_sec / 4.0))
+            }
+            Algorithm::DirectInt8 => {
+                let macs = out_pixels * cp * kp * (spec.r * spec.r) as f64;
+                // Implicit GEMM: quantize each input pixel once (f32 read +
+                // u8 write), de-quantize each output (i32 read + f32 write).
+                let in_pixels = (spec.batch * spec.h * spec.w) as f64;
+                let bytes = in_pixels * cp * (4.0 + 1.0) + out_pixels * kp * 4.0 * 2.0;
+                Some(macs / self.int8_macs_per_sec + bytes / self.bytes_per_sec)
+            }
+            Algorithm::LoWino { m } | Algorithm::DownScale { m } | Algorithm::UpCast { m } => {
+                let geom = spec.tiles(m).ok()?;
+                let t = geom.t() as f64;
+                let n_tiles = geom.total as f64;
+                let macs = t * n_tiles * cp * kp;
+                let rate = match algo {
+                    Algorithm::UpCast { .. } => self.int8_macs_per_sec / 2.0,
+                    _ => self.int8_macs_per_sec,
+                };
+                // Input transform: read n²·C_p f32 per tile, write T·C_p u8;
+                // output: read T·K_p i32, write m²·K_p f32.
+                let bytes = n_tiles
+                    * (t * cp * (4.0 + 1.0) + t * kp * 4.0 + (m * m) as f64 * kp * 4.0);
+                Some(macs / rate + bytes / self.bytes_per_sec)
+            }
+            Algorithm::WinogradF32 { m } => {
+                let geom = spec.tiles(m).ok()?;
+                let t = geom.t() as f64;
+                let n_tiles = geom.total as f64;
+                let macs = t * n_tiles * cp * kp;
+                let bytes = n_tiles * t * (cp + kp) * 4.0 * 2.0;
+                Some(macs / (self.int8_macs_per_sec / 4.0) + bytes / self.bytes_per_sec)
+            }
+        }
+    }
+}
+
+/// Estimate the cost of one algorithm with the default machine model.
+pub fn estimate_cost(spec: &ConvShape, algo: Algorithm) -> Option<f64> {
+    CostModel::default().estimate(spec, algo)
+}
+
+/// Pick the fastest low-precision algorithm for a layer among INT8 direct
+/// and LoWino `F(2,3)` / `F(4,3)` / `F(6,3)` (the candidates the paper's
+/// conclusion proposes to choose between).
+pub fn select_algorithm(spec: &ConvShape) -> Algorithm {
+    let model = CostModel::default();
+    let mut candidates = vec![Algorithm::DirectInt8];
+    if spec.stride == 1 && spec.r == 3 {
+        // m = 6 is deliberately excluded: per-tensor scales (the default
+        // granularity) cannot span F(6,3)'s cross-position dynamic range,
+        // so auto-selection only considers accuracy-safe tile sizes. Users
+        // who enable per-position scales can request F(6,3) explicitly.
+        candidates.extend([
+            Algorithm::LoWino { m: 2 },
+            Algorithm::LoWino { m: 4 },
+        ]);
+    }
+    candidates
+        .into_iter()
+        .filter_map(|a| model.estimate(spec, a).map(|c| (a, c)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(a, _)| a)
+        .unwrap_or(Algorithm::DirectInt8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winograd_saves_macs_on_compute_heavy_layers() {
+        // VGG16_b-like: C = K = 512, 30×30 — heavily compute-bound.
+        let spec = ConvShape::same(4, 512, 512, 30, 3).validate().unwrap();
+        let direct = estimate_cost(&spec, Algorithm::DirectInt8).unwrap();
+        let f4 = estimate_cost(&spec, Algorithm::LoWino { m: 4 }).unwrap();
+        assert!(f4 < direct, "f4={f4} direct={direct}");
+        let chosen = select_algorithm(&spec);
+        assert!(matches!(chosen, Algorithm::LoWino { .. }), "{chosen}");
+    }
+
+    #[test]
+    fn winograd_advantage_shrinks_on_transform_bound_layers() {
+        // YOLOv3_a-like: batch 1, C = 64, K = 128, 64×64 — few channels,
+        // lots of pixels: the transform traffic eats the MAC savings
+        // (paper §5.1: "for some special layers, like Yolov3_a, direct
+        // convolution outperforms F(4×4,3×3)"). The robust statement is the
+        // *relative* one: F(4,3)'s advantage over direct must be far
+        // smaller here than on the compute-heavy VGG16_b.
+        let yolo = ConvShape::same(1, 64, 128, 64, 3).validate().unwrap();
+        let vgg = ConvShape::same(4, 512, 512, 30, 3).validate().unwrap();
+        let ratio = |spec: &ConvShape| {
+            estimate_cost(spec, Algorithm::DirectInt8).unwrap()
+                / estimate_cost(spec, Algorithm::LoWino { m: 4 }).unwrap()
+        };
+        let yolo_gain = ratio(&yolo);
+        let vgg_gain = ratio(&vgg);
+        assert!(
+            vgg_gain > yolo_gain * 1.5,
+            "vgg_gain={vgg_gain} yolo_gain={yolo_gain}"
+        );
+    }
+
+    #[test]
+    fn strided_layers_fall_back_to_direct() {
+        let spec = ConvShape {
+            stride: 2,
+            ..ConvShape::same(1, 64, 64, 32, 3)
+        };
+        assert_eq!(select_algorithm(&spec), Algorithm::DirectInt8);
+        assert!(estimate_cost(&spec, Algorithm::LoWino { m: 2 }).is_none());
+    }
+
+    #[test]
+    fn upcast_costs_more_than_lowino() {
+        let spec = ConvShape::same(1, 256, 256, 32, 3).validate().unwrap();
+        let lw = estimate_cost(&spec, Algorithm::LoWino { m: 2 }).unwrap();
+        let uc = estimate_cost(&spec, Algorithm::UpCast { m: 2 }).unwrap();
+        assert!(uc > lw);
+    }
+
+    #[test]
+    fn int8_beats_fp32_by_roughly_4x_on_gemm_bound_layers() {
+        let spec = ConvShape::same(8, 512, 512, 16, 3).validate().unwrap();
+        let f32w = estimate_cost(&spec, Algorithm::WinogradF32 { m: 4 }).unwrap();
+        let i8w = estimate_cost(&spec, Algorithm::LoWino { m: 4 }).unwrap();
+        assert!(f32w / i8w > 2.0, "ratio {}", f32w / i8w);
+    }
+}

@@ -1,0 +1,364 @@
+//! The blocked batched-GEMM driver (paper §4.3.1, Fig. 5).
+//!
+//! Loop structure per tile position `t` (the batch dimension):
+//!
+//! ```text
+//! for n0 in N  step N_blk:          cache block over tiles
+//!   for k0 in K_p step K_blk:       cache block over output channels
+//!     for c0 in C_p step C_blk:     cache block over input channels
+//!       for n1 in block step row_blk:
+//!         for k1 in block step col_blk·16:
+//!           microkernel (Fig. 7)
+//! ```
+//!
+//! The first `C` chunk seeds the accumulators with the compensation row
+//! `Z̄[t]` (Eq. 9); subsequent chunks accumulate into `Z` — the in-cache
+//! partial-sum buffer of §4.3.1.
+//!
+//! Parallelisation follows §4.4: the `T × ⌈N/N_blk⌉` task grid is statically
+//! pre-partitioned across the pool's threads; tasks touch disjoint
+//! `(t, n-range)` regions of `Z`, so the threads never write the same cache
+//! line.
+
+use lowino_parallel::StaticPool;
+use lowino_simd::SimdTier;
+use lowino_tensor::round_up;
+
+use crate::kernel::{microkernel, Blocking, Seed, MAX_ROW_BLK};
+use crate::panels::{UPanel, VPanel, ZPanel};
+
+/// Logical dimensions of a batched Winograd GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Batch size `T = (m+r−1)²` (tile positions).
+    pub t: usize,
+    /// Rows of `V` — total input tiles `N`.
+    pub n: usize,
+    /// Inner dimension — input channels `C`.
+    pub c: usize,
+    /// Columns of `U` — output channels `K`.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Multiply-accumulate count (over padded operands).
+    pub fn macs(&self) -> u64 {
+        self.t as u64 * self.n as u64 * round_up(self.c, 4) as u64 * round_up(self.k, 64) as u64
+    }
+}
+
+/// Clamp a requested blocking to a concrete shape, preserving validity.
+pub fn normalize_blocking(b: &Blocking, shape: &GemmShape) -> Blocking {
+    let cp = round_up(shape.c, 4);
+    let kp = round_up(shape.k, 64);
+    let mut out = *b;
+    out.n_blk = out.n_blk.clamp(1, shape.n.max(1));
+    out.c_blk = round_up(out.c_blk.clamp(4, cp), 4);
+    out.k_blk = round_up(out.k_blk.clamp(64, kp), 64);
+    out.row_blk = out.row_blk.clamp(1, MAX_ROW_BLK);
+    out
+}
+
+/// Batched low-precision GEMM: `Z[t] = V̄[t] × U[t] + Z̄[t]` for all `t`.
+///
+/// `V̄` is the +128-compensated u8 panel, `U` the interleaved i8 panel with
+/// its compensation rows, and the result is the exact signed product
+/// `V×U` (Eq. 9), scattered in the output-transform-friendly `Z` layout.
+///
+/// # Panics
+///
+/// Panics if panel dimensions disagree with `shape` or the blocking is
+/// invalid.
+pub fn batched_gemm_u8i8(
+    tier: SimdTier,
+    shape: &GemmShape,
+    blocking: &Blocking,
+    v: &VPanel,
+    u: &UPanel,
+    z: &mut ZPanel,
+    pool: &mut StaticPool,
+) {
+    let (vt, vn, vc, vcp) = v.dims();
+    let (ut, uc, ucp, uk, ukp) = u.dims();
+    let (zt, zn, zk, _) = z.dims();
+    assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
+    assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
+    assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
+    assert_eq!(vcp, ucp, "V/U channel padding");
+    let b = normalize_blocking(blocking, shape);
+    b.validate().expect("invalid blocking");
+
+    let cp = vcp;
+    let kp = ukp;
+    let n_chunks = shape.n.div_ceil(b.n_blk);
+    let tasks = shape.t * n_chunks;
+
+    let z_ref: &ZPanel = z;
+    pool.run(tasks, |_worker, range| {
+        for task in range {
+            let t = task / n_chunks;
+            let n0 = (task % n_chunks) * b.n_blk;
+            let n_end = (n0 + b.n_blk).min(shape.n);
+            gemm_block(tier, &b, shape, cp, kp, t, n0, n_end, v, u, z_ref);
+        }
+        lowino_simd::store::stream_fence();
+    });
+}
+
+/// One (t, N-chunk) task — everything below here is single-threaded.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    tier: SimdTier,
+    b: &Blocking,
+    shape: &GemmShape,
+    cp: usize,
+    kp: usize,
+    t: usize,
+    n0: usize,
+    n_end: usize,
+    v: &VPanel,
+    u: &UPanel,
+    z: &ZPanel,
+) {
+    let _ = shape;
+    let zbar = u.zbar(t);
+    let z_stride = z.n_stride();
+    let mut k0 = 0;
+    while k0 < kp {
+        let k_end = (k0 + b.k_blk).min(kp);
+        let mut c0 = 0;
+        while c0 < cp {
+            let c_end = (c0 + b.c_blk).min(cp);
+            let c4_count = (c_end - c0) / 4;
+            let first_chunk = c0 == 0;
+            let mut n1 = n0;
+            while n1 < n_end {
+                let rb = (n_end - n1).min(b.row_blk);
+                let mut k1 = k0;
+                while k1 < k_end {
+                    let cb = ((k_end - k1) / 16).min(b.col_blk);
+                    debug_assert!(cb > 0);
+                    let seed = if first_chunk {
+                        Seed::Zbar(unsafe { zbar.as_ptr().add(k1) })
+                    } else {
+                        Seed::Accumulate
+                    };
+                    // SAFETY: all offsets are within the panels by the loop
+                    // bounds; `store_ptr_shared` regions are disjoint per
+                    // task (distinct (t, n) ranges).
+                    unsafe {
+                        let v_ptr = v.row_ptr(t, n1).add(c0);
+                        let u_ptr = u.block_ptr(t, k1).add((c0 / 4) * u.c4_stride());
+                        let z_ptr = z.store_ptr_shared(t, n1, k1);
+                        microkernel(
+                            tier,
+                            rb,
+                            cb,
+                            v_ptr,
+                            v.cp(),
+                            u_ptr,
+                            u.c4_stride(),
+                            c4_count,
+                            seed,
+                            z_ptr,
+                            z_stride,
+                        );
+                    }
+                    k1 += cb * 16;
+                }
+                n1 += rb;
+            }
+            c0 = c_end;
+        }
+        k0 = k_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_gemm;
+
+    fn fill_panels(shape: &GemmShape, seed: u64) -> (VPanel, UPanel) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut v = VPanel::new(shape.t, shape.n, shape.c);
+        for t in 0..shape.t {
+            for n in 0..shape.n {
+                for c in 0..shape.c {
+                    v.set(t, n, c, (next() & 0xFF) as u8);
+                }
+            }
+        }
+        let mut u = UPanel::new(shape.t, shape.c, shape.k);
+        for t in 0..shape.t {
+            for c in 0..shape.c {
+                for k in 0..shape.k {
+                    u.set(t, c, k, (next() & 0xFF) as u8 as i8);
+                }
+            }
+        }
+        u.finalize_compensation();
+        (v, u)
+    }
+
+    fn check(shape: GemmShape, blocking: Blocking, threads: usize, tier: SimdTier) {
+        let (v, u) = fill_panels(&shape, 0xC0FFEE ^ (shape.n as u64) << 8 ^ shape.k as u64);
+        let mut z = ZPanel::new(shape.t, shape.n, shape.k);
+        let mut pool = StaticPool::new(threads);
+        batched_gemm_u8i8(tier, &shape, &blocking, &v, &u, &mut z, &mut pool);
+        let want = reference_gemm(&v, &u, &shape);
+        for t in 0..shape.t {
+            for n in 0..shape.n {
+                for k in 0..shape.k {
+                    assert_eq!(
+                        z.get(t, n, k),
+                        want[(t * shape.n + n) * shape.k + k],
+                        "t={t} n={n} k={k} (shape={shape:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        let tier = SimdTier::detect();
+        for shape in [
+            GemmShape { t: 1, n: 1, c: 4, k: 16 },
+            GemmShape { t: 1, n: 13, c: 20, k: 64 },
+            GemmShape { t: 4, n: 29, c: 64, k: 128 },
+            GemmShape { t: 16, n: 10, c: 37, k: 70 },
+        ] {
+            check(shape, Blocking::default_for(&shape), 1, tier);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_cache_chunking() {
+        // Force multiple C and K chunks to exercise the accumulate path.
+        let shape = GemmShape { t: 2, n: 40, c: 136, k: 192 };
+        let blocking = Blocking {
+            n_blk: 16,
+            c_blk: 64,
+            k_blk: 64,
+            row_blk: 6,
+            col_blk: 4,
+        };
+        check(shape, blocking, 1, SimdTier::detect());
+    }
+
+    #[test]
+    fn matches_reference_multi_threaded() {
+        let shape = GemmShape { t: 4, n: 53, c: 32, k: 64 };
+        let blocking = Blocking {
+            n_blk: 8,
+            c_blk: 32,
+            k_blk: 64,
+            row_blk: 4,
+            col_blk: 2,
+        };
+        check(shape, blocking, 4, SimdTier::detect());
+    }
+
+    #[test]
+    fn all_tiers_agree() {
+        let shape = GemmShape { t: 2, n: 9, c: 24, k: 64 };
+        for tier in SimdTier::available() {
+            check(shape, Blocking::default_for(&shape), 1, tier);
+        }
+    }
+
+    #[test]
+    fn odd_register_tiles() {
+        let shape = GemmShape { t: 1, n: 23, c: 16, k: 128 };
+        for (row_blk, col_blk) in [(1, 1), (3, 2), (8, 2), (5, 4), (8, 1)] {
+            let blocking = Blocking {
+                n_blk: 7,
+                c_blk: 16,
+                k_blk: 64,
+                row_blk,
+                col_blk,
+            };
+            check(shape, blocking, 2, SimdTier::detect());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "V panel shape")]
+    fn shape_mismatch_panics() {
+        let shape = GemmShape { t: 1, n: 4, c: 8, k: 16 };
+        let v = VPanel::new(1, 5, 8); // wrong N
+        let mut u = UPanel::new(1, 8, 16);
+        u.finalize_compensation();
+        let mut z = ZPanel::new(1, 4, 16);
+        let mut pool = StaticPool::new(1);
+        batched_gemm_u8i8(
+            SimdTier::detect(),
+            &shape,
+            &Blocking::default_for(&shape),
+            &v,
+            &u,
+            &mut z,
+            &mut pool,
+        );
+    }
+
+    #[test]
+    fn compensation_equivalence_property() {
+        // The headline algebra of Eq. 9: running the kernel on V+128 with
+        // Z̄ = −128·colsum(U) equals the plain signed product V×U.
+        let shape = GemmShape { t: 1, n: 6, c: 12, k: 64 };
+        let mut s = 77u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        // Signed logical inputs in i8 range.
+        let v_signed: Vec<i32> = (0..shape.n * shape.c)
+            .map(|_| (next() % 255) as i32 - 127)
+            .collect();
+        let u_signed: Vec<i32> = (0..shape.c * shape.k)
+            .map(|_| (next() % 255) as i32 - 127)
+            .collect();
+        let mut v = VPanel::new(shape.t, shape.n, shape.c);
+        let mut u = UPanel::new(shape.t, shape.c, shape.k);
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                v.set(0, n, c, (v_signed[n * shape.c + c] + 128) as u8);
+            }
+        }
+        for c in 0..shape.c {
+            for k in 0..shape.k {
+                u.set(0, c, k, u_signed[c * shape.k + k] as i8);
+            }
+        }
+        u.finalize_compensation();
+        let mut z = ZPanel::new(shape.t, shape.n, shape.k);
+        let mut pool = StaticPool::new(1);
+        batched_gemm_u8i8(
+            SimdTier::detect(),
+            &shape,
+            &Blocking::default_for(&shape),
+            &v,
+            &u,
+            &mut z,
+            &mut pool,
+        );
+        for n in 0..shape.n {
+            for k in 0..shape.k {
+                let want: i32 = (0..shape.c)
+                    .map(|c| v_signed[n * shape.c + c] * u_signed[c * shape.k + k])
+                    .sum();
+                assert_eq!(z.get(0, n, k), want, "n={n} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! FP32 batched GEMM for the full-precision Winograd baseline.
+//!
+//! Same tall-and-skinny shape and scatter layout as the INT8 driver, with a
+//! simple broadcast-axpy kernel: `z[n][k] += v[n][c] · u[c][k]` with `k`
+//! innermost, which the compiler vectorises over the padded `K` rows. This
+//! is the reference point for the paper's §5.1 claim that LoWino reaches
+//! 1.9×/2.6× over the best FP32 implementation.
+
+use lowino_parallel::StaticPool;
+use lowino_tensor::{round_up, LANES};
+
+use crate::driver::GemmShape;
+use crate::panels::{UPanelF32, VPanelF32, ZPanelF32};
+
+/// Batched FP32 GEMM: `Z[t] = V[t] × U[t]`, scattered like the INT8 path.
+///
+/// # Panics
+///
+/// Panics on panel/shape mismatch.
+pub fn batched_gemm_f32(
+    shape: &GemmShape,
+    v: &VPanelF32,
+    u: &UPanelF32,
+    z: &mut ZPanelF32,
+    pool: &mut StaticPool,
+) {
+    let (vt, vn, vc, vcp) = v.dims();
+    let (ut, uc, _, uk, ukp) = u.dims();
+    let (zt, zn, zk, _) = z.dims();
+    assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
+    assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
+    assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
+    let kp = ukp;
+    let _ = vcp;
+    debug_assert_eq!(kp, round_up(shape.k, 64));
+
+    // Block 8 tile rows per U pass so each filter row is reused 8x
+    // (otherwise the kernel re-streams U[t] per tile and goes memory-bound).
+    const NB: usize = 8;
+    let n_chunks = shape.n.div_ceil(NB);
+    let tasks = shape.t * n_chunks;
+    let z_ref: &ZPanelF32 = z;
+    pool.run(tasks, |_, range| {
+        let mut acc = vec![0f32; NB * kp];
+        for task in range {
+            let t = task / n_chunks;
+            let n0 = (task % n_chunks) * NB;
+            let nb = (shape.n - n0).min(NB);
+            acc.fill(0.0);
+            for c in 0..shape.c {
+                let urow = u.row(t, c);
+                for rb in 0..nb {
+                    let vv = v.row(t, n0 + rb)[c];
+                    if vv != 0.0 {
+                        let a = &mut acc[rb * kp..(rb + 1) * kp];
+                        for (av, &uu) in a.iter_mut().zip(urow.iter()) {
+                            *av += vv * uu;
+                        }
+                    }
+                }
+            }
+            // Scatter into the [K/64][N][T][64] layout.
+            for rb in 0..nb {
+                for kg in 0..kp / LANES {
+                    // SAFETY: each (t, n-chunk) is owned by exactly one task.
+                    unsafe {
+                        let dst = z_ref.store_ptr_shared(t, n0 + rb, kg * LANES);
+                        core::ptr::copy_nonoverlapping(
+                            acc.as_ptr().add(rb * kp + kg * LANES),
+                            dst,
+                            LANES,
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_gemm_f32;
+
+    #[test]
+    fn matches_reference() {
+        let shape = GemmShape { t: 4, n: 11, c: 20, k: 70 };
+        let mut v = VPanelF32::new(shape.t, shape.n, shape.c);
+        let mut u = UPanelF32::new(shape.t, shape.c, shape.k);
+        for t in 0..shape.t {
+            for n in 0..shape.n {
+                for c in 0..shape.c {
+                    v.row_mut(t, n)[c] = ((t * 31 + n * 7 + c) as f32 * 0.37).sin();
+                }
+            }
+            for c in 0..shape.c {
+                for k in 0..shape.k {
+                    u.row_mut(t, c)[k] = ((t + c * 13 + k) as f32 * 0.11).cos();
+                }
+            }
+        }
+        let mut z = ZPanelF32::new(shape.t, shape.n, shape.k);
+        let mut pool = StaticPool::new(2);
+        batched_gemm_f32(&shape, &v, &u, &mut z, &mut pool);
+        let want = reference_gemm_f32(&v, &u, &shape);
+        for t in 0..shape.t {
+            for n in 0..shape.n {
+                for k in 0..shape.k {
+                    let got = z.get(t, n, k);
+                    let w = want[(t * shape.n + n) * shape.k + k];
+                    assert!((got - w).abs() < 1e-4, "t={t} n={n} k={k}: {got} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_input_stays_zero() {
+        let shape = GemmShape { t: 1, n: 2, c: 4, k: 64 };
+        let v = VPanelF32::new(1, 2, 4);
+        let u = UPanelF32::new(1, 4, 64);
+        let mut z = ZPanelF32::new(1, 2, 64);
+        let mut pool = StaticPool::new(1);
+        batched_gemm_f32(&shape, &v, &u, &mut z, &mut pool);
+        for n in 0..2 {
+            for k in 0..64 {
+                assert_eq!(z.get(0, n, k), 0.0);
+            }
+        }
+    }
+}

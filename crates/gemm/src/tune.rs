@@ -1,0 +1,295 @@
+//! Auto-tuning of the blocking parameters and wisdom persistence
+//! (paper §4.3.4).
+//!
+//! The tuner measures every candidate `(N_blk, C_blk, K_blk, row_blk,
+//! col_blk)` from a pruned search space on the actual GEMM shape and keeps
+//! the fastest — "the optimal parameters are saved into a wisdom file and
+//! used in inference". The wisdom file is a plain line-oriented text format
+//! (no extra dependencies):
+//!
+//! ```text
+//! # lowino wisdom v1
+//! t n c k -> n_blk c_blk k_blk row_blk col_blk
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use lowino_parallel::StaticPool;
+use lowino_simd::SimdTier;
+use lowino_tensor::round_up;
+
+use crate::driver::{batched_gemm_u8i8, normalize_blocking, GemmShape};
+use crate::kernel::Blocking;
+use crate::panels::{UPanel, VPanel, ZPanel};
+
+/// Candidate register tiles, best-throughput-first on VNNI hardware.
+const REGISTER_TILES: &[(usize, usize)] = &[(6, 4), (4, 4), (2, 4), (8, 2), (6, 2), (4, 2), (8, 1)];
+
+/// Candidate `N_blk` values.
+const N_BLKS: &[usize] = &[48, 96, 192];
+
+/// One measured tuning candidate.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The blocking that was measured.
+    pub blocking: Blocking,
+    /// Best-of-repeats wall time.
+    pub time: Duration,
+}
+
+/// Tune the blocking for a GEMM shape by direct measurement on synthetic
+/// operands. Returns the winner and the full measurement log (for the
+/// ablation bench).
+pub fn tune_blocking(
+    tier: SimdTier,
+    shape: &GemmShape,
+    pool: &mut StaticPool,
+    repeats: usize,
+) -> (Blocking, Vec<Measurement>) {
+    let cp = round_up(shape.c, 4);
+    let kp = round_up(shape.k, 64);
+    let mut v = VPanel::new(shape.t, shape.n, shape.c);
+    // Deterministic non-trivial fill (content doesn't affect timing).
+    for t in 0..shape.t {
+        for n in 0..shape.n {
+            for (c, x) in v.row_mut(t, n).iter_mut().enumerate() {
+                *x = ((t * 31 + n * 7 + c) % 251) as u8;
+            }
+        }
+    }
+    let mut u = UPanel::new(shape.t, shape.c, shape.k);
+    u.finalize_compensation();
+    let mut z = ZPanel::new(shape.t, shape.n, shape.k);
+
+    let mut candidates: Vec<Blocking> = Vec::new();
+    for &(row_blk, col_blk) in REGISTER_TILES {
+        for &n_blk in N_BLKS {
+            for c_blk in [cp.min(64), cp.min(256), cp] {
+                for k_blk in [kp.min(64), kp.min(256), kp] {
+                    let b = normalize_blocking(
+                        &Blocking {
+                            n_blk,
+                            c_blk,
+                            k_blk,
+                            row_blk,
+                            col_blk,
+                        },
+                        shape,
+                    );
+                    if b.validate().is_ok() && !candidates.contains(&b) {
+                        candidates.push(b);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut log = Vec::with_capacity(candidates.len());
+    let mut best: Option<(Duration, Blocking)> = None;
+    for b in candidates {
+        // Warm-up once, then best-of-`repeats`.
+        batched_gemm_u8i8(tier, shape, &b, &v, &u, &mut z, pool);
+        let mut t_best = Duration::MAX;
+        for _ in 0..repeats.max(1) {
+            let start = Instant::now();
+            batched_gemm_u8i8(tier, shape, &b, &v, &u, &mut z, pool);
+            t_best = t_best.min(start.elapsed());
+        }
+        if best.as_ref().is_none_or(|(t, _)| t_best < *t) {
+            best = Some((t_best, b));
+        }
+        log.push(Measurement {
+            blocking: b,
+            time: t_best,
+        });
+    }
+    (best.expect("non-empty candidate set").1, log)
+}
+
+/// Persistent tuning results keyed by GEMM shape (§4.3.4's wisdom file).
+#[derive(Debug, Clone, Default)]
+pub struct Wisdom {
+    entries: HashMap<(usize, usize, usize, usize), Blocking>,
+}
+
+impl Wisdom {
+    /// Empty wisdom.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of remembered shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no shapes are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the tuned blocking for a shape.
+    pub fn get(&self, shape: &GemmShape) -> Option<Blocking> {
+        self.entries
+            .get(&(shape.t, shape.n, shape.c, shape.k))
+            .copied()
+    }
+
+    /// Remember a tuned blocking.
+    pub fn insert(&mut self, shape: &GemmShape, blocking: Blocking) {
+        self.entries
+            .insert((shape.t, shape.n, shape.c, shape.k), blocking);
+    }
+
+    /// Blocking for a shape: remembered, or the static default.
+    pub fn blocking_or_default(&self, shape: &GemmShape) -> Blocking {
+        self.get(shape)
+            .unwrap_or_else(|| Blocking::default_for(shape))
+    }
+
+    /// Serialise to the line format.
+    pub fn to_string_format(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|((t, n, c, k), b)| {
+                format!(
+                    "{t} {n} {c} {k} -> {} {} {} {} {}",
+                    b.n_blk, b.c_blk, b.k_blk, b.row_blk, b.col_blk
+                )
+            })
+            .collect();
+        lines.sort();
+        format!("# lowino wisdom v1\n{}\n", lines.join("\n"))
+    }
+
+    /// Parse the line format; unknown or malformed lines are rejected.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut w = Wisdom::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, val) = line
+                .split_once("->")
+                .ok_or_else(|| format!("line {}: missing '->'", lineno + 1))?;
+            let parse_nums = |s: &str, want: usize| -> Result<Vec<usize>, String> {
+                let nums: Result<Vec<usize>, _> =
+                    s.split_whitespace().map(str::parse::<usize>).collect();
+                let nums = nums.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if nums.len() != want {
+                    return Err(format!(
+                        "line {}: expected {want} numbers, got {}",
+                        lineno + 1,
+                        nums.len()
+                    ));
+                }
+                Ok(nums)
+            };
+            let k = parse_nums(key, 4)?;
+            let v = parse_nums(val, 5)?;
+            w.entries.insert(
+                (k[0], k[1], k[2], k[3]),
+                Blocking {
+                    n_blk: v[0],
+                    c_blk: v[1],
+                    k_blk: v[2],
+                    row_blk: v[3],
+                    col_blk: v[4],
+                },
+            );
+        }
+        Ok(w)
+    }
+
+    /// Load from a wisdom file; a missing file yields empty wisdom.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Save to a wisdom file.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut f =
+            std::fs::File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        f.write_all(self.to_string_format().as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuner_returns_valid_blocking() {
+        let shape = GemmShape { t: 4, n: 64, c: 32, k: 64 };
+        let mut pool = StaticPool::new(1);
+        let (best, log) = tune_blocking(SimdTier::detect(), &shape, &mut pool, 1);
+        assert!(best.validate().is_ok());
+        assert!(!log.is_empty());
+        // The winner is the measured minimum.
+        let min = log.iter().map(|m| m.time).min().unwrap();
+        assert_eq!(
+            log.iter().find(|m| m.time == min).unwrap().blocking,
+            best
+        );
+    }
+
+    #[test]
+    fn wisdom_round_trip() {
+        let mut w = Wisdom::new();
+        let s1 = GemmShape { t: 16, n: 4096, c: 256, k: 256 };
+        let s2 = GemmShape { t: 36, n: 1024, c: 512, k: 512 };
+        w.insert(&s1, Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 });
+        w.insert(&s2, Blocking { n_blk: 48, c_blk: 512, k_blk: 64, row_blk: 8, col_blk: 2 });
+        let text = w.to_string_format();
+        let back = Wisdom::parse(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(&s1), w.get(&s1));
+        assert_eq!(back.get(&s2), w.get(&s2));
+        assert_eq!(back.get(&GemmShape { t: 1, n: 1, c: 1, k: 1 }), None);
+    }
+
+    #[test]
+    fn wisdom_parse_errors() {
+        assert!(Wisdom::parse("1 2 3 4 5 6").is_err()); // no arrow
+        assert!(Wisdom::parse("1 2 3 -> 1 2 3 4 5").is_err()); // short key
+        assert!(Wisdom::parse("1 2 3 4 -> 1 2 3").is_err()); // short value
+        assert!(Wisdom::parse("a b c d -> 1 2 3 4 5").is_err()); // not numbers
+        // Comments and blanks are fine.
+        let w = Wisdom::parse("# comment\n\n1 2 3 4 -> 5 6 7 8 9\n").unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn wisdom_file_io() {
+        let dir = std::env::temp_dir().join("lowino-wisdom-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+        let mut w = Wisdom::new();
+        let s = GemmShape { t: 16, n: 100, c: 64, k: 128 };
+        w.insert(&s, Blocking { n_blk: 48, c_blk: 64, k_blk: 128, row_blk: 4, col_blk: 4 });
+        w.save(&path).unwrap();
+        let back = Wisdom::load(&path).unwrap();
+        assert_eq!(back.get(&s), w.get(&s));
+        std::fs::remove_file(&path).ok();
+        // Missing file -> empty wisdom, not an error.
+        let empty = Wisdom::load(&path).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn blocking_or_default_falls_back() {
+        let w = Wisdom::new();
+        let s = GemmShape { t: 16, n: 128, c: 64, k: 64 };
+        assert_eq!(w.blocking_or_default(&s), Blocking::default_for(&s));
+    }
+}

@@ -1,0 +1,678 @@
+//! Trainable layers with full backpropagation.
+//!
+//! Everything operates on NCHW [`Tensor4`]; fully-connected activations use
+//! shape `(B, C, 1, 1)`. The convolution forward/backward loops keep the
+//! output-channel dimension innermost over re-packed weights so the
+//! compiler can vectorise them — fast enough to train the Mini models in
+//! seconds, while inference-grade performance lives in `lowino` proper.
+
+use lowino::Tensor4;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One trainable or structural layer.
+pub enum Layer {
+    /// 3×3 (or r×r) same-padding convolution with bias.
+    Conv(Conv2dLayer),
+    /// Element-wise max(0, x).
+    ReLU(ReluLayer),
+    /// 2×2 stride-2 max pooling.
+    MaxPool(MaxPoolLayer),
+    /// Global average pooling to `(B, C, 1, 1)`.
+    Gap(GapLayer),
+    /// Fully connected `(B, C, 1, 1) → (B, K, 1, 1)`.
+    Linear(LinearLayer),
+    /// Residual block `relu(x + body(x))` (MiniResNet).
+    Residual(ResidualBlock),
+}
+
+impl Layer {
+    /// Forward pass, caching whatever backward needs.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        match self {
+            Layer::Conv(l) => l.forward(x),
+            Layer::ReLU(l) => l.forward(x),
+            Layer::MaxPool(l) => l.forward(x),
+            Layer::Gap(l) => l.forward(x),
+            Layer::Linear(l) => l.forward(x),
+            Layer::Residual(l) => l.forward(x),
+        }
+    }
+
+    /// Backward pass: gradient w.r.t. this layer's input.
+    pub fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        match self {
+            Layer::Conv(l) => l.backward(g),
+            Layer::ReLU(l) => l.backward(g),
+            Layer::MaxPool(l) => l.backward(g),
+            Layer::Gap(l) => l.backward(g),
+            Layer::Linear(l) => l.backward(g),
+            Layer::Residual(l) => l.backward(g),
+        }
+    }
+
+    /// SGD-with-momentum parameter update.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        match self {
+            Layer::Conv(l) => l.step(lr, momentum),
+            Layer::Linear(l) => l.step(lr, momentum),
+            Layer::Residual(l) => l.step(lr, momentum),
+            _ => {}
+        }
+    }
+}
+
+// ------------------------------------------------------------------ Conv
+
+/// Same-padding stride-1 convolution layer.
+pub struct Conv2dLayer {
+    /// `K×C×r×r` weights.
+    pub weights: Tensor4,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    r: usize,
+    in_c: usize,
+    out_c: usize,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    vel_w: Vec<f32>,
+    vel_b: Vec<f32>,
+    cached_input: Option<Tensor4>,
+}
+
+impl Conv2dLayer {
+    /// He-initialised convolution.
+    pub fn new(in_c: usize, out_c: usize, r: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / (in_c * r * r) as f32).sqrt();
+        let weights = Tensor4::from_fn(out_c, in_c, r, r, |_, _, _, _| {
+            rng.gen_range(-1.0..1.0f32) * scale
+        });
+        let n = out_c * in_c * r * r;
+        Self {
+            weights,
+            bias: vec![0.0; out_c],
+            r,
+            in_c,
+            out_c,
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_c],
+            vel_w: vec![0.0; n],
+            vel_b: vec![0.0; out_c],
+            cached_input: None,
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Filter size.
+    pub fn filter(&self) -> usize {
+        self.r
+    }
+
+    /// Weights re-packed `[(c·r+dy)·r+dx][k]` for k-inner vectorisation.
+    fn pack_weights(&self) -> Vec<f32> {
+        let (k_n, c_n, r, _) = self.weights.dims();
+        let mut w = vec![0f32; c_n * r * r * k_n];
+        for k in 0..k_n {
+            for c in 0..c_n {
+                for dy in 0..r {
+                    for dx in 0..r {
+                        w[((c * r + dy) * r + dx) * k_n + k] = self.weights.at(k, c, dy, dx);
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (b_n, c_n, h, w) = x.dims();
+        assert_eq!(c_n, self.in_c, "Conv2d input channels");
+        let pad = (self.r - 1) / 2;
+        let wp = self.pack_weights();
+        let k_n = self.out_c;
+        let mut out = Tensor4::zeros(b_n, k_n, h, w);
+        let mut acc = vec![0f32; k_n];
+        for b in 0..b_n {
+            for y in 0..h {
+                for xx in 0..w {
+                    acc.copy_from_slice(&self.bias);
+                    for c in 0..c_n {
+                        for dy in 0..self.r {
+                            let iy = y as isize + dy as isize - pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for dx in 0..self.r {
+                                let ix = xx as isize + dx as isize - pad as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xv = x.at(b, c, iy as usize, ix as usize);
+                                if xv != 0.0 {
+                                    let row = &wp[((c * self.r + dy) * self.r + dx) * k_n..][..k_n];
+                                    for (a, &wv) in acc.iter_mut().zip(row) {
+                                        *a += xv * wv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for k in 0..k_n {
+                        *out.at_mut(b, k, y, xx) = acc[k];
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        let x = self.cached_input.take().expect("forward before backward");
+        let (b_n, c_n, h, w) = x.dims();
+        let k_n = self.out_c;
+        let pad = (self.r - 1) / 2;
+        let wp = self.pack_weights();
+        let mut dwp = vec![0f32; c_n * self.r * self.r * k_n];
+        let mut dx = Tensor4::zeros(b_n, c_n, h, w);
+        let mut gk = vec![0f32; k_n];
+        for b in 0..b_n {
+            for y in 0..h {
+                for xx in 0..w {
+                    for k in 0..k_n {
+                        gk[k] = g.at(b, k, y, xx);
+                        self.grad_b[k] += gk[k];
+                    }
+                    for c in 0..c_n {
+                        for dy in 0..self.r {
+                            let iy = y as isize + dy as isize - pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for dx_i in 0..self.r {
+                                let ix = xx as isize + dx_i as isize - pad as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let base = ((c * self.r + dy) * self.r + dx_i) * k_n;
+                                let xv = x.at(b, c, iy as usize, ix as usize);
+                                let wrow = &wp[base..base + k_n];
+                                let dwrow = &mut dwp[base..base + k_n];
+                                let mut dxv = 0f32;
+                                for k in 0..k_n {
+                                    dxv += gk[k] * wrow[k];
+                                    dwrow[k] += gk[k] * xv;
+                                }
+                                *dx.at_mut(b, c, iy as usize, ix as usize) += dxv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Unpack weight gradients into K×C×r×r order.
+        for k in 0..k_n {
+            for c in 0..c_n {
+                for dy in 0..self.r {
+                    for dx_i in 0..self.r {
+                        let src = ((c * self.r + dy) * self.r + dx_i) * k_n + k;
+                        let dst = ((k * c_n + c) * self.r + dy) * self.r + dx_i;
+                        self.grad_w[dst] += dwp[src];
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn step(&mut self, lr: f32, momentum: f32) {
+        let wdata = self.weights.data_mut();
+        for i in 0..wdata.len() {
+            self.vel_w[i] = momentum * self.vel_w[i] - lr * self.grad_w[i];
+            wdata[i] += self.vel_w[i];
+            self.grad_w[i] = 0.0;
+        }
+        for k in 0..self.out_c {
+            self.vel_b[k] = momentum * self.vel_b[k] - lr * self.grad_b[k];
+            self.bias[k] += self.vel_b[k];
+            self.grad_b[k] = 0.0;
+        }
+    }
+}
+
+// ------------------------------------------------------------------ ReLU
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReluLayer {
+    mask: Vec<bool>,
+    dims: (usize, usize, usize, usize),
+}
+
+impl ReluLayer {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        self.dims = x.dims();
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        let (b, c, h, w) = x.dims();
+        let mut out = Tensor4::zeros(b, c, h, w);
+        for (o, (&v, &m)) in out.data_mut().iter_mut().zip(x.data().iter().zip(&self.mask)) {
+            *o = if m { v } else { 0.0 };
+        }
+        out
+    }
+
+    fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        let (b, c, h, w) = self.dims;
+        let mut out = Tensor4::zeros(b, c, h, w);
+        for (o, (&gv, &m)) in out.data_mut().iter_mut().zip(g.data().iter().zip(&self.mask)) {
+            *o = if m { gv } else { 0.0 };
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------- MaxPool
+
+/// 2×2 stride-2 max pooling (input H/W must be even).
+#[derive(Default)]
+pub struct MaxPoolLayer {
+    argmax: Vec<usize>,
+    in_dims: (usize, usize, usize, usize),
+}
+
+impl MaxPoolLayer {
+    /// New pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (b_n, c_n, h, w) = x.dims();
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool needs even H/W");
+        self.in_dims = x.dims();
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor4::zeros(b_n, c_n, oh, ow);
+        self.argmax = vec![0; b_n * c_n * oh * ow];
+        let mut idx = 0;
+        for b in 0..b_n {
+            for c in 0..c_n {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_at = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let v = x.at(b, c, 2 * y + dy, 2 * xx + dx);
+                                if v > best {
+                                    best = v;
+                                    best_at = (2 * y + dy) * w + 2 * xx + dx;
+                                }
+                            }
+                        }
+                        *out.at_mut(b, c, y, xx) = best;
+                        self.argmax[idx] = best_at;
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        let (b_n, c_n, h, w) = self.in_dims;
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor4::zeros(b_n, c_n, h, w);
+        let mut idx = 0;
+        for b in 0..b_n {
+            for c in 0..c_n {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let at = self.argmax[idx];
+                        idx += 1;
+                        *out.at_mut(b, c, at / w, at % w) += g.at(b, c, y, xx);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------- GAP
+
+/// Global average pooling.
+#[derive(Default)]
+pub struct GapLayer {
+    in_dims: (usize, usize, usize, usize),
+}
+
+impl GapLayer {
+    /// New GAP layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (b_n, c_n, h, w) = x.dims();
+        self.in_dims = x.dims();
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = Tensor4::zeros(b_n, c_n, 1, 1);
+        for b in 0..b_n {
+            for c in 0..c_n {
+                let mut s = 0f32;
+                for y in 0..h {
+                    for xx in 0..w {
+                        s += x.at(b, c, y, xx);
+                    }
+                }
+                *out.at_mut(b, c, 0, 0) = s * inv;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        let (b_n, c_n, h, w) = self.in_dims;
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = Tensor4::zeros(b_n, c_n, h, w);
+        for b in 0..b_n {
+            for c in 0..c_n {
+                let gv = g.at(b, c, 0, 0) * inv;
+                for y in 0..h {
+                    for xx in 0..w {
+                        *out.at_mut(b, c, y, xx) = gv;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- Linear
+
+/// Fully connected layer over `(B, C, 1, 1)` activations.
+pub struct LinearLayer {
+    /// `K×C` weights (row-major).
+    pub weights: Vec<f32>,
+    /// Per-output bias.
+    pub bias: Vec<f32>,
+    in_c: usize,
+    out_c: usize,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    vel_w: Vec<f32>,
+    vel_b: Vec<f32>,
+    cached_input: Option<Tensor4>,
+}
+
+impl LinearLayer {
+    /// Xavier-ish initialised linear layer.
+    pub fn new(in_c: usize, out_c: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / in_c as f32).sqrt();
+        Self {
+            weights: (0..in_c * out_c)
+                .map(|_| rng.gen_range(-1.0..1.0f32) * scale)
+                .collect(),
+            bias: vec![0.0; out_c],
+            in_c,
+            out_c,
+            grad_w: vec![0.0; in_c * out_c],
+            grad_b: vec![0.0; out_c],
+            vel_w: vec![0.0; in_c * out_c],
+            vel_b: vec![0.0; out_c],
+            cached_input: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (b_n, c_n, h, w) = x.dims();
+        assert_eq!((c_n, h, w), (self.in_c, 1, 1), "Linear input shape");
+        let mut out = Tensor4::zeros(b_n, self.out_c, 1, 1);
+        for b in 0..b_n {
+            for k in 0..self.out_c {
+                let mut s = self.bias[k];
+                for c in 0..c_n {
+                    s += self.weights[k * c_n + c] * x.at(b, c, 0, 0);
+                }
+                *out.at_mut(b, k, 0, 0) = s;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        let x = self.cached_input.take().expect("forward before backward");
+        let (b_n, c_n, _, _) = x.dims();
+        let mut dx = Tensor4::zeros(b_n, c_n, 1, 1);
+        for b in 0..b_n {
+            for k in 0..self.out_c {
+                let gv = g.at(b, k, 0, 0);
+                self.grad_b[k] += gv;
+                for c in 0..c_n {
+                    self.grad_w[k * c_n + c] += gv * x.at(b, c, 0, 0);
+                    *dx.at_mut(b, c, 0, 0) += gv * self.weights[k * c_n + c];
+                }
+            }
+        }
+        dx
+    }
+
+    fn step(&mut self, lr: f32, momentum: f32) {
+        for i in 0..self.weights.len() {
+            self.vel_w[i] = momentum * self.vel_w[i] - lr * self.grad_w[i];
+            self.weights[i] += self.vel_w[i];
+            self.grad_w[i] = 0.0;
+        }
+        for k in 0..self.out_c {
+            self.vel_b[k] = momentum * self.vel_b[k] - lr * self.grad_b[k];
+            self.bias[k] += self.vel_b[k];
+            self.grad_b[k] = 0.0;
+        }
+    }
+}
+
+// -------------------------------------------------------------- Residual
+
+/// `relu(x + body(x))` with an identity skip (body must preserve shape).
+pub struct ResidualBlock {
+    /// The residual body (e.g. conv-relu-conv).
+    pub body: Vec<Layer>,
+    relu_mask: Vec<bool>,
+    dims: (usize, usize, usize, usize),
+}
+
+impl ResidualBlock {
+    /// Wrap a body.
+    pub fn new(body: Vec<Layer>) -> Self {
+        Self {
+            body,
+            relu_mask: Vec::new(),
+            dims: (0, 0, 0, 0),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let mut h = x.clone();
+        for l in self.body.iter_mut() {
+            h = l.forward(&h);
+        }
+        assert_eq!(h.dims(), x.dims(), "residual body must preserve shape");
+        self.dims = x.dims();
+        let (b, c, hh, ww) = x.dims();
+        let mut out = Tensor4::zeros(b, c, hh, ww);
+        self.relu_mask.clear();
+        for ((o, &xv), &hv) in out.data_mut().iter_mut().zip(x.data()).zip(h.data()) {
+            let s = xv + hv;
+            let keep = s > 0.0;
+            self.relu_mask.push(keep);
+            *o = if keep { s } else { 0.0 };
+        }
+        out
+    }
+
+    fn backward(&mut self, g: &Tensor4) -> Tensor4 {
+        let (b, c, hh, ww) = self.dims;
+        let mut gs = Tensor4::zeros(b, c, hh, ww);
+        for (o, (&gv, &m)) in gs.data_mut().iter_mut().zip(g.data().iter().zip(&self.relu_mask)) {
+            *o = if m { gv } else { 0.0 };
+        }
+        // Through the body...
+        let mut gb = gs.clone();
+        for l in self.body.iter_mut().rev() {
+            gb = l.backward(&gb);
+        }
+        // ...plus the identity skip.
+        for (o, &s) in gb.data_mut().iter_mut().zip(gs.data()) {
+            *o += s;
+        }
+        gb
+    }
+
+    fn step(&mut self, lr: f32, momentum: f32) {
+        for l in self.body.iter_mut() {
+            l.step(lr, momentum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    /// Finite-difference gradient check for a scalar loss `sum(out²)/2`.
+    fn grad_check(layer: &mut Layer, x: &Tensor4, tol: f32) {
+        let out = layer.forward(x);
+        let g = out.clone(); // dL/dout = out for L = sum(out²)/2
+        let dx = layer.backward(&g);
+        let eps = 1e-3;
+        let loss = |l: &mut Layer, xt: &Tensor4| -> f64 {
+            let o = l.forward(xt);
+            o.data().iter().map(|&v| f64::from(v) * f64::from(v) / 2.0).sum()
+        };
+        let (b, c, h, w) = x.dims();
+        // Check a handful of coordinates.
+        for (bi, ci, yi, xi) in [(0, 0, 0, 0), (0, c - 1, h - 1, w - 1), (b - 1, 0, h / 2, w / 2)] {
+            let mut xp = x.clone();
+            *xp.at_mut(bi, ci, yi, xi) += eps;
+            let mut xm = x.clone();
+            *xm.at_mut(bi, ci, yi, xi) -= eps;
+            let num = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * f64::from(eps));
+            let ana = f64::from(dx.at(bi, ci, yi, xi));
+            assert!(
+                (num - ana).abs() < f64::from(tol) * (1.0 + num.abs()),
+                "({bi},{ci},{yi},{xi}): numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    fn input(b: usize, c: usize, s: usize) -> Tensor4 {
+        Tensor4::from_fn(b, c, s, s, |bi, ci, y, x| {
+            ((bi * 31 + ci * 7 + y * 3 + x) as f32 * 0.61).sin()
+        })
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut l = Layer::Conv(Conv2dLayer::new(3, 5, 3, &mut rng()));
+        grad_check(&mut l, &input(2, 3, 6), 2e-2);
+    }
+
+    #[test]
+    fn relu_gradient_check() {
+        let mut l = Layer::ReLU(ReluLayer::new());
+        grad_check(&mut l, &input(2, 4, 4), 1e-2);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        let mut l = Layer::MaxPool(MaxPoolLayer::new());
+        grad_check(&mut l, &input(2, 3, 6), 1e-2);
+    }
+
+    #[test]
+    fn gap_gradient_check() {
+        let mut l = Layer::Gap(GapLayer::new());
+        grad_check(&mut l, &input(2, 3, 4), 1e-2);
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let mut l = Layer::Linear(LinearLayer::new(6, 4, &mut rng()));
+        let x = Tensor4::from_fn(3, 6, 1, 1, |b, c, _, _| ((b + c * 2) as f32 * 0.37).cos());
+        grad_check(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn residual_gradient_check() {
+        let mut r = rng();
+        let body = vec![
+            Layer::Conv(Conv2dLayer::new(4, 4, 3, &mut r)),
+            Layer::ReLU(ReluLayer::new()),
+            Layer::Conv(Conv2dLayer::new(4, 4, 3, &mut r)),
+        ];
+        let mut l = Layer::Residual(ResidualBlock::new(body));
+        grad_check(&mut l, &input(1, 4, 4), 5e-2);
+    }
+
+    #[test]
+    fn conv_weight_gradient_finite_difference() {
+        let mut conv = Conv2dLayer::new(2, 3, 3, &mut rng());
+        let x = input(1, 2, 4);
+        let out = conv.forward(&x);
+        let g = out.clone();
+        let _ = conv.backward(&g);
+        let eps = 1e-3;
+        // Check dL/dw for one weight (k=1, c=0, dy=1, dx=2).
+        let idx_dst = ((1 * 2 + 0) * 3 + 1) * 3 + 2;
+        let analytic = conv.grad_w[idx_dst];
+        let loss = |c: &mut Conv2dLayer, xt: &Tensor4| -> f64 {
+            let o = c.forward(xt);
+            o.data().iter().map(|&v| f64::from(v) * f64::from(v) / 2.0).sum()
+        };
+        *conv.weights.at_mut(1, 0, 1, 2) += eps;
+        let lp = loss(&mut conv, &x);
+        *conv.weights.at_mut(1, 0, 1, 2) -= 2.0 * eps;
+        let lm = loss(&mut conv, &x);
+        let numeric = ((lp - lm) / (2.0 * f64::from(eps))) as f32;
+        assert!(
+            (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sgd_step_moves_weights_and_clears_grads() {
+        let mut conv = Conv2dLayer::new(2, 2, 3, &mut rng());
+        let x = input(1, 2, 4);
+        let out = conv.forward(&x);
+        let before = conv.weights.clone();
+        let _ = conv.backward(&out);
+        conv.step(0.1, 0.9);
+        assert!(conv.weights.max_abs_diff(&before) > 0.0);
+        assert!(conv.grad_w.iter().all(|&g| g == 0.0));
+        assert!(conv.grad_b.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,460 @@
+//! Post-training quantization of a trained model (the Table 3 pipeline).
+//!
+//! Conversion walks the FP32 model layer by layer with a batch of
+//! calibration images: each convolution's *input activations* are captured
+//! exactly where they occur in the network (paper §3: "the input of a
+//! convolutional layer is collected by executing the neural network on the
+//! sample images"), the requested `lowino` algorithm is planned with those
+//! samples, and inference then runs convolutions through the low-precision
+//! executors while the glue (bias, ReLU, pooling, linear head) stays FP32.
+
+use lowino::prelude::*;
+use lowino::ConvError;
+
+use crate::layers::{Conv2dLayer, Layer};
+use crate::model::Model;
+
+/// How to quantize the convolutions.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizedSpec {
+    /// The convolution algorithm for every conv layer.
+    pub algorithm: Algorithm,
+    /// Use per-tile-position scales (LoWino only).
+    pub per_position: bool,
+    /// Inference batch size (the executors are planned for it).
+    pub batch: usize,
+    /// Thread count for the engine.
+    pub threads: usize,
+}
+
+enum QStage {
+    Conv {
+        layer: Layer2,
+        bias: Vec<f32>,
+    },
+    ReLU,
+    MaxPool,
+    Gap,
+    Linear {
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+        in_c: usize,
+        out_c: usize,
+    },
+    Residual(Vec<QStage>),
+}
+
+// A planned lowino layer (type alias to keep signatures readable).
+type Layer2 = lowino::builder::Layer;
+
+/// A quantized inference model.
+pub struct QuantizedModel {
+    stages: Vec<QStage>,
+    engine: Engine,
+    classes: usize,
+    batch: usize,
+    in_dims: (usize, usize, usize),
+}
+
+impl QuantizedModel {
+    /// Convert a trained FP32 model, calibrating on `calib_x` (a batch of
+    /// images in NCHW).
+    pub fn from_model(
+        model: &mut Model,
+        calib_x: &Tensor4,
+        qspec: &QuantizedSpec,
+    ) -> Result<Self, ConvError> {
+        let engine = Engine::new(qspec.threads);
+        let (_, c, h, w) = calib_x.dims();
+        let mut act = calib_x.clone();
+        let stages = convert_layers(&mut model.layers, &mut act, qspec, &engine)?;
+        Ok(Self {
+            stages,
+            engine,
+            classes: model.classes(),
+            batch: qspec.batch,
+            in_dims: (c, h, w),
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Predict classes for a batch of images (processed in planning-sized
+    /// chunks; the tail is zero-padded internally).
+    pub fn predict(&mut self, x: &Tensor4) -> Vec<usize> {
+        let (n, c, h, w) = x.dims();
+        assert_eq!((c, h, w), self.in_dims, "input dims");
+        let mut preds = Vec::with_capacity(n);
+        let mut chunk = Tensor4::zeros(self.batch, c, h, w);
+        let mut i = 0;
+        while i < n {
+            let take = (n - i).min(self.batch);
+            chunk.data_mut().fill(0.0);
+            for b in 0..take {
+                for cc in 0..c {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            *chunk.at_mut(b, cc, y, xx) = x.at(i + b, cc, y, xx);
+                        }
+                    }
+                }
+            }
+            let logits = forward_stages(&mut self.stages, &chunk, &mut self.engine);
+            let (_, k, _, _) = logits.dims();
+            for b in 0..take {
+                let best = (0..k)
+                    .max_by(|&a, &b2| logits.at(b, a, 0, 0).total_cmp(&logits.at(b, b2, 0, 0)))
+                    .unwrap_or(0);
+                preds.push(best);
+            }
+            i += take;
+        }
+        preds
+    }
+
+    /// Top-1 accuracy on a labelled set.
+    pub fn evaluate_top1(&mut self, x: &Tensor4, y: &[usize]) -> f64 {
+        let preds = self.predict(x);
+        preds.iter().zip(y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
+    }
+}
+
+fn convert_layers(
+    layers: &mut [Layer],
+    act: &mut Tensor4,
+    qspec: &QuantizedSpec,
+    engine: &Engine,
+) -> Result<Vec<QStage>, ConvError> {
+    let mut stages = Vec::with_capacity(layers.len());
+    for layer in layers.iter_mut() {
+        match layer {
+            Layer::Conv(conv) => {
+                stages.push(convert_conv(conv, act, qspec, engine)?);
+                // FP32 reference activations flow forward (quantization
+                // error must not contaminate downstream calibration).
+                *act = layer.forward(act);
+            }
+            Layer::Residual(block) => {
+                let mut inner_act = act.clone();
+                let inner =
+                    convert_layers(&mut block.body, &mut inner_act, qspec, engine)?;
+                stages.push(QStage::Residual(inner));
+                *act = layer.forward(act);
+            }
+            Layer::ReLU(_) => {
+                stages.push(QStage::ReLU);
+                *act = layer.forward(act);
+            }
+            Layer::MaxPool(_) => {
+                stages.push(QStage::MaxPool);
+                *act = layer.forward(act);
+            }
+            Layer::Gap(_) => {
+                stages.push(QStage::Gap);
+                *act = layer.forward(act);
+            }
+            Layer::Linear(lin) => {
+                stages.push(QStage::Linear {
+                    weights: lin.weights.clone(),
+                    bias: lin.bias.clone(),
+                    in_c: lin.weights.len() / lin.bias.len(),
+                    out_c: lin.bias.len(),
+                });
+                *act = layer.forward(act);
+            }
+        }
+    }
+    Ok(stages)
+}
+
+fn convert_conv(
+    conv: &Conv2dLayer,
+    act: &Tensor4,
+    qspec: &QuantizedSpec,
+    engine: &Engine,
+) -> Result<QStage, ConvError> {
+    let (_, c, h, w) = act.dims();
+    debug_assert_eq!(c, conv.in_channels());
+    let spec = ConvShape {
+        batch: qspec.batch,
+        in_c: conv.in_channels(),
+        out_c: conv.out_channels(),
+        h,
+        w,
+        r: conv.filter(),
+        stride: 1,
+        pad: (conv.filter() - 1) / 2,
+    };
+    // The calibration batch usually differs from the inference batch; the
+    // sample image is re-batched to match the spec the executor is planned
+    // for (the calibrators accept any batch inside one BlockedImage, but
+    // sample dims must equal the spec's H/W/C).
+    let samples = rebatch_for_calibration(act, qspec.batch);
+    let layer = LayerBuilder::new(spec, &conv.weights)
+        .algorithm(AlgoChoice::Fixed(qspec.algorithm))
+        .calibration_samples(samples)
+        .per_position_scales(qspec.per_position)
+        .build(engine)?;
+    Ok(QStage::Conv {
+        layer,
+        bias: conv.bias.clone(),
+    })
+}
+
+/// Split a calibration activation batch into `BlockedImage`s whose batch
+/// dimension matches the planned spec.
+fn rebatch_for_calibration(act: &Tensor4, batch: usize) -> Vec<BlockedImage> {
+    let (n, c, h, w) = act.dims();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let take = (n - i).min(batch);
+        let mut chunk = Tensor4::zeros(batch, c, h, w);
+        for b in 0..take {
+            for cc in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *chunk.at_mut(b, cc, y, xx) = act.at(i + b, cc, y, xx);
+                    }
+                }
+            }
+        }
+        out.push(BlockedImage::from_nchw(&chunk));
+        i += take;
+    }
+    out
+}
+
+fn forward_stages(stages: &mut [QStage], x: &Tensor4, engine: &mut Engine) -> Tensor4 {
+    let mut h = x.clone();
+    for stage in stages.iter_mut() {
+        h = match stage {
+            QStage::Conv { layer, bias } => {
+                let img = BlockedImage::from_nchw(&h);
+                let spec = *layer.spec();
+                let mut out = engine.alloc_output(&spec);
+                engine.execute(layer, &img, &mut out);
+                let mut t = out.to_nchw();
+                add_bias(&mut t, bias);
+                t
+            }
+            QStage::ReLU => {
+                let mut t = h.clone();
+                for v in t.data_mut() {
+                    *v = v.max(0.0);
+                }
+                t
+            }
+            QStage::MaxPool => maxpool2(&h),
+            QStage::Gap => gap(&h),
+            QStage::Linear {
+                weights,
+                bias,
+                in_c,
+                out_c,
+            } => linear(&h, weights, bias, *in_c, *out_c),
+            QStage::Residual(inner) => {
+                let body = forward_stages(inner, &h, engine);
+                let mut t = h.clone();
+                for (o, &b) in t.data_mut().iter_mut().zip(body.data()) {
+                    *o = (*o + b).max(0.0);
+                }
+                t
+            }
+        };
+    }
+    h
+}
+
+fn add_bias(t: &mut Tensor4, bias: &[f32]) {
+    let (b_n, k_n, h, w) = t.dims();
+    debug_assert_eq!(k_n, bias.len());
+    for b in 0..b_n {
+        for k in 0..k_n {
+            for y in 0..h {
+                for x in 0..w {
+                    *t.at_mut(b, k, y, x) += bias[k];
+                }
+            }
+        }
+    }
+}
+
+fn maxpool2(x: &Tensor4) -> Tensor4 {
+    let (b_n, c_n, h, w) = x.dims();
+    let mut out = Tensor4::zeros(b_n, c_n, h / 2, w / 2);
+    for b in 0..b_n {
+        for c in 0..c_n {
+            for y in 0..h / 2 {
+                for xx in 0..w / 2 {
+                    let m = x
+                        .at(b, c, 2 * y, 2 * xx)
+                        .max(x.at(b, c, 2 * y, 2 * xx + 1))
+                        .max(x.at(b, c, 2 * y + 1, 2 * xx))
+                        .max(x.at(b, c, 2 * y + 1, 2 * xx + 1));
+                    *out.at_mut(b, c, y, xx) = m;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn gap(x: &Tensor4) -> Tensor4 {
+    let (b_n, c_n, h, w) = x.dims();
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor4::zeros(b_n, c_n, 1, 1);
+    for b in 0..b_n {
+        for c in 0..c_n {
+            let mut s = 0f32;
+            for y in 0..h {
+                for xx in 0..w {
+                    s += x.at(b, c, y, xx);
+                }
+            }
+            *out.at_mut(b, c, 0, 0) = s * inv;
+        }
+    }
+    out
+}
+
+fn linear(x: &Tensor4, weights: &[f32], bias: &[f32], in_c: usize, out_c: usize) -> Tensor4 {
+    let (b_n, c_n, _, _) = x.dims();
+    debug_assert_eq!(c_n, in_c);
+    let mut out = Tensor4::zeros(b_n, out_c, 1, 1);
+    for b in 0..b_n {
+        for k in 0..out_c {
+            let mut s = bias[k];
+            for c in 0..in_c {
+                s += weights[k * in_c + c] * x.at(b, c, 0, 0);
+            }
+            *out.at_mut(b, k, 0, 0) = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, SyntheticSpec};
+    use crate::model::{mini_resnet, mini_vgg};
+    use crate::train::{evaluate_top1, train, TrainConfig};
+
+    fn trained_setup(resnet: bool) -> (Model, Dataset) {
+        let data = Dataset::generate(&SyntheticSpec {
+            classes: 3,
+            channels: 3,
+            size: 8,
+            train_per_class: 30,
+            test_per_class: 10,
+            noise: 0.1,
+            seed: 13,
+        });
+        let mut model = if resnet {
+            mini_resnet(3, 8, 3, 77)
+        } else {
+            mini_vgg(3, 8, 3, 77)
+        };
+        train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 6,
+                batch_size: 10,
+                lr: 0.05,
+                momentum: 0.9,
+                seed: 5,
+            },
+        );
+        (model, data)
+    }
+
+    #[test]
+    fn directf32_passthrough_matches_fp32_model() {
+        let (mut model, data) = trained_setup(false);
+        let fp32_acc = evaluate_top1(&mut model, data.test_x(), data.test_y());
+        let calib = data.gather_batch(&(0..20).collect::<Vec<_>>()).0;
+        let mut q = QuantizedModel::from_model(
+            &mut model,
+            &calib,
+            &QuantizedSpec {
+                algorithm: Algorithm::DirectF32,
+                per_position: false,
+                batch: 8,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let q_acc = q.evaluate_top1(data.test_x(), data.test_y());
+        assert!(
+            (q_acc - fp32_acc).abs() < 1e-9,
+            "fp32 {fp32_acc} vs passthrough {q_acc}"
+        );
+    }
+
+    #[test]
+    fn lowino_f2_preserves_accuracy() {
+        let (mut model, data) = trained_setup(false);
+        let fp32_acc = evaluate_top1(&mut model, data.test_x(), data.test_y());
+        let calib = data.gather_batch(&(0..20).collect::<Vec<_>>()).0;
+        let mut q = QuantizedModel::from_model(
+            &mut model,
+            &calib,
+            &QuantizedSpec {
+                algorithm: Algorithm::LoWino { m: 2 },
+                per_position: false,
+                batch: 8,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let q_acc = q.evaluate_top1(data.test_x(), data.test_y());
+        assert!(
+            q_acc >= fp32_acc - 0.15,
+            "fp32 {fp32_acc} vs lowino {q_acc}"
+        );
+    }
+
+    #[test]
+    fn residual_model_quantizes() {
+        let (mut model, data) = trained_setup(true);
+        let calib = data.gather_batch(&(0..12).collect::<Vec<_>>()).0;
+        let mut q = QuantizedModel::from_model(
+            &mut model,
+            &calib,
+            &QuantizedSpec {
+                algorithm: Algorithm::LoWino { m: 2 },
+                per_position: false,
+                batch: 6,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let acc = q.evaluate_top1(data.test_x(), data.test_y());
+        assert!(acc > 1.0 / 3.0, "acc {acc} at chance level");
+        assert_eq!(q.classes(), 3);
+    }
+
+    #[test]
+    fn predict_handles_ragged_tail() {
+        let (mut model, data) = trained_setup(false);
+        let calib = data.gather_batch(&(0..8).collect::<Vec<_>>()).0;
+        let mut q = QuantizedModel::from_model(
+            &mut model,
+            &calib,
+            &QuantizedSpec {
+                algorithm: Algorithm::DirectInt8,
+                per_position: false,
+                batch: 7, // deliberately not dividing the test-set size
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let preds = q.predict(data.test_x());
+        assert_eq!(preds.len(), data.test_y().len());
+    }
+}

@@ -1,0 +1,45 @@
+//! # lowino-parallel
+//!
+//! Static-scheduling multi-core substrate (paper §4.4).
+//!
+//! LoWino parallelises each pipeline stage with a *static* schedule: the task
+//! space is pre-partitioned into `ω` equal contiguous ranges at plan time —
+//! one per thread — and the whole job executes as a single fork-join. This
+//! differs from work-stealing (rayon-style) schedulers: because every thread
+//! gets the same amount of work with the same memory-access pattern, threads
+//! start and finish together and no runtime load-balancing machinery sits in
+//! the hot path.
+//!
+//! Two layers are provided:
+//!
+//! * [`partition()`] / [`partition_2d()`] — the pure scheduling maths (tested
+//!   exhaustively);
+//! * [`StaticPool`] — a persistent fork-join worker pool built from parked
+//!   OS threads, plus [`run_static`], a scoped one-shot variant for borrowed
+//!   data.
+
+pub mod partition;
+pub mod pool;
+
+pub use partition::{partition, partition_2d, Partition2d};
+pub use pool::{run_static, StaticPool};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_static_covers_all_tasks_once() {
+        let counter = AtomicUsize::new(0);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_static(4, 100, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

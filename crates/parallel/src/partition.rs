@@ -1,0 +1,166 @@
+//! Static task partitioning (the scheduling maths of paper §4.4).
+
+use core::ops::Range;
+
+/// Split `0..total` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one (each thread gets `⌈total/ω⌉` or `⌊total/ω⌋` tasks).
+///
+/// Returns fewer than `parts` ranges when `total < parts` (empty ranges are
+/// never emitted), matching the paper's "each thread operates up to
+/// `⌈N/ω⌉` tasks".
+pub fn partition(total: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "parts must be non-zero");
+    let parts = parts.min(total.max(1));
+    if total == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let extra = total % parts; // first `extra` parts get one more task
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
+/// A rectangular sub-domain produced by [`partition_2d`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition2d {
+    /// Range over the outer (slow-varying) dimension.
+    pub rows: Range<usize>,
+    /// Range over the inner (fast-varying) dimension.
+    pub cols: Range<usize>,
+}
+
+/// Recursively bisect a `rows × cols` task rectangle into `parts` contiguous
+/// sub-rectangles (paper §4.4: *"we recursively divide the task dimensions so
+/// that the tiles to be operated are contiguous for each thread"*).
+///
+/// The longer dimension is split first, keeping sub-domains close to square
+/// so each thread's tiles stay spatially contiguous (cache reuse).
+pub fn partition_2d(rows: usize, cols: usize, parts: usize) -> Vec<Partition2d> {
+    assert!(parts > 0, "parts must be non-zero");
+    let mut out = Vec::with_capacity(parts);
+    split_rect(0..rows, 0..cols, parts, &mut out);
+    out.retain(|p| !p.rows.is_empty() && !p.cols.is_empty());
+    out
+}
+
+fn split_rect(rows: Range<usize>, cols: Range<usize>, parts: usize, out: &mut Vec<Partition2d>) {
+    if parts == 1 || rows.len() * cols.len() <= 1 {
+        out.push(Partition2d { rows, cols });
+        return;
+    }
+    // Give each half a share of `parts` proportional to its task count.
+    let left_parts = parts / 2;
+    let right_parts = parts - left_parts;
+    if rows.len() >= cols.len() {
+        let mid = rows.start + rows.len() * left_parts / parts;
+        split_rect(rows.start..mid, cols.clone(), left_parts.max(1), out);
+        split_rect(mid..rows.end, cols, right_parts, out);
+    } else {
+        let mid = cols.start + cols.len() * left_parts / parts;
+        split_rect(rows.clone(), cols.start..mid, left_parts.max(1), out);
+        split_rect(rows, mid..cols.end, right_parts, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_exact_division() {
+        let p = partition(16, 4);
+        assert_eq!(p, vec![0..4, 4..8, 8..12, 12..16]);
+    }
+
+    #[test]
+    fn partition_with_remainder_is_balanced() {
+        let p = partition(10, 4);
+        assert_eq!(p.len(), 4);
+        let lens: Vec<_> = p.iter().map(|r| r.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert!(lens.iter().all(|&l| l == 2 || l == 3));
+        // Contiguous and ordered.
+        for w in p.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn partition_more_parts_than_tasks() {
+        let p = partition(3, 8);
+        assert_eq!(p, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn partition_zero_tasks() {
+        assert!(partition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn partition_single_part() {
+        assert_eq!(partition(7, 1), vec![0..7]);
+    }
+
+    #[test]
+    fn partition_covers_everything_property() {
+        for total in [0usize, 1, 2, 7, 64, 100, 1023] {
+            for parts in [1usize, 2, 3, 4, 7, 8, 16] {
+                let p = partition(total, parts);
+                let covered: usize = p.iter().map(|r| r.len()).sum();
+                assert_eq!(covered, total, "total={total} parts={parts}");
+                let mut prev = 0;
+                for r in &p {
+                    assert_eq!(r.start, prev);
+                    assert!(!r.is_empty());
+                    prev = r.end;
+                }
+                // Balance: max - min <= 1.
+                if !p.is_empty() {
+                    let max = p.iter().map(|r| r.len()).max().unwrap();
+                    let min = p.iter().map(|r| r.len()).min().unwrap();
+                    assert!(max - min <= 1, "total={total} parts={parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_2d_covers_rectangle() {
+        for (rows, cols, parts) in [(8, 8, 4), (7, 3, 4), (1, 16, 8), (16, 1, 8), (5, 5, 3)] {
+            let ps = partition_2d(rows, cols, parts);
+            let mut cells = vec![0u8; rows * cols];
+            for p in &ps {
+                for r in p.rows.clone() {
+                    for c in p.cols.clone() {
+                        cells[r * cols + c] += 1;
+                    }
+                }
+            }
+            assert!(
+                cells.iter().all(|&c| c == 1),
+                "rows={rows} cols={cols} parts={parts}: {cells:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_2d_balance() {
+        // Power-of-two everything: perfectly equal areas (paper: C, K, ω are
+        // typically powers of two so "tasks can be equally assigned").
+        let ps = partition_2d(16, 16, 4);
+        assert_eq!(ps.len(), 4);
+        for p in &ps {
+            assert_eq!(p.rows.len() * p.cols.len(), 64);
+        }
+    }
+}

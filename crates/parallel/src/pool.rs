@@ -1,0 +1,303 @@
+//! Fork-join execution with a static schedule.
+//!
+//! [`run_static`] is the one-shot scoped variant (spawns, runs, joins).
+//! [`StaticPool`] keeps `ω-1` parked worker threads alive across jobs so that
+//! steady-state inference pays only a wake/park per layer stage, matching the
+//! paper's "the job … is executed using a single fork-join method".
+
+use core::ops::Range;
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::partition::partition;
+
+/// Execute `f(worker, range)` over a static partition of `0..total` using
+/// `threads` OS threads (including the caller). One-shot: threads are
+/// spawned and joined inside the call, so `f` may borrow local data.
+///
+/// With `threads == 1` this degenerates to a plain call on the caller —
+/// zero overhead, which is also the fast path on single-core hosts.
+pub fn run_static<F>(threads: usize, total: usize, f: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    assert!(threads > 0, "threads must be non-zero");
+    let ranges = partition(total, threads);
+    if ranges.is_empty() {
+        return;
+    }
+    if ranges.len() == 1 {
+        f(0, ranges[0].clone());
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (idx, range) in ranges.iter().enumerate().skip(1) {
+            let fref = &f;
+            let range = range.clone();
+            scope.spawn(move || fref(idx, range));
+        }
+        f(0, ranges[0].clone());
+    });
+}
+
+/// Type-erased job pointer handed to workers.
+///
+/// SAFETY invariant: the pointee outlives every execution — guaranteed
+/// because [`StaticPool::run`] does not return until all workers have
+/// finished the job (join barrier), and the pointee lives in `run`'s frame.
+struct JobPtr(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: see invariant above; the pointer is only dereferenced while the
+// owning `run` frame is blocked waiting for completion.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    epoch: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A persistent fork-join pool with `ω` execution slots (`ω-1` parked worker
+/// threads plus the calling thread).
+///
+/// Each [`run`](StaticPool::run) pre-partitions the task space statically and
+/// executes it as a single fork-join; worker `i` always receives partition
+/// `i`, so memory-access patterns are stable across invocations (paper §4.4).
+pub struct StaticPool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl StaticPool {
+    /// Create a pool with `threads` total execution slots (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "threads must be non-zero");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for worker in 1..threads {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lowino-worker-{worker}"))
+                    .spawn(move || Self::worker_loop(&inner, worker))
+                    .expect("spawn worker"),
+            );
+        }
+        Self {
+            inner,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of execution slots.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker_loop(inner: &Inner, worker: usize) {
+        let mut last_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = inner.state.lock();
+                while !st.shutdown && st.epoch == last_epoch {
+                    inner.work_cv.wait(&mut st);
+                }
+                if st.shutdown {
+                    return;
+                }
+                last_epoch = st.epoch;
+                st.job.as_ref().expect("job set with epoch").0
+            };
+            // SAFETY: the JobPtr invariant — `run` is blocked until we
+            // decrement `remaining` below, so the pointee is alive.
+            unsafe { (*job)(worker) };
+            let mut st = inner.state.lock();
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                inner.done_cv.notify_one();
+            }
+        }
+    }
+
+    /// Execute `f(worker, range)` over a static partition of `0..total`.
+    ///
+    /// Blocks until every worker has finished its partition. `f` may borrow
+    /// from the caller's stack (the join barrier upholds the `JobPtr`
+    /// safety invariant).
+    pub fn run<F>(&mut self, total: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let ranges = partition(total, self.threads);
+        if ranges.is_empty() {
+            return;
+        }
+        if self.threads == 1 || ranges.len() == 1 {
+            f(0, ranges[0].clone());
+            return;
+        }
+        let ranges_ref = &ranges;
+        let fref = &f;
+        let job = move |worker: usize| {
+            if let Some(r) = ranges_ref.get(worker) {
+                fref(worker, r.clone());
+            }
+        };
+        let job_dyn: &(dyn Fn(usize) + Sync) = &job;
+        // SAFETY of the transmute: we only erase the lifetime; the pointer is
+        // never used after `run` returns (join barrier below).
+        let ptr: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { core::mem::transmute(job_dyn as *const (dyn Fn(usize) + Sync)) };
+        {
+            let mut st = self.inner.state.lock();
+            st.job = Some(JobPtr(ptr));
+            st.epoch += 1;
+            st.remaining = self.handles.len();
+            self.inner.work_cv.notify_all();
+        }
+        // The caller is worker 0.
+        job(0);
+        let mut st = self.inner.state.lock();
+        while st.remaining > 0 {
+            self.inner.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for StaticPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_static_single_thread_inline() {
+        let mut seen = vec![false; 10];
+        run_static(1, 10, |w, range| {
+            assert_eq!(w, 0);
+            assert_eq!(range, 0..10);
+        });
+        // Borrowing mutable data works through interior-free single thread.
+        run_static(1, 10, |_, range| {
+            for _i in range.clone() {}
+        });
+        seen[0] = true;
+        assert!(seen[0]);
+    }
+
+    #[test]
+    fn run_static_multi_thread_disjoint_writes() {
+        let mut data = vec![0usize; 1000];
+        let chunks: Vec<&mut [usize]> = data.chunks_mut(250).collect();
+        let cells: Vec<std::sync::Mutex<&mut [usize]>> =
+            chunks.into_iter().map(std::sync::Mutex::new).collect();
+        run_static(4, 4, |_, range| {
+            for i in range {
+                let mut c = cells[i].lock().unwrap();
+                for v in c.iter_mut() {
+                    *v = i + 1;
+                }
+            }
+        });
+        for (i, chunk) in data.chunks(250).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i + 1));
+        }
+    }
+
+    #[test]
+    fn pool_runs_many_jobs() {
+        let mut pool = StaticPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        for round in 0..50usize {
+            let counter = AtomicUsize::new(0);
+            pool.run(97, |_, range| {
+                counter.fetch_add(range.len(), Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 97, "round={round}");
+        }
+    }
+
+    #[test]
+    fn pool_worker_ids_are_stable_and_distinct() {
+        let mut pool = StaticPool::new(3);
+        let ids = std::sync::Mutex::new(Vec::new());
+        pool.run(3, |w, range| {
+            assert_eq!(range.len(), 1);
+            ids.lock().unwrap().push((w, range.start));
+        });
+        let mut ids = ids.into_inner().unwrap();
+        ids.sort();
+        // Worker i always receives partition i.
+        assert_eq!(ids, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn pool_empty_job_is_noop() {
+        let mut pool = StaticPool::new(2);
+        pool.run(0, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn pool_more_threads_than_tasks() {
+        let mut pool = StaticPool::new(8);
+        let counter = AtomicUsize::new(0);
+        pool.run(3, |_, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_borrows_stack_data() {
+        let mut pool = StaticPool::new(4);
+        let data: Vec<usize> = (0..64).collect();
+        let sum = AtomicUsize::new(0);
+        pool.run(64, |_, range| {
+            let local: usize = range.map(|i| data[i]).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 64 * 63 / 2);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let mut pool = StaticPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run(10, |w, range| {
+            assert_eq!(w, 0);
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,229 @@
+//! Threshold calibration (paper Eq. 7).
+//!
+//! `τ = argmin_τ' D_KL( P(X) ‖ P(Q_τ'(X)) )` — the TensorRT-style \[29\]
+//! KL-divergence search over a magnitude histogram collected from a few
+//! hundred unlabelled samples. For each candidate clipping index `i` the
+//! reference distribution is the histogram clipped at `i` (outlier mass
+//! folded into the last bin) and the candidate distribution is the same
+//! mass squeezed through 128 quantization levels and re-expanded.
+
+use crate::histogram::Histogram;
+
+/// Number of INT8 quantization levels on the magnitude axis.
+const QUANT_LEVELS: usize = 128;
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// The selected clipping threshold `τ`.
+    pub tau: f32,
+    /// The KL divergence at the selected threshold.
+    pub divergence: f64,
+    /// The clipping-bin index that won the search.
+    pub bin_index: usize,
+}
+
+/// KL-divergence threshold calibration over a recorded histogram.
+///
+/// Returns `τ = ‖X‖∞` when the histogram is degenerate (empty, all zeros,
+/// or fewer occupied bins than quantization levels — nothing to clip).
+pub fn calibrate_kl(hist: &Histogram) -> Calibration {
+    let nbins = hist.bin_count();
+    let bins = hist.bins();
+    let width = hist.bin_width();
+    let fallback = Calibration {
+        tau: if hist.max_abs() > 0.0 { hist.max_abs() } else { 1.0 },
+        divergence: 0.0,
+        bin_index: nbins,
+    };
+    if hist.total() == 0 || hist.max_abs() == 0.0 || nbins <= QUANT_LEVELS {
+        return fallback;
+    }
+    // KL over a near-empty histogram is meaningless (the sparse candidate
+    // distribution trivially matches the reference at aggressive clips and
+    // the search returns a tiny, catastrophic threshold). Calibration needs
+    // a real sample population; below that, max-abs is the honest choice.
+    if hist.total() < 8 * QUANT_LEVELS as u64 {
+        return fallback;
+    }
+
+    // Index one past the last occupied bin.
+    let last_occupied = match bins.iter().rposition(|&c| c > 0) {
+        Some(i) => i + 1,
+        None => return fallback,
+    };
+    if last_occupied <= QUANT_LEVELS {
+        return fallback;
+    }
+
+    let mut best: Option<(f64, usize)> = None;
+    let mut p = vec![0f64; last_occupied];
+    let mut q = vec![0f64; last_occupied];
+
+    for i in (QUANT_LEVELS..=last_occupied).step_by(1) {
+        // Reference distribution: clip at i, folding the tail into bin i-1.
+        let p_slice = &mut p[..i];
+        for (j, v) in p_slice.iter_mut().enumerate() {
+            *v = bins[j] as f64;
+        }
+        let tail: u64 = bins[i..].iter().sum();
+        p_slice[i - 1] += tail as f64;
+
+        // Candidate: squeeze bins[..i] into QUANT_LEVELS groups, expand back
+        // proportionally over the non-empty source bins.
+        let q_slice = &mut q[..i];
+        q_slice.fill(0.0);
+        for level in 0..QUANT_LEVELS {
+            let start = level * i / QUANT_LEVELS;
+            let end = ((level + 1) * i / QUANT_LEVELS).max(start + 1).min(i);
+            let group: u64 = bins[start..end].iter().sum();
+            if group == 0 {
+                continue;
+            }
+            let nonzero = bins[start..end].iter().filter(|&&c| c > 0).count();
+            let share = group as f64 / nonzero as f64;
+            for j in start..end {
+                if bins[j] > 0 {
+                    q_slice[j] = share;
+                }
+            }
+        }
+        // NB: unlike P, the candidate Q deliberately does NOT receive the
+        // outlier fold — Q models what an INT8 quantizer clipped at this
+        // threshold can represent, so the folded tail mass is exactly the
+        // mismatch the KL term must penalise.
+        let d = kl_divergence(p_slice, q_slice);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, i));
+        }
+    }
+
+    match best {
+        Some((divergence, i)) => {
+            // Clipped-mass floor: KL can justify aggressive clipping on
+            // multi-scale mixtures (e.g. the Winograd-domain distribution,
+            // whose per-tile-position scales differ by 1-2 orders of
+            // magnitude) even though the clipped tail carries real signal.
+            // Never clip more than 1% of the observed mass.
+            let total = hist.total() as f64;
+            let mut i = i;
+            let mut tail: u64 = bins[i..].iter().sum();
+            while i < last_occupied && tail as f64 > 0.01 * total {
+                tail -= bins[i];
+                i += 1;
+            }
+            Calibration {
+                tau: (i as f32 + 0.5) * width,
+                divergence,
+                bin_index: i,
+            }
+        }
+        None => fallback,
+    }
+}
+
+/// `D_KL(P ‖ Q)` over unnormalised histograms (both are normalised inside).
+/// Bins where `p == 0` contribute nothing; `p > 0, q == 0` is smoothed with
+/// a small epsilon rather than returning ∞ (standard calibration practice).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let sp: f64 = p.iter().sum();
+    let sq: f64 = q.iter().sum();
+    if sp <= 0.0 || sq <= 0.0 {
+        return f64::INFINITY;
+    }
+    let eps = 1e-12;
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            let pn = pi / sp;
+            let qn = (qi / sq).max(eps);
+            d += pn * (pn / qn).ln();
+        }
+    }
+    d.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-normal data (sum of 8 xorshift uniforms).
+    fn normalish(n: usize, sigma: f32, seed: u64) -> Vec<f32> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| {
+                let u: f32 = (0..8).map(|_| next()).sum::<f32>() - 4.0;
+                u * sigma
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kl_divergence_basics() {
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        let q = [3.0, 2.0, 1.0];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&[0.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn gaussian_with_outliers_clips_below_max() {
+        let mut data = normalish(50_000, 1.0, 7);
+        data.extend_from_slice(&[25.0, -30.0, 28.0]); // rare outliers
+        let mut h = Histogram::new(2048);
+        h.record(&data);
+        let c = calibrate_kl(&h);
+        assert!(c.tau < 15.0, "tau={} should clip the outliers", c.tau);
+        assert!(c.tau > 1.0, "tau={} should cover the bulk", c.tau);
+    }
+
+    #[test]
+    fn uniform_data_keeps_nearly_full_range() {
+        let data: Vec<f32> = (0..100_000).map(|i| (i % 1000) as f32 / 1000.0).collect();
+        let mut h = Histogram::new(2048);
+        h.record(&data);
+        let c = calibrate_kl(&h);
+        assert!(
+            c.tau > 0.9 * h.max_abs(),
+            "tau={} max={}",
+            c.tau,
+            h.max_abs()
+        );
+    }
+
+    #[test]
+    fn degenerate_histograms_fall_back() {
+        let h = Histogram::new(2048);
+        let c = calibrate_kl(&h);
+        assert_eq!(c.tau, 1.0); // empty -> unit threshold
+
+        let mut h = Histogram::new(2048);
+        h.record(&[0.0; 100]);
+        assert_eq!(calibrate_kl(&h).tau, 1.0);
+
+        let mut h = Histogram::new(2048);
+        h.record(&[0.5]);
+        // Single value in the top bin: the search must keep (almost) the
+        // full range — clipping a point mass has infinite KL cost.
+        let tau = calibrate_kl(&h).tau;
+        assert!((0.499..=0.52).contains(&tau), "tau={tau}");
+    }
+
+    #[test]
+    fn tau_is_within_observed_range() {
+        let data = normalish(10_000, 3.0, 99);
+        let mut h = Histogram::new(2048);
+        h.record(&data);
+        let c = calibrate_kl(&h);
+        assert!(c.tau > 0.0 && c.tau <= h.range() * 1.001);
+        assert!(c.divergence.is_finite());
+    }
+}

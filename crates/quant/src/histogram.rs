@@ -1,0 +1,229 @@
+//! Magnitude histograms of activation distributions (the `P(X)` of Eq. 7).
+//!
+//! Calibration runs in two conceptual passes over the sample set: the first
+//! establishes `‖X‖∞`, the second fills fixed-width bins. [`Histogram`]
+//! supports single-pass usage too: it grows its range geometrically and
+//! re-bins, so streaming activation batches through it is exact enough for
+//! threshold search while touching each value once.
+
+/// A fixed-bin histogram of absolute values over `[0, range]`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    range: f32,
+    max_abs: f32,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` buckets (TensorRT-style calibration uses 2048).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins >= 2, "histogram needs at least 2 bins");
+        Self {
+            bins: vec![0; bins],
+            range: 0.0,
+            max_abs: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Bin contents.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn range(&self) -> f32 {
+        self.range
+    }
+
+    /// Largest |value| observed.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// Total recorded count (zeros included).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f32 {
+        self.range / self.bins.len() as f32
+    }
+
+    /// Record a batch of values (absolute magnitudes are histogrammed;
+    /// non-finite values are ignored).
+    pub fn record(&mut self, data: &[f32]) {
+        // Pass 1 over this batch: does the range need to grow?
+        let batch_max = data
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        if batch_max > self.range {
+            self.grow_to(batch_max);
+        }
+        if self.range == 0.0 {
+            // All data so far is exactly zero.
+            self.total += data.iter().filter(|v| v.is_finite()).count() as u64;
+            return;
+        }
+        let n = self.bins.len();
+        let inv_w = n as f32 / self.range;
+        for &v in data {
+            if !v.is_finite() {
+                continue;
+            }
+            let a = v.abs();
+            let idx = ((a * inv_w) as usize).min(n - 1);
+            self.bins[idx] += 1;
+            self.total += 1;
+        }
+        self.max_abs = self.max_abs.max(batch_max);
+    }
+
+    /// Grow the range to cover `new_max`, re-binning existing counts.
+    ///
+    /// The new range is the old range doubled until it covers `new_max`
+    /// (geometric growth bounds the number of re-bins to O(log range)).
+    fn grow_to(&mut self, new_max: f32) {
+        if self.range == 0.0 {
+            self.range = new_max;
+            return;
+        }
+        let mut new_range = self.range;
+        while new_range < new_max {
+            new_range *= 2.0;
+        }
+        let n = self.bins.len();
+        let mut new_bins = vec![0u64; n];
+        let scale = self.range / new_range; // old width / new width per index
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > 0 {
+                // Centre of old bin i mapped into the new binning.
+                let centre = (i as f32 + 0.5) * scale;
+                let idx = (centre as usize).min(n - 1);
+                new_bins[idx] += c;
+            }
+        }
+        self.bins = new_bins;
+        self.range = new_range;
+    }
+
+    /// Merge another histogram (e.g. per-thread partials) into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        if other.total == 0 {
+            return;
+        }
+        if other.range > self.range {
+            self.grow_to(other.range);
+        }
+        if self.range == 0.0 {
+            self.total += other.total;
+            return;
+        }
+        let n = self.bins.len();
+        let scale = other.range / self.range;
+        for (i, &c) in other.bins.iter().enumerate() {
+            if c > 0 {
+                let centre = (i as f32 + 0.5) * scale;
+                let idx = (centre as usize).min(n - 1);
+                self.bins[idx] += c;
+            }
+        }
+        self.total += other.total;
+        self.max_abs = self.max_abs.max(other.max_abs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(4);
+        h.record(&[0.1, 0.9, -0.6, 0.3, 1.0]);
+        // range = 1.0, widths 0.25: |0.1|->0, |0.9|->3, 0.6->2, 0.3->1, 1.0->3
+        assert_eq!(h.range(), 1.0);
+        assert_eq!(h.bins(), &[1, 1, 1, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max_abs(), 1.0);
+    }
+
+    #[test]
+    fn grows_geometrically_preserving_total() {
+        let mut h = Histogram::new(64);
+        h.record(&[0.5; 100]);
+        h.record(&[3.9; 50]); // forces growth 0.5 -> 4.0
+        assert_eq!(h.total(), 150);
+        assert!(h.range() >= 3.9);
+        assert_eq!(h.bins().iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn all_zero_data() {
+        let mut h = Histogram::new(16);
+        h.record(&[0.0; 10]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.max_abs(), 0.0);
+        assert_eq!(h.range(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut h = Histogram::new(16);
+        h.record(&[1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -1.0]);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.max_abs(), 1.0);
+    }
+
+    #[test]
+    fn merge_preserves_mass_and_max() {
+        let mut a = Histogram::new(128);
+        a.record(&[0.2, 0.4, 0.6]);
+        let mut b = Histogram::new(128);
+        b.record(&[5.0, 2.5]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.max_abs(), 5.0);
+        assert_eq!(a.bins().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut a = Histogram::new(8);
+        a.record(&[1.0]);
+        let b = Histogram::new(8);
+        a.merge(&b);
+        assert_eq!(a.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn too_few_bins_panics() {
+        let _ = Histogram::new(1);
+    }
+
+    #[test]
+    fn rebinning_keeps_distribution_shape() {
+        // Record uniform data, force a growth, check mass stays ~uniform
+        // over the occupied prefix.
+        let mut h = Histogram::new(256);
+        let data: Vec<f32> = (0..10_000).map(|i| i as f32 / 10_000.0).collect();
+        h.record(&data);
+        h.record(&[2.0]); // doubles the range
+        let occupied: u64 = h.bins()[..128].iter().sum();
+        assert!(occupied >= 9_990, "occupied={occupied}");
+    }
+}

@@ -1,0 +1,66 @@
+//! # lowino-quant
+//!
+//! Post-training quantization substrate (paper §3).
+//!
+//! LoWino quantizes **in the Winograd domain**: the linear quantization
+//! function with saturation (Eq. 4) is applied to the *transformed* inputs
+//! `Bᵀ d B` and filters `G g Gᵀ`, after the transforms have amplified the
+//! value range — which is what makes large-tile low-precision Winograd
+//! viable. This crate provides the scheme-agnostic machinery:
+//!
+//! * [`QParams`] — the symmetric linear quantizer `Q(x) = S_INT8(α·x)` with
+//!   `α = (2^{b−1}−1)/τ` (Eq. 4–5) and its inverse (Eq. 6);
+//! * [`Histogram`] — fixed-bin magnitude histograms of activation
+//!   distributions (the `P(X)` of Eq. 7);
+//! * [`calibrate`] — threshold selection: simple max-abs, and the
+//!   KL-divergence calibration of Eq. 7 (TensorRT-style \[29\]) run on a few
+//!   hundred unlabelled samples.
+
+pub mod calibrate;
+pub mod histogram;
+pub mod linear;
+
+pub use calibrate::{calibrate_kl, Calibration};
+pub use histogram::Histogram;
+pub use linear::QParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_calibrated_quantization() {
+        // Bell-shaped bulk plus rare large outliers: KL calibration clips
+        // the outliers, max-abs does not. (A *uniform* bulk would quantize
+        // losslessly at any range and KL would rightly keep the full range.)
+        let mut s = 0x5DEECE66Du64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f32 / (1u64 << 53) as f32
+        };
+        let mut data: Vec<f32> = (0..50_000)
+            .map(|_| (0..8).map(|_| next()).sum::<f32>() - 4.0)
+            .collect();
+        data.extend_from_slice(&[40.0, -38.0, 42.0]); // 3 outliers
+        let mut h = Histogram::new(2048);
+        h.record(&data);
+        let tau_kl = calibrate_kl(&h).tau;
+        let tau_max = h.max_abs();
+        assert!(tau_kl < 0.5 * tau_max, "tau_kl={tau_kl} tau_max={tau_max}");
+        // The calibrated quantizer must represent the *bulk* far better.
+        let q_kl = QParams::from_threshold(tau_kl);
+        let q_max = QParams::from_threshold(tau_max);
+        let bulk_mse = |q: QParams| -> f64 {
+            data.iter()
+                .filter(|x| x.abs() <= 1.0)
+                .map(|&x| {
+                    let e = f64::from(q.dequantize(q.quantize(x)) - x);
+                    e * e
+                })
+                .sum::<f64>()
+        };
+        assert!(bulk_mse(q_kl) < bulk_mse(q_max) / 4.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Runtime CPU-feature detection and tier selection.
+
+use std::sync::OnceLock;
+
+/// The instruction tier a kernel will execute on.
+///
+/// Ordered from most to least capable. [`SimdTier::detect`] picks the best
+/// tier the host supports; every tier computes bit-identical results (the
+/// AVX2 tier is an exact emulation, see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdTier {
+    /// Portable scalar reference model.
+    Scalar,
+    /// 256-bit exact emulation of the VNNI dataflow.
+    Avx2,
+    /// Native AVX-512 VNNI (`vpdpbusd` / `vpdpwssd`).
+    Avx512Vnni,
+}
+
+impl SimdTier {
+    /// Detect the best tier available on this CPU (cached after first call).
+    pub fn detect() -> Self {
+        static TIER: OnceLock<SimdTier> = OnceLock::new();
+        *TIER.get_or_init(Self::detect_uncached)
+    }
+
+    /// Detection without the cache — used by tests and the ablation bench.
+    pub fn detect_uncached() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512vnni")
+                && std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+            {
+                return SimdTier::Avx512Vnni;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+        }
+        SimdTier::Scalar
+    }
+
+    /// All tiers available on the current host, best first. Useful for
+    /// equivalence tests and the SIMD-tier ablation bench.
+    pub fn available() -> Vec<SimdTier> {
+        let best = Self::detect();
+        let mut v = Vec::with_capacity(3);
+        if best >= SimdTier::Avx512Vnni {
+            v.push(SimdTier::Avx512Vnni);
+        }
+        if best >= SimdTier::Avx2 {
+            v.push(SimdTier::Avx2);
+        }
+        v.push(SimdTier::Scalar);
+        v
+    }
+
+    /// Human-readable name used in bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Avx512Vnni => "avx512-vnni",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_stable() {
+        assert_eq!(SimdTier::detect(), SimdTier::detect());
+        assert_eq!(SimdTier::detect(), SimdTier::detect_uncached());
+    }
+
+    #[test]
+    fn available_always_contains_scalar_last() {
+        let tiers = SimdTier::available();
+        assert_eq!(*tiers.last().unwrap(), SimdTier::Scalar);
+        // Best-first ordering.
+        for w in tiers.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SimdTier::Scalar.name(), "scalar");
+        assert_eq!(SimdTier::Avx512Vnni.to_string(), "avx512-vnni");
+    }
+}

@@ -1,0 +1,137 @@
+//! The `vpdpwssd` primitive: i16 × i16 dot-product-accumulate.
+//!
+//! This is the multiply the *up-casting* approach (paper §2.3, ncnn-style)
+//! is forced to use after widening transformed operands to INT16: one
+//! 512-bit instruction covers only 32 multiplies instead of `vpdpbusd`'s 64,
+//! which is exactly the throughput loss the paper attributes to up-casting.
+
+use crate::dispatch::SimdTier;
+
+/// Scalar reference model of `vpdpwssd`.
+///
+/// `acc[i] += a[2i]·b[2i] + a[2i+1]·b[2i+1]` for `i = 0..16`.
+#[inline]
+pub fn dpwssd_scalar(acc: &mut [i32; 16], a: &[i16; 32], b: &[i16; 32]) {
+    for i in 0..16 {
+        acc[i] += i32::from(a[2 * i]) * i32::from(b[2 * i])
+            + i32::from(a[2 * i + 1]) * i32::from(b[2 * i + 1]);
+    }
+}
+
+/// Native AVX-512 VNNI implementation.
+///
+/// # Safety
+///
+/// Requires `avx512f`, `avx512bw`, `avx512vnni`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+pub unsafe fn dpwssd_avx512(acc: &mut [i32; 16], a: &[i16; 32], b: &[i16; 32]) {
+    use std::arch::x86_64::*;
+    let va = _mm512_loadu_si512(a.as_ptr() as *const _);
+    let vb = _mm512_loadu_si512(b.as_ptr() as *const _);
+    let vc = _mm512_loadu_si512(acc.as_ptr() as *const _);
+    let vd = _mm512_dpwssd_epi32(vc, va, vb);
+    _mm512_storeu_si512(acc.as_mut_ptr() as *mut _, vd);
+}
+
+/// AVX2 implementation — `vpmaddwd` natively computes the pair dot product.
+///
+/// `vpmaddwd` saturates only when both products are `i16::MIN·i16::MIN`
+/// (`(-32768)² + (-32768)²` overflows i32); LoWino's up-cast operands are
+/// bounded well below that (they come from i8 inputs), and the scalar model
+/// uses wrapping add in that single corner to match hardware.
+///
+/// # Safety
+///
+/// Requires `avx2`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn dpwssd_avx2(acc: &mut [i32; 16], a: &[i16; 32], b: &[i16; 32]) {
+    use std::arch::x86_64::*;
+    let a0 = _mm256_loadu_si256(a.as_ptr() as *const _);
+    let a1 = _mm256_loadu_si256(a.as_ptr().add(16) as *const _);
+    let b0 = _mm256_loadu_si256(b.as_ptr() as *const _);
+    let b1 = _mm256_loadu_si256(b.as_ptr().add(16) as *const _);
+    let m0 = _mm256_madd_epi16(a0, b0);
+    let m1 = _mm256_madd_epi16(a1, b1);
+    let acc0 = _mm256_loadu_si256(acc.as_ptr() as *const _);
+    let acc1 = _mm256_loadu_si256(acc.as_ptr().add(8) as *const _);
+    _mm256_storeu_si256(acc.as_mut_ptr() as *mut _, _mm256_add_epi32(acc0, m0));
+    _mm256_storeu_si256(
+        acc.as_mut_ptr().add(8) as *mut _,
+        _mm256_add_epi32(acc1, m1),
+    );
+}
+
+/// Tier-dispatched `vpdpwssd`.
+#[inline]
+pub fn dpwssd(tier: SimdTier, acc: &mut [i32; 16], a: &[i16; 32], b: &[i16; 32]) {
+    debug_assert!(tier <= SimdTier::detect(), "tier {tier} not supported");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier selection guarantees the features are present.
+        SimdTier::Avx512Vnni => unsafe { dpwssd_avx512(acc, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        SimdTier::Avx2 => unsafe { dpwssd_avx2(acc, a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdTier::Avx512Vnni | SimdTier::Avx2 => dpwssd_scalar(acc, a, b),
+        SimdTier::Scalar => dpwssd_scalar(acc, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_semantics() {
+        let mut a = [0i16; 32];
+        let mut b = [0i16; 32];
+        a[0] = 100;
+        a[1] = -200;
+        b[0] = 3;
+        b[1] = 4;
+        a[30] = 12700;
+        b[30] = 127;
+        let mut acc = [5i32; 16];
+        dpwssd_scalar(&mut acc, &a, &b);
+        assert_eq!(acc[0], 5 + 300 - 800);
+        assert_eq!(acc[15], 5 + 12700 * 127);
+        assert_eq!(acc[7], 5);
+    }
+
+    #[test]
+    fn tiers_match_scalar() {
+        let mut s = 0x12345u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for tier in SimdTier::available() {
+            for _ in 0..64 {
+                let mut a = [0i16; 32];
+                let mut b = [0i16; 32];
+                for i in 0..32 {
+                    // Bounded like LoWino's up-cast operands (from i8 data).
+                    a[i] = ((next() % 25401) as i32 - 12700) as i16;
+                    b[i] = ((next() % 255) as i32 - 127) as i16;
+                }
+                let mut want = [1i32; 16];
+                let mut got = [1i32; 16];
+                dpwssd_scalar(&mut want, &a, &b);
+                dpwssd(tier, &mut got, &a, &b);
+                assert_eq!(got, want, "tier={tier}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_throughput_vs_dpbusd() {
+        // Documentation-level check: one dpwssd covers 32 multiplies, one
+        // dpbusd covers 64 — the architectural cost ratio of up-casting.
+        assert_eq!(32 * 2, 64); // 2 ops worth of i16 = 1 op worth of i8
+    }
+}

@@ -1,0 +1,60 @@
+//! # lowino-simd
+//!
+//! The low-precision computation substrate of LoWino: a faithful
+//! implementation of the VNNI `vpdpbusd` semantics (paper Fig. 1) and its
+//! INT16 sibling `vpdpwssd`, together with the saturating conversions,
+//! streaming stores and prefetch hints the kernels rely on.
+//!
+//! ## Tiers
+//!
+//! Every operation is provided at three tiers, selected once at runtime
+//! ([`SimdTier::detect`]):
+//!
+//! 1. **Avx512Vnni** — the real instructions (`_mm512_dpbusd_epi32`, …),
+//!    exactly what the paper targets on Cascade Lake;
+//! 2. **Avx2** — an exact emulation using 256-bit widening multiplies
+//!    (`vpmovzxbw`/`vpmovsxbw` + `vpmaddwd` + horizontal pair adds). Unlike
+//!    the folklore `maddubs` emulation this tier is *bit-exact* with VNNI
+//!    (no intermediate INT16 saturation);
+//! 3. **Scalar** — a portable reference model; the other tiers are
+//!    property-tested against it.
+//!
+//! The core primitive operates on one 512-bit register worth of data:
+//! 64 unsigned bytes `a`, 64 signed bytes `b`, accumulating 16 `i32` lanes:
+//!
+//! ```text
+//! acc[i] += Σ_{j=0..3} a[4i+j] · b[4i+j]      (i = 0..15)
+//! ```
+//!
+//! which is precisely the `vpdpbusd` dataflow of paper Fig. 1.
+
+pub mod cast;
+pub mod dispatch;
+pub mod dpbusd;
+pub mod dpwssd;
+pub mod store;
+
+pub use cast::{dequantize_i32_lanes, quantize_f32_lanes_i8, saturate_i32_to_i8, saturate_to_i8};
+pub use dispatch::SimdTier;
+pub use dpbusd::{dpbusd, dpbusd_scalar};
+pub use dpwssd::{dpwssd, dpwssd_scalar};
+pub use store::{prefetch_read, stream_store_i32_16, stream_store_u8_64};
+
+/// Lanes of `i32` in a 512-bit register.
+pub const I32_LANES: usize = 16;
+/// Bytes in a 512-bit register.
+pub const BYTES: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_dpbusd_via_dispatch() {
+        let a = [2u8; 64];
+        let b = [3i8; 64];
+        let mut acc = [1i32; 16];
+        dpbusd(SimdTier::detect(), &mut acc, &a, &b);
+        assert_eq!(acc, [25i32; 16]); // 1 + 4·(2·3)
+    }
+}

@@ -1,0 +1,126 @@
+//! Non-temporal (streaming) stores and software prefetch.
+//!
+//! The input transform scatters each quantised tile row as one whole cache
+//! line with non-temporal stores (paper §4.2.1), and the GEMM scatters its
+//! register tile the same way (§4.3.2), "which write data in memory directly
+//! without fetching data to cache first". On non-AVX-512 tiers these degrade
+//! to ordinary stores — same semantics, no cache hint.
+
+use crate::dispatch::SimdTier;
+
+/// Store 64 bytes to `dst` with a non-temporal hint when available.
+///
+/// # Panics
+///
+/// Panics (debug) if `dst` is not 64-byte aligned — streaming stores require
+/// cache-line alignment, which `lowino_tensor::AlignedBuf` guarantees
+/// (docs reference; the buffer type lives in `lowino-tensor`).
+#[inline]
+pub fn stream_store_u8_64(tier: SimdTier, dst: &mut [u8], src: &[u8; 64]) {
+    debug_assert!(dst.len() >= 64);
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize) % 64 == 0 {
+        // SAFETY: avx512f implied by the tier; dst is valid for 64 bytes and
+        // 64-byte aligned (checked above).
+        unsafe {
+            use std::arch::x86_64::*;
+            let v = _mm512_loadu_si512(src.as_ptr() as *const _);
+            _mm512_stream_si512(dst.as_mut_ptr() as *mut _, v);
+        }
+        return;
+    }
+    let _ = tier;
+    dst[..64].copy_from_slice(src);
+}
+
+/// Store 16 `i32` lanes (one ZMM) with a non-temporal hint when available.
+#[inline]
+pub fn stream_store_i32_16(tier: SimdTier, dst: &mut [i32], src: &[i32; 16]) {
+    debug_assert!(dst.len() >= 16);
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize) % 64 == 0 {
+        // SAFETY: as in `stream_store_u8_64`.
+        unsafe {
+            use std::arch::x86_64::*;
+            let v = _mm512_loadu_si512(src.as_ptr() as *const _);
+            _mm512_stream_si512(dst.as_mut_ptr() as *mut _, v);
+        }
+        return;
+    }
+    let _ = tier;
+    dst[..16].copy_from_slice(src);
+}
+
+/// Issue a fence making prior streaming stores visible to subsequent loads.
+///
+/// Must be called once after a batch of streaming stores, before another
+/// thread (or stage) reads the data.
+#[inline]
+pub fn stream_fence() {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_sfence` has no preconditions.
+    unsafe {
+        std::arch::x86_64::_mm_sfence()
+    };
+}
+
+/// Software prefetch of the cache line containing `ptr` into L2 (the
+/// `prefetch(next_v)` of paper Fig. 7).
+#[inline]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it cannot fault even on invalid addresses.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(ptr as *const i8, std::arch::x86_64::_MM_HINT_T1)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_store_u8_round_trip_aligned() {
+        // 64-byte aligned destination via Vec with manual alignment search.
+        let mut backing = vec![0u8; 256];
+        let off = backing.as_ptr().align_offset(64);
+        let src: [u8; 64] = core::array::from_fn(|i| i as u8);
+        for tier in SimdTier::available() {
+            backing.fill(0);
+            stream_store_u8_64(tier, &mut backing[off..off + 64], &src);
+            stream_fence();
+            assert_eq!(&backing[off..off + 64], &src, "tier={tier}");
+        }
+    }
+
+    #[test]
+    fn stream_store_unaligned_falls_back() {
+        let mut backing = vec![0u8; 256];
+        let off = backing.as_ptr().align_offset(64) + 1; // deliberately unaligned
+        let src = [7u8; 64];
+        stream_store_u8_64(SimdTier::detect(), &mut backing[off..off + 64], &src);
+        assert_eq!(&backing[off..off + 64], &src);
+    }
+
+    #[test]
+    fn stream_store_i32_round_trip() {
+        let mut backing = vec![0i32; 64];
+        let off = (backing.as_ptr() as usize).wrapping_neg() % 64 / 4;
+        let src: [i32; 16] = core::array::from_fn(|i| i as i32 - 8);
+        for tier in SimdTier::available() {
+            backing.fill(0);
+            stream_store_i32_16(tier, &mut backing[off..off + 16], &src);
+            stream_fence();
+            assert_eq!(&backing[off..off + 16], &src, "tier={tier}");
+        }
+    }
+
+    #[test]
+    fn prefetch_never_faults() {
+        let v = [1u8; 8];
+        prefetch_read(v.as_ptr());
+        prefetch_read(core::ptr::null::<u8>()); // hint only, must not fault
+    }
+}

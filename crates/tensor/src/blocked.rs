@@ -1,0 +1,226 @@
+//! The customised blocked activation layout of paper Table 1.
+//!
+//! Activations are stored as `B × [C/φσ] × H × W × (φσ)` with the `φσ = 64`
+//! channel block innermost. Channels are padded up to a multiple of 64 with
+//! zeros. Consequences (paper §4.1):
+//!
+//! * every per-pixel channel group is 256 consecutive bytes of `f32`
+//!   (4 aligned 512-bit registers), enabling fully vectorised transforms that
+//!   operate lane-wise across 64 channels;
+//! * the Winograd input transform writes exactly one 64-byte cache line of
+//!   quantised `u8` per (tile-position, channel-block), matching the paper's
+//!   non-temporal cache-line stores;
+//! * adjacent computations touch a small contiguous region, reducing cache
+//!   and TLB misses.
+
+use crate::align::AlignedBuf;
+use crate::tensor4::Tensor4;
+use crate::{round_up, LANES};
+
+/// A batch of images in the blocked `B × [C/64] × H × W × 64` `f32` layout.
+#[derive(Clone, Debug)]
+pub struct BlockedImage {
+    buf: AlignedBuf<f32>,
+    batch: usize,
+    /// Logical (unpadded) channel count.
+    channels: usize,
+    /// Channel blocks: `ceil(channels / 64)`.
+    c_blocks: usize,
+    h: usize,
+    w: usize,
+}
+
+impl BlockedImage {
+    /// Allocate a zero-filled blocked image.
+    pub fn zeros(batch: usize, channels: usize, h: usize, w: usize) -> Self {
+        let c_blocks = round_up(channels, LANES) / LANES;
+        Self {
+            buf: AlignedBuf::zeroed(batch * c_blocks * h * w * LANES),
+            batch,
+            channels,
+            c_blocks,
+            h,
+            w,
+        }
+    }
+
+    /// Pack an NCHW tensor into the blocked layout (padding channels with 0).
+    pub fn from_nchw(t: &Tensor4) -> Self {
+        let (n, c, h, w) = t.dims();
+        let mut img = Self::zeros(n, c, h, w);
+        for b in 0..n {
+            for ch in 0..c {
+                let (cb, cl) = (ch / LANES, ch % LANES);
+                for y in 0..h {
+                    for x in 0..w {
+                        let off = img.offset(b, cb, y, x) + cl;
+                        img.buf.as_mut_slice()[off] = t.at(b, ch, y, x);
+                    }
+                }
+            }
+        }
+        img
+    }
+
+    /// Unpack back to an NCHW tensor (dropping channel padding).
+    pub fn to_nchw(&self) -> Tensor4 {
+        let mut t = Tensor4::zeros(self.batch, self.channels, self.h, self.w);
+        for b in 0..self.batch {
+            for ch in 0..self.channels {
+                let (cb, cl) = (ch / LANES, ch % LANES);
+                for y in 0..self.h {
+                    for x in 0..self.w {
+                        *t.at_mut(b, ch, y, x) = self.buf.as_slice()[self.offset(b, cb, y, x) + cl];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// (batch, logical channels, H, W).
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.batch, self.channels, self.h, self.w)
+    }
+
+    /// Number of 64-channel blocks (channels padded).
+    #[inline]
+    pub fn c_blocks(&self) -> usize {
+        self.c_blocks
+    }
+
+    /// Flat offset of the 64-lane group at `(b, c_block, y, x)`.
+    #[inline]
+    pub fn offset(&self, b: usize, c_block: usize, y: usize, x: usize) -> usize {
+        debug_assert!(b < self.batch && c_block < self.c_blocks && y < self.h && x < self.w);
+        (((b * self.c_blocks + c_block) * self.h + y) * self.w + x) * LANES
+    }
+
+    /// The 64 channel lanes at a pixel.
+    #[inline]
+    pub fn lanes(&self, b: usize, c_block: usize, y: usize, x: usize) -> &[f32] {
+        let off = self.offset(b, c_block, y, x);
+        &self.buf.as_slice()[off..off + LANES]
+    }
+
+    /// Mutable 64 channel lanes at a pixel.
+    #[inline]
+    pub fn lanes_mut(&mut self, b: usize, c_block: usize, y: usize, x: usize) -> &mut [f32] {
+        let off = self.offset(b, c_block, y, x);
+        &mut self.buf.as_mut_slice()[off..off + LANES]
+    }
+
+    /// Copy the 64 lanes at `(b, c_block, y, x)` into `dst`, reading zeros
+    /// when `(y, x)` falls outside the image (zero-padding halo).
+    #[inline]
+    pub fn read_lanes_padded(&self, b: usize, c_block: usize, y: isize, x: isize, dst: &mut [f32]) {
+        debug_assert_eq!(dst.len(), LANES);
+        if y < 0 || x < 0 || y as usize >= self.h || x as usize >= self.w {
+            dst.fill(0.0);
+        } else {
+            dst.copy_from_slice(self.lanes(b, c_block, y as usize, x as usize));
+        }
+    }
+
+    /// Whole buffer (blocked order).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        self.buf.as_slice()
+    }
+
+    /// Mutable whole buffer (blocked order).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        self.buf.as_mut_slice()
+    }
+
+    /// Largest absolute value over the logical (unpadded) channels.
+    pub fn max_abs(&self) -> f32 {
+        // Padding lanes are always zero, so scanning everything is fine.
+        self.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Raw mutable pointer to the 64-lane group at `(b, c_block, y, x)`
+    /// through a shared reference — used by parallel writers whose static
+    /// schedule guarantees disjoint pixel regions per thread.
+    ///
+    /// # Safety
+    ///
+    /// Callers must not create overlapping concurrent writes.
+    #[inline]
+    pub unsafe fn lanes_ptr_shared(&self, b: usize, c_block: usize, y: usize, x: usize) -> *mut f32 {
+        let off = self.offset(b, c_block, y, x);
+        self.buf.as_ptr().add(off) as *mut f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_fn(n, c, h, w, |b, ch, y, x| {
+            (b * 7919 + ch * 131 + y * 17 + x) as f32 * 0.25 - 3.0
+        })
+    }
+
+    #[test]
+    fn round_trip_exact_block() {
+        let t = sample(2, 64, 5, 6);
+        let img = BlockedImage::from_nchw(&t);
+        assert_eq!(img.c_blocks(), 1);
+        assert_eq!(img.to_nchw().max_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn round_trip_padded_channels() {
+        for c in [1, 3, 63, 65, 100, 130] {
+            let t = sample(1, c, 3, 4);
+            let img = BlockedImage::from_nchw(&t);
+            assert_eq!(img.c_blocks(), c.div_ceil(64), "c={c}");
+            assert_eq!(img.to_nchw().max_abs_diff(&t), 0.0, "c={c}");
+        }
+    }
+
+    #[test]
+    fn channel_padding_is_zero() {
+        let t = sample(1, 3, 2, 2);
+        let img = BlockedImage::from_nchw(&t);
+        let lanes = img.lanes(0, 0, 0, 0);
+        for l in 3..64 {
+            assert_eq!(lanes[l], 0.0);
+        }
+    }
+
+    #[test]
+    fn lanes_are_contiguous_per_pixel() {
+        let t = sample(1, 128, 2, 2);
+        let img = BlockedImage::from_nchw(&t);
+        // Channel 64..128 live in block 1.
+        let lanes = img.lanes(0, 1, 1, 1);
+        for l in 0..64 {
+            assert_eq!(lanes[l], t.at(0, 64 + l, 1, 1));
+        }
+    }
+
+    #[test]
+    fn padded_reads_return_zero_outside() {
+        let t = sample(1, 4, 2, 2);
+        let img = BlockedImage::from_nchw(&t);
+        let mut dst = [1.0f32; 64];
+        img.read_lanes_padded(0, 0, -1, 0, &mut dst);
+        assert!(dst.iter().all(|&v| v == 0.0));
+        img.read_lanes_padded(0, 0, 0, 2, &mut dst);
+        assert!(dst.iter().all(|&v| v == 0.0));
+        img.read_lanes_padded(0, 0, 1, 1, &mut dst);
+        assert_eq!(dst[0], t.at(0, 0, 1, 1));
+    }
+
+    #[test]
+    fn offsets_are_64_byte_like_strides() {
+        let img = BlockedImage::zeros(1, 64, 4, 4);
+        assert_eq!(img.offset(0, 0, 0, 1) - img.offset(0, 0, 0, 0), 64);
+        assert_eq!(img.offset(0, 0, 1, 0) - img.offset(0, 0, 0, 0), 4 * 64);
+    }
+}

@@ -1,0 +1,80 @@
+//! # lowino-tensor
+//!
+//! Tensor and data-layout substrate for the LoWino low-precision Winograd
+//! convolution library.
+//!
+//! This crate provides the building blocks that every other LoWino crate sits
+//! on top of:
+//!
+//! * [`AlignedBuf`] — 64-byte-aligned, heap-allocated buffers. All LoWino data
+//!   is 64-byte aligned so the kernels can use aligned 512-bit vector
+//!   loads/stores (paper §4.1: *"all data is 64-byte aligned and thus the
+//!   aligned vectorized load/store instruction can be used"*).
+//! * [`ConvShape`] — a validated description of a convolutional layer
+//!   (batch, channels, spatial dims, filter size, stride, padding) together
+//!   with the tile geometry of an `F(m×m, r×r)` Winograd algorithm.
+//! * [`Tensor4`] — a plain NCHW `f32` tensor used at API boundaries and by the
+//!   reference implementations.
+//! * [`BlockedImage`] — the customised activation layout of Table 1 in the
+//!   paper: `B × [C/φσ] × H × W × (φσ)` with `φσ = 64` channels innermost,
+//!   which makes every per-pixel channel group one cache line of `f32 × 16`
+//!   *per quarter* and lets the Winograd transforms operate on 64-wide lanes.
+//!
+//! The GEMM operand panels (`V`/`U`/`Z` of the paper's Figure 3) live in
+//! `lowino-gemm`; they build on [`AlignedBuf`].
+
+pub mod align;
+pub mod blocked;
+pub mod shape;
+pub mod tensor4;
+
+pub use align::AlignedBuf;
+pub use blocked::BlockedImage;
+pub use shape::{ConvShape, ShapeError, TileGeometry};
+pub use tensor4::Tensor4;
+
+/// Number of 8-bit elements in a 32-bit word (`φ` in the paper, §4.1).
+pub const PHI: usize = 4;
+
+/// Vector length in 32-bit lanes of a 512-bit register (`σ` in the paper).
+pub const SIGMA: usize = 16;
+
+/// The channel-block width used by every blocked layout: `φ·σ = 64`.
+pub const LANES: usize = PHI * SIGMA;
+
+/// Cache-line size (bytes) assumed throughout; all buffers are aligned to it.
+pub const CACHE_LINE: usize = 64;
+
+/// Round `x` up to the next multiple of `to` (`to > 0`).
+#[inline]
+pub const fn round_up(x: usize, to: usize) -> usize {
+    debug_assert!(to > 0);
+    x.div_ceil(to) * to
+}
+
+/// Integer ceiling division.
+#[inline]
+pub const fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_up_basics() {
+        assert_eq!(round_up(0, 4), 0);
+        assert_eq!(round_up(1, 4), 4);
+        assert_eq!(round_up(4, 4), 4);
+        assert_eq!(round_up(5, 4), 8);
+        assert_eq!(round_up(63, 64), 64);
+        assert_eq!(round_up(65, 64), 128);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(LANES, 64);
+        assert_eq!(PHI * SIGMA * core::mem::size_of::<i8>(), CACHE_LINE);
+    }
+}

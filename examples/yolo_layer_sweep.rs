@@ -1,0 +1,66 @@
+//! Object-detection workload: sweep the YOLOv3 backbone layers (paper
+//! Table 2, batch 1) over every algorithm and show where Winograd pays off
+//! and where direct convolution stays competitive — the §5.1 observation
+//! that "Winograd convolution not always outperforms direct convolution".
+//!
+//! ```text
+//! cargo run --release --example yolo_layer_sweep
+//! ```
+
+use lowino::prelude::*;
+
+fn main() {
+    // YOLOv3_a/b/c from paper Table 2 (batch 1).
+    let layers = [
+        ("YOLOv3_a", 64usize, 128usize, 64usize),
+        ("YOLOv3_b", 128, 256, 32),
+        ("YOLOv3_c", 256, 512, 16),
+    ];
+    let algos = [
+        Algorithm::DirectInt8,
+        Algorithm::LoWino { m: 2 },
+        Algorithm::LoWino { m: 4 },
+        Algorithm::LoWino { m: 6 },
+    ];
+
+    let mut engine = Engine::new(1);
+    println!("{:<10} {:<16} {:>12} {:>12} {:>12}", "layer", "algorithm", "input tf", "gemm", "total");
+    for (name, c, k, hw) in layers {
+        let spec = ConvShape::same(1, c, k, hw, 3);
+        let weights = Tensor4::from_fn(k, c, 3, 3, |kk, cc, y, x| {
+            ((kk * 13 + cc * 5 + y + x) as f32 * 0.57).sin() * 0.08
+        });
+        let input = Tensor4::from_fn(1, c, hw, hw, |_, cc, y, x| {
+            ((cc * 17 + y * 3 + x) as f32 * 0.23).cos()
+        });
+        let img = BlockedImage::from_nchw(&input);
+        let mut best: Option<(Algorithm, f64)> = None;
+        for algo in algos {
+            let mut layer = LayerBuilder::new(spec, &weights)
+                .algorithm(AlgoChoice::Fixed(algo))
+                .calibration_samples(vec![img.clone()])
+                .build(&engine)
+                .expect("plan");
+            let mut out = engine.alloc_output(&spec);
+            engine.execute(&mut layer, &img, &mut out); // warm-up
+            let t = engine.execute(&mut layer, &img, &mut out);
+            println!(
+                "{:<10} {:<16} {:>12.2?} {:>12.2?} {:>12.2?}",
+                name,
+                algo.to_string(),
+                t.input_transform,
+                t.gemm,
+                t.total()
+            );
+            let total = t.total().as_secs_f64();
+            if best.as_ref().is_none_or(|(_, b)| total < *b) {
+                best = Some((algo, total));
+            }
+        }
+        let (best_algo, _) = best.unwrap();
+        let predicted = lowino::select_algorithm(&spec);
+        println!(
+            "  -> measured best: {best_algo}; cost-model pick: {predicted}\n"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Integration: the accuracy *orderings* that constitute the paper's
+//! Table 3 / Fig. 9 claims, asserted at the layer level and end-to-end.
+
+use lowino::prelude::*;
+use lowino_conv::algo::direct_f32::reference_conv_nchw;
+use lowino_conv::calibrate::calibrate_winograd_domain_per_position;
+use lowino_nn::{
+    evaluate_top1, mini_vgg, train, Dataset, QuantizedModel, QuantizedSpec, SyntheticSpec,
+    TrainConfig,
+};
+
+fn layer_error(spec: ConvShape, algo: Algorithm, per_position: bool) -> f64 {
+    let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+        ((b * 53 + c * 17 + y * 7 + x * 3) as f32 * 0.23).sin() * 1.2
+    });
+    let weights = Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+        ((k * 11 + c * 5 + y * 2 + x) as f32 * 0.47).cos() * 0.2
+    });
+    let want = reference_conv_nchw(&spec, &input, &weights);
+    let img = BlockedImage::from_nchw(&input);
+    let engine = Engine::new(1);
+    let mut layer = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(algo))
+        .calibration_samples(vec![img.clone()])
+        .per_position_scales(per_position)
+        .build(&engine)
+        .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    let mut engine = engine;
+    let mut out = engine.alloc_output(&spec);
+    engine.execute(&mut layer, &img, &mut out);
+    out.to_nchw().rel_l2_error(&want)
+}
+
+/// The central Table 3 mechanism, at the layer level: down-scaling is fine
+/// at F(2,3), collapses at F(4,3); LoWino stays healthy at both.
+///
+/// Per-tensor F(4,3) quantization noise is data-dependent at toy channel
+/// counts, so the F(4,3) LoWino side is asserted with per-position scales
+/// (which track the paper's behaviour at C >= 128) and the per-tensor side
+/// is only required not to be *worse* than down-scaling.
+#[test]
+fn downscale_collapses_at_f4_lowino_does_not() {
+    let spec = ConvShape::same(1, 32, 32, 12, 3).validate().unwrap();
+    let ds2 = layer_error(spec, Algorithm::DownScale { m: 2 }, false);
+    let ds4 = layer_error(spec, Algorithm::DownScale { m: 4 }, false);
+    let lw2 = layer_error(spec, Algorithm::LoWino { m: 2 }, false);
+    let lw4 = layer_error(spec, Algorithm::LoWino { m: 4 }, false);
+    let lw4_pp = layer_error(spec, Algorithm::LoWino { m: 4 }, true);
+    // LoWino at least as good as down-scaling at each tile size.
+    assert!(lw2 <= ds2 * 1.2, "lw2={lw2} ds2={ds2}");
+    assert!(lw4 <= ds4 * 1.2, "lw4={lw4} ds4={ds4}");
+    assert!(lw4_pp < ds4 / 3.0, "lw4_pp={lw4_pp} ds4={ds4}");
+    // The collapse: down-scaling degrades sharply from m=2 to m=4; LoWino
+    // (per-position) stays flat.
+    assert!(ds4 > 4.0 * ds2, "ds2={ds2} ds4={ds4}");
+    assert!(lw4_pp < 4.0 * lw2.max(0.02), "lw2={lw2} lw4_pp={lw4_pp}");
+    assert!(lw4_pp < 0.12, "lw4_pp={lw4_pp}");
+}
+
+/// Scale-granularity ablation: per-position never much worse, and decisive
+/// for F(6,3).
+#[test]
+fn per_position_granularity_ordering() {
+    let spec = ConvShape::same(1, 16, 16, 12, 3).validate().unwrap();
+    let pt6 = layer_error(spec, Algorithm::LoWino { m: 6 }, false);
+    let pp6 = layer_error(spec, Algorithm::LoWino { m: 6 }, true);
+    assert!(pp6 < pt6 / 3.0, "pp6={pp6} pt6={pt6}");
+    assert!(pp6 < 0.2, "pp6={pp6}");
+
+    let pt4 = layer_error(spec, Algorithm::LoWino { m: 4 }, false);
+    let pp4 = layer_error(spec, Algorithm::LoWino { m: 4 }, true);
+    assert!(pp4 <= pt4 * 1.2, "pp4={pp4} pt4={pt4}");
+}
+
+/// Winograd-domain calibration is what saves LoWino: quantizing the
+/// transformed values with a *spatial-domain* threshold (what the naive
+/// combination would do) must be far worse.
+#[test]
+fn winograd_domain_calibration_matters() {
+    let spec = ConvShape::same(1, 16, 16, 10, 3).validate().unwrap();
+    let input = Tensor4::from_fn(1, 16, 10, 10, |_, c, y, x| {
+        ((c * 19 + y * 3 + x) as f32 * 0.31).sin()
+    });
+    let weights = Tensor4::from_fn(16, 16, 3, 3, |k, c, y, x| {
+        ((k * 3 + c * 7 + y + x) as f32 * 0.53).cos() * 0.25
+    });
+    let want = reference_conv_nchw(&spec, &input, &weights);
+    let img = BlockedImage::from_nchw(&input);
+    let mut engine = Engine::new(1);
+
+    let run_with_scale = |engine: &mut Engine, scale: QParams| -> f64 {
+        let mut layer = LayerBuilder::new(spec, &weights)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+            .input_scale(scale)
+            .build(engine)
+            .unwrap();
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        out.to_nchw().rel_l2_error(&want)
+    };
+
+    let wd = lowino::calibrate_winograd_domain(&spec, 2, &[img.clone()]).unwrap();
+    let spatial = lowino::calibrate_spatial(&[img.clone()]).unwrap();
+    let err_wd = run_with_scale(&mut engine, wd);
+    let err_spatial_scale = run_with_scale(&mut engine, spatial);
+    // The spatial threshold is ~4x too small for the F(2,3)-transformed
+    // values: everything saturates.
+    assert!(
+        err_spatial_scale > 3.0 * err_wd,
+        "wd={err_wd} spatial={err_spatial_scale}"
+    );
+    assert!(err_wd < 0.05, "wd={err_wd}");
+}
+
+/// Per-position calibration returns exactly T thresholds that differ
+/// across positions for m >= 4 (the disparity the granularity fixes).
+#[test]
+fn per_position_calibration_shape() {
+    let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+    let img = BlockedImage::from_nchw(&Tensor4::from_fn(1, 8, 10, 10, |_, c, y, x| {
+        ((c + y + x) as f32 * 0.7).sin()
+    }));
+    let scales = calibrate_winograd_domain_per_position(&spec, 4, &[img]).unwrap();
+    assert_eq!(scales.len(), 36);
+    let taus: Vec<f32> = scales.iter().map(|q| q.tau()).collect();
+    let max = taus.iter().cloned().fold(f32::MIN, f32::max);
+    let min = taus.iter().cloned().fold(f32::MAX, f32::min);
+    assert!(max / min > 2.0, "position disparity absent: {min}..{max}");
+}
+
+/// End-to-end mini-Table-3: a trained classifier keeps its accuracy under
+/// LoWino F(4,3) and loses it under down-scaling F(4,3).
+#[test]
+fn end_to_end_accuracy_collapse() {
+    let data = Dataset::generate(&SyntheticSpec {
+        classes: 4,
+        channels: 3,
+        size: 8,
+        train_per_class: 30,
+        test_per_class: 12,
+        noise: 0.1,
+        seed: 3,
+    });
+    let mut model = mini_vgg(3, 20, 4, 21);
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 14,
+            batch_size: 12,
+            lr: 0.03,
+            momentum: 0.9,
+            seed: 2,
+        },
+    );
+    let fp32 = evaluate_top1(&mut model, data.test_x(), data.test_y());
+    assert!(fp32 > 0.7, "FP32 failed to train: {fp32}");
+
+    let calib = data.gather_batch(&(0..24).collect::<Vec<_>>()).0;
+    let mut acc = |algo: Algorithm, per_position: bool| -> f64 {
+        QuantizedModel::from_model(
+            &mut model,
+            &calib,
+            &QuantizedSpec {
+                algorithm: algo,
+                per_position,
+                batch: 12,
+                threads: 1,
+            },
+        )
+        .unwrap()
+        .evaluate_top1(data.test_x(), data.test_y())
+    };
+    let lw2 = acc(Algorithm::LoWino { m: 2 }, false);
+    let lw4_pp = acc(Algorithm::LoWino { m: 4 }, true);
+    let ds4 = acc(Algorithm::DownScale { m: 4 }, false);
+    // F(2,3) LoWino preserves accuracy; down-scaling F(4,3) loses a large
+    // chunk of it (the collapse scales with depth — total on the paper's
+    // 13-conv VGG16, partial on this 4-conv toy). At these tiny channel
+    // counts the healthy F(4,3) LoWino needs per-position scales; the
+    // table3_accuracy harness reports both granularities at real widths.
+    assert!(lw2 >= fp32 - 0.1, "LoWino F2 {lw2} vs FP32 {fp32}");
+    assert!(ds4 <= fp32 - 0.2, "down-scaling F4 should collapse: {ds4} vs {fp32}");
+    assert!(lw4_pp >= fp32 - 0.2, "lw4_pp={lw4_pp} fp32={fp32}");
+    assert!(lw4_pp > ds4, "lw4_pp={lw4_pp} ds4={ds4}");
+}

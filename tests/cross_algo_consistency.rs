@@ -1,0 +1,173 @@
+//! Integration: executors are reusable workspaces — repeated execution,
+//! changing inputs, and mixed algorithm fleets must stay consistent.
+
+use lowino::prelude::*;
+
+fn weights(spec: &ConvShape, seed: usize) -> Tensor4 {
+    Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+        ((k * 29 + c * 11 + y * 3 + x + seed) as f32 * 0.41).sin() * 0.2
+    })
+}
+
+fn image(spec: &ConvShape, seed: usize) -> BlockedImage {
+    BlockedImage::from_nchw(&Tensor4::from_fn(
+        spec.batch,
+        spec.in_c,
+        spec.h,
+        spec.w,
+        |b, c, y, x| ((b * 7 + c * 3 + y * 13 + x * 5 + seed) as f32 * 0.19).cos(),
+    ))
+}
+
+#[test]
+fn layer_workspaces_are_reusable_across_inputs() {
+    // The planner allocates panels once; runs with different inputs must
+    // not leak state between executions.
+    let spec = ConvShape::same(1, 32, 32, 12, 3).validate().unwrap();
+    let w = weights(&spec, 0);
+    let cal = image(&spec, 0);
+    let mut engine = Engine::new(1);
+    let mut layer = LayerBuilder::new(spec, &w)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+        .calibration_samples(vec![cal.clone()])
+        .build(&engine)
+        .unwrap();
+
+    // Fresh layer per input as the no-reuse baseline.
+    let mut fresh = |img: &BlockedImage| -> Tensor4 {
+        let mut engine2 = Engine::new(1);
+        let mut l = LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+            .calibration_samples(vec![cal.clone()])
+            .build(&engine2)
+            .unwrap();
+        let mut out = engine2.alloc_output(&spec);
+        engine2.execute(&mut l, img, &mut out);
+        out.to_nchw()
+    };
+
+    for seed in [1usize, 2, 3, 1] {
+        let img = image(&spec, seed);
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        assert_eq!(
+            out.to_nchw().max_abs_diff(&fresh(&img)),
+            0.0,
+            "reused workspace diverged on input {seed}"
+        );
+    }
+}
+
+#[test]
+fn repeated_execution_is_bit_stable() {
+    let spec = ConvShape::same(1, 16, 64, 10, 3).validate().unwrap();
+    let w = weights(&spec, 5);
+    let img = image(&spec, 5);
+    for algo in [
+        Algorithm::DirectInt8,
+        Algorithm::LoWino { m: 2 },
+        Algorithm::DownScale { m: 2 },
+        Algorithm::UpCast { m: 2 },
+        Algorithm::WinogradF32 { m: 4 },
+    ] {
+        let mut engine = Engine::new(3);
+        let mut layer = LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(algo))
+            .calibration_samples(vec![img.clone()])
+            .build(&engine)
+            .unwrap();
+        let mut prev: Option<Tensor4> = None;
+        for _ in 0..3 {
+            let mut out = engine.alloc_output(&spec);
+            engine.execute(&mut layer, &img, &mut out);
+            let now = out.to_nchw();
+            if let Some(p) = &prev {
+                assert_eq!(p.max_abs_diff(&now), 0.0, "{algo} not deterministic");
+            }
+            prev = Some(now);
+        }
+    }
+}
+
+#[test]
+fn quantized_algorithms_agree_with_each_other() {
+    // All healthy INT8/INT16 schemes approximate the same convolution; they
+    // must agree with each other to within the sum of their budgets.
+    let spec = ConvShape::same(1, 32, 32, 12, 3).validate().unwrap();
+    let w = weights(&spec, 9);
+    let img = image(&spec, 9);
+    let mut engine = Engine::new(1);
+    let mut outputs = Vec::new();
+    for algo in [
+        Algorithm::DirectInt8,
+        Algorithm::LoWino { m: 2 },
+        Algorithm::UpCast { m: 2 },
+        Algorithm::DownScale { m: 2 },
+    ] {
+        let mut layer = LayerBuilder::new(spec, &w)
+            .algorithm(AlgoChoice::Fixed(algo))
+            .calibration_samples(vec![img.clone()])
+            .build(&engine)
+            .unwrap();
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        outputs.push((algo, out.to_nchw()));
+    }
+    for i in 0..outputs.len() {
+        for j in i + 1..outputs.len() {
+            let err = outputs[i].1.rel_l2_error(&outputs[j].1);
+            assert!(
+                err < 0.35,
+                "{} vs {}: {err}",
+                outputs[i].0,
+                outputs[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn large_batch_matches_per_image_execution() {
+    // Running a batch at once equals running each image separately.
+    let spec_batch = ConvShape::same(3, 16, 16, 8, 3).validate().unwrap();
+    let spec_one = ConvShape::same(1, 16, 16, 8, 3).validate().unwrap();
+    let w = weights(&spec_batch, 4);
+    let full = Tensor4::from_fn(3, 16, 8, 8, |b, c, y, x| {
+        ((b * 31 + c * 7 + y * 3 + x) as f32 * 0.37).sin()
+    });
+    let img_full = BlockedImage::from_nchw(&full);
+
+    let mut engine = Engine::new(2);
+    let mut layer = LayerBuilder::new(spec_batch, &w)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+        .input_scale(QParams::from_threshold(8.0))
+        .build(&engine)
+        .unwrap();
+    let mut out = engine.alloc_output(&spec_batch);
+    engine.execute(&mut layer, &img_full, &mut out);
+    let batched = out.to_nchw();
+
+    let mut single_layer = LayerBuilder::new(spec_one, &w)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+        .input_scale(QParams::from_threshold(8.0))
+        .build(&engine)
+        .unwrap();
+    for b in 0..3 {
+        let one = Tensor4::from_fn(1, 16, 8, 8, |_, c, y, x| full.at(b, c, y, x));
+        let img = BlockedImage::from_nchw(&one);
+        let mut out1 = engine.alloc_output(&spec_one);
+        engine.execute(&mut single_layer, &img, &mut out1);
+        let got = out1.to_nchw();
+        for k in 0..16 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    assert_eq!(
+                        got.at(0, k, y, x),
+                        batched.at(b, k, y, x),
+                        "b={b} k={k} ({y},{x})"
+                    );
+                }
+            }
+        }
+    }
+}

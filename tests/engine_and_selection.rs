@@ -1,0 +1,193 @@
+//! Integration: engine/builder workflows, the §7 auto-selector, wisdom
+//! integration, SIMD-tier pinning, and static-scheduling determinism.
+
+use lowino::prelude::*;
+use lowino::{estimate_cost, Blocking, GemmShape, SimdTier};
+
+fn setup(spec: &ConvShape) -> (Tensor4, Tensor4, BlockedImage) {
+    // Post-ReLU-like (non-negative) activations: zero-mean oscillations
+    // against near-orthogonal weights would cancel to a near-zero output
+    // and make *relative* error metrics meaningless.
+    let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+        (((b * 41 + c * 13 + y * 5 + x) as f32 * 0.27).sin() * 0.8 + 0.6).max(0.0)
+    });
+    // Weights with a non-zero channel-mean so the layer output doesn't
+    // cancel to ~0 (same rationale as the input offset above).
+    let weights = Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+        ((k * 7 + c * 3 + y + x) as f32 * 0.61).cos() * 0.1 + 0.04
+    });
+    let img = BlockedImage::from_nchw(&input);
+    (input, weights, img)
+}
+
+#[test]
+fn auto_selection_picks_winograd_for_compute_heavy() {
+    // A VGG-ish compute-heavy layer: the selector should pick a Winograd
+    // algorithm (both the model and the paper agree direct loses here).
+    let spec = ConvShape::same(2, 256, 256, 24, 3).validate().unwrap();
+    let algo = select_algorithm(&spec);
+    assert!(matches!(algo, Algorithm::LoWino { .. }), "{algo}");
+    // And the cost model ranks it strictly better than direct.
+    let direct = estimate_cost(&spec, Algorithm::DirectInt8).unwrap();
+    let chosen = estimate_cost(&spec, algo).unwrap();
+    assert!(chosen < direct);
+}
+
+#[test]
+fn auto_built_layer_runs_correctly() {
+    let spec = ConvShape::same(1, 64, 64, 12, 3).validate().unwrap();
+    let (_, weights, img) = setup(&spec);
+    let mut engine = Engine::new(2);
+    let mut auto_layer = LayerBuilder::new(spec, &weights)
+        .calibration_samples(vec![img.clone()])
+        .build(&engine)
+        .unwrap();
+    let mut ref_layer = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::DirectF32))
+        .build(&engine)
+        .unwrap();
+    let mut out = engine.alloc_output(&spec);
+    let mut out_ref = engine.alloc_output(&spec);
+    engine.execute(&mut auto_layer, &img, &mut out);
+    engine.execute(&mut ref_layer, &img, &mut out_ref);
+    let err = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
+    assert!(err < 0.1, "auto-selected {} err {err}", auto_layer.algorithm());
+}
+
+#[test]
+fn wisdom_blocking_is_consumed_by_the_engine() {
+    let spec = ConvShape::same(1, 64, 64, 8, 3).validate().unwrap();
+    let (_, weights, img) = setup(&spec);
+    let mut engine = Engine::new(1);
+
+    // Plant a deliberately tiny-but-valid blocking in the wisdom for this
+    // layer's GEMM shape; execution must still be exact.
+    let geom = spec.tiles(2).unwrap();
+    let gemm_shape = GemmShape {
+        t: geom.t(),
+        n: geom.total,
+        c: spec.in_c,
+        k: spec.out_c,
+    };
+    engine.context_mut().wisdom.insert(
+        &gemm_shape,
+        Blocking {
+            n_blk: 3,
+            c_blk: 8,
+            k_blk: 64,
+            row_blk: 1,
+            col_blk: 1,
+        },
+    );
+
+    let mut layer = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+        .calibration_samples(vec![img.clone()])
+        .build(&engine)
+        .unwrap();
+    let mut out_wisdom = engine.alloc_output(&spec);
+    engine.execute(&mut layer, &img, &mut out_wisdom);
+
+    let mut engine2 = Engine::new(1);
+    let mut layer2 = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+        .calibration_samples(vec![img.clone()])
+        .build(&engine2)
+        .unwrap();
+    let mut out_default = engine2.alloc_output(&spec);
+    engine2.execute(&mut layer2, &img, &mut out_default);
+
+    // Blocking changes scheduling, never results.
+    assert_eq!(
+        out_wisdom.to_nchw().max_abs_diff(&out_default.to_nchw()),
+        0.0
+    );
+}
+
+#[test]
+fn all_simd_tiers_produce_identical_quantized_results() {
+    let spec = ConvShape::same(1, 16, 16, 8, 3).validate().unwrap();
+    let (_, weights, img) = setup(&spec);
+    let mut outputs = Vec::new();
+    for tier in SimdTier::available() {
+        let mut engine = Engine::with_tier(1, tier);
+        let mut layer = LayerBuilder::new(spec, &weights)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+            .calibration_samples(vec![img.clone()])
+            .build(&engine)
+            .unwrap();
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        outputs.push(out.to_nchw());
+    }
+    for pair in outputs.windows(2) {
+        // The INT8 pipeline is bit-deterministic across tiers (the GEMM is
+        // exact integer; transforms and dequant run identical f32 code).
+        assert_eq!(pair[0].max_abs_diff(&pair[1]), 0.0);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let spec = ConvShape::same(2, 32, 32, 10, 3).validate().unwrap();
+    let (_, weights, img) = setup(&spec);
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 5] {
+        let mut engine = Engine::new(threads);
+        let mut layer = LayerBuilder::new(spec, &weights)
+            .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+            .calibration_samples(vec![img.clone()])
+            .build(&engine)
+            .unwrap();
+        let mut out = engine.alloc_output(&spec);
+        engine.execute(&mut layer, &img, &mut out);
+        outputs.push(out.to_nchw());
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(pair[0].max_abs_diff(&pair[1]), 0.0);
+    }
+}
+
+#[test]
+fn stage_timings_are_reported_per_stage() {
+    let spec = ConvShape::same(1, 64, 64, 16, 3).validate().unwrap();
+    let (_, weights, img) = setup(&spec);
+    let mut engine = Engine::new(1);
+    let mut layer = LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 2 }))
+        .calibration_samples(vec![img.clone()])
+        .build(&engine)
+        .unwrap();
+    let mut out = engine.alloc_output(&spec);
+    let t = engine.execute(&mut layer, &img, &mut out);
+    assert!(t.input_transform > std::time::Duration::ZERO);
+    assert!(t.gemm > std::time::Duration::ZERO);
+    assert!(t.output_transform > std::time::Duration::ZERO);
+    assert_eq!(
+        t.total(),
+        t.input_transform + t.gemm + t.output_transform
+    );
+}
+
+#[test]
+fn builder_error_paths() {
+    let spec = ConvShape::same(1, 8, 8, 8, 3);
+    let weights = Tensor4::zeros(8, 8, 3, 3);
+    let engine = Engine::new(1);
+    // Quantized algorithm without calibration.
+    assert!(LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::DirectInt8))
+        .build(&engine)
+        .is_err());
+    // Wrong weight shape.
+    assert!(LayerBuilder::new(spec, &Tensor4::zeros(8, 4, 3, 3))
+        .algorithm(AlgoChoice::Fixed(Algorithm::DirectF32))
+        .build(&engine)
+        .is_err());
+    // Up-casting F(6,3) impossible.
+    assert!(LayerBuilder::new(spec, &weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::UpCast { m: 6 }))
+        .input_scale(QParams::UNIT)
+        .build(&engine)
+        .is_err());
+}
