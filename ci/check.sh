@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# The whole workspace is hermetic: every dependency is an in-tree path
+# crate, so each step runs with --offline against an empty registry. Run
+# from anywhere; the script cds to the repo root.
+#
+#   ci/check.sh            # build + test + clippy
+#   ci/check.sh --no-lint  # skip the clippy step
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_lint=1
+if [[ "${1:-}" == "--no-lint" ]]; then
+    run_lint=0
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline"
+cargo test -q --offline --workspace
+
+if [[ "$run_lint" == 1 ]]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy (-D warnings)"
+        cargo clippy --offline --workspace --all-targets -- -D warnings
+    else
+        echo "==> clippy not installed; skipping lint step"
+    fi
+fi
+
+echo "==> tier-1 gate passed"

@@ -4,44 +4,44 @@
 //! * **blocking** — tuned-ish default vs deliberately poor GEMM blocking;
 //! * **SIMD tier** — the same LoWino layer on every available tier;
 //! * **scheduling** — thread scaling of the static fork-join schedule.
+//!
+//! Run with `cargo bench --bench ablations`; set
+//! `LOWINO_BENCH_JSON=BENCH_ablations.json` to accumulate a JSON-line log.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowino::prelude::*;
 use lowino::{Blocking, SimdTier};
 use lowino_bench::layers::layer_by_name;
 use lowino_bench::{build_executor, synth_input, synth_weights, BenchAlgo};
+use lowino_testkit::{black_box, BenchGroup};
 use std::time::Duration;
 
-fn common<'a>(c: &'a mut Criterion, group_name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(group_name);
+fn common(group_name: &str) -> BenchGroup {
+    let mut g = BenchGroup::new(group_name);
     g.sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     g
 }
 
-fn ablation_tile_size(c: &mut Criterion) {
+fn ablation_tile_size() {
     let layer = layer_by_name("VGG16_c").unwrap();
     let spec = layer.shape(32, 1);
     let weights = synth_weights(&spec, 42);
     let input = BlockedImage::from_nchw(&synth_input(&spec, 7));
     let mut engine = Engine::new(1);
     let mut out = engine.alloc_output(&spec);
-    let mut group = common(c, "ablation/tile_size");
+    let mut group = common("ablation/tile_size");
     for m in [2usize, 4, 6] {
-        let mut l = build_executor(BenchAlgo::LoWino(m), &spec, &weights, &input, &engine)
-            .expect("plan");
-        group.bench_with_input(BenchmarkId::new("lowino_m", m), &m, |bench, _| {
-            bench.iter(|| {
-                let t = engine.execute(&mut l, &input, &mut out);
-                std::hint::black_box(t.total())
-            });
+        let mut l =
+            build_executor(BenchAlgo::LoWino(m), &spec, &weights, &input, &engine).expect("plan");
+        group.bench_function(format!("lowino_m/{m}"), || {
+            let t = engine.execute(&mut l, &input, &mut out);
+            black_box(t.total());
         });
     }
-    group.finish();
 }
 
-fn ablation_blocking(c: &mut Criterion) {
+fn ablation_blocking() {
     let layer = layer_by_name("ResNet-50_c").unwrap();
     let spec = layer.shape(16, 1);
     let weights = synth_weights(&spec, 42);
@@ -74,85 +74,68 @@ fn ablation_blocking(c: &mut Criterion) {
             }),
         ),
     ];
-    let mut group = common(c, "ablation/blocking");
+    let mut group = common("ablation/blocking");
     for (name, blocking) in blockings {
-        let mut l = build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine)
-            .expect("plan");
-        // Reach into the executor to override the blocking.
         if let Some(b) = blocking {
-            use lowino::LoWinoConv;
-            let any = l.executor_mut();
-            // Rebuild instead of downcasting: plan a dedicated executor.
-            let _ = any;
-            let cal = lowino::calibrate_winograd_domain(&spec, 4, &[input.clone()]).unwrap();
+            // Plan a dedicated executor so the blocking can be overridden.
+            use lowino::{ConvExecutor, LoWinoConv};
+            let cal = lowino::calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&input)).unwrap();
             let mut conv = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
             conv.set_blocking(b);
-            group.bench_function(BenchmarkId::new("blocking", name), |bench| {
-                use lowino::ConvExecutor;
-                bench.iter(|| {
-                    let t = conv.execute(&input, &mut out, engine.context_mut());
-                    std::hint::black_box(t.total())
-                });
+            group.bench_function(format!("blocking/{name}"), || {
+                let t = conv.execute(&input, &mut out, engine.context_mut());
+                black_box(t.total());
             });
         } else {
-            group.bench_function(BenchmarkId::new("blocking", name), |bench| {
-                bench.iter(|| {
-                    let t = engine.execute(&mut l, &input, &mut out);
-                    std::hint::black_box(t.total())
-                });
+            let mut l = build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine)
+                .expect("plan");
+            group.bench_function(format!("blocking/{name}"), || {
+                let t = engine.execute(&mut l, &input, &mut out);
+                black_box(t.total());
             });
         }
     }
-    group.finish();
 }
 
-fn ablation_simd_tier(c: &mut Criterion) {
+fn ablation_simd_tier() {
     let layer = layer_by_name("GoogLeNet_b").unwrap();
     let spec = layer.shape(32, 1);
     let weights = synth_weights(&spec, 42);
     let input = BlockedImage::from_nchw(&synth_input(&spec, 7));
-    let mut group = common(c, "ablation/simd_tier");
+    let mut group = common("ablation/simd_tier");
     for tier in SimdTier::available() {
         let mut engine = Engine::with_tier(1, tier);
         let mut out = engine.alloc_output(&spec);
-        let mut l = build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine)
-            .expect("plan");
-        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |bench, _| {
-            bench.iter(|| {
-                let t = engine.execute(&mut l, &input, &mut out);
-                std::hint::black_box(t.total())
-            });
+        let mut l =
+            build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine).expect("plan");
+        group.bench_function(tier, || {
+            let t = engine.execute(&mut l, &input, &mut out);
+            black_box(t.total());
         });
     }
-    group.finish();
 }
 
-fn ablation_scheduling(c: &mut Criterion) {
+fn ablation_scheduling() {
     let layer = layer_by_name("ResNet-50_b").unwrap();
     let spec = layer.shape(32, 1);
     let weights = synth_weights(&spec, 42);
     let input = BlockedImage::from_nchw(&synth_input(&spec, 7));
-    let mut group = common(c, "ablation/threads");
+    let mut group = common("ablation/threads");
     for threads in [1usize, 2, 4] {
         let mut engine = Engine::new(threads);
         let mut out = engine.alloc_output(&spec);
-        let mut l = build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine)
-            .expect("plan");
-        group.bench_with_input(BenchmarkId::new("static", threads), &threads, |bench, _| {
-            bench.iter(|| {
-                let t = engine.execute(&mut l, &input, &mut out);
-                std::hint::black_box(t.total())
-            });
+        let mut l =
+            build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine).expect("plan");
+        group.bench_function(format!("static/{threads}"), || {
+            let t = engine.execute(&mut l, &input, &mut out);
+            black_box(t.total());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablation_tile_size,
-    ablation_blocking,
-    ablation_simd_tier,
-    ablation_scheduling
-);
-criterion_main!(ablations);
+fn main() {
+    ablation_tile_size();
+    ablation_blocking();
+    ablation_simd_tier();
+    ablation_scheduling();
+}

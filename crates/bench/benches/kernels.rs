@@ -1,52 +1,55 @@
 //! Micro-benchmarks of the computational primitives: the `vpdpbusd` tiers
 //! (the SIMD-tier ablation at instruction level), the INT16 sibling, the
 //! Winograd transform codelets and the quantization kernels.
+//!
+//! Run with `cargo bench --bench kernels`; set
+//! `LOWINO_BENCH_JSON=BENCH_kernels.json` to accumulate a JSON-line log.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lowino_simd::{dpbusd, dpwssd, quantize_f32_lanes_i8, SimdTier};
+use lowino_testkit::{black_box, BenchGroup};
 use lowino_winograd::TileTransformer;
+use std::time::Duration;
 
-fn bench_dpbusd_tiers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dpbusd");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(1));
+fn group(name: &str) -> BenchGroup {
+    let mut g = BenchGroup::new(name);
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    g
+}
+
+fn bench_dpbusd_tiers() {
+    let mut group = group("dpbusd");
     let a = [77u8; 64];
     let b = [-13i8; 64];
     // 64 MACs per call.
-    group.throughput(Throughput::Elements(64));
+    group.throughput_elements(64);
     for tier in SimdTier::available() {
-        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |bench, &tier| {
-            let mut acc = [0i32; 16];
-            bench.iter(|| {
-                dpbusd(tier, &mut acc, &a, &b);
-                std::hint::black_box(acc[0])
-            });
+        let mut acc = [0i32; 16];
+        group.bench_function(tier, || {
+            dpbusd(tier, &mut acc, &a, &b);
+            black_box(acc[0]);
         });
     }
-    group.finish();
 }
 
-fn bench_dpwssd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dpwssd");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(1));
+fn bench_dpwssd() {
+    let mut group = group("dpwssd");
     let a = [1234i16; 32];
     let b = [-567i16; 32];
     // 32 MACs per call — half of dpbusd: the up-casting penalty.
-    group.throughput(Throughput::Elements(32));
+    group.throughput_elements(32);
     for tier in SimdTier::available() {
-        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |bench, &tier| {
-            let mut acc = [0i32; 16];
-            bench.iter(|| {
-                dpwssd(tier, &mut acc, &a, &b);
-                std::hint::black_box(acc[0])
-            });
+        let mut acc = [0i32; 16];
+        group.bench_function(tier, || {
+            dpwssd(tier, &mut acc, &a, &b);
+            black_box(acc[0]);
         });
     }
-    group.finish();
 }
 
-fn bench_transform_codelets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("input_transform_64lanes");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(1));
+fn bench_transform_codelets() {
+    let mut group = group("input_transform_64lanes");
     for m in [2usize, 4, 6] {
         let tt = TileTransformer::new(m, 3).unwrap();
         let n = tt.n();
@@ -54,37 +57,28 @@ fn bench_transform_codelets(c: &mut Criterion) {
         let d = vec![0.5f32; n * n * lanes];
         let mut v = vec![0f32; n * n * lanes];
         let mut scratch = tt.make_scratch(lanes);
-        group.throughput(Throughput::Elements((n * n * lanes) as u64));
-        group.bench_with_input(BenchmarkId::new("F(m,3)", m), &m, |bench, _| {
-            bench.iter(|| {
-                tt.input_tile_f32(&d, &mut v, &mut scratch);
-                std::hint::black_box(v[0])
-            });
+        group.throughput_elements((n * n * lanes) as u64);
+        group.bench_function(format!("F({m},3)"), || {
+            tt.input_tile_f32(&d, &mut v, &mut scratch);
+            black_box(v[0]);
         });
     }
-    group.finish();
 }
 
-fn bench_quantize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantize_64lanes");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(1));
+fn bench_quantize() {
+    let mut group = group("quantize_64lanes");
     let src = vec![0.37f32; 64];
     let mut dst = vec![0u8; 64];
-    group.throughput(Throughput::Elements(64));
-    group.bench_function("f32_to_u8_compensated", |bench| {
-        bench.iter(|| {
-            quantize_f32_lanes_i8(&src, 42.3, true, &mut dst);
-            std::hint::black_box(dst[0])
-        });
+    group.throughput_elements(64);
+    group.bench_function("f32_to_u8_compensated", || {
+        quantize_f32_lanes_i8(&src, 42.3, true, &mut dst);
+        black_box(dst[0]);
     });
-    group.finish();
 }
 
-criterion_group!(
-    kernels,
-    bench_dpbusd_tiers,
-    bench_dpwssd,
-    bench_transform_codelets,
-    bench_quantize
-);
-criterion_main!(kernels);
+fn main() {
+    bench_dpbusd_tiers();
+    bench_dpwssd();
+    bench_transform_codelets();
+    bench_quantize();
+}

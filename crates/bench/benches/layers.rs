@@ -2,13 +2,17 @@
 //! time of the compared implementations on representative Table 2 layers
 //! (scaled for CI-sized machines; the `fig8_layers`/`fig10_breakdown`
 //! binaries run the full sweep and print the paper-style tables).
+//!
+//! Run with `cargo bench --bench layers`; set
+//! `LOWINO_BENCH_JSON=BENCH_layers.json` to accumulate a JSON-line log.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lowino::prelude::*;
 use lowino_bench::layers::layer_by_name;
 use lowino_bench::{build_executor, synth_input, synth_weights, BenchAlgo};
+use lowino_testkit::{black_box, BenchGroup};
+use std::time::Duration;
 
-fn bench_layer(c: &mut Criterion, name: &str, batch_div: usize, hw_div: usize) {
+fn bench_layer(name: &str, batch_div: usize, hw_div: usize) {
     let layer = layer_by_name(name).expect("Table 2 layer");
     let spec = layer.shape(batch_div, hw_div);
     let weights = synth_weights(&spec, 42);
@@ -16,12 +20,12 @@ fn bench_layer(c: &mut Criterion, name: &str, batch_div: usize, hw_div: usize) {
     let mut engine = Engine::new(1);
     let mut out = engine.alloc_output(&spec);
 
-    let mut group = c.benchmark_group(format!("fig8/{name}"));
+    let mut group = BenchGroup::new(format!("fig8/{name}"));
     group
         .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300));
-    group.throughput(Throughput::Elements(spec.direct_macs()));
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput_elements(spec.direct_macs());
     for algo in [
         BenchAlgo::DirectInt8,
         BenchAlgo::DownScale(2),
@@ -29,28 +33,18 @@ fn bench_layer(c: &mut Criterion, name: &str, batch_div: usize, hw_div: usize) {
         BenchAlgo::LoWino(4),
     ] {
         let mut l = build_executor(algo, &spec, &weights, &input, &engine).expect("plan");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algo.label()),
-            &algo,
-            |bench, _| {
-                bench.iter(|| {
-                    let t = engine.execute(&mut l, &input, &mut out);
-                    std::hint::black_box(t.total())
-                });
-            },
-        );
+        group.bench_function(algo.label(), || {
+            let t = engine.execute(&mut l, &input, &mut out);
+            black_box(t.total());
+        });
     }
-    group.finish();
 }
 
-fn fig8_representatives(c: &mut Criterion) {
+fn main() {
     // One compute-heavy classification layer, one small-spatial, one
     // batch-1 detection layer, one batch-1 segmentation layer.
-    bench_layer(c, "VGG16_c", 32, 1);
-    bench_layer(c, "ResNet-50_c", 32, 1);
-    bench_layer(c, "YOLOv3_c", 1, 1);
-    bench_layer(c, "U-Net_c", 1, 2);
+    bench_layer("VGG16_c", 32, 1);
+    bench_layer("ResNet-50_c", 32, 1);
+    bench_layer("YOLOv3_c", 1, 1);
+    bench_layer("U-Net_c", 1, 2);
 }
-
-criterion_group!(layers, fig8_representatives);
-criterion_main!(layers);

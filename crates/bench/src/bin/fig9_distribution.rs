@@ -68,8 +68,8 @@ fn main() {
     let n = geom.n;
     let growth = range_growth_2d(m, spec.r).unwrap() as f32;
 
-    let spatial = calibrate_spatial(&[input.clone()]).unwrap();
-    let wd = calibrate_winograd_domain(&spec, m, &[input.clone()]).unwrap();
+    let spatial = calibrate_spatial(std::slice::from_ref(&input)).unwrap();
+    let wd = calibrate_winograd_domain(&spec, m, std::slice::from_ref(&input)).unwrap();
 
     let mut down = [0u64; 256];
     let mut lowino_hist = [0u64; 256];

@@ -2,8 +2,7 @@
 
 use lowino::prelude::*;
 use lowino::{ConvContext, ConvError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lowino_testkit::Rng;
 
 /// The algorithm set compared in the figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,21 +49,21 @@ impl BenchAlgo {
 
 /// Deterministic synthetic activations with a bell-ish distribution.
 pub fn synth_input(spec: &ConvShape, seed: u64) -> Tensor4 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut t = Tensor4::zeros(spec.batch, spec.in_c, spec.h, spec.w);
     for v in t.data_mut() {
-        *v = (0..4).map(|_| rng.gen_range(-0.5..0.5f32)).sum();
+        *v = rng.bellish(1.0);
     }
     t
 }
 
 /// Deterministic synthetic weights.
 pub fn synth_weights(spec: &ConvShape, seed: u64) -> Tensor4 {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
     let scale = (2.0 / (spec.in_c * spec.r * spec.r) as f32).sqrt();
     let mut t = Tensor4::zeros(spec.out_c, spec.in_c, spec.r, spec.r);
     for v in t.data_mut() {
-        *v = rng.gen_range(-1.0..1.0f32) * scale;
+        *v = rng.f32_range(-1.0, 1.0) * scale;
     }
     t
 }

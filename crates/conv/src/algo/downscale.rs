@@ -302,7 +302,7 @@ mod tests {
         });
         let want = reference_conv_nchw(&spec, &input, &weights);
         let img = BlockedImage::from_nchw(&input);
-        let cal = calibrate_spatial(&[img.clone()]).unwrap();
+        let cal = calibrate_spatial(std::slice::from_ref(&img)).unwrap();
         let mut conv = DownScaleConv::new(spec, m, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(1);

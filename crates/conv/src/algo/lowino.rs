@@ -300,7 +300,7 @@ mod tests {
         });
         let want = reference_conv_nchw(&spec, &input, &weights);
         let img = BlockedImage::from_nchw(&input);
-        let cal = calibrate_winograd_domain(&spec, m, &[img.clone()]).unwrap();
+        let cal = calibrate_winograd_domain(&spec, m, std::slice::from_ref(&img)).unwrap();
         let mut conv = LoWinoConv::new(spec, m, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(threads);
@@ -333,7 +333,7 @@ mod tests {
         let want = crate::algo::direct_f32::reference_conv_nchw(&spec, &input, &weights);
         let img = BlockedImage::from_nchw(&input);
         let cal =
-            crate::calibrate::calibrate_winograd_domain_per_position(&spec, m, &[img.clone()])
+            crate::calibrate::calibrate_winograd_domain_per_position(&spec, m, std::slice::from_ref(&img))
                 .unwrap();
         let mut conv = LoWinoConv::new_per_position(spec, m, &weights, &cal).unwrap();
         assert!(conv.is_per_position());
@@ -395,7 +395,7 @@ mod tests {
             ((k + c + y + x) as f32 * 0.41).cos() * 0.3
         });
         let img = BlockedImage::from_nchw(&input);
-        let cal = calibrate_winograd_domain(&spec, 2, &[img.clone()]).unwrap();
+        let cal = calibrate_winograd_domain(&spec, 2, std::slice::from_ref(&img)).unwrap();
         let mut outs = Vec::new();
         for threads in [1, 3] {
             let mut conv = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
@@ -415,7 +415,7 @@ mod tests {
             ((k * 2 + c + y + x) as f32 * 0.5).cos() * 0.2
         });
         let img = BlockedImage::from_nchw(&input);
-        let cal = calibrate_winograd_domain(&spec, 2, &[img.clone()]).unwrap();
+        let cal = calibrate_winograd_domain(&spec, 2, std::slice::from_ref(&img)).unwrap();
         let mut a = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
         let mut b = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
         b.set_blocking(Blocking {

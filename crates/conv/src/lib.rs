@@ -65,7 +65,7 @@ mod tests {
         let mut out_ref = BlockedImage::zeros(1, 8, 12, 12);
         reference.execute(&img, &mut out_ref, &mut ctx);
 
-        let cal = calibrate_winograd_domain(&spec, 4, &[img.clone()]).unwrap();
+        let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
         let mut lw = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(1, 8, 12, 12);
         lw.execute(&img, &mut out, &mut ctx);
@@ -78,7 +78,7 @@ mod tests {
         // ...and the per-position granularity must be a close match even
         // at C = 8.
         let cal_pp =
-            calibrate::calibrate_winograd_domain_per_position(&spec, 4, &[img.clone()]).unwrap();
+            calibrate::calibrate_winograd_domain_per_position(&spec, 4, std::slice::from_ref(&img)).unwrap();
         let mut lw = LoWinoConv::new_per_position(spec, 4, &weights, &cal_pp).unwrap();
         let mut out = BlockedImage::zeros(1, 8, 12, 12);
         lw.execute(&img, &mut out, &mut ctx);

@@ -68,10 +68,10 @@ impl Blocking {
                 self.row_blk, self.col_blk, self.col_blk
             ));
         }
-        if self.c_blk == 0 || self.c_blk % 4 != 0 {
+        if self.c_blk == 0 || !self.c_blk.is_multiple_of(4) {
             return Err(format!("c_blk must be a positive multiple of 4, got {}", self.c_blk));
         }
-        if self.k_blk == 0 || self.k_blk % 64 != 0 {
+        if self.k_blk == 0 || !self.k_blk.is_multiple_of(64) {
             return Err(format!("k_blk must be a positive multiple of 64, got {}", self.k_blk));
         }
         if self.n_blk == 0 {
@@ -240,7 +240,7 @@ unsafe fn mk_avx512<const RB: usize, const CB: usize>(
     for r in 0..RB {
         for c in 0..CB {
             let dst = z.add(r * z_row_stride + c * 16);
-            if (dst as usize) % 64 == 0 {
+            if (dst as usize).is_multiple_of(64) {
                 // Non-temporal scatter (paper §4.3.2) — Z is consumed by a
                 // later stage, not re-read here.
                 _mm512_stream_si512(dst as *mut _, acc[r][c]);

@@ -291,7 +291,7 @@ impl ZPanel {
     /// `k` must be 16-aligned. Row stride (n → n+1) is `T·64` i32.
     #[inline]
     pub fn store_ptr(&mut self, t: usize, n: usize, k: usize) -> *mut i32 {
-        debug_assert!(k % 16 == 0 && t < self.t && n < self.n && k < self.kg * LANES);
+        debug_assert!(k.is_multiple_of(16) && t < self.t && n < self.n && k < self.kg * LANES);
         let (kg, kl) = (k / LANES, k % LANES);
         let o = ((kg * self.n + n) * self.t + t) * LANES + kl;
         // SAFETY: offset in bounds by construction.
@@ -313,7 +313,7 @@ impl ZPanel {
     /// Callers must not create overlapping concurrent writes.
     #[inline]
     pub unsafe fn store_ptr_shared(&self, t: usize, n: usize, k: usize) -> *mut i32 {
-        debug_assert!(k % 16 == 0 && t < self.t && n < self.n && k < self.kg * LANES);
+        debug_assert!(k.is_multiple_of(16) && t < self.t && n < self.n && k < self.kg * LANES);
         let (kg, kl) = (k / LANES, k % LANES);
         let o = ((kg * self.n + n) * self.t + t) * LANES + kl;
         self.buf.as_ptr().add(o) as *mut i32
@@ -511,7 +511,7 @@ impl UPanelI16 {
     /// The interleaved 32-value group covering `(t, c2, k..k+16)`.
     #[inline]
     pub fn pair_group(&self, t: usize, c2: usize, k: usize) -> &[i16] {
-        debug_assert!(k % 16 == 0);
+        debug_assert!(k.is_multiple_of(16));
         let o = ((t * (self.cp / 2) + c2) * self.kp + k) * 2;
         &self.buf.as_slice()[o..o + 32]
     }

@@ -9,8 +9,7 @@
 //! distributions (bell-shaped with tails — what KL calibration expects).
 
 use lowino::Tensor4;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lowino_testkit::Rng;
 
 /// Parameters of a synthetic dataset.
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +51,7 @@ impl Dataset {
     /// Generate deterministically from the spec.
     pub fn generate(spec: &SyntheticSpec) -> Self {
         assert!(spec.classes >= 2, "need at least two classes");
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = Rng::seed_from_u64(spec.seed);
         // Class prototypes: 4 components per channel.
         let protos: Vec<Vec<Component>> = (0..spec.classes)
             .map(|_| {
@@ -64,16 +63,16 @@ impl Dataset {
                         // quantization noise profile depends on that
                         // smoothness (white-noise activations would
                         // overstate the per-tensor F(4,3) error).
-                        fy: rng.gen_range(0.5..3.0),
-                        fx: rng.gen_range(0.5..3.0),
-                        phase: rng.gen_range(0.0..std::f32::consts::TAU),
-                        amp: rng.gen_range(0.4..1.0),
+                        fy: rng.f32_range(0.5, 3.0),
+                        fx: rng.f32_range(0.5, 3.0),
+                        phase: rng.f32_range(0.0, std::f32::consts::TAU),
+                        amp: rng.f32_range(0.4, 1.0),
                     })
                     .collect()
             })
             .collect();
 
-        let render = |count_per_class: usize, rng: &mut StdRng| {
+        let render = |count_per_class: usize, rng: &mut Rng| {
             let total = count_per_class * spec.classes;
             let mut x = Tensor4::zeros(total, spec.channels, spec.size, spec.size);
             let mut y = Vec::with_capacity(total);
@@ -81,8 +80,8 @@ impl Dataset {
             for i in 0..total {
                 let class = i % spec.classes;
                 y.push(class);
-                let shift_y: f32 = rng.gen_range(0.0..spec.size as f32);
-                let shift_x: f32 = rng.gen_range(0.0..spec.size as f32);
+                let shift_y: f32 = rng.f32_range(0.0, spec.size as f32);
+                let shift_x: f32 = rng.f32_range(0.0, spec.size as f32);
                 for comp in &protos[class] {
                     for yy in 0..spec.size {
                         for xx in 0..spec.size {
@@ -100,7 +99,7 @@ impl Dataset {
                 for c in 0..spec.channels {
                     for yy in 0..spec.size {
                         for xx in 0..spec.size {
-                            let n: f32 = rng.gen_range(-1.0..1.0f32) + rng.gen_range(-1.0..1.0f32);
+                            let n: f32 = rng.f32_range(-1.0, 1.0) + rng.f32_range(-1.0, 1.0);
                             *x.at_mut(i, c, yy, xx) += spec.noise * n;
                         }
                     }

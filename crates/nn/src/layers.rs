@@ -7,8 +7,7 @@
 //! seconds, while inference-grade performance lives in `lowino` proper.
 
 use lowino::Tensor4;
-use rand::rngs::StdRng;
-use rand::Rng;
+use lowino_testkit::Rng;
 
 /// One trainable or structural layer.
 pub enum Layer {
@@ -82,10 +81,10 @@ pub struct Conv2dLayer {
 
 impl Conv2dLayer {
     /// He-initialised convolution.
-    pub fn new(in_c: usize, out_c: usize, r: usize, rng: &mut StdRng) -> Self {
+    pub fn new(in_c: usize, out_c: usize, r: usize, rng: &mut Rng) -> Self {
         let scale = (2.0 / (in_c * r * r) as f32).sqrt();
         let weights = Tensor4::from_fn(out_c, in_c, r, r, |_, _, _, _| {
-            rng.gen_range(-1.0..1.0f32) * scale
+            rng.f32_range(-1.0, 1.0) * scale
         });
         let n = out_c * in_c * r * r;
         Self {
@@ -423,11 +422,11 @@ pub struct LinearLayer {
 
 impl LinearLayer {
     /// Xavier-ish initialised linear layer.
-    pub fn new(in_c: usize, out_c: usize, rng: &mut StdRng) -> Self {
+    pub fn new(in_c: usize, out_c: usize, rng: &mut Rng) -> Self {
         let scale = (2.0 / in_c as f32).sqrt();
         Self {
             weights: (0..in_c * out_c)
-                .map(|_| rng.gen_range(-1.0..1.0f32) * scale)
+                .map(|_| rng.f32_range(-1.0, 1.0) * scale)
                 .collect(),
             bias: vec![0.0; out_c],
             in_c,
@@ -556,10 +555,8 @@ impl ResidualBlock {
 mod tests {
     use super::*;
 
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(9)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(9)
     }
 
     /// Finite-difference gradient check for a scalar loss `sum(out²)/2`.
@@ -646,7 +643,7 @@ mod tests {
         let _ = conv.backward(&g);
         let eps = 1e-3;
         // Check dL/dw for one weight (k=1, c=0, dy=1, dx=2).
-        let idx_dst = ((1 * 2 + 0) * 3 + 1) * 3 + 2;
+        let idx_dst = (2 * 3 + 1) * 3 + 2;
         let analytic = conv.grad_w[idx_dst];
         let loss = |c: &mut Conv2dLayer, xt: &Tensor4| -> f64 {
             let o = c.forward(xt);

@@ -1,8 +1,7 @@
 //! Model composition and the two Mini architectures.
 
 use lowino::Tensor4;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lowino_testkit::Rng;
 
 use crate::layers::{
     Conv2dLayer, GapLayer, Layer, LinearLayer, MaxPoolLayer, ReluLayer, ResidualBlock,
@@ -69,7 +68,7 @@ impl Model {
 ///
 /// `size` is the (even) input resolution; two pools reduce it 4×.
 pub fn mini_vgg(in_c: usize, width: usize, classes: usize, seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let layers = vec![
         Layer::Conv(Conv2dLayer::new(in_c, width, 3, &mut rng)),
         Layer::ReLU(ReluLayer::new()),
@@ -90,8 +89,8 @@ pub fn mini_vgg(in_c: usize, width: usize, classes: usize, seed: u64) -> Model {
 /// MiniResNet: a stem conv plus two identity residual blocks — the
 /// small-scale analogue of the paper's ResNet-50 row in Table 3.
 pub fn mini_resnet(in_c: usize, width: usize, classes: usize, seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let block = |rng: &mut StdRng| {
+    let mut rng = Rng::seed_from_u64(seed);
+    let block = |rng: &mut Rng| {
         Layer::Residual(ResidualBlock::new(vec![
             Layer::Conv(Conv2dLayer::new(width, width, 3, rng)),
             Layer::ReLU(ReluLayer::new()),

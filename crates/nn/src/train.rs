@@ -1,9 +1,7 @@
 //! SGD training with softmax cross-entropy.
 
 use lowino::Tensor4;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use lowino_testkit::Rng;
 
 use crate::data::Dataset;
 use crate::model::Model;
@@ -51,10 +49,10 @@ pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> (f32, Tensor
 pub fn train(model: &mut Model, data: &Dataset, cfg: &TrainConfig) -> Vec<f32> {
     let n = data.train_y().len();
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut total = 0f32;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {

@@ -7,8 +7,7 @@
 
 use core::ops::Range;
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::partition::partition;
 
@@ -64,6 +63,27 @@ struct Inner {
     done_cv: Condvar,
 }
 
+/// Lock ignoring poisoning: a panicking job must not wedge the pool
+/// (`parking_lot`, which this replaced, had no poisoning either — the
+/// `State` fields stay consistent because they are only mutated after the
+/// job closure returns).
+fn lock_state(inner: &Inner) -> std::sync::MutexGuard<'_, State> {
+    match inner.state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn wait_on<'a>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, State>,
+) -> std::sync::MutexGuard<'a, State> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// A persistent fork-join pool with `ω` execution slots (`ω-1` parked worker
 /// threads plus the calling thread).
 ///
@@ -116,9 +136,9 @@ impl StaticPool {
         let mut last_epoch = 0u64;
         loop {
             let job = {
-                let mut st = inner.state.lock();
+                let mut st = lock_state(inner);
                 while !st.shutdown && st.epoch == last_epoch {
-                    inner.work_cv.wait(&mut st);
+                    st = wait_on(&inner.work_cv, st);
                 }
                 if st.shutdown {
                     return;
@@ -129,7 +149,7 @@ impl StaticPool {
             // SAFETY: the JobPtr invariant — `run` is blocked until we
             // decrement `remaining` below, so the pointee is alive.
             unsafe { (*job)(worker) };
-            let mut st = inner.state.lock();
+            let mut st = lock_state(inner);
             st.remaining -= 1;
             if st.remaining == 0 {
                 inner.done_cv.notify_one();
@@ -167,7 +187,7 @@ impl StaticPool {
         let ptr: *const (dyn Fn(usize) + Sync + 'static) =
             unsafe { core::mem::transmute(job_dyn as *const (dyn Fn(usize) + Sync)) };
         {
-            let mut st = self.inner.state.lock();
+            let mut st = lock_state(&self.inner);
             st.job = Some(JobPtr(ptr));
             st.epoch += 1;
             st.remaining = self.handles.len();
@@ -175,9 +195,9 @@ impl StaticPool {
         }
         // The caller is worker 0.
         job(0);
-        let mut st = self.inner.state.lock();
+        let mut st = lock_state(&self.inner);
         while st.remaining > 0 {
-            self.inner.done_cv.wait(&mut st);
+            st = wait_on(&self.inner.done_cv, st);
         }
         st.job = None;
     }
@@ -186,7 +206,7 @@ impl StaticPool {
 impl Drop for StaticPool {
     fn drop(&mut self) {
         {
-            let mut st = self.inner.state.lock();
+            let mut st = lock_state(&self.inner);
             st.shutdown = true;
             self.inner.work_cv.notify_all();
         }
@@ -203,7 +223,7 @@ mod tests {
 
     #[test]
     fn run_static_single_thread_inline() {
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         run_static(1, 10, |w, range| {
             assert_eq!(w, 0);
             assert_eq!(range, 0..10);

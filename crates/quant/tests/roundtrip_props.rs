@@ -1,0 +1,113 @@
+//! Property tests for the symmetric linear quantizer (paper Eq. 4–7).
+//!
+//! Eq. 4–6 define `Q(x) = S_INT8(α·x)` with `α = 127/τ` and
+//! `Q'(q) = q/α`; Eq. 7 bounds the round-trip error of any in-range value
+//! by half a quantization step, `|Q'(Q(x)) − x| ≤ 0.5/α`. These are the
+//! invariants the Winograd-domain calibration relies on, checked here over
+//! sampled thresholds and inputs via `lowino-testkit` (fixed default seed;
+//! replay any failure with `LOWINO_PROP_SEED`).
+
+use lowino_quant::QParams;
+use lowino_testkit::{prop_assert, property, vec_of, Rng};
+
+property! {
+    /// Eq. 7: the round-trip error of an in-threshold value never exceeds
+    /// half a step, across five decades of threshold.
+    #[cases(256)]
+    fn round_trip_error_within_half_step(
+        tau in 0.001f32..100.0,
+        frac in -1.0f32..1.0,
+    ) {
+        let q = QParams::from_threshold(tau);
+        let x = frac * tau;
+        let back = q.dequantize(q.quantize(x));
+        let err = (back - x).abs();
+        let bound = 0.5 / q.alpha + 1e-6;
+        prop_assert!(err <= bound, "tau={tau} x={x} back={back} err={err} > {bound}");
+    }
+}
+
+property! {
+    /// Out-of-threshold values saturate to the symmetric extremes ±127 and
+    /// de-quantize back to ±τ (up to f32 rounding in α itself).
+    #[cases(128)]
+    fn saturating_inputs_clamp_to_qmax(
+        tau in 0.001f32..100.0,
+        over in 1.01f32..10.0,
+        sign in -1.0f32..1.0,
+    ) {
+        let s = if sign < 0.0 { -1.0f32 } else { 1.0 };
+        let q = QParams::from_threshold(tau);
+        let x = s * tau * over;
+        let got = q.quantize(x);
+        prop_assert!(i32::from(got) == (s as i32) * 127, "tau={tau} x={x} q={got}");
+        let back = q.dequantize(got);
+        prop_assert!(
+            (back - s * tau).abs() <= tau * 1e-5,
+            "tau={tau} back={back}"
+        );
+    }
+}
+
+property! {
+    /// `from_max_abs` calibration: the largest-magnitude element uses the
+    /// full INT8 range, and every element round-trips within Eq. 7's bound.
+    #[cases(64)]
+    fn max_abs_calibration_round_trips(data in vec_of(-50.0f32..50.0, 1usize..64)) {
+        let q = QParams::from_max_abs(&data);
+        let m = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if m == 0.0 {
+            prop_assert!(q == QParams::UNIT, "all-zero data must degrade to UNIT");
+            return Ok(());
+        }
+        let bound = 0.5 / q.alpha + 1e-6;
+        let mut peak = 0i32;
+        for &x in &data {
+            let code = q.quantize(x);
+            peak = peak.max(i32::from(code).abs());
+            let err = (q.dequantize(code) - x).abs();
+            prop_assert!(err <= bound, "x={x} err={err} > {bound} (m={m})");
+        }
+        prop_assert!(peak == 127, "max element must hit ±127, got {peak}");
+    }
+}
+
+property! {
+    /// The ±128 compensation identity (paper Eq. 9) in plain scalar i32:
+    /// `Σ(q_i+128)·w_i − 128·Σw_i == Σ q_i·w_i` for any quantized vectors.
+    /// (The SIMD tiers are checked against the same identity in
+    /// `lowino-simd`'s tests; this pins the algebra the kernels rely on.)
+    #[cases(128)]
+    fn compensation_identity_scalar(
+        pairs in vec_of((-127i32..128, -128i32..128), 1usize..96),
+    ) {
+        let lhs: i64 = pairs
+            .iter()
+            .map(|&(q, w)| i64::from(q + 128) * i64::from(w))
+            .sum::<i64>()
+            - 128 * pairs.iter().map(|&(_, w)| i64::from(w)).sum::<i64>();
+        let rhs: i64 = pairs.iter().map(|&(q, w)| i64::from(q) * i64::from(w)).sum();
+        prop_assert!(lhs == rhs, "lhs={lhs} rhs={rhs}");
+    }
+}
+
+property! {
+    /// The fused product de-quantization scale `1/(α_V·α_U)` matches
+    /// de-quantizing each factor separately, to f32 rounding.
+    #[cases(128)]
+    fn product_dequant_matches_pairwise(
+        tau_a in 0.01f32..50.0,
+        tau_b in 0.01f32..50.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = QParams::from_threshold(tau_a);
+        let b = QParams::from_threshold(tau_b);
+        let qa = rng.range_i32(-127, 128) as i8;
+        let qb = rng.range_i32(-127, 128) as i8;
+        let fused = f32::from(qa) * f32::from(qb) * a.product_dequant(&b);
+        let pair = a.dequantize(qa) * b.dequantize(qb);
+        let tol = pair.abs().max(1e-12) * 1e-5;
+        prop_assert!((fused - pair).abs() <= tol, "fused={fused} pair={pair}");
+    }
+}

@@ -11,9 +11,11 @@ use crate::dispatch::SimdTier;
 
 /// Scalar reference model of `vpdpbusd` — the executable specification.
 ///
-/// `acc[i] += Σ_{j<4} a[4i+j]·b[4i+j]`, all arithmetic exact in `i32`
-/// (maximum magnitude `4·255·128 = 130 560`, far below overflow; VNNI does
-/// not saturate here and neither do we).
+/// `acc[i] += Σ_{j<4} a[4i+j]·b[4i+j]`. The per-call dot product is exact in
+/// `i32` (maximum magnitude `4·255·128 = 130 560`), and the accumulator add
+/// wraps on overflow — `vpdpbusd` accumulates with two's-complement `i32`
+/// adds and does not saturate, so long accumulation chains wrap identically
+/// on every tier.
 #[inline]
 pub fn dpbusd_scalar(acc: &mut [i32; 16], a: &[u8; 64], b: &[i8; 64]) {
     for i in 0..16 {
@@ -21,7 +23,7 @@ pub fn dpbusd_scalar(acc: &mut [i32; 16], a: &[u8; 64], b: &[i8; 64]) {
         for j in 0..4 {
             s += i32::from(a[4 * i + j]) * i32::from(b[4 * i + j]);
         }
-        acc[i] += s;
+        acc[i] = acc[i].wrapping_add(s);
     }
 }
 

@@ -19,7 +19,7 @@ use crate::dispatch::SimdTier;
 pub fn stream_store_u8_64(tier: SimdTier, dst: &mut [u8], src: &[u8; 64]) {
     debug_assert!(dst.len() >= 64);
     #[cfg(target_arch = "x86_64")]
-    if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize) % 64 == 0 {
+    if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize).is_multiple_of(64) {
         // SAFETY: avx512f implied by the tier; dst is valid for 64 bytes and
         // 64-byte aligned (checked above).
         unsafe {
@@ -38,7 +38,7 @@ pub fn stream_store_u8_64(tier: SimdTier, dst: &mut [u8], src: &[u8; 64]) {
 pub fn stream_store_i32_16(tier: SimdTier, dst: &mut [i32], src: &[i32; 16]) {
     debug_assert!(dst.len() >= 16);
     #[cfg(target_arch = "x86_64")]
-    if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize) % 64 == 0 {
+    if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize).is_multiple_of(64) {
         // SAFETY: as in `stream_store_u8_64`.
         unsafe {
             use std::arch::x86_64::*;

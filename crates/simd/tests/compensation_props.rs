@@ -1,0 +1,121 @@
+//! Property tests for the ±128 unsigned-operand compensation (paper §4.3.3).
+//!
+//! `vpdpbusd` needs its first operand unsigned, so the quantized activation
+//! `q ∈ [−127, 127]` is shipped as `u = q + 128 ∈ [1, 255]` and the GEMM
+//! result is corrected by `128·Σw` per accumulator lane (paper Eq. 9):
+//!
+//! ```text
+//! Σ (q_i + 128)·w_i  −  128·Σ w_i  ==  Σ q_i·w_i      (exact in i32)
+//! ```
+//!
+//! Both sides are exercised through the real kernels on every available
+//! tier, driven by `lowino-testkit` with its fixed default seed (replayable
+//! via `LOWINO_PROP_SEED`).
+
+use lowino_simd::{dpbusd, quantize_f32_lanes_i8, saturate_to_i8, SimdTier};
+use lowino_testkit::{prop_assert, property, Rng};
+
+/// Signed reference dot product per accumulator lane, exact in i64.
+fn signed_dot(q: &[i8; 64], w: &[i8; 64]) -> [i64; 16] {
+    let mut out = [0i64; 16];
+    for i in 0..16 {
+        for j in 0..4 {
+            out[i] += i64::from(q[4 * i + j]) * i64::from(w[4 * i + j]);
+        }
+    }
+    out
+}
+
+/// Per-lane weight sums (the `Σw` of the compensation term).
+fn weight_sums(w: &[i8; 64]) -> [i64; 16] {
+    let mut out = [0i64; 16];
+    for i in 0..16 {
+        for j in 0..4 {
+            out[i] += i64::from(w[4 * i + j]);
+        }
+    }
+    out
+}
+
+property! {
+    /// The raw integer identity: compensated unsigned dot minus `128·Σw`
+    /// equals the signed dot, for arbitrary `q`/`w` bytes on every tier.
+    #[cases(64)]
+    fn compensation_identity_exact(seed in 0u64..1_000_000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut q = [0i8; 64];
+        let mut w = [0i8; 64];
+        for i in 0..64 {
+            // Quantized activations stay in the symmetric range [-127, 127].
+            q[i] = rng.range_i32(-127, 128) as i8;
+            w[i] = rng.i8();
+        }
+        let mut u = [0u8; 64];
+        for i in 0..64 {
+            u[i] = (i32::from(q[i]) + 128) as u8;
+        }
+        let want = signed_dot(&q, &w);
+        let sums = weight_sums(&w);
+        for tier in SimdTier::available() {
+            let mut acc = [0i32; 16];
+            dpbusd(tier, &mut acc, &u, &w);
+            for lane in 0..16 {
+                let got = i64::from(acc[lane]) - 128 * sums[lane];
+                prop_assert!(
+                    got == want[lane],
+                    "tier={tier} lane={lane}: {got} != {}",
+                    want[lane]
+                );
+            }
+        }
+    }
+}
+
+property! {
+    /// The same identity through the production quantize kernel: the
+    /// `compensate = true` output of `quantize_f32_lanes_i8` feeds
+    /// `vpdpbusd`, and subtracting `128·Σw` recovers the signed product of
+    /// the plain `S_INT8` quantization — bit-exact, for any input scale.
+    #[cases(48)]
+    fn compensated_quantize_path_matches_signed(
+        seed in 0u64..1_000_000,
+        tau in 0.05f32..40.0,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let alpha = 127.0 / tau;
+        let mut x = [0.0f32; 64];
+        for v in x.iter_mut() {
+            // Cover in-range and saturating magnitudes.
+            *v = rng.f32_range(-1.5 * tau, 1.5 * tau);
+        }
+        let mut w = [0i8; 64];
+        for v in w.iter_mut() {
+            *v = rng.i8();
+        }
+        let mut u = [0u8; 64];
+        quantize_f32_lanes_i8(&x, alpha, true, &mut u);
+        let mut q = [0i8; 64];
+        for i in 0..64 {
+            q[i] = saturate_to_i8(x[i] * alpha);
+            // The kernel's compensated byte must be exactly q + 128.
+            prop_assert!(
+                i32::from(u[i]) == i32::from(q[i]) + 128,
+                "byte {i}: u={} q={}", u[i], q[i]
+            );
+        }
+        let want = signed_dot(&q, &w);
+        let sums = weight_sums(&w);
+        for tier in SimdTier::available() {
+            let mut acc = [0i32; 16];
+            dpbusd(tier, &mut acc, &u, &w);
+            for lane in 0..16 {
+                let got = i64::from(acc[lane]) - 128 * sums[lane];
+                prop_assert!(
+                    got == want[lane],
+                    "tier={tier} lane={lane}: {got} != {}",
+                    want[lane]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Exhaustive edge-operand equivalence for the `vpdpbusd` tiers.
+//!
+//! The kernel contract is bit-identity across tiers with the scalar model as
+//! the executable specification. The cases that historically break emulated
+//! implementations are the operand extremes: `a = 255` with `b = ±127/−128`
+//! overflows the intermediate of `vpmaddubsw`-based shortcuts, and
+//! accumulator overflow separates wrapping (what `vpdpbusd` does — plain
+//! two's-complement `i32` adds) from saturating or trapping behaviour. Every
+//! `{0, 1, 127, 128, 255} × {−128, −1, 0, 1, 127}` operand pair is checked
+//! on every available tier against an independent `i64` model, including
+//! accumulator values at both `i32` extremes.
+
+use lowino_simd::{dpbusd, dpbusd_scalar, SimdTier};
+
+/// Unsigned-operand edge values: zero, one, both sides of the sign bit, max.
+const A_EDGES: [u8; 5] = [0, 1, 127, 128, 255];
+/// Signed-operand edge values.
+const B_EDGES: [i8; 5] = [-128, -1, 0, 1, 127];
+/// Accumulator starting points, including both overflow boundaries.
+const ACC_EDGES: [i32; 5] = [0, 1, -1, i32::MAX, i32::MIN];
+
+/// Independent model: exact `i64` dot product, then two's-complement
+/// truncation back to `i32` (what a non-saturating SIMD add produces).
+fn model(acc: &[i32; 16], a: &[u8; 64], b: &[i8; 64]) -> [i32; 16] {
+    let mut out = [0i32; 16];
+    for i in 0..16 {
+        let mut s = 0i64;
+        for j in 0..4 {
+            s += i64::from(a[4 * i + j]) * i64::from(b[4 * i + j]);
+        }
+        out[i] = (i64::from(acc[i]) + s) as i32;
+    }
+    out
+}
+
+fn check_all_tiers(acc0: [i32; 16], a: [u8; 64], b: [i8; 64], ctx: &str) {
+    let want = model(&acc0, &a, &b);
+    let mut scalar = acc0;
+    dpbusd_scalar(&mut scalar, &a, &b);
+    assert_eq!(scalar, want, "scalar vs model: {ctx}");
+    for tier in SimdTier::available() {
+        let mut acc = acc0;
+        dpbusd(tier, &mut acc, &a, &b);
+        assert_eq!(acc, want, "tier={tier}: {ctx}");
+    }
+}
+
+/// Every edge pair as a uniform register fill, against every accumulator
+/// edge — 125 operand/accumulator combinations per tier.
+#[test]
+fn uniform_edge_operands_all_tiers() {
+    for av in A_EDGES {
+        for bv in B_EDGES {
+            for acc0 in ACC_EDGES {
+                check_all_tiers(
+                    [acc0; 16],
+                    [av; 64],
+                    [bv; 64],
+                    &format!("a={av} b={bv} acc={acc0}"),
+                );
+            }
+        }
+    }
+}
+
+/// All 25 edge pairs mixed inside a single register, at every rotation, so
+/// each pair visits every byte position within a 4-byte lane group.
+#[test]
+fn mixed_edge_operands_within_register() {
+    for rot in 0..25 {
+        let mut a = [0u8; 64];
+        let mut b = [0i8; 64];
+        for i in 0..64 {
+            let p = (i + rot) % 25;
+            a[i] = A_EDGES[p / 5];
+            b[i] = B_EDGES[p % 5];
+        }
+        for acc0 in ACC_EDGES {
+            check_all_tiers([acc0; 16], a, b, &format!("rot={rot} acc={acc0}"));
+        }
+    }
+}
+
+/// The `vpmaddubsw` trap: adjacent-pair intermediate sums exceed `i16`
+/// range (`255·127 + 255·127 = 64 770 > 32 767`). An emulation that widens
+/// only to `i16` saturates here; all tiers must stay exact.
+#[test]
+fn adjacent_pair_intermediate_overflow() {
+    for bv in [127i8, -128] {
+        check_all_tiers([0; 16], [255u8; 64], [bv; 64], &format!("pair-ovf b={bv}"));
+    }
+}
+
+/// Accumulation chains crossing `i32::MAX` wrap identically on every tier
+/// (hardware `vpdpbusd` performs plain wrapping `i32` adds — no saturation).
+#[test]
+fn long_accumulation_wraps_like_hardware() {
+    let a = [255u8; 64];
+    let b = [127i8; 64];
+    let per_call = 4i64 * 255 * 127; // 129 540 per lane per call
+    let calls = 8;
+    // Start close enough to the boundary that the chain wraps mid-way.
+    let start = i32::MAX - (per_call as i32) * 4;
+    let want_i64 = i64::from(start) + per_call * calls as i64;
+    assert!(want_i64 > i64::from(i32::MAX), "test must actually wrap");
+    let want = want_i64 as i32;
+    assert!(want < 0, "wrapped value is negative");
+
+    let mut scalar = [start; 16];
+    for _ in 0..calls {
+        dpbusd_scalar(&mut scalar, &a, &b);
+    }
+    assert_eq!(scalar, [want; 16], "scalar wrap");
+    for tier in SimdTier::available() {
+        let mut acc = [start; 16];
+        for _ in 0..calls {
+            dpbusd(tier, &mut acc, &a, &b);
+        }
+        assert_eq!(acc, [want; 16], "tier={tier} wrap");
+    }
+}
+
+/// Negative-direction wrap: large-magnitude negative products crossing
+/// `i32::MIN`.
+#[test]
+fn long_accumulation_wraps_negative() {
+    let a = [255u8; 64];
+    let b = [-128i8; 64];
+    let per_call = -4i64 * 255 * 128; // −130 560 per lane per call
+    let calls = 8;
+    let start = i32::MIN - (per_call as i32) * 4; // i32::MIN + 522 240
+    let want_i64 = i64::from(start) + per_call * calls as i64;
+    assert!(want_i64 < i64::from(i32::MIN), "test must actually wrap");
+    let want = want_i64 as i32;
+    assert!(want > 0, "wrapped value is positive");
+
+    for tier in SimdTier::available() {
+        let mut acc = [start; 16];
+        for _ in 0..calls {
+            dpbusd(tier, &mut acc, &a, &b);
+        }
+        assert_eq!(acc, [want; 16], "tier={tier} negative wrap");
+    }
+}

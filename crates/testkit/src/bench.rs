@@ -1,0 +1,288 @@
+//! Micro-benchmark timer (the in-tree `criterion` replacement).
+//!
+//! Model: warm up for a fixed duration, then take `samples` timed samples;
+//! each sample runs the closure in a batch sized so one batch lasts at
+//! least `sample_time / samples`, and reports nanoseconds **per iteration**.
+//! The summary statistic is the **median of samples** — robust against the
+//! interrupt/migration noise of shared hosts.
+//!
+//! Every finished benchmark prints one human-readable line and one JSON
+//! line (prefixed `BENCH_JSON `) to stdout; when the `LOWINO_BENCH_JSON`
+//! environment variable names a file, the JSON lines are also appended
+//! there, so a suite run with `LOWINO_BENCH_JSON=BENCH_kernels.json`
+//! accumulates a machine-readable `BENCH_*.json` log (one JSON object per
+//! line).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing summary (all per-iteration, in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark identifier, `group/name`.
+    pub id: String,
+    /// Median of the per-sample ns/iter values.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Arithmetic mean over samples.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample batch.
+    pub batch: u64,
+    /// Optional elements processed per iteration (throughput).
+    pub elements: Option<u64>,
+}
+
+impl Stats {
+    /// Billions of elements per second at the median, if a throughput was
+    /// declared.
+    pub fn gelems_per_s(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / self.median_ns.max(f64::MIN_POSITIVE))
+    }
+
+    /// The JSON object line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"bench\":\"{}\",\"median_ns\":{:.3},\"min_ns\":{:.3},\"mean_ns\":{:.3},\
+             \"samples\":{},\"batch\":{}",
+            escape_json(&self.id),
+            self.median_ns,
+            self.min_ns,
+            self.mean_ns,
+            self.samples,
+            self.batch,
+        );
+        if let Some(e) = self.elements {
+            s.push_str(&format!(",\"elements\":{e}"));
+            if let Some(g) = self.gelems_per_s() {
+                s.push_str(&format!(",\"gelems_per_s\":{g:.4}"));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A named group of benchmarks sharing timing settings (the `criterion`
+/// `BenchmarkGroup` analogue).
+pub struct BenchGroup {
+    name: String,
+    warmup: Duration,
+    sample_time: Duration,
+    samples: usize,
+    elements: Option<u64>,
+    results: Vec<Stats>,
+}
+
+impl BenchGroup {
+    /// New group with defaults sized for CI: 300 ms warm-up, 1 s of
+    /// samples, 15 samples.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            warmup: Duration::from_millis(300),
+            sample_time: Duration::from_secs(1),
+            samples: 15,
+            elements: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Set the total measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sample_time = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Declare elements processed per iteration (enables Gelem/s output).
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Run one benchmark: `f` is called once per iteration.
+    pub fn bench_function(&mut self, id: impl core::fmt::Display, mut f: impl FnMut()) -> &Stats {
+        let full_id = format!("{}/{id}", self.name);
+
+        // Warm up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            f();
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(f64::MIN_POSITIVE);
+
+        // Batch size so one sample lasts ~sample_time/samples.
+        let per_sample_ns = self.sample_time.as_nanos() as f64 / self.samples as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[per_iter.len() / 2]
+        } else {
+            (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+        };
+        let stats = Stats {
+            id: full_id,
+            median_ns: median,
+            min_ns: per_iter[0],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            samples: per_iter.len(),
+            batch,
+            elements: self.elements,
+        };
+        report(&stats);
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Results accumulated so far.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+}
+
+fn report(s: &Stats) {
+    let mut line = format!("{:<44} median {}", s.id, fmt_ns(s.median_ns));
+    if let Some(g) = s.gelems_per_s() {
+        line.push_str(&format!(
+            "  ({} elems, {g:.2} Gelem/s)",
+            s.elements.expect("throughput set")
+        ));
+    }
+    println!("{line}");
+    let json = s.to_json();
+    println!("BENCH_JSON {json}");
+    if let Ok(path) = std::env::var("LOWINO_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(file, "{json}");
+            }
+        }
+    }
+}
+
+/// Adaptive ns/us/ms formatting of a per-iteration time.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3}ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+///
+/// Thin wrapper over `std::hint::black_box` so bench code only needs this
+/// crate in scope.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_group(name: &str) -> BenchGroup {
+        let mut g = BenchGroup::new(name);
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(5);
+        g
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut g = quick_group("t");
+        let s = g.bench_function("spin", || {
+            black_box((0..100u64).sum::<u64>());
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn throughput_and_json() {
+        let mut g = quick_group("t");
+        g.throughput_elements(64);
+        let s = g.bench_function("spin", || {
+            black_box((0..64u64).sum::<u64>());
+        });
+        let json = s.to_json();
+        assert!(json.starts_with("{\"bench\":\"t/spin\""), "{json}");
+        assert!(json.contains("\"elements\":64"), "{json}");
+        assert!(json.contains("gelems_per_s"), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        assert!(s.gelems_per_s().expect("throughput") > 0.0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.34), "12.3ns/iter");
+        assert_eq!(fmt_ns(4321.0), "4.32us/iter");
+        assert_eq!(fmt_ns(7_654_321.0), "7.654ms/iter");
+    }
+
+    #[test]
+    fn group_accumulates_results() {
+        let mut g = quick_group("t");
+        g.bench_function("a", || {
+            black_box(1u64);
+        });
+        g.bench_function("b", || {
+            black_box(2u64);
+        });
+        assert_eq!(g.results().len(), 2);
+        assert_eq!(g.results()[0].id, "t/a");
+        assert_eq!(g.results()[1].id, "t/b");
+    }
+}

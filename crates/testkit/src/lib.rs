@@ -1,0 +1,28 @@
+//! `lowino-testkit` — the in-tree test substrate that lets the whole
+//! workspace build and test **hermetically**: no registry, no network, no
+//! third-party crates.
+//!
+//! Three pieces, each replacing an external dev-dependency the build
+//! environment cannot fetch:
+//!
+//! * [`rng`] — deterministic xoshiro256++ PRNG (replaces `rand`) for
+//!   synthetic data, weight init and shuffles;
+//! * [`prop`] — a property-testing harness with per-case seeds, greedy
+//!   shrinking and seed-replay via `LOWINO_PROP_SEED` (replaces
+//!   `proptest`);
+//! * [`bench`] — a warmup + median-of-samples micro-bench timer with
+//!   JSON-line output (replaces `criterion`).
+//!
+//! Correctness of the numeric kernels is LoWino's whole claim (bit-exact
+//! integer semantics across SIMD tiers, bounded Winograd-domain
+//! quantization error), so the substrate that *verifies* those claims must
+//! itself be deterministic and always runnable — hence first-party and
+//! dependency-free.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{black_box, BenchGroup, Stats};
+pub use prop::{one_of, run_property, vec_of, Config, Strategy};
+pub use rng::{splitmix64, Rng};

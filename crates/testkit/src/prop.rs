@@ -1,0 +1,467 @@
+//! A minimal property-testing harness (the in-tree `proptest` replacement).
+//!
+//! Design: a [`Strategy`] samples a value from an [`Rng`](crate::Rng) and
+//! enumerates shrink candidates; [`run_property`] drives `cases` independent
+//! cases, each from its own reproducible seed, and on failure greedily
+//! shrinks to a minimal counter-example before panicking with the **case
+//! seed** so the exact case can be replayed:
+//!
+//! ```text
+//! LOWINO_PROP_SEED=0x1234abcd cargo test -p lowino failing_property
+//! ```
+//!
+//! With `LOWINO_PROP_SEED` set, case 0 runs with exactly that seed, so a
+//! reported seed reproduces the reported counter-example first.
+//!
+//! The [`property!`](crate::property) macro wraps all of this in a
+//! `proptest!`-like surface:
+//!
+//! ```ignore
+//! property! {
+//!     #[cases(64)]
+//!     fn add_commutes(a in 0u64..100, b in 0u64..100) {
+//!         prop_assert!(a + b == b + a, "{a} {b}");
+//!     }
+//! }
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use core::fmt::Debug;
+use core::ops::Range;
+
+/// Something that can sample values and propose smaller ones.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. An empty vector
+    /// means `v` is already minimal.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// Shrink candidates for an integer-like value toward `low`: the low end
+/// itself, then binary midpoints approaching `v` from below.
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut Rng) -> $t {
+                debug_assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let (v, low) = (*v as i128, self.start as i128);
+                if v == low {
+                    return Vec::new();
+                }
+                let mut out = vec![low as $t];
+                // Halve the distance: low + d/2, low + 3d/4, ... , v-1.
+                let d = v - low;
+                for frac in [2, 4] {
+                    let c = v - d / frac;
+                    if c != low && c != v {
+                        out.push(c as $t);
+                    }
+                }
+                if v - 1 != low && !out.contains(&((v - 1) as $t)) {
+                    out.push((v - 1) as $t);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut Rng) -> f32 {
+        rng.f32_range(self.start, self.end)
+    }
+
+    fn shrink(&self, v: &f32) -> Vec<f32> {
+        // Toward the low end; floats don't need fine-grained minimality.
+        let low = self.start;
+        if *v == low {
+            return Vec::new();
+        }
+        let mid = low + (v - low) * 0.5;
+        if mid == *v || mid == low {
+            vec![low]
+        } else {
+            vec![low, mid]
+        }
+    }
+}
+
+/// Uniform choice from a fixed list; shrinks toward the first element.
+#[derive(Debug, Clone)]
+pub struct OneOf<T: Clone + Debug + PartialEq + 'static>(pub &'static [T]);
+
+/// `proptest`'s `prop::sample::select` equivalent.
+pub fn one_of<T: Clone + Debug + PartialEq + 'static>(choices: &'static [T]) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of: empty choice list");
+    OneOf(choices)
+}
+
+impl<T: Clone + Debug + PartialEq + 'static> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        rng.choose(self.0).clone()
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // Earlier choices are simpler.
+        let idx = self.0.iter().position(|c| c == v).unwrap_or(0);
+        self.0[..idx].to_vec()
+    }
+}
+
+/// Vectors of `elem`-generated values with length drawn from `len`.
+/// Shrinks by dropping chunks/elements, then by shrinking elements.
+#[derive(Debug, Clone)]
+pub struct VecOf<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Strategy for a `Vec` of values.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecOf<S> {
+    VecOf { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.range_usize(self.len.start, self.len.end);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // Structural shrinks first: halve, then drop each single position.
+        if v.len() > min {
+            let half = (v.len() / 2).max(min);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            for i in 0..v.len() {
+                let mut dropped = v.clone();
+                dropped.remove(i);
+                out.push(dropped);
+            }
+        }
+        // Element-wise shrinks (the runner's budget caps the frontier).
+        for (i, e) in v.iter().enumerate() {
+            for smaller in self.elem.shrink(e) {
+                let mut copy = v.clone();
+                copy[i] = smaller;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident / $i:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&v.$i) {
+                        let mut copy = v.clone();
+                        copy.$i = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A/a/0);
+    (A/a/0, B/b/1);
+    (A/a/0, B/b/1, C/c/2);
+    (A/a/0, B/b/1, C/c/2, D/d/3);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5, G/g/6);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5, G/g/6, H/h/7);
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of independent cases to run.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it. Overridden by the
+    /// `LOWINO_PROP_SEED` environment variable (decimal or `0x`-hex).
+    pub seed: u64,
+    /// Cap on shrink iterations after a failure.
+    pub max_shrinks: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("LOWINO_PROP_SEED")
+            .ok()
+            .and_then(|s| parse_seed(&s))
+            .unwrap_or(0xB0B0_5EED);
+        Self {
+            cases: 32,
+            seed,
+            max_shrinks: 512,
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Seed of case `i` under base seed `base`. Case 0 uses `base` itself so a
+/// reported seed replays directly via `LOWINO_PROP_SEED`.
+#[inline]
+pub fn case_seed(base: u64, i: u32) -> u64 {
+    if i == 0 {
+        base
+    } else {
+        let mut s = base ^ u64::from(i).wrapping_mul(0xA076_1D64_78BD_642F);
+        splitmix64(&mut s)
+    }
+}
+
+/// Run `prop` over `cfg.cases` sampled values. Panics on the first failing
+/// case after shrinking it, reporting the case seed, the (shrunk)
+/// counter-example, and the property's message.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    cfg: &Config,
+    strat: &S,
+    prop: impl Fn(&S::Value) -> Result<(), String>,
+) {
+    for i in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, i);
+        let mut rng = Rng::seed_from_u64(seed);
+        let value = strat.sample(&mut rng);
+        if let Err(msg) = prop(&value) {
+            let (minimal, min_msg, shrinks) = shrink_failure(cfg, strat, &prop, value, msg);
+            panic!(
+                "property `{name}` failed (case {i}/{cases}, seed 0x{seed:x}; replay with \
+                 LOWINO_PROP_SEED=0x{seed:x})\n  counter-example (after {shrinks} shrinks): \
+                 {minimal:?}\n  error: {min_msg}",
+                cases = cfg.cases,
+            );
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_failure<S: Strategy>(
+    cfg: &Config,
+    strat: &S,
+    prop: &impl Fn(&S::Value) -> Result<(), String>,
+    mut value: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32) {
+    let mut shrinks = 0;
+    let mut budget = cfg.max_shrinks;
+    'outer: while budget > 0 {
+        for cand in strat.shrink(&value) {
+            budget -= 1;
+            if let Err(m) = prop(&cand) {
+                value = cand;
+                msg = m;
+                shrinks += 1;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        break;
+    }
+    (value, msg, shrinks)
+}
+
+/// Define a `#[test]` that runs a property over sampled inputs.
+///
+/// ```ignore
+/// property! {
+///     #[cases(100)]
+///     fn name(x in 0i32..10, v in vec_of(0u8..255, 0..64)) { ... }
+/// }
+/// ```
+///
+/// The body may use [`prop_assert!`](crate::prop_assert) (or return early
+/// with `return Err(...)`); falling off the end means the case passed.
+///
+/// Doc comments may appear before the `#[cases(..)]` attribute and are
+/// forwarded onto the generated test function.
+#[macro_export]
+macro_rules! property {
+    ($(
+        $(#[doc $($doc:tt)*])*
+        $(#[cases($cases:expr)])?
+        fn $name:ident( $($var:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[doc $($doc)*])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut cfg = $crate::prop::Config::default();
+            $(cfg.cases = $cases;)?
+            let strat = ( $($strat,)+ );
+            $crate::prop::run_property(
+                stringify!($name),
+                &cfg,
+                &strat,
+                |value: &_| -> ::core::result::Result<(), ::std::string::String> {
+                    let ( $($var,)+ ) = ::core::clone::Clone::clone(value);
+                    $(let _ = &$var;)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )+};
+}
+
+/// `assert!` for property bodies: evaluates to `return Err(..)` on failure
+/// so the harness can shrink and report instead of unwinding mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cases: u32) -> Config {
+        Config {
+            cases,
+            seed: 0xC0FFEE,
+            max_shrinks: 512,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        run_property("p", &cfg(17), &(0u64..100), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = std::panic::catch_unwind(|| {
+            run_property("gt_10", &cfg(64), &(0u64..1000), |&v| {
+                if v >= 10 {
+                    Err(format!("{v} too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("LOWINO_PROP_SEED=0x"), "{msg}");
+        // Greedy shrink must reach the boundary counter-example.
+        assert!(msg.contains("counter-example"), "{msg}");
+        assert!(msg.contains("10"), "{msg}");
+    }
+
+    #[test]
+    fn shrink_reaches_minimal_int() {
+        // From any failing start, shrinking v >= 25 should land exactly 25.
+        let strat = 0i32..1_000_000;
+        let prop = |v: &i32| {
+            if *v >= 25 {
+                Err("big".into())
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(&cfg(1), &strat, &prop, 999_999, "big".into());
+        assert_eq!(min, 25);
+    }
+
+    #[test]
+    fn shrink_reaches_minimal_vec() {
+        let strat = vec_of(0u8..255, 0..64);
+        // Fails iff the vec contains any element >= 100.
+        let prop = |v: &Vec<u8>| {
+            if v.iter().any(|&e| e >= 100) {
+                Err("has big".into())
+            } else {
+                Ok(())
+            }
+        };
+        let start = vec![3, 200, 7, 150, 9, 9, 9];
+        let (min, _, _) = shrink_failure(&cfg(1), &strat, &prop, start, "x".into());
+        assert_eq!(min, vec![100]);
+    }
+
+    #[test]
+    fn case_seed_replays_case_zero() {
+        assert_eq!(case_seed(42, 0), 42);
+        assert_ne!(case_seed(42, 1), case_seed(42, 2));
+    }
+
+    #[test]
+    fn one_of_shrinks_toward_head() {
+        static CHOICES: [usize; 3] = [2, 4, 6];
+        let s = one_of(&CHOICES);
+        assert_eq!(s.shrink(&6), vec![2, 4]);
+        assert!(s.shrink(&2).is_empty());
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(CHOICES.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    property! {
+        #[cases(40)]
+        fn macro_surface_works(a in 0u32..50, b in 0u32..50, m in one_of(&[2usize, 4])) {
+            prop_assert!(a + b < 100);
+            prop_assert!(m == 2 || m == 4, "m={m}");
+        }
+    }
+}

@@ -58,10 +58,7 @@ impl Codelet {
         // Greedy pairwise CSE: hoist any (term, term) pattern — up to a
         // global sign — that appears in at least two rows.
         let mut temps: Vec<Expr> = Vec::new();
-        loop {
-            let Some((pat, hits)) = best_shared_pair(&outs) else {
-                break;
-            };
+        while let Some((pat, hits)) = best_shared_pair(&outs) {
             if hits < 2 {
                 break;
             }

@@ -104,7 +104,7 @@ impl Rational {
         let mut acc = Rational::ONE;
         while e > 0 {
             if e & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             e >>= 1;
@@ -184,6 +184,8 @@ impl MulAssign for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division really is multiplication by the reciprocal here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }

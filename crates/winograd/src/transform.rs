@@ -378,7 +378,7 @@ mod tests {
         assert!(max <= 100 * 127, "max={max}");
         // And alternating-sign worst case.
         let d: Vec<i32> = (0..n * n)
-            .map(|i| if (i / n + i % n) % 2 == 0 { 127 } else { -127 })
+            .map(|i| if (i / n + i % n).is_multiple_of(2) { 127 } else { -127 })
             .collect();
         let v = input_transform_i32(4, 3, &d).unwrap();
         assert!(v.iter().all(|x| x.abs() <= 100 * 127));

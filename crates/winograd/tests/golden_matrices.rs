@@ -1,0 +1,207 @@
+//! Golden-value tests for the Winograd transformation matrices.
+//!
+//! The `B`/`G`/`A` triples for `F(2,3)`, `F(4,3)` and `F(6,3)` are pinned
+//! here as exact rational constants, independently of how the crate builds
+//! them (canonical Lavin tables for the first two, Cook–Toom generation for
+//! `F(6,3)` over the point sequence `[0, 1, -1, 2, -2, 1/2, -1/2]` plus the
+//! point at infinity, with `Bᵀ` rows scaled to integers and compensated in
+//! `G`). A regression in the generator, the point sequence, or the
+//! normalisation pass shows up as an exact-constant mismatch — no tolerance.
+//!
+//! The codelet executor is then checked against the same constants to f32
+//! ULP precision: on basis vectors every codelet output reduces to a single
+//! rendered coefficient, so zero-elimination/CSE bookkeeping errors cannot
+//! hide behind floating-point slack.
+
+use lowino_winograd::codelet::Codelet;
+use lowino_winograd::matrices::RatMat;
+use lowino_winograd::{Rational, WinogradMatrices};
+
+/// `(numerator, denominator)` golden entry.
+type Q = (i128, i128);
+
+fn assert_matches_golden(name: &str, got: &RatMat, want: &[&[Q]]) {
+    let (rows, cols) = got.dims();
+    assert_eq!(rows, want.len(), "{name}: row count");
+    assert_eq!(cols, want[0].len(), "{name}: column count");
+    for i in 0..rows {
+        for j in 0..cols {
+            let (n, d) = want[i][j];
+            assert_eq!(
+                got[(i, j)],
+                Rational::new(n, d),
+                "{name}[{i},{j}]: got {:?}, want {n}/{d}",
+                got[(i, j)]
+            );
+        }
+    }
+}
+
+// -- F(2,3): paper Eq. 2 (left), Lavin canonical -------------------------
+
+const F2_BT: &[&[Q]] = &[
+    &[(1, 1), (0, 1), (-1, 1), (0, 1)],
+    &[(0, 1), (1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (-1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (1, 1), (0, 1), (-1, 1)],
+];
+const F2_G: &[&[Q]] = &[
+    &[(1, 1), (0, 1), (0, 1)],
+    &[(1, 2), (1, 2), (1, 2)],
+    &[(1, 2), (-1, 2), (1, 2)],
+    &[(0, 1), (0, 1), (1, 1)],
+];
+const F2_AT: &[&[Q]] = &[
+    &[(1, 1), (1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (1, 1), (-1, 1), (-1, 1)],
+];
+
+// -- F(4,3): paper Eq. 2 (right), Lavin canonical ------------------------
+
+const F4_BT: &[&[Q]] = &[
+    &[(4, 1), (0, 1), (-5, 1), (0, 1), (1, 1), (0, 1)],
+    &[(0, 1), (-4, 1), (-4, 1), (1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (4, 1), (-4, 1), (-1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (-2, 1), (-1, 1), (2, 1), (1, 1), (0, 1)],
+    &[(0, 1), (2, 1), (-1, 1), (-2, 1), (1, 1), (0, 1)],
+    &[(0, 1), (4, 1), (0, 1), (-5, 1), (0, 1), (1, 1)],
+];
+const F4_G: &[&[Q]] = &[
+    &[(1, 4), (0, 1), (0, 1)],
+    &[(-1, 6), (-1, 6), (-1, 6)],
+    &[(-1, 6), (1, 6), (-1, 6)],
+    &[(1, 24), (1, 12), (1, 6)],
+    &[(1, 24), (-1, 12), (1, 6)],
+    &[(0, 1), (0, 1), (1, 1)],
+];
+const F4_AT: &[&[Q]] = &[
+    &[(1, 1), (1, 1), (1, 1), (1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (1, 1), (-1, 1), (2, 1), (-2, 1), (0, 1)],
+    &[(0, 1), (1, 1), (1, 1), (4, 1), (4, 1), (0, 1)],
+    &[(0, 1), (1, 1), (-1, 1), (8, 1), (-8, 1), (1, 1)],
+];
+
+// -- F(6,3): Cook–Toom over [0, ±1, ±2, ±1/2] ∪ {∞}, Bᵀ integral ---------
+
+const F6_BT: &[&[Q]] = &[
+    &[(4, 1), (0, 1), (-21, 1), (0, 1), (21, 1), (0, 1), (-4, 1), (0, 1)],
+    &[(0, 1), (-4, 1), (-4, 1), (17, 1), (17, 1), (-4, 1), (-4, 1), (0, 1)],
+    &[(0, 1), (4, 1), (-4, 1), (-17, 1), (17, 1), (4, 1), (-4, 1), (0, 1)],
+    &[(0, 1), (2, 1), (1, 1), (-10, 1), (-5, 1), (8, 1), (4, 1), (0, 1)],
+    &[(0, 1), (-2, 1), (1, 1), (10, 1), (-5, 1), (-8, 1), (4, 1), (0, 1)],
+    &[(0, 1), (64, 1), (128, 1), (-80, 1), (-160, 1), (16, 1), (32, 1), (0, 1)],
+    &[(0, 1), (-64, 1), (128, 1), (80, 1), (-160, 1), (-16, 1), (32, 1), (0, 1)],
+    &[(0, 1), (-4, 1), (0, 1), (21, 1), (0, 1), (-21, 1), (0, 1), (4, 1)],
+];
+const F6_G: &[&[Q]] = &[
+    &[(1, 4), (0, 1), (0, 1)],
+    &[(1, 18), (1, 18), (1, 18)],
+    &[(1, 18), (-1, 18), (1, 18)],
+    &[(1, 360), (1, 180), (1, 90)],
+    &[(1, 360), (-1, 180), (1, 90)],
+    &[(1, 45), (1, 90), (1, 180)],
+    &[(1, 45), (-1, 90), (1, 180)],
+    &[(0, 1), (0, 1), (1, 4)],
+];
+const F6_AT: &[&[Q]] = &[
+    &[(1, 1), (1, 1), (1, 1), (1, 1), (1, 1), (1, 1), (1, 1), (0, 1)],
+    &[(0, 1), (1, 1), (-1, 1), (2, 1), (-2, 1), (1, 2), (-1, 2), (0, 1)],
+    &[(0, 1), (1, 1), (1, 1), (4, 1), (4, 1), (1, 4), (1, 4), (0, 1)],
+    &[(0, 1), (1, 1), (-1, 1), (8, 1), (-8, 1), (1, 8), (-1, 8), (0, 1)],
+    &[(0, 1), (1, 1), (1, 1), (16, 1), (16, 1), (1, 16), (1, 16), (0, 1)],
+    &[(0, 1), (1, 1), (-1, 1), (32, 1), (-32, 1), (1, 32), (-1, 32), (1, 1)],
+];
+
+/// One golden matrix: rows of exact `(numer, denom)` entries.
+type Golden = &'static [&'static [Q]];
+
+fn goldens() -> [(usize, Golden, Golden, Golden); 3] {
+    [
+        (2, F2_BT, F2_G, F2_AT),
+        (4, F4_BT, F4_G, F4_AT),
+        (6, F6_BT, F6_G, F6_AT),
+    ]
+}
+
+#[test]
+fn transform_matrices_match_exact_golden_constants() {
+    for (m, bt, g, at) in goldens() {
+        let w = WinogradMatrices::for_tile(m, 3).unwrap();
+        assert_matches_golden(&format!("F({m},3) Bᵀ"), &w.bt, bt);
+        assert_matches_golden(&format!("F({m},3) G"), &w.g, g);
+        assert_matches_golden(&format!("F({m},3) Aᵀ"), &w.at, at);
+    }
+}
+
+#[test]
+fn golden_constants_satisfy_minimal_filtering_identity() {
+    // The goldens themselves must form a correct algorithm — this guards the
+    // golden tables against transcription errors, independently of the
+    // generator they were captured from.
+    for (m, bt, g, at) in goldens() {
+        let build = |rows: &[&[Q]]| {
+            RatMat::from_fn(rows.len(), rows[0].len(), |i, j| {
+                Rational::new(rows[i][j].0, rows[i][j].1)
+            })
+        };
+        let mut w = WinogradMatrices::for_tile(m, 3).unwrap();
+        w.at = build(at);
+        w.g = build(g);
+        w.bt = build(bt);
+        assert!(w.verify_identity(), "F({m},3) golden identity");
+    }
+}
+
+/// ULP distance between two f32 values (0 = bit-identical, with ±0 unified).
+fn ulp_diff(a: f32, b: f32) -> u32 {
+    // Map to a monotone integer line (sign-magnitude -> two's complement).
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        i64::from(if bits < 0 { i32::MIN - bits } else { bits })
+    }
+    (key(a) - key(b)).unsigned_abs().min(u64::from(u32::MAX)) as u32
+}
+
+#[test]
+fn codelets_reproduce_golden_constants_to_f32_ulp() {
+    // Feeding basis vectors through the generated codelets recovers every
+    // matrix column; each output must equal the rendered golden constant to
+    // within one ULP (in practice bit-exact: on a basis vector each output
+    // is one coefficient, and the CSE temporaries only multiply by ±1).
+    for (m, bt, g, at) in goldens() {
+        let w = WinogradMatrices::for_tile(m, 3).unwrap();
+        for (name, mat, golden) in [("Bᵀ", &w.bt, bt), ("G", &w.g, g), ("Aᵀ", &w.at, at)] {
+            let code = Codelet::generate(mat);
+            let (rows, cols) = mat.dims();
+            let mut scratch = vec![0.0f32; code.n_temps().max(1)];
+            for j in 0..cols {
+                let mut basis = vec![0.0f32; cols];
+                basis[j] = 1.0;
+                let mut out = vec![0.0f32; rows];
+                code.execute_f32(1, &basis, 0, 1, &mut out, 0, 1, &mut scratch);
+                for (i, &got) in out.iter().enumerate() {
+                    let want = Rational::new(golden[i][j].0, golden[i][j].1).to_f32();
+                    assert!(
+                        ulp_diff(got, want) <= 1,
+                        "F({m},3) {name}[{i},{j}]: codelet {got} ({:#010x}) vs golden {want} ({:#010x})",
+                        got.to_bits(),
+                        want.to_bits()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_transformer_uses_golden_matrices() {
+    use lowino_winograd::TileTransformer;
+    // The transformer consumed by the conv pipeline must be built from the
+    // same pinned matrices (not a divergent copy).
+    for (m, bt, g, at) in goldens() {
+        let t = TileTransformer::new(m, 3).unwrap();
+        assert_matches_golden(&format!("F({m},3) Bᵀ"), &t.matrices().bt, bt);
+        assert_matches_golden(&format!("F({m},3) G"), &t.matrices().g, g);
+        assert_matches_golden(&format!("F({m},3) Aᵀ"), &t.matrices().at, at);
+    }
+}

@@ -34,7 +34,7 @@ fn layer_workspaces_are_reusable_across_inputs() {
         .unwrap();
 
     // Fresh layer per input as the no-reuse baseline.
-    let mut fresh = |img: &BlockedImage| -> Tensor4 {
+    let fresh = |img: &BlockedImage| -> Tensor4 {
         let mut engine2 = Engine::new(1);
         let mut l = LayerBuilder::new(spec, &w)
             .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))

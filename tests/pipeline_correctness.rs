@@ -4,7 +4,7 @@
 
 use lowino::prelude::*;
 use lowino_conv::algo::direct_f32::reference_conv_nchw;
-use proptest::prelude::*;
+use lowino_testkit::{one_of, prop_assert, property};
 
 fn synth(spec: &ConvShape, seed: u64) -> (Tensor4, Tensor4) {
     let mut s = seed | 1;
@@ -147,18 +147,16 @@ fn five_by_five_filters_winograd() {
     assert!(err < 1e-3, "F(2,5): {err}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random small shapes: the quantized LoWino pipeline must always stay
-    /// within its error budget of the scalar reference.
-    #[test]
+// Random small shapes: the quantized LoWino pipeline must always stay
+// within its error budget of the scalar reference.
+property! {
+    #[cases(12)]
     fn lowino_random_shapes(
         batch in 1usize..3,
         c in 1usize..24,
         k in 1usize..24,
         hw in 6usize..15,
-        m in prop::sample::select(vec![2usize, 4]),
+        m in one_of(&[2usize, 4]),
         seed in 0u64..1000,
     ) {
         let spec = ConvShape::same(batch, c, k, hw, 3).validate().unwrap();
