@@ -21,6 +21,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline"
 cargo test -q --offline --workspace
 
+# Smoke-run the schedule bench: proves the bench targets build and that
+# both the fused single-fork-join path and the retained three-fork-join
+# reference path execute end to end (seconds-long smoke configuration).
+echo "==> bench smoke (forkjoin, LOWINO_BENCH_SMOKE=1)"
+LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench forkjoin
+
 if [[ "$run_lint" == 1 ]]; then
     if cargo clippy --version >/dev/null 2>&1; then
         echo "==> cargo clippy (-D warnings)"

@@ -1,0 +1,89 @@
+//! Fork-join schedule bench backing the single-fork-join refactor: whole
+//! layer time of the fused `LoWinoConv::execute` (one phased pool job, all
+//! scratch drawn from the persistent per-worker arenas) against the
+//! retained `execute_three_fork_join` reference path (one pool wake/park
+//! per stage, per-call scratch allocation) on small-spatial Table 2 layers
+//! at several thread counts.
+//!
+//! Small-spatial layers are where the schedule matters most: stage bodies
+//! are short, so the fixed wake/park + allocation cost of three fork-joins
+//! is a visible fraction of the layer. Batch sizes are scaled down
+//! (`batch_div`) for CI-sized hosts, same convention as the `layers`
+//! bench.
+//!
+//! Run with `cargo bench --bench forkjoin`; set
+//! `LOWINO_BENCH_JSON=BENCH_PR2.json` to accumulate the JSON-line log and
+//! `LOWINO_BENCH_SMOKE=1` for a seconds-long CI smoke configuration.
+
+use lowino_bench::layers::layer_by_name;
+use lowino_bench::{synth_input, synth_weights};
+use lowino_conv::{calibrate_winograd_domain, ConvContext, ConvExecutor, LoWinoConv};
+use lowino_tensor::BlockedImage;
+use lowino_testkit::{black_box, BenchGroup};
+use std::time::Duration;
+
+struct Config {
+    smoke: bool,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        Self {
+            smoke: std::env::var("LOWINO_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
+        }
+    }
+}
+
+fn bench_layer(name: &str, batch_div: usize, hw_div: usize, m: usize, cfg: &Config) {
+    let layer = layer_by_name(name).expect("Table 2 layer");
+    let spec = layer.shape(batch_div, hw_div);
+    let weights = synth_weights(&spec, 42);
+    let input = BlockedImage::from_nchw(&synth_input(&spec, 7));
+    let cal = calibrate_winograd_domain(&spec, m, std::slice::from_ref(&input))
+        .expect("winograd-domain calibration");
+    let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+
+    let threads: &[usize] = if cfg.smoke { &[1, 2] } else { &[1, 2, 4] };
+    for &t in threads {
+        let mut ctx = ConvContext::new(t);
+        let mut conv = LoWinoConv::new(spec, m, &weights, cal).expect("plan LoWino layer");
+
+        let mut group = BenchGroup::new(format!("forkjoin/{name}/t{t}"));
+        if cfg.smoke {
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(60))
+                .warm_up_time(Duration::from_millis(20));
+        } else {
+            group
+                .sample_size(10)
+                .measurement_time(Duration::from_secs(2))
+                .warm_up_time(Duration::from_millis(300));
+        }
+        group.throughput_elements(spec.direct_macs());
+
+        group.bench_function("fused", || {
+            let timings = conv.execute(&input, &mut out, &mut ctx);
+            black_box(timings.total());
+        });
+        group.bench_function("three_fork_join", || {
+            let timings = conv.execute_three_fork_join(&input, &mut out, &mut ctx);
+            black_box(timings.total());
+        });
+    }
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    if cfg.smoke {
+        // One tiny layer, enough to prove both paths build and run.
+        bench_layer("GoogLeNet_c", 64, 1, 4, &cfg);
+        return;
+    }
+    // Small-spatial layers (short stage bodies → schedule-dominated), one
+    // medium-spatial control. Batch scaled for 1–4 core CI hosts.
+    bench_layer("ResNet-50_c", 16, 1, 4, &cfg); // 7×7, K=512
+    bench_layer("GoogLeNet_c", 16, 1, 4, &cfg); // 7×7, K=384
+    bench_layer("ResNet-50_b", 16, 1, 4, &cfg); // 14×14, K=256
+    bench_layer("VGG16_c", 32, 1, 4, &cfg); // 16×16, K=512 (control)
+}

@@ -13,8 +13,6 @@
 //!    the combined compensation row), then `Z` is de-quantized into the
 //!    blocked output.
 
-use std::time::Instant;
-
 use lowino_gemm::kernel::{microkernel, Seed};
 use lowino_gemm::{Blocking, GemmShape, UPanel, ZPanel};
 use lowino_quant::QParams;
@@ -112,6 +110,11 @@ impl ConvExecutor for DirectInt8Conv {
         Algorithm::DirectInt8
     }
 
+    /// Single-fork-join schedule: quantization, the `r²` GEMM passes and
+    /// de-quantization run as barrier-separated phases of one pool job.
+    /// This executor's phase bodies use only small stack arrays, so —
+    /// unlike the Winograd executors — it draws nothing from the scratch
+    /// arena; the padded u8 buffer is a planned member already.
     fn execute(
         &mut self,
         input: &BlockedImage,
@@ -119,22 +122,46 @@ impl ConvExecutor for DirectInt8Conv {
         ctx: &mut ConvContext,
     ) -> StageTimings {
         check_io(&self.spec, input, output);
-        let mut timings = StageTimings::default();
         let spec = self.spec;
         let (out_h, out_w) = (spec.out_h(), spec.out_w());
         let (hp, wp) = (spec.h + 2 * spec.pad, spec.w + 2 * spec.pad);
         let r = spec.r;
-        let tier = ctx.tier;
         let alpha = self.alpha_in.alpha;
         let cp = self.cp;
         let c_blocks = cp / LANES;
 
-        // Stage ①: quantize the input once into the padded u8 buffer.
-        let start = Instant::now();
-        {
-            let qb: &AlignedBuf<u8> = &self.qbuf;
-            let rows = spec.batch * spec.h;
-            ctx.pool.run(rows, |_, range| {
+        let ConvContext {
+            pool,
+            tier,
+            wisdom,
+            ..
+        } = ctx;
+        let tier = *tier;
+
+        let shape = self.gemm_shape();
+        let blocking = self
+            .blocking_override
+            .unwrap_or_else(|| wisdom.blocking_or_default(&shape));
+        let blocking = lowino_gemm::normalize_for(&blocking, &shape);
+        let kp = self.u_panel.kp();
+        let zp: &ZPanel = &self.z_panel;
+        let up: &UPanel = &self.u_panel;
+        let qb: &AlignedBuf<u8> = &self.qbuf;
+        let zbar: &[i32] = self.zbar_total.as_slice();
+        let z_stride = zp.n_stride();
+        let inv = self.alpha_in.product_dequant(&self.alpha_w);
+        let out_ref: &BlockedImage = output;
+        let k_blocks = out_ref.c_blocks();
+
+        let totals = [
+            spec.batch * spec.h,
+            // Task = one output row (b, oy); Z regions are disjoint per row.
+            spec.batch * out_h,
+            spec.batch * out_h * out_w,
+        ];
+        let times = pool.run_phases(&totals, |_, phase, range| match phase {
+            // -- Phase ①: quantize the input once into the padded u8 buffer.
+            0 => {
                 let mut q = [0u8; LANES];
                 for row in range {
                     let b = row / spec.h;
@@ -160,114 +187,95 @@ impl ConvExecutor for DirectInt8Conv {
                     }
                 }
                 stream_fence();
-            });
-        }
-        timings.input_transform = start.elapsed();
-
-        // Stage ②: r² shifted-pointer GEMM passes accumulating into Z.
-        let start = Instant::now();
-        let shape = self.gemm_shape();
-        let blocking = self
-            .blocking_override
-            .unwrap_or_else(|| ctx.wisdom.blocking_or_default(&shape));
-        let blocking = lowino_gemm::normalize_for(&blocking, &shape);
-        let kp = self.u_panel.kp();
-        let zp: &ZPanel = &self.z_panel;
-        let up: &UPanel = &self.u_panel;
-        let qb: &AlignedBuf<u8> = &self.qbuf;
-        let zbar: &[i32] = self.zbar_total.as_slice();
-        let z_stride = zp.n_stride();
-        // Task = one output row (b, oy); Z regions are disjoint per row.
-        let tasks = spec.batch * out_h;
-        ctx.pool.run(tasks, |_, range| {
-            for task in range {
-                let b = task / out_h;
-                let oy = task % out_h;
-                let n_base = (b * out_h + oy) * out_w;
-                let mut x0 = 0;
-                while x0 < out_w {
-                    let x_end = (x0 + blocking.n_blk).min(out_w);
-                    let mut k0 = 0;
-                    while k0 < kp {
-                        let k_end = (k0 + blocking.k_blk).min(kp);
-                        for t in 0..r * r {
-                            let (dy, dx) = (t / r, t % r);
-                            let seed_first = t == 0;
-                            let mut x1 = x0;
-                            while x1 < x_end {
-                                let rb = (x_end - x1).min(blocking.row_blk);
-                                let mut k1 = k0;
-                                while k1 < k_end {
-                                    let cb = ((k_end - k1) / 16).min(blocking.col_blk);
-                                    let seed = if seed_first {
-                                        Seed::Zbar(unsafe { zbar.as_ptr().add(k1) })
-                                    } else {
-                                        Seed::Accumulate
-                                    };
-                                    // SAFETY: the shifted input rows
-                                    // (oy+dy, x1+dx .. x1+dx+rb) are inside
-                                    // the padded buffer; Z rows are owned
-                                    // by this task.
-                                    unsafe {
-                                        let v_ptr = qb.as_ptr().add(
-                                            ((b * hp + oy + dy) * wp + x1 + dx) * cp,
-                                        );
-                                        let u_ptr = up.block_ptr(t, k1);
-                                        let z_ptr =
-                                            zp.store_ptr_shared(0, n_base + x1, k1);
-                                        microkernel(
-                                            tier,
-                                            rb,
-                                            cb,
-                                            v_ptr,
-                                            cp,
-                                            u_ptr,
-                                            up.c4_stride(),
-                                            cp / 4,
-                                            seed,
-                                            z_ptr,
-                                            z_stride,
-                                        );
+            }
+            // -- Phase ②: r² shifted-pointer GEMM passes accumulating
+            // into Z.
+            1 => {
+                for task in range {
+                    let b = task / out_h;
+                    let oy = task % out_h;
+                    let n_base = (b * out_h + oy) * out_w;
+                    let mut x0 = 0;
+                    while x0 < out_w {
+                        let x_end = (x0 + blocking.n_blk).min(out_w);
+                        let mut k0 = 0;
+                        while k0 < kp {
+                            let k_end = (k0 + blocking.k_blk).min(kp);
+                            for t in 0..r * r {
+                                let (dy, dx) = (t / r, t % r);
+                                let seed_first = t == 0;
+                                let mut x1 = x0;
+                                while x1 < x_end {
+                                    let rb = (x_end - x1).min(blocking.row_blk);
+                                    let mut k1 = k0;
+                                    while k1 < k_end {
+                                        let cb = ((k_end - k1) / 16).min(blocking.col_blk);
+                                        let seed = if seed_first {
+                                            Seed::Zbar(unsafe { zbar.as_ptr().add(k1) })
+                                        } else {
+                                            Seed::Accumulate
+                                        };
+                                        // SAFETY: the shifted input rows
+                                        // (oy+dy, x1+dx .. x1+dx+rb) are
+                                        // inside the padded buffer; Z rows
+                                        // are owned by this task.
+                                        unsafe {
+                                            let v_ptr = qb.as_ptr().add(
+                                                ((b * hp + oy + dy) * wp + x1 + dx) * cp,
+                                            );
+                                            let u_ptr = up.block_ptr(t, k1);
+                                            let z_ptr =
+                                                zp.store_ptr_shared(0, n_base + x1, k1);
+                                            microkernel(
+                                                tier,
+                                                rb,
+                                                cb,
+                                                v_ptr,
+                                                cp,
+                                                u_ptr,
+                                                up.c4_stride(),
+                                                cp / 4,
+                                                seed,
+                                                z_ptr,
+                                                z_stride,
+                                            );
+                                        }
+                                        k1 += cb * 16;
                                     }
-                                    k1 += cb * 16;
+                                    x1 += rb;
                                 }
-                                x1 += rb;
                             }
+                            k0 = k_end;
                         }
-                        k0 = k_end;
+                        x0 = x_end;
                     }
-                    x0 = x_end;
                 }
+                stream_fence();
             }
-            stream_fence();
-        });
-        timings.gemm = start.elapsed();
-
-        // Stage ③: de-quantize into the blocked output.
-        let start = Instant::now();
-        let inv = self.alpha_in.product_dequant(&self.alpha_w);
-        let out_ref: &BlockedImage = output;
-        let k_blocks = output.c_blocks();
-        let n_rows = spec.batch * out_h * out_w;
-        ctx.pool.run(n_rows, |_, range| {
-            let mut f = [0f32; LANES];
-            for row in range {
-                let b = row / (out_h * out_w);
-                let oy = (row / out_w) % out_h;
-                let ox = row % out_w;
-                for kg in 0..k_blocks {
-                    let block = zp.tile_block(kg, row); // T = 1 -> 64 lanes
-                    lowino_simd::dequantize_i32_lanes(block, inv, &mut f);
-                    // SAFETY: one task per output pixel.
-                    unsafe {
-                        let dst = out_ref.lanes_ptr_shared(b, kg, oy, ox);
-                        core::ptr::copy_nonoverlapping(f.as_ptr(), dst, LANES);
+            // -- Phase ③: de-quantize into the blocked output.
+            _ => {
+                let mut f = [0f32; LANES];
+                for row in range {
+                    let b = row / (out_h * out_w);
+                    let oy = (row / out_w) % out_h;
+                    let ox = row % out_w;
+                    for kg in 0..k_blocks {
+                        let block = zp.tile_block(kg, row); // T = 1 -> 64 lanes
+                        lowino_simd::dequantize_i32_lanes(block, inv, &mut f);
+                        // SAFETY: one task per output pixel.
+                        unsafe {
+                            let dst = out_ref.lanes_ptr_shared(b, kg, oy, ox);
+                            core::ptr::copy_nonoverlapping(f.as_ptr(), dst, LANES);
+                        }
                     }
                 }
             }
         });
-        timings.output_transform = start.elapsed();
-        timings
+        StageTimings {
+            input_transform: times[0],
+            gemm: times[1],
+            output_transform: times[2],
+        }
     }
 }
 

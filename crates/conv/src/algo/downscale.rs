@@ -14,9 +14,7 @@
 //! small cache blocking (`N_blk`/`K_blk` of one L2-resident partition)
 //! unless the caller overrides it.
 
-use std::time::Instant;
-
-use lowino_gemm::{batched_gemm_u8i8, Blocking, GemmShape, UPanel, VPanel, ZPanel};
+use lowino_gemm::{Blocking, GemmShape, GemmTasks, UPanel, VPanel, ZPanel};
 use lowino_quant::QParams;
 use lowino_simd::{store::stream_fence, stream_store_u8_64};
 use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
@@ -26,6 +24,7 @@ use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
 use crate::error::ConvError;
 use crate::filter::pack_filters_lowino;
+use crate::scratch::{ensure_f32, ensure_i32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
 use crate::tiles::{scatter_output_tile, tile_coords, tile_origin};
 
@@ -138,6 +137,10 @@ impl ConvExecutor for DownScaleConv {
         Algorithm::DownScale { m: self.geom.m }
     }
 
+    /// Single-fork-join schedule: the four stages (spatial quantization,
+    /// integer transform, GEMM, output transform) run as barrier-separated
+    /// phases of one pool job, with working buffers from the context's
+    /// persistent per-worker [`ScratchArena`].
     fn execute(
         &mut self,
         input: &BlockedImage,
@@ -145,26 +148,56 @@ impl ConvExecutor for DownScaleConv {
         ctx: &mut ConvContext,
     ) -> StageTimings {
         check_io(&self.spec, input, output);
-        let mut timings = StageTimings::default();
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
         let tt = &self.tt;
-        let tier = ctx.tier;
         let alpha_in = self.alpha_in.alpha;
         let alpha_ds = self.alpha_ds;
-
-        // Stage ① part A: quantize the input image ONCE into the padded
-        // INT8 buffer (❶ of Fig. 2b) — the oneDNN design: overlapping
-        // tiles then re-read cheap INT8 bytes.
-        let start = Instant::now();
         let (hp, wp) = (self.hp, self.wp);
         let cp = lowino_tensor::round_up(spec.in_c, LANES);
         let c_blocks = cp / LANES;
-        {
-            let qb: &AlignedBuf<i8> = &self.qbuf;
-            let rows = spec.batch * spec.h;
-            ctx.pool.run(rows, |_, range| {
+
+        let ConvContext {
+            pool,
+            tier,
+            scratch,
+            ..
+        } = ctx;
+        let tier = *tier;
+        let scratch: &ScratchArena = scratch;
+
+        // Plan stage ③ (the GEMM) with the oneDNN-like partition-capped
+        // blocking; the plan's exclusive borrow of `Z` lives through the
+        // whole fork-join.
+        let shape = self.gemm_shape();
+        let blocking = self
+            .blocking_override
+            .unwrap_or_else(|| self.onednn_like_blocking());
+        let vp: &VPanel = &self.v_panel;
+        let qb: &AlignedBuf<i8> = &self.qbuf;
+        let gemm = GemmTasks::plan(
+            tier,
+            &shape,
+            &blocking,
+            &self.v_panel,
+            &self.u_panel,
+            &mut self.z_panel,
+        );
+        let inv = 1.0 / (alpha_in * alpha_ds * self.alpha_u.alpha);
+
+        let out_ref: &BlockedImage = output;
+        let totals = [
+            spec.batch * spec.h,
+            c_blocks * geom.total,
+            gemm.total(),
+            out_ref.c_blocks() * geom.total,
+        ];
+        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+            // -- Phase ① part A: quantize the input image ONCE into the
+            // padded INT8 buffer (❶ of Fig. 2b) — the oneDNN design:
+            // overlapping tiles then re-read cheap INT8 bytes.
+            0 => {
                 for row in range {
                     let b = row / spec.h;
                     let y = row % spec.h;
@@ -186,103 +219,97 @@ impl ConvExecutor for DownScaleConv {
                         }
                     }
                 }
-            });
-        }
-
-        // Stage ① part B: integer transform of INT8 tiles, down-scale,
-        // round back to INT8 (❷ — the lossy step), +128 compensation.
-        let vp: &VPanel = &self.v_panel;
-        let qb: &AlignedBuf<i8> = &self.qbuf;
-        let tasks = c_blocks * geom.total;
-        ctx.pool.run(tasks, |_, range| {
-            let mut scratch = tt.make_scratch(LANES);
-            let mut patch_q = vec![0i32; n * n * LANES];
-            let mut v_int = vec![0i32; n * n * LANES];
-            let mut q = [0u8; LANES];
-            for task in range {
-                let cb = task / geom.total;
-                let tile = task % geom.total;
-                let (b, ty, tx) = tile_coords(&geom, tile);
-                let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
-                // Gather the INT8 tile (pad offsets shift the origin into
-                // the padded buffer, so indices are always in bounds).
-                for i in 0..n {
-                    for j in 0..n {
-                        let yy = (y0 + i as isize + spec.pad as isize) as usize;
-                        let xx = (x0 + j as isize + spec.pad as isize) as usize;
-                        let off = ((b * hp + yy) * wp + xx) * cp + cb * LANES;
-                        let src = &qb.as_slice()[off..off + LANES];
-                        let dst = &mut patch_q[(i * n + j) * LANES..][..LANES];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d = i32::from(s);
+            }
+            // -- Phase ① part B: integer transform of INT8 tiles,
+            // down-scale, round back to INT8 (❷ — the lossy step), +128
+            // compensation.
+            1 => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_i,
+                    tile_i,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let patch_q = ensure_i32(patch_i, n * n * LANES);
+                let v_int = ensure_i32(tile_i, n * n * LANES);
+                let mut q = [0u8; LANES];
+                for task in range {
+                    let cb = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                    // Gather the INT8 tile (pad offsets shift the origin into
+                    // the padded buffer, so indices are always in bounds).
+                    for i in 0..n {
+                        for j in 0..n {
+                            let yy = (y0 + i as isize + spec.pad as isize) as usize;
+                            let xx = (x0 + j as isize + spec.pad as isize) as usize;
+                            let off = ((b * hp + yy) * wp + xx) * cp + cb * LANES;
+                            let src = &qb.as_slice()[off..off + LANES];
+                            let dst = &mut patch_q[(i * n + j) * LANES..][..LANES];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d = i32::from(s);
+                            }
+                        }
+                    }
+                    // Exact integer Winograd transform (range grows up to
+                    // `growth(m)×`).
+                    tt.input_tile_i32(patch_q, v_int, transform);
+                    for t in 0..t_count {
+                        let src = &v_int[t * LANES..(t + 1) * LANES];
+                        for (qv, &sv) in q.iter_mut().zip(src) {
+                            let scaled = (sv as f32 * alpha_ds)
+                                .round_ties_even()
+                                .clamp(-127.0, 127.0);
+                            *qv = (scaled as i32 + 128) as u8;
+                        }
+                        // SAFETY: disjoint cache lines per task.
+                        unsafe {
+                            let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                            let dst = core::slice::from_raw_parts_mut(dst, LANES);
+                            stream_store_u8_64(tier, dst, &q);
                         }
                     }
                 }
-                // Exact integer Winograd transform (range grows up to
-                // `growth(m)×`).
-                tt.input_tile_i32(&patch_q, &mut v_int, &mut scratch);
-                for t in 0..t_count {
-                    let src = &v_int[t * LANES..(t + 1) * LANES];
-                    for (qv, &sv) in q.iter_mut().zip(src) {
-                        let scaled = (sv as f32 * alpha_ds)
-                            .round_ties_even()
-                            .clamp(-127.0, 127.0);
-                        *qv = (scaled as i32 + 128) as u8;
-                    }
-                    // SAFETY: disjoint cache lines per task.
+                // Drain the non-temporal stores before the phase barrier.
+                stream_fence();
+            }
+            // -- Phase ②: the GEMM.
+            2 => gemm.run_range(range),
+            // -- Phase ③: de-quantize + output transform. Effective input
+            // scale is α_in·α_ds (the spatial scale times the transform
+            // down-scale).
+            _ => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_f,
+                    tile_f,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let zf = ensure_f32(patch_f, t_count * LANES);
+                let y = ensure_f32(tile_f, m * m * LANES);
+                for task in range {
+                    let kg = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    lowino_simd::dequantize_i32_lanes(gemm.z().tile_block(kg, tile), inv, zf);
+                    tt.output_tile_f32(zf, y, transform);
+                    // SAFETY: output tiles never overlap.
                     unsafe {
-                        let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
-                        let dst = core::slice::from_raw_parts_mut(dst, LANES);
-                        stream_store_u8_64(tier, dst, &q);
+                        scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);
                     }
                 }
             }
-            stream_fence();
         });
-        timings.input_transform = start.elapsed();
-
-        // Stage ②: GEMM with the oneDNN-like partition-capped blocking.
-        let start = Instant::now();
-        let shape = self.gemm_shape();
-        let blocking = self
-            .blocking_override
-            .unwrap_or_else(|| self.onednn_like_blocking());
-        batched_gemm_u8i8(
-            tier,
-            &shape,
-            &blocking,
-            &self.v_panel,
-            &self.u_panel,
-            &mut self.z_panel,
-            &mut ctx.pool,
-        );
-        timings.gemm = start.elapsed();
-
-        // Stage ③: de-quantize + output transform. Effective input scale is
-        // α_in·α_ds (the spatial scale times the transform down-scale).
-        let start = Instant::now();
-        let inv = 1.0 / (alpha_in * alpha_ds * self.alpha_u.alpha);
-        let zp: &ZPanel = &self.z_panel;
-        let out_ref: &BlockedImage = output;
-        let tasks = output.c_blocks() * geom.total;
-        ctx.pool.run(tasks, |_, range| {
-            let mut scratch = tt.make_scratch(LANES);
-            let mut zf = vec![0f32; t_count * LANES];
-            let mut y = vec![0f32; m * m * LANES];
-            for task in range {
-                let kg = task / geom.total;
-                let tile = task % geom.total;
-                let (b, ty, tx) = tile_coords(&geom, tile);
-                lowino_simd::dequantize_i32_lanes(zp.tile_block(kg, tile), inv, &mut zf);
-                tt.output_tile_f32(&zf, &mut y, &mut scratch);
-                // SAFETY: output tiles never overlap.
-                unsafe {
-                    scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, &y);
-                }
-            }
-        });
-        timings.output_transform = start.elapsed();
-        timings
+        StageTimings {
+            input_transform: times[0] + times[1],
+            gemm: times[2],
+            output_transform: times[3],
+        }
     }
 }
 

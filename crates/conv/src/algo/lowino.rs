@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use lowino_gemm::{batched_gemm_u8i8, Blocking, GemmShape, UPanel, VPanel, ZPanel};
+use lowino_gemm::{batched_gemm_u8i8, Blocking, GemmShape, GemmTasks, UPanel, VPanel, ZPanel};
 use lowino_quant::QParams;
 use lowino_simd::{quantize_f32_lanes_i8, store::stream_fence, stream_store_u8_64};
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
@@ -32,6 +32,7 @@ use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
 use crate::error::ConvError;
 use crate::filter::{pack_filters_lowino, pack_filters_lowino_per_position};
+use crate::scratch::{ensure_f32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
 use crate::tiles::{gather_patch, scatter_output_tile, tile_coords, tile_origin};
 
@@ -174,18 +175,13 @@ impl LoWinoConv {
     pub fn geometry(&self) -> &TileGeometry {
         &self.geom
     }
-}
 
-impl ConvExecutor for LoWinoConv {
-    fn spec(&self) -> &ConvShape {
-        &self.spec
-    }
-
-    fn algorithm(&self) -> Algorithm {
-        Algorithm::LoWino { m: self.geom.m }
-    }
-
-    fn execute(
+    /// The pre-PR-2 execution schedule: three separate pool fork-joins
+    /// (one per stage) with per-call scratch allocations inside the stage
+    /// closures. Kept verbatim as the reference point for the fork-join
+    /// benchmark and the fused-equivalence tests; [`ConvExecutor::execute`]
+    /// is the production single-fork-join path.
+    pub fn execute_three_fork_join(
         &mut self,
         input: &BlockedImage,
         output: &mut BlockedImage,
@@ -281,6 +277,158 @@ impl ConvExecutor for LoWinoConv {
         });
         timings.output_transform = start.elapsed();
         timings
+    }
+}
+
+impl ConvExecutor for LoWinoConv {
+    fn spec(&self) -> &ConvShape {
+        &self.spec
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::LoWino { m: self.geom.m }
+    }
+
+    /// The fused single-fork-join schedule (paper §4.4): all three pipeline
+    /// stages run inside **one** pool job, separated by in-pool barriers,
+    /// with working buffers drawn from the context's persistent per-worker
+    /// [`ScratchArena`]. Task decomposition and per-task computation order
+    /// are identical to [`LoWinoConv::execute_three_fork_join`], so outputs
+    /// are bitwise identical.
+    fn execute(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        ctx: &mut ConvContext,
+    ) -> StageTimings {
+        check_io(&self.spec, input, output);
+        let spec = self.spec;
+        let geom = self.geom;
+        let (n, m, t_count) = (geom.n, geom.m, geom.t());
+        let tt = &self.tt;
+        let alpha_v: &[f32] = &self.alpha_v;
+        let inv_alpha: &[f32] = &self.inv_alpha;
+
+        // Split the context so the pool (`&mut`) and the shared arena can
+        // be used simultaneously.
+        let ConvContext {
+            pool,
+            tier,
+            wisdom,
+            scratch,
+        } = ctx;
+        let tier = *tier;
+        let scratch: &ScratchArena = scratch;
+
+        // Plan stage ② up front; the plan's exclusive borrow of `Z` lives
+        // through the whole fork-join (phase ③ reads it via `z()`).
+        let shape = GemmShape {
+            t: t_count,
+            n: geom.total,
+            c: spec.in_c,
+            k: spec.out_c,
+        };
+        let blocking = self
+            .blocking_override
+            .unwrap_or_else(|| wisdom.blocking_or_default(&shape));
+        let vp: &VPanel = &self.v_panel;
+        let gemm = GemmTasks::plan(
+            tier,
+            &shape,
+            &blocking,
+            &self.v_panel,
+            &self.u_panel,
+            &mut self.z_panel,
+        );
+
+        let c_blocks = input.c_blocks();
+        let k_blocks = output.c_blocks();
+        let out_ref: &BlockedImage = output;
+        let totals = [
+            c_blocks * geom.total,
+            gemm.total(),
+            k_blocks * geom.total,
+        ];
+        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+            // -- Phase ①: input transformation + Winograd-domain quantization.
+            0 => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_f,
+                    tile_f,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let patch = ensure_f32(patch_f, n * n * LANES);
+                let v = ensure_f32(tile_f, n * n * LANES);
+                let mut q = [0u8; LANES];
+                for task in range {
+                    let cb = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                    gather_patch(input, b, cb, y0, x0, n, patch);
+                    tt.input_tile_f32(patch, v, transform);
+                    for t in 0..t_count {
+                        quantize_f32_lanes_i8(
+                            &v[t * LANES..(t + 1) * LANES],
+                            alpha_v[t],
+                            true,
+                            &mut q,
+                        );
+                        // SAFETY: each (t, tile, cb) cache line is written by
+                        // exactly one task; rows are 64-byte aligned.
+                        unsafe {
+                            let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                            let dst = core::slice::from_raw_parts_mut(dst, LANES);
+                            stream_store_u8_64(tier, dst, &q);
+                        }
+                    }
+                }
+                // Drain the non-temporal stores before the phase barrier —
+                // the GEMM phase reads V from other threads.
+                stream_fence();
+            }
+            // -- Phase ②: batched low-precision GEMM.
+            1 => gemm.run_range(range),
+            // -- Phase ③: de-quantize + output transformation.
+            _ => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_f,
+                    tile_f,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let zf = ensure_f32(patch_f, t_count * LANES);
+                let y = ensure_f32(tile_f, m * m * LANES);
+                for task in range {
+                    let kg = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    let block = gemm.z().tile_block(kg, tile);
+                    for t in 0..t_count {
+                        lowino_simd::dequantize_i32_lanes(
+                            &block[t * LANES..(t + 1) * LANES],
+                            inv_alpha[t],
+                            &mut zf[t * LANES..(t + 1) * LANES],
+                        );
+                    }
+                    tt.output_tile_f32(zf, y, transform);
+                    // SAFETY: output tiles never overlap; one task per tile.
+                    unsafe {
+                        scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);
+                    }
+                }
+            }
+        });
+        StageTimings {
+            input_transform: times[0],
+            gemm: times[1],
+            output_transform: times[2],
+        }
     }
 }
 
@@ -431,6 +579,43 @@ mod tests {
         a.execute(&img, &mut out_a, &mut ctx);
         b.execute(&img, &mut out_b, &mut ctx);
         assert_eq!(out_a.to_nchw().max_abs_diff(&out_b.to_nchw()), 0.0);
+    }
+
+    #[test]
+    fn fused_is_one_fork_join_and_matches_three_fork_join() {
+        let spec = ConvShape::same(2, 8, 16, 11, 3).validate().unwrap();
+        let input = Tensor4::from_fn(2, 8, 11, 11, |b, c, y, x| {
+            ((b * 3 + c * 7 + y * 11 + x * 13) as f32 * 0.31).sin()
+        });
+        let weights = Tensor4::from_fn(16, 8, 3, 3, |k, c, y, x| {
+            ((k + c * 2 + y + x) as f32 * 0.43).cos() * 0.3
+        });
+        let img = BlockedImage::from_nchw(&input);
+        let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
+        for threads in [1, 3] {
+            let mut fused = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+            let mut legacy = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+            let mut ctx = ConvContext::new(threads);
+            let mut out_fused = BlockedImage::zeros(2, 16, 11, 11);
+            let mut out_legacy = BlockedImage::zeros(2, 16, 11, 11);
+            let before = ctx.pool.fork_joins();
+            fused.execute(&img, &mut out_fused, &mut ctx);
+            assert_eq!(
+                ctx.pool.fork_joins() - before,
+                1,
+                "fused execute must be exactly one fork-join (threads={threads})"
+            );
+            legacy.execute_three_fork_join(&img, &mut out_legacy, &mut ctx);
+            assert!(
+                ctx.pool.fork_joins() - before > 1,
+                "legacy path must fork-join per stage"
+            );
+            assert_eq!(
+                out_fused.to_nchw().max_abs_diff(&out_legacy.to_nchw()),
+                0.0,
+                "fused and three-fork-join outputs must be bitwise identical (threads={threads})"
+            );
+        }
     }
 
     #[test]

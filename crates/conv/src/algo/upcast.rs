@@ -12,9 +12,7 @@
 //! by `growth(m)`, so `growth(m)·127` must fit in i16 — true for `m ≤ 4`,
 //! false for `m = 6`, which is exactly why ncnn only ships small tiles.
 
-use std::time::Instant;
-
-use lowino_gemm::int16::batched_gemm_i16;
+use lowino_gemm::int16::GemmTasksI16;
 use lowino_gemm::{GemmShape, UPanelI16, VPanelI16, ZPanel};
 use lowino_quant::QParams;
 use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
@@ -24,6 +22,7 @@ use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
 use crate::error::ConvError;
 use crate::filter::pack_filters_upcast;
+use crate::scratch::{ensure_f32, ensure_i32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
 use crate::tiles::{scatter_output_tile, tile_coords, tile_origin};
 
@@ -96,6 +95,10 @@ impl ConvExecutor for UpCastConv {
         Algorithm::UpCast { m: self.geom.m }
     }
 
+    /// Single-fork-join schedule: the four stages (spatial quantization,
+    /// integer transform, INT16 GEMM, output transform) run as
+    /// barrier-separated phases of one pool job, with working buffers from
+    /// the context's persistent per-worker [`ScratchArena`].
     fn execute(
         &mut self,
         input: &BlockedImage,
@@ -103,23 +106,46 @@ impl ConvExecutor for UpCastConv {
         ctx: &mut ConvContext,
     ) -> StageTimings {
         check_io(&self.spec, input, output);
-        let mut timings = StageTimings::default();
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
         let tt = &self.tt;
         let alpha_in = self.alpha_in.alpha;
-
-        // Stage ① part A: quantize the input once into the padded INT8
-        // buffer (shared design with the down-scaling baseline).
-        let start = Instant::now();
         let (hp, wp) = (self.hp, self.wp);
         let cp = lowino_tensor::round_up(spec.in_c, LANES);
         let c_blocks = cp / LANES;
-        {
-            let qb: &AlignedBuf<i8> = &self.qbuf;
-            let rows = spec.batch * spec.h;
-            ctx.pool.run(rows, |_, range| {
+
+        let ConvContext {
+            pool,
+            tier,
+            scratch,
+            ..
+        } = ctx;
+        let tier = *tier;
+        let scratch: &ScratchArena = scratch;
+
+        let shape = GemmShape {
+            t: t_count,
+            n: geom.total,
+            c: spec.in_c,
+            k: spec.out_c,
+        };
+        let vp: &VPanelI16 = &self.v_panel;
+        let qb: &AlignedBuf<i8> = &self.qbuf;
+        let gemm = GemmTasksI16::plan(tier, &shape, &self.v_panel, &self.u_panel, &mut self.z_panel);
+        let inv = 1.0 / (alpha_in * self.alpha_u.alpha);
+
+        let out_ref: &BlockedImage = output;
+        let totals = [
+            spec.batch * spec.h,
+            c_blocks * geom.total,
+            gemm.total(),
+            out_ref.c_blocks() * geom.total,
+        ];
+        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+            // -- Phase ① part A: quantize the input once into the padded
+            // INT8 buffer (shared design with the down-scaling baseline).
+            0 => {
                 for row in range {
                     let b = row / spec.h;
                     let y = row % spec.h;
@@ -141,94 +167,88 @@ impl ConvExecutor for UpCastConv {
                         }
                     }
                 }
-            });
-        }
-
-        // Stage ① part B: exact integer transform of INT8 tiles -> INT16.
-        let vp: &VPanelI16 = &self.v_panel;
-        let qb: &AlignedBuf<i8> = &self.qbuf;
-        let tasks = c_blocks * geom.total;
-        ctx.pool.run(tasks, |_, range| {
-            let mut scratch = tt.make_scratch(LANES);
-            let mut patch_q = vec![0i32; n * n * LANES];
-            let mut v_int = vec![0i32; n * n * LANES];
-            for task in range {
-                let cb = task / geom.total;
-                let tile = task % geom.total;
-                let (b, ty, tx) = tile_coords(&geom, tile);
-                let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
-                for i in 0..n {
-                    for j in 0..n {
-                        let yy = (y0 + i as isize + spec.pad as isize) as usize;
-                        let xx = (x0 + j as isize + spec.pad as isize) as usize;
-                        let off = ((b * hp + yy) * wp + xx) * cp + cb * LANES;
-                        let src = &qb.as_slice()[off..off + LANES];
-                        let dst = &mut patch_q[(i * n + j) * LANES..][..LANES];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d = i32::from(s);
+            }
+            // -- Phase ① part B: exact integer transform of INT8 → INT16.
+            1 => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_i,
+                    tile_i,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let patch_q = ensure_i32(patch_i, n * n * LANES);
+                let v_int = ensure_i32(tile_i, n * n * LANES);
+                for task in range {
+                    let cb = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                    for i in 0..n {
+                        for j in 0..n {
+                            let yy = (y0 + i as isize + spec.pad as isize) as usize;
+                            let xx = (x0 + j as isize + spec.pad as isize) as usize;
+                            let off = ((b * hp + yy) * wp + xx) * cp + cb * LANES;
+                            let src = &qb.as_slice()[off..off + LANES];
+                            let dst = &mut patch_q[(i * n + j) * LANES..][..LANES];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d = i32::from(s);
+                            }
+                        }
+                    }
+                    tt.input_tile_i32(patch_q, v_int, transform);
+                    // Up-cast ❶: exact in INT16 (capacity checked at plan
+                    // time).
+                    for t in 0..t_count {
+                        // SAFETY: disjoint (t, tile, cb) groups per task.
+                        unsafe {
+                            let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                            for l in 0..LANES {
+                                let val = v_int[t * LANES + l];
+                                debug_assert!(
+                                    val >= i32::from(i16::MIN) && val <= i32::from(i16::MAX)
+                                );
+                                *dst.add(l) = val as i16;
+                            }
                         }
                     }
                 }
-                tt.input_tile_i32(&patch_q, &mut v_int, &mut scratch);
-                // Up-cast ❶: exact in INT16 (capacity checked at plan time).
-                for t in 0..t_count {
-                    // SAFETY: disjoint (t, tile, cb) groups per task.
+            }
+            // -- Phase ②: INT16 GEMM (vpdpwssd — half VNNI throughput).
+            2 => gemm.run_range(range),
+            // -- Phase ③: de-quantize + output transform. The integer
+            // transform is exact, so the only scales are the spatial α_in
+            // and the filter α_U.
+            _ => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_f,
+                    tile_f,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let zf = ensure_f32(patch_f, t_count * LANES);
+                let y = ensure_f32(tile_f, m * m * LANES);
+                for task in range {
+                    let kg = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    lowino_simd::dequantize_i32_lanes(gemm.z().tile_block(kg, tile), inv, zf);
+                    tt.output_tile_f32(zf, y, transform);
+                    // SAFETY: output tiles never overlap.
                     unsafe {
-                        let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
-                        for l in 0..LANES {
-                            let val = v_int[t * LANES + l];
-                            debug_assert!(val >= i32::from(i16::MIN) && val <= i32::from(i16::MAX));
-                            *dst.add(l) = val as i16;
-                        }
+                        scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);
                     }
                 }
             }
         });
-        timings.input_transform = start.elapsed();
-
-        // Stage ②: INT16 GEMM (vpdpwssd — half VNNI throughput).
-        let start = Instant::now();
-        let shape = GemmShape {
-            t: t_count,
-            n: geom.total,
-            c: spec.in_c,
-            k: spec.out_c,
-        };
-        batched_gemm_i16(
-            ctx.tier,
-            &shape,
-            &self.v_panel,
-            &self.u_panel,
-            &mut self.z_panel,
-            &mut ctx.pool,
-        );
-        timings.gemm = start.elapsed();
-
-        // Stage ③: de-quantize + output transform. The integer transform is
-        // exact, so the only scales are the spatial α_in and the filter α_U.
-        let start = Instant::now();
-        let inv = 1.0 / (alpha_in * self.alpha_u.alpha);
-        let zp: &ZPanel = &self.z_panel;
-        let out_ref: &BlockedImage = output;
-        let tasks = output.c_blocks() * geom.total;
-        ctx.pool.run(tasks, |_, range| {
-            let mut scratch = tt.make_scratch(LANES);
-            let mut zf = vec![0f32; t_count * LANES];
-            let mut y = vec![0f32; m * m * LANES];
-            for task in range {
-                let kg = task / geom.total;
-                let tile = task % geom.total;
-                let (b, ty, tx) = tile_coords(&geom, tile);
-                lowino_simd::dequantize_i32_lanes(zp.tile_block(kg, tile), inv, &mut zf);
-                tt.output_tile_f32(&zf, &mut y, &mut scratch);
-                // SAFETY: output tiles never overlap.
-                unsafe {
-                    scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, &y);
-                }
-            }
-        });
-        timings.output_transform = start.elapsed();
-        timings
+        StageTimings {
+            input_transform: times[0] + times[1],
+            gemm: times[2],
+            output_transform: times[3],
+        }
     }
 }
 

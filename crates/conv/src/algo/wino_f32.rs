@@ -5,9 +5,7 @@
 //! (16 lanes/instr vs. VNNI's 64 MACs/instr — the 4× theoretical gap of
 //! paper §2.1).
 
-use std::time::Instant;
-
-use lowino_gemm::f32gemm::batched_gemm_f32;
+use lowino_gemm::f32gemm::GemmTasksF32;
 use lowino_gemm::{GemmShape, UPanelF32, VPanelF32, ZPanelF32};
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::TileTransformer;
@@ -16,6 +14,7 @@ use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
 use crate::error::ConvError;
 use crate::filter::pack_filters_f32;
+use crate::scratch::{ensure_f32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
 use crate::tiles::{gather_patch, scatter_output_tile, tile_coords, tile_origin};
 
@@ -57,6 +56,9 @@ impl ConvExecutor for WinogradF32Conv {
         Algorithm::WinogradF32 { m: self.geom.m }
     }
 
+    /// Single-fork-join schedule: the three stages run as barrier-separated
+    /// phases of one pool job; working buffers come from the context's
+    /// persistent per-worker [`ScratchArena`].
     fn execute(
         &mut self,
         input: &BlockedImage,
@@ -64,71 +66,91 @@ impl ConvExecutor for WinogradF32Conv {
         ctx: &mut ConvContext,
     ) -> StageTimings {
         check_io(&self.spec, input, output);
-        let mut timings = StageTimings::default();
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
         let tt = &self.tt;
 
-        // Stage ①: FP32 input transform into the V panel.
-        let start = Instant::now();
-        let vp: &VPanelF32 = &self.v_panel;
-        let tasks = input.c_blocks() * geom.total;
-        ctx.pool.run(tasks, |_, range| {
-            let mut scratch = tt.make_scratch(LANES);
-            let mut patch = vec![0f32; n * n * LANES];
-            let mut v = vec![0f32; n * n * LANES];
-            for task in range {
-                let cb = task / geom.total;
-                let tile = task % geom.total;
-                let (b, ty, tx) = tile_coords(&geom, tile);
-                let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
-                gather_patch(input, b, cb, y0, x0, n, &mut patch);
-                tt.input_tile_f32(&patch, &mut v, &mut scratch);
-                for t in 0..t_count {
-                    // SAFETY: disjoint (t, tile, cb) groups per task.
-                    unsafe {
-                        let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
-                        core::ptr::copy_nonoverlapping(v.as_ptr().add(t * LANES), dst, LANES);
-                    }
-                }
-            }
-        });
-        timings.input_transform = start.elapsed();
+        let ConvContext { pool, scratch, .. } = ctx;
+        let scratch: &ScratchArena = scratch;
 
-        // Stage ②: FP32 batched GEMM.
-        let start = Instant::now();
         let shape = GemmShape {
             t: t_count,
             n: geom.total,
             c: spec.in_c,
             k: spec.out_c,
         };
-        batched_gemm_f32(&shape, &self.v_panel, &self.u_panel, &mut self.z_panel, &mut ctx.pool);
-        timings.gemm = start.elapsed();
+        let vp: &VPanelF32 = &self.v_panel;
+        let gemm = GemmTasksF32::plan(&shape, &self.v_panel, &self.u_panel, &mut self.z_panel);
+        let acc_len = gemm.acc_len();
 
-        // Stage ③: output transform.
-        let start = Instant::now();
-        let zp: &ZPanelF32 = &self.z_panel;
         let out_ref: &BlockedImage = output;
-        let tasks = output.c_blocks() * geom.total;
-        ctx.pool.run(tasks, |_, range| {
-            let mut scratch = tt.make_scratch(LANES);
-            let mut y = vec![0f32; m * m * LANES];
-            for task in range {
-                let kg = task / geom.total;
-                let tile = task % geom.total;
-                let (b, ty, tx) = tile_coords(&geom, tile);
-                let block = zp.tile_block(kg, tile);
-                tt.output_tile_f32(block, &mut y, &mut scratch);
-                // SAFETY: output tiles never overlap.
-                unsafe {
-                    scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, &y);
+        let totals = [
+            input.c_blocks() * geom.total,
+            gemm.total(),
+            out_ref.c_blocks() * geom.total,
+        ];
+        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+            // -- Phase ①: FP32 input transform into the V panel.
+            0 => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform,
+                    patch_f,
+                    tile_f,
+                    ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let patch = ensure_f32(patch_f, n * n * LANES);
+                let v = ensure_f32(tile_f, n * n * LANES);
+                for task in range {
+                    let cb = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
+                    gather_patch(input, b, cb, y0, x0, n, patch);
+                    tt.input_tile_f32(patch, v, transform);
+                    for t in 0..t_count {
+                        // SAFETY: disjoint (t, tile, cb) groups per task.
+                        unsafe {
+                            let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
+                            core::ptr::copy_nonoverlapping(v.as_ptr().add(t * LANES), dst, LANES);
+                        }
+                    }
+                }
+            }
+            // -- Phase ②: FP32 batched GEMM.
+            1 => {
+                let mut ws = scratch.worker(worker);
+                let acc = ensure_f32(&mut ws.acc_f, acc_len);
+                gemm.run_range(range, acc);
+            }
+            // -- Phase ③: output transform.
+            _ => {
+                let mut ws = scratch.worker(worker);
+                let WorkerScratch {
+                    transform, tile_f, ..
+                } = &mut *ws;
+                tt.ensure_scratch(transform, LANES);
+                let y = ensure_f32(tile_f, m * m * LANES);
+                for task in range {
+                    let kg = task / geom.total;
+                    let tile = task % geom.total;
+                    let (b, ty, tx) = tile_coords(&geom, tile);
+                    let block = gemm.z().tile_block(kg, tile);
+                    tt.output_tile_f32(block, y, transform);
+                    // SAFETY: output tiles never overlap.
+                    unsafe {
+                        scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);
+                    }
                 }
             }
         });
-        timings.output_transform = start.elapsed();
-        timings
+        StageTimings {
+            input_transform: times[0],
+            gemm: times[1],
+            output_transform: times[2],
+        }
     }
 }
 

@@ -4,9 +4,12 @@ use lowino_gemm::Wisdom;
 use lowino_parallel::StaticPool;
 use lowino_simd::SimdTier;
 
+use crate::scratch::ScratchArena;
+
 /// Execution context shared across layers: the static-scheduling thread
-/// pool (paper §4.4), the detected SIMD tier, and the auto-tuning wisdom
-/// (§4.3.4).
+/// pool (paper §4.4), the detected SIMD tier, the auto-tuning wisdom
+/// (§4.3.4), and the persistent per-worker scratch arena the executors'
+/// phase bodies draw their working buffers from.
 pub struct ConvContext {
     /// Fork-join pool; worker count fixed at construction.
     pub pool: StaticPool,
@@ -14,6 +17,8 @@ pub struct ConvContext {
     pub tier: SimdTier,
     /// Tuned GEMM blockings.
     pub wisdom: Wisdom,
+    /// One scratch slot per pool worker, reused across stages and layers.
+    pub scratch: ScratchArena,
 }
 
 impl ConvContext {
@@ -23,6 +28,7 @@ impl ConvContext {
             pool: StaticPool::new(threads),
             tier: SimdTier::detect(),
             wisdom: Wisdom::new(),
+            scratch: ScratchArena::new(threads),
         }
     }
 
@@ -32,6 +38,7 @@ impl ConvContext {
             pool: StaticPool::new(threads),
             tier,
             wisdom: Wisdom::new(),
+            scratch: ScratchArena::new(threads),
         }
     }
 
@@ -49,6 +56,7 @@ mod tests {
     fn construction() {
         let ctx = ConvContext::new(2);
         assert_eq!(ctx.threads(), 2);
+        assert_eq!(ctx.scratch.workers(), 2);
         assert_eq!(ctx.tier, SimdTier::detect());
         let ctx = ConvContext::with_tier(1, SimdTier::Scalar);
         assert_eq!(ctx.tier, SimdTier::Scalar);

@@ -27,6 +27,7 @@ pub mod calibrate;
 pub mod context;
 pub mod error;
 pub mod filter;
+pub mod scratch;
 pub mod stats;
 pub mod tiles;
 
@@ -40,6 +41,7 @@ pub use algo::{Algorithm, ConvExecutor};
 pub use calibrate::{calibrate_spatial, calibrate_winograd_domain};
 pub use context::ConvContext;
 pub use error::ConvError;
+pub use scratch::{ScratchArena, WorkerScratch};
 pub use stats::StageTimings;
 
 #[cfg(test)]

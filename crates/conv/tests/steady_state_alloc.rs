@@ -1,0 +1,162 @@
+//! Steady-state execution audit for the single-fork-join executors:
+//!
+//! * after the first `execute` on a shape has grown the per-worker scratch
+//!   arenas, repeated executes perform **zero heap allocations**;
+//! * every executor issues exactly **one** pool fork-join per `execute`;
+//! * the fused LoWino schedule is bitwise identical to the retained
+//!   three-fork-join reference path.
+//!
+//! The allocation count comes from a counting `#[global_allocator]` that is
+//! armed only around the audited region (so the test harness's own
+//! allocations don't pollute the count).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lowino_conv::{
+    calibrate_spatial, calibrate_winograd_domain, ConvContext, ConvExecutor, DirectInt8Conv,
+    DownScaleConv, LoWinoConv, UpCastConv, WinogradF32Conv,
+};
+use lowino_tensor::{BlockedImage, ConvShape, Tensor4};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Count heap allocations (on any thread) during `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn test_image(spec: &ConvShape) -> BlockedImage {
+    let input = Tensor4::from_fn(spec.batch, spec.in_c, spec.h, spec.w, |b, c, y, x| {
+        ((b * 41 + c * 17 + y * 5 + x * 3) as f32 * 0.23).sin()
+    });
+    BlockedImage::from_nchw(&input)
+}
+
+fn test_weights(spec: &ConvShape) -> Tensor4 {
+    Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+        ((k * 11 + c * 7 + y * 3 + x) as f32 * 0.37).cos() * 0.3
+    })
+}
+
+#[test]
+fn lowino_steady_state_allocates_nothing_and_is_one_fork_join() {
+    let spec = ConvShape::same(2, 16, 16, 12, 3).validate().unwrap();
+    let img = test_image(&spec);
+    let weights = test_weights(&spec);
+    let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
+    let mut conv = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+    let mut out = BlockedImage::zeros(2, 16, 12, 12);
+
+    for threads in [1, 3] {
+        let mut ctx = ConvContext::new(threads);
+        // Warm-up: the first execute on this shape grows the arenas.
+        conv.execute(&img, &mut out, &mut ctx);
+
+        let before = ctx.pool.fork_joins();
+        let allocs = count_allocs(|| {
+            for _ in 0..3 {
+                conv.execute(&img, &mut out, &mut ctx);
+            }
+        });
+        assert_eq!(
+            ctx.pool.fork_joins() - before,
+            3,
+            "each execute must be exactly one fork-join (threads={threads})"
+        );
+        assert_eq!(
+            allocs, 0,
+            "steady-state execute must not touch the heap (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn every_executor_is_one_fork_join_per_execute() {
+    let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+    let img = test_image(&spec);
+    let weights = test_weights(&spec);
+    let spatial = calibrate_spatial(std::slice::from_ref(&img)).unwrap();
+    let wino = calibrate_winograd_domain(&spec, 2, std::slice::from_ref(&img)).unwrap();
+
+    let mut executors: Vec<(&str, Box<dyn ConvExecutor>)> = vec![
+        (
+            "lowino",
+            Box::new(LoWinoConv::new(spec, 2, &weights, wino).unwrap()),
+        ),
+        (
+            "wino_f32",
+            Box::new(WinogradF32Conv::new(spec, 2, &weights).unwrap()),
+        ),
+        (
+            "downscale",
+            Box::new(DownScaleConv::new(spec, 2, &weights, spatial).unwrap()),
+        ),
+        (
+            "upcast",
+            Box::new(UpCastConv::new(spec, 2, &weights, spatial).unwrap()),
+        ),
+        (
+            "direct_i8",
+            Box::new(DirectInt8Conv::new(spec, &weights, spatial).unwrap()),
+        ),
+    ];
+
+    let mut ctx = ConvContext::new(2);
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+    for (name, exec) in &mut executors {
+        let before = ctx.pool.fork_joins();
+        exec.execute(&img, &mut out, &mut ctx);
+        assert_eq!(
+            ctx.pool.fork_joins() - before,
+            1,
+            "{name}: execute must issue exactly one pool fork-join"
+        );
+    }
+}
+
+#[test]
+fn fused_lowino_matches_three_fork_join_bitwise() {
+    // Ragged tiles, multiple channel blocks, both thread counts.
+    let spec = ConvShape::same(1, 70, 66, 11, 3).validate().unwrap();
+    let img = test_image(&spec);
+    let weights = test_weights(&spec);
+    let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
+    for threads in [1, 2, 4] {
+        let mut fused = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+        let mut legacy = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+        let mut ctx = ConvContext::new(threads);
+        let mut out_fused = BlockedImage::zeros(1, 66, 11, 11);
+        let mut out_legacy = BlockedImage::zeros(1, 66, 11, 11);
+        fused.execute(&img, &mut out_fused, &mut ctx);
+        legacy.execute_three_fork_join(&img, &mut out_legacy, &mut ctx);
+        assert_eq!(
+            out_fused.to_nchw().max_abs_diff(&out_legacy.to_nchw()),
+            0.0,
+            "fused vs three-fork-join mismatch at threads={threads}"
+        );
+    }
+}

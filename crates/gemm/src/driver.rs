@@ -24,7 +24,9 @@ use lowino_parallel::StaticPool;
 use lowino_simd::SimdTier;
 use lowino_tensor::round_up;
 
-use crate::kernel::{microkernel, Blocking, Seed, MAX_ROW_BLK};
+use core::ops::Range;
+
+use crate::kernel::{microkernel, Blocking, Seed, MAX_COL_BLK, MAX_ROW_BLK};
 use crate::panels::{UPanel, VPanel, ZPanel};
 
 /// Logical dimensions of a batched Winograd GEMM.
@@ -56,7 +58,116 @@ pub fn normalize_blocking(b: &Blocking, shape: &GemmShape) -> Blocking {
     out.c_blk = round_up(out.c_blk.clamp(4, cp), 4);
     out.k_blk = round_up(out.k_blk.clamp(64, kp), 64);
     out.row_blk = out.row_blk.clamp(1, MAX_ROW_BLK);
+    // The register tile can never be wider than the dispatch table allows or
+    // than one K cache block provides (k_blk/16 ZMM columns); round down to
+    // a power of two to stay in the kernel's {1, 2, 4} column set.
+    let col_cap = MAX_COL_BLK.min((out.k_blk / 16).max(1));
+    out.col_blk = out.col_blk.clamp(1, col_cap);
+    out.col_blk = 1 << out.col_blk.ilog2();
     out
+}
+
+/// A planned batched u8×i8 GEMM whose task ranges can be executed from any
+/// thread — the job-body form used by the executors' single-fork-join path:
+/// the GEMM runs as one *phase* of a `StaticPool::run_phases` job instead of
+/// issuing its own fork-join.
+///
+/// Tasks enumerate the `T × ⌈N/N_blk⌉` grid; each task owns a disjoint
+/// `(t, n-range)` region of `Z`, so any partition of `0..total()` is safe to
+/// run concurrently.
+pub struct GemmTasks<'a> {
+    tier: SimdTier,
+    shape: GemmShape,
+    b: Blocking,
+    cp: usize,
+    kp: usize,
+    n_chunks: usize,
+    v: &'a VPanel,
+    u: &'a UPanel,
+    z: &'a ZPanel,
+}
+
+impl<'a> GemmTasks<'a> {
+    /// Validate panels against `shape`, normalize the blocking, and build
+    /// the task grid. Takes `z` mutably — exclusivity is held by the plan
+    /// for its whole lifetime even though writes go through shared-scatter
+    /// pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if panel dimensions disagree with `shape` or the blocking is
+    /// invalid.
+    pub fn plan(
+        tier: SimdTier,
+        shape: &GemmShape,
+        blocking: &Blocking,
+        v: &'a VPanel,
+        u: &'a UPanel,
+        z: &'a mut ZPanel,
+    ) -> Self {
+        let (vt, vn, vc, vcp) = v.dims();
+        let (ut, uc, ucp, uk, ukp) = u.dims();
+        let (zt, zn, zk, _) = z.dims();
+        assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
+        assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
+        assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
+        assert_eq!(vcp, ucp, "V/U channel padding");
+        let b = normalize_blocking(blocking, shape);
+        b.validate().expect("invalid blocking");
+        let n_chunks = shape.n.div_ceil(b.n_blk).max(1);
+        Self {
+            tier,
+            shape: *shape,
+            b,
+            cp: vcp,
+            kp: ukp,
+            n_chunks,
+            v,
+            u,
+            z,
+        }
+    }
+
+    /// Number of independent tasks (`T × ⌈N/N_blk⌉`).
+    pub fn total(&self) -> usize {
+        self.shape.t * self.n_chunks
+    }
+
+    /// The normalized blocking the plan will execute with.
+    pub fn blocking(&self) -> &Blocking {
+        &self.b
+    }
+
+    /// Read access to the output panel (for the phase *after* the GEMM —
+    /// the borrow on `z` stays alive through the plan).
+    pub fn z(&self) -> &ZPanel {
+        self.z
+    }
+
+    /// Execute a contiguous task range. Ends with a store fence so the
+    /// non-temporal scatter stores are globally visible before the caller
+    /// crosses the next phase barrier.
+    pub fn run_range(&self, range: Range<usize>) {
+        for task in range {
+            let t = task / self.n_chunks;
+            let n0 = (task % self.n_chunks) * self.b.n_blk;
+            let n_end = (n0 + self.b.n_blk).min(self.shape.n);
+            gemm_block(
+                self.tier,
+                &self.b,
+                &self.shape,
+                self.cp,
+                self.kp,
+                t,
+                n0,
+                n_end,
+                self.v,
+                self.u,
+                self.z,
+            );
+        }
+        lowino_simd::store::stream_fence();
+    }
 }
 
 /// Batched low-precision GEMM: `Z[t] = V̄[t] × U[t] + Z̄[t]` for all `t`.
@@ -64,6 +175,8 @@ pub fn normalize_blocking(b: &Blocking, shape: &GemmShape) -> Blocking {
 /// `V̄` is the +128-compensated u8 panel, `U` the interleaved i8 panel with
 /// its compensation rows, and the result is the exact signed product
 /// `V×U` (Eq. 9), scattered in the output-transform-friendly `Z` layout.
+///
+/// Standalone-fork-join wrapper over [`GemmTasks`].
 ///
 /// # Panics
 ///
@@ -78,31 +191,8 @@ pub fn batched_gemm_u8i8(
     z: &mut ZPanel,
     pool: &mut StaticPool,
 ) {
-    let (vt, vn, vc, vcp) = v.dims();
-    let (ut, uc, ucp, uk, ukp) = u.dims();
-    let (zt, zn, zk, _) = z.dims();
-    assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
-    assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
-    assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
-    assert_eq!(vcp, ucp, "V/U channel padding");
-    let b = normalize_blocking(blocking, shape);
-    b.validate().expect("invalid blocking");
-
-    let cp = vcp;
-    let kp = ukp;
-    let n_chunks = shape.n.div_ceil(b.n_blk);
-    let tasks = shape.t * n_chunks;
-
-    let z_ref: &ZPanel = z;
-    pool.run(tasks, |_worker, range| {
-        for task in range {
-            let t = task / n_chunks;
-            let n0 = (task % n_chunks) * b.n_blk;
-            let n_end = (n0 + b.n_blk).min(shape.n);
-            gemm_block(tier, &b, shape, cp, kp, t, n0, n_end, v, u, z_ref);
-        }
-        lowino_simd::store::stream_fence();
-    });
+    let tasks = GemmTasks::plan(tier, shape, blocking, v, u, z);
+    pool.run(tasks.total(), |_worker, range| tasks.run_range(range));
 }
 
 /// One (t, N-chunk) task — everything below here is single-threaded.
@@ -221,6 +311,65 @@ mod tests {
                         want[(t * shape.n + n) * shape.k + k],
                         "t={t} n={n} k={k} (shape={shape:?})"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_clamps_oversized_col_blk() {
+        // Regression: col_blk used to survive normalization unclamped, so an
+        // oversized request reached `validate()` and panicked.
+        let shape = GemmShape { t: 1, n: 16, c: 32, k: 128 };
+        let mut b = Blocking::default_for(&shape);
+        b.col_blk = 8;
+        let norm = normalize_blocking(&b, &shape);
+        assert_eq!(norm.col_blk, MAX_COL_BLK);
+        norm.validate().expect("normalized blocking must be valid");
+        // Non-power-of-two requests round down into the kernel's {1,2,4}.
+        b.col_blk = 3;
+        assert_eq!(normalize_blocking(&b, &shape).col_blk, 2);
+        b.col_blk = 0;
+        assert_eq!(normalize_blocking(&b, &shape).col_blk, 1);
+        // And the clamped blocking actually runs.
+        let mut big = Blocking::default_for(&shape);
+        big.col_blk = 16;
+        big.row_blk = 4;
+        check(shape, big, 2, SimdTier::detect());
+    }
+
+    #[test]
+    fn gemm_tasks_split_ranges_match_whole_run() {
+        // Running the planned tasks in arbitrary chunks must equal the
+        // one-shot driver (tasks own disjoint Z regions).
+        let shape = GemmShape { t: 3, n: 17, c: 24, k: 64 };
+        let blocking = Blocking {
+            n_blk: 4,
+            c_blk: 16,
+            k_blk: 64,
+            row_blk: 3,
+            col_blk: 2,
+        };
+        let (v, u) = fill_panels(&shape, 0xBEEF);
+        let tier = SimdTier::detect();
+        let mut z_whole = ZPanel::new(shape.t, shape.n, shape.k);
+        let mut pool = StaticPool::new(1);
+        batched_gemm_u8i8(tier, &shape, &blocking, &v, &u, &mut z_whole, &mut pool);
+        let mut z_split = ZPanel::new(shape.t, shape.n, shape.k);
+        let tasks = GemmTasks::plan(tier, &shape, &blocking, &v, &u, &mut z_split);
+        let total = tasks.total();
+        assert_eq!(total, shape.t * shape.n.div_ceil(blocking.n_blk));
+        let mut at = 0;
+        for step in [1usize, 3, 2, 5] {
+            let end = (at + step).min(total);
+            tasks.run_range(at..end);
+            at = end;
+        }
+        tasks.run_range(at..total);
+        for t in 0..shape.t {
+            for n in 0..shape.n {
+                for k in 0..shape.k {
+                    assert_eq!(tasks.z().get(t, n, k), z_whole.get(t, n, k), "t={t} n={n} k={k}");
                 }
             }
         }

@@ -6,51 +6,96 @@
 //! is the reference point for the paper's §5.1 claim that LoWino reaches
 //! 1.9×/2.6× over the best FP32 implementation.
 
+use core::ops::Range;
+
 use lowino_parallel::StaticPool;
 use lowino_tensor::{round_up, LANES};
 
 use crate::driver::GemmShape;
 use crate::panels::{UPanelF32, VPanelF32, ZPanelF32};
 
-/// Batched FP32 GEMM: `Z[t] = V[t] × U[t]`, scattered like the INT8 path.
+/// A planned batched FP32 GEMM executable range-by-range from any thread —
+/// the phase-body form for the FP32 baseline's single fork-join.
 ///
-/// # Panics
-///
-/// Panics on panel/shape mismatch.
-pub fn batched_gemm_f32(
-    shape: &GemmShape,
-    v: &VPanelF32,
-    u: &UPanelF32,
-    z: &mut ZPanelF32,
-    pool: &mut StaticPool,
-) {
-    let (vt, vn, vc, vcp) = v.dims();
-    let (ut, uc, _, uk, ukp) = u.dims();
-    let (zt, zn, zk, _) = z.dims();
-    assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
-    assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
-    assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
-    let kp = ukp;
-    let _ = vcp;
-    debug_assert_eq!(kp, round_up(shape.k, 64));
+/// Tasks enumerate the `T × ⌈N/8⌉` grid; each task owns a disjoint
+/// `(t, 8-row chunk)` of `Z`. The caller supplies a per-worker accumulator
+/// of [`acc_len`](GemmTasksF32::acc_len) floats (from the scratch arena on
+/// the executor path; a fresh vec on the standalone path).
+pub struct GemmTasksF32<'a> {
+    shape: GemmShape,
+    kp: usize,
+    n_chunks: usize,
+    v: &'a VPanelF32,
+    u: &'a UPanelF32,
+    z: &'a ZPanelF32,
+}
 
-    // Block 8 tile rows per U pass so each filter row is reused 8x
-    // (otherwise the kernel re-streams U[t] per tile and goes memory-bound).
-    const NB: usize = 8;
-    let n_chunks = shape.n.div_ceil(NB);
-    let tasks = shape.t * n_chunks;
-    let z_ref: &ZPanelF32 = z;
-    pool.run(tasks, |_, range| {
-        let mut acc = vec![0f32; NB * kp];
+/// Tile rows blocked per U pass so each filter row is reused 8x (otherwise
+/// the kernel re-streams `U[t]` per tile and goes memory-bound).
+const NB: usize = 8;
+
+impl<'a> GemmTasksF32<'a> {
+    /// Validate panels against `shape` and build the task grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on panel/shape mismatch.
+    pub fn plan(
+        shape: &GemmShape,
+        v: &'a VPanelF32,
+        u: &'a UPanelF32,
+        z: &'a mut ZPanelF32,
+    ) -> Self {
+        let (vt, vn, vc, vcp) = v.dims();
+        let (ut, uc, _, uk, ukp) = u.dims();
+        let (zt, zn, zk, _) = z.dims();
+        assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
+        assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
+        assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
+        let _ = vcp;
+        debug_assert_eq!(ukp, round_up(shape.k, 64));
+        Self {
+            shape: *shape,
+            kp: ukp,
+            n_chunks: shape.n.div_ceil(NB).max(1),
+            v,
+            u,
+            z,
+        }
+    }
+
+    /// Number of independent tasks (`T × ⌈N/8⌉`).
+    pub fn total(&self) -> usize {
+        self.shape.t * self.n_chunks
+    }
+
+    /// Length (in f32) of the accumulator each executing worker must bring.
+    pub fn acc_len(&self) -> usize {
+        NB * self.kp
+    }
+
+    /// Read access to the output panel.
+    pub fn z(&self) -> &ZPanelF32 {
+        self.z
+    }
+
+    /// Execute a contiguous task range using the caller's accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` is shorter than [`acc_len`](GemmTasksF32::acc_len).
+    pub fn run_range(&self, range: Range<usize>, acc: &mut [f32]) {
+        let kp = self.kp;
+        let acc = &mut acc[..NB * kp];
         for task in range {
-            let t = task / n_chunks;
-            let n0 = (task % n_chunks) * NB;
-            let nb = (shape.n - n0).min(NB);
+            let t = task / self.n_chunks;
+            let n0 = (task % self.n_chunks) * NB;
+            let nb = (self.shape.n - n0).min(NB);
             acc.fill(0.0);
-            for c in 0..shape.c {
-                let urow = u.row(t, c);
+            for c in 0..self.shape.c {
+                let urow = self.u.row(t, c);
                 for rb in 0..nb {
-                    let vv = v.row(t, n0 + rb)[c];
+                    let vv = self.v.row(t, n0 + rb)[c];
                     if vv != 0.0 {
                         let a = &mut acc[rb * kp..(rb + 1) * kp];
                         for (av, &uu) in a.iter_mut().zip(urow.iter()) {
@@ -64,7 +109,7 @@ pub fn batched_gemm_f32(
                 for kg in 0..kp / LANES {
                     // SAFETY: each (t, n-chunk) is owned by exactly one task.
                     unsafe {
-                        let dst = z_ref.store_ptr_shared(t, n0 + rb, kg * LANES);
+                        let dst = self.z.store_ptr_shared(t, n0 + rb, kg * LANES);
                         core::ptr::copy_nonoverlapping(
                             acc.as_ptr().add(rb * kp + kg * LANES),
                             dst,
@@ -74,6 +119,28 @@ pub fn batched_gemm_f32(
                 }
             }
         }
+    }
+}
+
+/// Batched FP32 GEMM: `Z[t] = V[t] × U[t]`, scattered like the INT8 path.
+///
+/// Standalone-fork-join wrapper over [`GemmTasksF32`].
+///
+/// # Panics
+///
+/// Panics on panel/shape mismatch.
+pub fn batched_gemm_f32(
+    shape: &GemmShape,
+    v: &VPanelF32,
+    u: &UPanelF32,
+    z: &mut ZPanelF32,
+    pool: &mut StaticPool,
+) {
+    let tasks = GemmTasksF32::plan(shape, v, u, z);
+    let acc_len = tasks.acc_len();
+    pool.run(tasks.total(), |_, range| {
+        let mut acc = vec![0f32; acc_len];
+        tasks.run_range(range, &mut acc);
     });
 }
 

@@ -6,15 +6,104 @@
 //! architectural 2× is reproduced here structurally: each accumulation step
 //! covers 2 channels instead of 4.
 
+use core::ops::Range;
+
 use lowino_parallel::StaticPool;
 use lowino_simd::{dpwssd, SimdTier};
-use lowino_tensor::LANES;
 
 use crate::driver::GemmShape;
 use crate::panels::{UPanelI16, VPanelI16, ZPanel};
 
+/// A planned batched INT16 GEMM executable range-by-range from any thread —
+/// the phase-body form for the up-casting executor's single fork-join.
+///
+/// Tasks enumerate the `T × N` grid; each task owns row `(t, n)` of `Z`.
+pub struct GemmTasksI16<'a> {
+    tier: SimdTier,
+    shape: GemmShape,
+    kp: usize,
+    c2: usize,
+    v: &'a VPanelI16,
+    u: &'a UPanelI16,
+    z: &'a ZPanel,
+}
+
+impl<'a> GemmTasksI16<'a> {
+    /// Validate panels against `shape` and build the task grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on panel/shape mismatch.
+    pub fn plan(
+        tier: SimdTier,
+        shape: &GemmShape,
+        v: &'a VPanelI16,
+        u: &'a UPanelI16,
+        z: &'a mut ZPanel,
+    ) -> Self {
+        let (vt, vn, vc, vcp) = v.dims();
+        let (ut, uc, ucp, uk, ukp) = u.dims();
+        let (zt, zn, zk, _) = z.dims();
+        assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
+        assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
+        assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
+        assert_eq!(vcp, ucp, "V/U channel padding");
+        Self {
+            tier,
+            shape: *shape,
+            kp: ukp,
+            c2: vcp / 2,
+            v,
+            u,
+            z,
+        }
+    }
+
+    /// Number of independent tasks (`T × N`).
+    pub fn total(&self) -> usize {
+        self.shape.t * self.shape.n
+    }
+
+    /// Read access to the output panel.
+    pub fn z(&self) -> &ZPanel {
+        self.z
+    }
+
+    /// Execute a contiguous task range.
+    pub fn run_range(&self, range: Range<usize>) {
+        for task in range {
+            let t = task / self.shape.n;
+            let n = task % self.shape.n;
+            let vrow = self.v.row(t, n);
+            for k16 in 0..self.kp / 16 {
+                let k = k16 * 16;
+                let mut acc = [0i32; 16];
+                for g in 0..self.c2 {
+                    let pair = [vrow[2 * g], vrow[2 * g + 1]];
+                    let mut a = [0i16; 32];
+                    for lane in 0..16 {
+                        a[2 * lane] = pair[0];
+                        a[2 * lane + 1] = pair[1];
+                    }
+                    let b: &[i16; 32] =
+                        self.u.pair_group(t, g, k).try_into().expect("pair group");
+                    dpwssd(self.tier, &mut acc, &a, b);
+                }
+                // SAFETY: each (t, n) is owned by exactly one task; k is
+                // 16-aligned and within the padded K range.
+                unsafe {
+                    let dst = self.z.store_ptr_shared(t, n, k);
+                    core::ptr::copy_nonoverlapping(acc.as_ptr(), dst, 16);
+                }
+            }
+        }
+    }
+}
+
 /// Batched INT16 GEMM: `Z[t] = V[t] × U[t]` (signed, no compensation
 /// needed), scattered into the common `Z` layout.
+///
+/// Standalone-fork-join wrapper over [`GemmTasksI16`].
 ///
 /// # Panics
 ///
@@ -27,46 +116,8 @@ pub fn batched_gemm_i16(
     z: &mut ZPanel,
     pool: &mut StaticPool,
 ) {
-    let (vt, vn, vc, vcp) = v.dims();
-    let (ut, uc, ucp, uk, ukp) = u.dims();
-    let (zt, zn, zk, _) = z.dims();
-    assert_eq!((vt, vn, vc), (shape.t, shape.n, shape.c), "V panel shape");
-    assert_eq!((ut, uc, uk), (shape.t, shape.c, shape.k), "U panel shape");
-    assert_eq!((zt, zn, zk), (shape.t, shape.n, shape.k), "Z panel shape");
-    assert_eq!(vcp, ucp, "V/U channel padding");
-
-    let kp = ukp;
-    let c2 = vcp / 2;
-    let tasks = shape.t * shape.n;
-    let z_ref: &ZPanel = z;
-    pool.run(tasks, |_, range| {
-        for task in range {
-            let t = task / shape.n;
-            let n = task % shape.n;
-            let vrow = v.row(t, n);
-            for k16 in 0..kp / 16 {
-                let k = k16 * 16;
-                let mut acc = [0i32; 16];
-                for g in 0..c2 {
-                    let pair = [vrow[2 * g], vrow[2 * g + 1]];
-                    let mut a = [0i16; 32];
-                    for lane in 0..16 {
-                        a[2 * lane] = pair[0];
-                        a[2 * lane + 1] = pair[1];
-                    }
-                    let b: &[i16; 32] = u.pair_group(t, g, k).try_into().expect("pair group");
-                    dpwssd(tier, &mut acc, &a, b);
-                }
-                // SAFETY: each (t, n) is owned by exactly one task; k is
-                // 16-aligned and within the padded K range.
-                unsafe {
-                    let dst = z_ref.store_ptr_shared(t, n, k);
-                    core::ptr::copy_nonoverlapping(acc.as_ptr(), dst, 16);
-                }
-            }
-        }
-    });
-    let _ = LANES;
+    let tasks = GemmTasksI16::plan(tier, shape, v, u, z);
+    pool.run(tasks.total(), |_, range| tasks.run_range(range));
 }
 
 #[cfg(test)]

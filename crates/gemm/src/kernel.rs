@@ -51,6 +51,9 @@ pub struct Blocking {
 /// Largest `row_blk` the dispatch table instantiates.
 pub const MAX_ROW_BLK: usize = 8;
 
+/// Largest `col_blk` the dispatch table instantiates (`col_blk` ∈ {1, 2, 4}).
+pub const MAX_COL_BLK: usize = 4;
+
 impl Blocking {
     /// The paper's register-budget constraint:
     /// `row_blk·col_blk + col_blk < 31` (one register reserved for the

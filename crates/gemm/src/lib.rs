@@ -35,9 +35,11 @@ pub mod tune;
 
 mod driver;
 
-pub use driver::{batched_gemm_u8i8, GemmShape};
+pub use driver::{batched_gemm_u8i8, GemmShape, GemmTasks};
 pub use driver::normalize_blocking as normalize_for;
-pub use kernel::Blocking;
+pub use f32gemm::{batched_gemm_f32, GemmTasksF32};
+pub use int16::{batched_gemm_i16, GemmTasksI16};
+pub use kernel::{Blocking, MAX_COL_BLK, MAX_ROW_BLK};
 pub use panels::{UPanel, UPanelF32, UPanelI16, VPanel, VPanelF32, VPanelI16, ZPanel, ZPanelF32};
 pub use tune::{tune_blocking, Wisdom};
 

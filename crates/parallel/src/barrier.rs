@@ -1,0 +1,156 @@
+//! A sense-reversing spin barrier for in-pool phase synchronisation.
+//!
+//! [`StaticPool::run_phases`](crate::StaticPool::run_phases) executes a
+//! multi-stage layer as a *single* fork-join: workers stay resident across
+//! stages and synchronise at this barrier between phases instead of parking
+//! on the pool's condvar and being re-woken (paper §4.4 — "the job … is
+//! executed using a single fork-join method"). A barrier crossing is two
+//! atomic operations and a short spin, versus a mutex + condvar round-trip
+//! (a futex syscall pair) for a full park/wake cycle.
+//!
+//! The design is the classic *sense-reversing centralised barrier*: a shared
+//! arrival counter plus a shared `sense` flag. Each participant keeps a
+//! local sense, initially the opposite of the shared flag; the last arriver
+//! of a round resets the counter and flips the shared flag to the round's
+//! sense, releasing the spinners. Flipping the local sense each round makes
+//! the barrier immediately reusable — no intermediate "everyone left"
+//! handshake is needed.
+
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Spin iterations (with [`core::hint::spin_loop`]) before falling back to
+/// [`std::thread::yield_now`]. Kept short: the pool may be oversubscribed
+/// (more workers than cores), and a yielding waiter frees the core for the
+/// straggler the barrier is waiting on.
+const SPIN_LIMIT: u32 = 64;
+
+/// A reusable barrier for a fixed set of participants.
+pub struct Barrier {
+    /// Arrivals in the current round.
+    count: AtomicUsize,
+    /// The sense of the last *completed* round.
+    sense: AtomicBool,
+    participants: usize,
+}
+
+impl Barrier {
+    /// Barrier for `participants` threads (≥ 1).
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "barrier needs at least one participant");
+        Self {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            participants,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Create this participant's sense token. Every participant must create
+    /// exactly one and pass it to each [`wait`](Barrier::wait) in order.
+    pub fn sense_token(&self) -> SenseToken {
+        SenseToken { local_sense: true }
+    }
+
+    /// Block until all participants have called `wait` for the current
+    /// round.
+    ///
+    /// The last arriver resets the arrival counter *before* publishing the
+    /// flipped sense (release store), so a spinner that observes its sense
+    /// also observes the reset counter and can immediately enter the next
+    /// round.
+    pub fn wait(&self, token: &mut SenseToken) {
+        let sense = token.local_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != sense {
+                if spins < SPIN_LIMIT {
+                    core::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        token.local_sense = !sense;
+    }
+}
+
+/// Per-participant barrier state (the participant's current sense).
+#[derive(Debug)]
+pub struct SenseToken {
+    local_sense: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = Barrier::new(1);
+        let mut t = b.sense_token();
+        for _ in 0..10 {
+            b.wait(&mut t);
+        }
+        assert_eq!(b.participants(), 1);
+    }
+
+    #[test]
+    fn rounds_are_totally_ordered() {
+        // Each thread adds 1 << (8 * round) per round; after the barrier of
+        // round R every counter digit 0..=R must be complete — a torn round
+        // would leave a digit below the thread count.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 6;
+        let b = Barrier::new(THREADS);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    let mut tok = b.sense_token();
+                    for round in 0..ROUNDS {
+                        total.fetch_add(1 << (8 * round), Ordering::SeqCst);
+                        b.wait(&mut tok);
+                        let snap = total.load(Ordering::SeqCst);
+                        for done in 0..=round {
+                            let digit = (snap >> (8 * done)) & 0xFF;
+                            assert_eq!(digit, THREADS as u64, "round {round} digit {done}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reusable_across_many_rounds() {
+        let b = Barrier::new(2);
+        let hits = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut tok = b.sense_token();
+                    for _ in 0..1000 {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        b.wait(&mut tok);
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

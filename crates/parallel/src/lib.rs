@@ -10,19 +10,25 @@
 //! start and finish together and no runtime load-balancing machinery sits in
 //! the hot path.
 //!
-//! Two layers are provided:
+//! Three layers are provided:
 //!
 //! * [`partition()`] / [`partition_2d()`] — the pure scheduling maths (tested
 //!   exhaustively);
+//! * [`Barrier`] — a sense-reversing spin barrier used to hand off between
+//!   the phases of a multi-stage job without parking the workers;
 //! * [`StaticPool`] — a persistent fork-join worker pool built from parked
-//!   OS threads, plus [`run_static`], a scoped one-shot variant for borrowed
-//!   data.
+//!   OS threads whose [`StaticPool::run_phases`] executes an entire layer
+//!   (transform → GEMM → transform) as **one** fork-join, plus
+//!   [`run_static`] / [`run_static_phases`], scoped one-shot variants for
+//!   borrowed data.
 
+pub mod barrier;
 pub mod partition;
 pub mod pool;
 
-pub use partition::{partition, partition_2d, Partition2d};
-pub use pool::{run_static, StaticPool};
+pub use barrier::{Barrier, SenseToken};
+pub use partition::{partition, partition_2d, partition_into, Partition2d};
+pub use pool::{run_static, run_static_phases, PhaseTimes, StaticPool, MAX_PHASES};
 
 #[cfg(test)]
 mod tests {

@@ -9,14 +9,26 @@ use core::ops::Range;
 /// never emitted), matching the paper's "each thread operates up to
 /// `⌈N/ω⌉` tasks".
 pub fn partition(total: usize, parts: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    partition_into(total, parts, &mut out);
+    out
+}
+
+/// [`partition`] into a caller-owned buffer, reusing its capacity.
+///
+/// This is the allocation-free variant used by the pool's phased job path:
+/// the per-phase plan buffers live on [`StaticPool`](crate::StaticPool) and
+/// reach a steady state after the first job on a given shape.
+pub fn partition_into(total: usize, parts: usize, out: &mut Vec<Range<usize>>) {
     assert!(parts > 0, "parts must be non-zero");
+    out.clear();
     let parts = parts.min(total.max(1));
     if total == 0 {
-        return Vec::new();
+        return;
     }
     let base = total / parts;
     let extra = total % parts; // first `extra` parts get one more task
-    let mut out = Vec::with_capacity(parts);
+    out.reserve(parts);
     let mut start = 0;
     for p in 0..parts {
         let len = base + usize::from(p < extra);
@@ -27,7 +39,6 @@ pub fn partition(total: usize, parts: usize) -> Vec<Range<usize>> {
         start += len;
     }
     debug_assert_eq!(start, total);
-    out
 }
 
 /// A rectangular sub-domain produced by [`partition_2d`].
@@ -132,6 +143,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partition_into_reuses_buffer_and_matches() {
+        let mut buf = Vec::new();
+        for (total, parts) in [(16usize, 4usize), (10, 4), (3, 8), (0, 4), (7, 1)] {
+            partition_into(total, parts, &mut buf);
+            assert_eq!(buf, partition(total, parts), "total={total} parts={parts}");
+        }
+        // Once grown, refills must not reallocate.
+        partition_into(1024, 8, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        partition_into(512, 8, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
     }
 
     #[test]

@@ -2,52 +2,226 @@
 //!
 //! [`run_static`] is the one-shot scoped variant (spawns, runs, joins).
 //! [`StaticPool`] keeps `ω-1` parked worker threads alive across jobs so that
-//! steady-state inference pays only a wake/park per layer stage, matching the
+//! steady-state inference pays only a wake/park per layer, matching the
 //! paper's "the job … is executed using a single fork-join method".
+//!
+//! The core entry point is [`StaticPool::run_phases`]: a *multi-phase* job
+//! executes stages ①→②→③ of a layer inside **one** fork-join — workers stay
+//! resident across stages and synchronise at an in-pool sense-reversing
+//! [`Barrier`] between phases instead of parking on the condvar and being
+//! re-woken per stage. [`StaticPool::run`] and [`run_static`] are thin
+//! single-phase wrappers over the same machinery.
 
+use core::any::Any;
 use core::ops::Range;
+use core::sync::atomic::{AtomicBool, Ordering};
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crate::partition::partition;
+use crate::barrier::Barrier;
+use crate::partition::{partition, partition_into};
+
+/// Maximum number of phases a single fork-join job may contain. Generous:
+/// the deepest executor pipeline today (quantize → transform → GEMM →
+/// output) has four.
+pub const MAX_PHASES: usize = 8;
+
+/// Wall-clock duration of each phase of a [`StaticPool::run_phases`] call,
+/// recorded by the calling thread (worker 0) at the inter-phase barriers.
+///
+/// A phase's time spans from the end of the previous phase's barrier to the
+/// end of its own, so it includes any barrier wait — i.e. it charges each
+/// phase with the time the slowest worker spent in it, which is what a
+/// fork-join schedule actually pays.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    len: usize,
+    times: [Duration; MAX_PHASES],
+}
+
+impl PhaseTimes {
+    fn new(len: usize) -> Self {
+        Self {
+            len,
+            times: [Duration::ZERO; MAX_PHASES],
+        }
+    }
+
+    /// Number of phases recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no phases were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The recorded per-phase durations.
+    pub fn as_slice(&self) -> &[Duration] {
+        &self.times[..self.len]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.as_slice().iter().sum()
+    }
+}
+
+impl core::ops::Index<usize> for PhaseTimes {
+    type Output = Duration;
+
+    fn index(&self, phase: usize) -> &Duration {
+        &self.times[..self.len][phase]
+    }
+}
+
+/// First-panic-wins capture slot shared by all participants of one job.
+///
+/// A panicking phase body must not wedge the pool: the panic is parked here,
+/// every participant keeps hitting the inter-phase barriers (skipping
+/// further phase bodies once `tripped`), and the *caller* rethrows after the
+/// join — so the pool's bookkeeping completes normally and the next job runs
+/// on a healthy pool. This mirrors the poison-tolerant lock policy below.
+#[derive(Default)]
+struct PanicSlot {
+    tripped: AtomicBool,
+    slot: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl PanicSlot {
+    fn store(&self, payload: Box<dyn Any + Send>) {
+        self.tripped.store(true, Ordering::Release);
+        let mut guard = match self.slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.get_or_insert(payload);
+    }
+
+    fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    fn take(&self) -> Option<Box<dyn Any + Send>> {
+        let mut guard = match self.slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.take()
+    }
+}
+
+/// One participant's walk through every phase of a job.
+///
+/// `sync` is `None` on the inline (single-participant) path — no barrier, no
+/// panic capture, panics propagate straight to the caller. With `Some`, the
+/// body of each phase is wrapped in `catch_unwind` and every participant
+/// waits at the barrier after every phase, whether or not it had a range (a
+/// phase may have fewer tasks than workers).
+///
+/// `after_phase(p)` runs after the phase-`p` barrier — all participants are
+/// guaranteed done with phase `p` at that point, which is where the caller
+/// hangs its timestamps.
+fn phase_loop<F, A>(
+    worker: usize,
+    plan: &[Vec<Range<usize>>],
+    sync: Option<(&Barrier, &PanicSlot)>,
+    f: &F,
+    mut after_phase: A,
+) where
+    F: Fn(usize, usize, Range<usize>) + Sync,
+    A: FnMut(usize),
+{
+    match sync {
+        None => {
+            for (phase, ranges) in plan.iter().enumerate() {
+                if let Some(r) = ranges.get(worker) {
+                    f(worker, phase, r.clone());
+                }
+                after_phase(phase);
+            }
+        }
+        Some((barrier, panics)) => {
+            let mut token = barrier.sense_token();
+            for (phase, ranges) in plan.iter().enumerate() {
+                if !panics.tripped() {
+                    if let Some(r) = ranges.get(worker) {
+                        let r = r.clone();
+                        if let Err(payload) =
+                            catch_unwind(AssertUnwindSafe(|| f(worker, phase, r)))
+                        {
+                            panics.store(payload);
+                        }
+                    }
+                }
+                barrier.wait(&mut token);
+                after_phase(phase);
+            }
+        }
+    }
+}
+
+/// Execute `f(worker, phase, range)` for each phase — `0..totals[p]`
+/// statically partitioned across `threads` OS threads (including the
+/// caller), with a barrier between phases. One-shot: threads are spawned
+/// and joined inside the call, so `f` may borrow local data.
+///
+/// With one effective participant this degenerates to a plain sequential
+/// loop on the caller — zero overhead, which is also the fast path on
+/// single-core hosts.
+pub fn run_static_phases<F>(threads: usize, totals: &[usize], f: F)
+where
+    F: Fn(usize, usize, Range<usize>) + Sync,
+{
+    assert!(threads > 0, "threads must be non-zero");
+    assert!(
+        totals.len() <= MAX_PHASES,
+        "at most {MAX_PHASES} phases per job (got {})",
+        totals.len()
+    );
+    let plan: Vec<Vec<Range<usize>>> = totals.iter().map(|&t| partition(t, threads)).collect();
+    let fan_out = threads > 1 && plan.iter().any(|ranges| ranges.len() > 1);
+    if !fan_out {
+        phase_loop(0, &plan, None, &f, |_| {});
+        return;
+    }
+    let barrier = Barrier::new(threads);
+    let panics = PanicSlot::default();
+    let sync = (&barrier, &panics);
+    std::thread::scope(|scope| {
+        for worker in 1..threads {
+            let fref = &f;
+            let plan_ref = &plan;
+            scope.spawn(move || phase_loop(worker, plan_ref, Some(sync), fref, |_| {}));
+        }
+        phase_loop(0, &plan, Some(sync), &f, |_| {});
+    });
+    if let Some(payload) = panics.take() {
+        resume_unwind(payload);
+    }
+}
 
 /// Execute `f(worker, range)` over a static partition of `0..total` using
-/// `threads` OS threads (including the caller). One-shot: threads are
-/// spawned and joined inside the call, so `f` may borrow local data.
-///
-/// With `threads == 1` this degenerates to a plain call on the caller —
-/// zero overhead, which is also the fast path on single-core hosts.
+/// `threads` OS threads (including the caller). One-shot wrapper over
+/// [`run_static_phases`] with a single phase.
 pub fn run_static<F>(threads: usize, total: usize, f: F)
 where
     F: Fn(usize, Range<usize>) + Sync,
 {
-    assert!(threads > 0, "threads must be non-zero");
-    let ranges = partition(total, threads);
-    if ranges.is_empty() {
-        return;
-    }
-    if ranges.len() == 1 {
-        f(0, ranges[0].clone());
-        return;
-    }
-    std::thread::scope(|scope| {
-        for (idx, range) in ranges.iter().enumerate().skip(1) {
-            let fref = &f;
-            let range = range.clone();
-            scope.spawn(move || fref(idx, range));
-        }
-        f(0, ranges[0].clone());
-    });
+    run_static_phases(threads, &[total], |worker, _phase, range| f(worker, range));
 }
 
 /// Type-erased job pointer handed to workers.
 ///
 /// SAFETY invariant: the pointee outlives every execution — guaranteed
-/// because [`StaticPool::run`] does not return until all workers have
-/// finished the job (join barrier), and the pointee lives in `run`'s frame.
+/// because [`StaticPool::run_phases`] does not return until all workers have
+/// finished the job (join barrier), and the pointee lives in its frame.
 struct JobPtr(*const (dyn Fn(usize) + Sync + 'static));
 // SAFETY: see invariant above; the pointer is only dereferenced while the
-// owning `run` frame is blocked waiting for completion.
+// owning `run_phases` frame is blocked waiting for completion.
 unsafe impl Send for JobPtr {}
 
 struct State {
@@ -87,13 +261,20 @@ fn wait_on<'a>(
 /// A persistent fork-join pool with `ω` execution slots (`ω-1` parked worker
 /// threads plus the calling thread).
 ///
-/// Each [`run`](StaticPool::run) pre-partitions the task space statically and
-/// executes it as a single fork-join; worker `i` always receives partition
-/// `i`, so memory-access patterns are stable across invocations (paper §4.4).
+/// Each job pre-partitions the task space statically and executes it as a
+/// single fork-join; worker `i` always receives partition `i`, so
+/// memory-access patterns are stable across invocations (paper §4.4). A
+/// multi-phase job ([`run_phases`](StaticPool::run_phases)) wakes and parks
+/// the workers **once** for the whole layer; phases hand off at an in-pool
+/// [`Barrier`] instead.
 pub struct StaticPool {
     inner: Arc<Inner>,
     handles: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
+    /// Reusable per-phase partition buffers: zero steady-state allocation.
+    plan: [Vec<Range<usize>>; MAX_PHASES],
+    /// Fork-joins issued so far (inline fast-path jobs included).
+    jobs: u64,
 }
 
 impl StaticPool {
@@ -124,12 +305,24 @@ impl StaticPool {
             inner,
             handles,
             threads,
+            plan: core::array::from_fn(|_| Vec::new()),
+            jobs: 0,
         }
     }
 
     /// Number of execution slots.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Total fork-joins issued by this pool (each [`run`](StaticPool::run) or
+    /// [`run_phases`](StaticPool::run_phases) call counts once, however many
+    /// phases it contains and whether or not it fanned out to workers).
+    ///
+    /// Tests use the delta across an `execute` call to assert a layer costs
+    /// exactly one fork-join.
+    pub fn fork_joins(&self) -> u64 {
+        self.jobs
     }
 
     fn worker_loop(inner: &Inner, worker: usize) {
@@ -146,7 +339,7 @@ impl StaticPool {
                 last_epoch = st.epoch;
                 st.job.as_ref().expect("job set with epoch").0
             };
-            // SAFETY: the JobPtr invariant — `run` is blocked until we
+            // SAFETY: the JobPtr invariant — `run_phases` is blocked until we
             // decrement `remaining` below, so the pointee is alive.
             unsafe { (*job)(worker) };
             let mut st = lock_state(inner);
@@ -157,33 +350,56 @@ impl StaticPool {
         }
     }
 
-    /// Execute `f(worker, range)` over a static partition of `0..total`.
+    /// Execute a multi-phase job as a **single fork-join**.
     ///
-    /// Blocks until every worker has finished its partition. `f` may borrow
+    /// For each phase `p`, `f(worker, p, range)` is invoked over a static
+    /// partition of `0..totals[p]`; all participants synchronise at a
+    /// sense-reversing barrier between phases, so phase `p+1` never starts
+    /// before every worker finished phase `p`, and writes made in phase `p`
+    /// are visible to every reader in phase `p+1` (barrier acquire/release).
+    ///
+    /// Blocks until every worker has finished every phase. `f` may borrow
     /// from the caller's stack (the join barrier upholds the `JobPtr`
-    /// safety invariant).
-    pub fn run<F>(&mut self, total: usize, f: F)
+    /// safety invariant). If a phase body panics, the first panic is
+    /// rethrown here after the join — the pool itself stays usable.
+    ///
+    /// Returns per-phase wall-clock times recorded by the caller at the
+    /// barriers.
+    pub fn run_phases<F>(&mut self, totals: &[usize], f: F) -> PhaseTimes
     where
-        F: Fn(usize, Range<usize>) + Sync,
+        F: Fn(usize, usize, Range<usize>) + Sync,
     {
-        let ranges = partition(total, self.threads);
-        if ranges.is_empty() {
-            return;
+        let phases = totals.len();
+        assert!(
+            phases <= MAX_PHASES,
+            "at most {MAX_PHASES} phases per job (got {phases})"
+        );
+        self.jobs += 1;
+        for (p, &total) in totals.iter().enumerate() {
+            partition_into(total, self.threads, &mut self.plan[p]);
         }
-        if self.threads == 1 || ranges.len() == 1 {
-            f(0, ranges[0].clone());
-            return;
+        let mut times = PhaseTimes::new(phases);
+        let plan = &self.plan[..phases];
+        let fan_out = self.threads > 1 && plan.iter().any(|ranges| ranges.len() > 1);
+        if !fan_out {
+            // Every phase fits one participant: run the whole job inline on
+            // the caller without waking anyone.
+            let mut mark = Instant::now();
+            phase_loop(0, plan, None, &f, |p| {
+                let now = Instant::now();
+                times.times[p] = now - mark;
+                mark = now;
+            });
+            return times;
         }
-        let ranges_ref = &ranges;
+        let barrier = Barrier::new(self.threads);
+        let panics = PanicSlot::default();
+        let sync = (&barrier, &panics);
         let fref = &f;
-        let job = move |worker: usize| {
-            if let Some(r) = ranges_ref.get(worker) {
-                fref(worker, r.clone());
-            }
-        };
+        let job = move |worker: usize| phase_loop(worker, plan, Some(sync), fref, |_| {});
         let job_dyn: &(dyn Fn(usize) + Sync) = &job;
         // SAFETY of the transmute: we only erase the lifetime; the pointer is
-        // never used after `run` returns (join barrier below).
+        // never used after `run_phases` returns (join barrier below).
         let ptr: *const (dyn Fn(usize) + Sync + 'static) =
             unsafe { core::mem::transmute(job_dyn as *const (dyn Fn(usize) + Sync)) };
         {
@@ -193,13 +409,33 @@ impl StaticPool {
             st.remaining = self.handles.len();
             self.inner.work_cv.notify_all();
         }
-        // The caller is worker 0.
-        job(0);
+        // The caller is worker 0 and records the phase timestamps.
+        let mut mark = Instant::now();
+        phase_loop(0, plan, Some(sync), fref, |p| {
+            let now = Instant::now();
+            times.times[p] = now - mark;
+            mark = now;
+        });
         let mut st = lock_state(&self.inner);
         while st.remaining > 0 {
             st = wait_on(&self.inner.done_cv, st);
         }
         st.job = None;
+        drop(st);
+        if let Some(payload) = panics.take() {
+            resume_unwind(payload);
+        }
+        times
+    }
+
+    /// Execute `f(worker, range)` over a static partition of `0..total`.
+    ///
+    /// Single-phase wrapper over [`run_phases`](StaticPool::run_phases).
+    pub fn run<F>(&mut self, total: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        self.run_phases(&[total], |worker, _phase, range| f(worker, range));
     }
 }
 
@@ -256,6 +492,22 @@ mod tests {
     }
 
     #[test]
+    fn run_static_phases_barrier_orders_phases() {
+        // Phase 1 observes *every* write of phase 0, from every worker.
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_static_phases(4, &[64, 64], |_, phase, range| {
+            if phase == 0 {
+                for i in range {
+                    hits[i].store(i + 1, Ordering::Relaxed);
+                }
+            } else {
+                let sum: usize = hits.iter().map(|h| h.load(Ordering::Relaxed)).sum();
+                assert_eq!(sum, 64 * 65 / 2, "range {range:?} saw a torn phase 0");
+            }
+        });
+    }
+
+    #[test]
     fn pool_runs_many_jobs() {
         let mut pool = StaticPool::new(4);
         assert_eq!(pool.threads(), 4);
@@ -266,6 +518,7 @@ mod tests {
             });
             assert_eq!(counter.load(Ordering::Relaxed), 97, "round={round}");
         }
+        assert_eq!(pool.fork_joins(), 50);
     }
 
     #[test]
@@ -319,5 +572,122 @@ mod tests {
             counter.fetch_add(range.len(), Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn run_phases_is_one_fork_join() {
+        let mut pool = StaticPool::new(4);
+        let before = pool.fork_joins();
+        let counter = AtomicUsize::new(0);
+        let times = pool.run_phases(&[32, 16, 8], |_, phase, range| {
+            counter.fetch_add((phase + 1) * range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(pool.fork_joins(), before + 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 32 + 2 * 16 + 3 * 8);
+        assert_eq!(times.len(), 3);
+        assert_eq!(times.as_slice().len(), 3);
+        assert_eq!(times.total(), times[0] + times[1] + times[2]);
+    }
+
+    #[test]
+    fn run_phases_barrier_orders_phases() {
+        let mut pool = StaticPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..128).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_phases(&[128, 128], |_, phase, range| {
+            if phase == 0 {
+                for i in range {
+                    hits[i].store(i + 1, Ordering::Relaxed);
+                }
+            } else {
+                let sum: usize = hits.iter().map(|h| h.load(Ordering::Relaxed)).sum();
+                assert_eq!(sum, 128 * 129 / 2, "range {range:?} saw a torn phase 0");
+            }
+        });
+    }
+
+    #[test]
+    fn run_phases_empty_phase_between_full_ones() {
+        let mut pool = StaticPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let times = pool.run_phases(&[16, 0, 16], |_, phase, range| {
+            assert_ne!(phase, 1, "empty phase must not run");
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(times.len(), 3);
+    }
+
+    #[test]
+    fn run_phases_no_phases_is_noop() {
+        let mut pool = StaticPool::new(2);
+        let times = pool.run_phases(&[], |_, _, _| panic!("must not be called"));
+        assert!(times.is_empty());
+        assert_eq!(times.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn run_phases_matches_sequential_reference() {
+        // Same accumulation executed phased-parallel and sequentially.
+        for threads in [1usize, 2, 3, 5] {
+            let mut pool = StaticPool::new(threads);
+            let cells: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_phases(&[40, 20], |_, phase, range| {
+                for i in range {
+                    cells[i].fetch_add(i + 1 + phase * 100, Ordering::Relaxed);
+                }
+            });
+            for (i, c) in cells.iter().enumerate() {
+                let mut want = i + 1; // phase 0 covers all 40
+                if i < 20 {
+                    want += i + 1 + 100; // phase 1 covers the first 20
+                }
+                assert_eq!(c.load(Ordering::Relaxed), want, "threads={threads} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_panic_in_phase() {
+        let mut pool = StaticPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_phases(&[16, 16], |_, phase, range| {
+                if phase == 0 && range.contains(&5) {
+                    panic!("boom in phase 0");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must be rethrown to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The pool must still be fully functional afterwards.
+        let counter = AtomicUsize::new(0);
+        pool.run(64, |_, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn run_static_phases_survives_panic() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_static_phases(4, &[16], |_, _, range| {
+                if range.contains(&0) {
+                    panic!("scoped boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_counts_as_one_fork_join_each() {
+        let mut pool = StaticPool::new(2);
+        pool.run(8, |_, _| {});
+        pool.run(8, |_, _| {});
+        pool.run_phases(&[8, 8, 8], |_, _, _| {});
+        assert_eq!(pool.fork_joins(), 3);
     }
 }

@@ -45,6 +45,14 @@ pub struct AlignedBuf<T: Pod> {
 unsafe impl<T: Pod> Send for AlignedBuf<T> {}
 unsafe impl<T: Pod> Sync for AlignedBuf<T> {}
 
+/// An empty buffer (no allocation) — the start state of grow-on-demand
+/// scratch slots.
+impl<T: Pod> Default for AlignedBuf<T> {
+    fn default() -> Self {
+        Self::zeroed(0)
+    }
+}
+
 impl<T: Pod> AlignedBuf<T> {
     /// Allocate a zero-filled buffer of `len` elements, 64-byte aligned.
     ///

@@ -38,7 +38,7 @@ pub use matrices::{WinogradMatrices, F2_3, F4_3, F6_3};
 pub use rational::Rational;
 pub use transform::{
     filter_transform_f32, input_transform_f32, input_transform_i32, output_transform_f32,
-    TileTransformer,
+    TileTransformer, TransformScratch,
 };
 
 #[cfg(test)]

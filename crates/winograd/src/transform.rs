@@ -22,6 +22,32 @@ pub struct TransformScratch {
     cse_i32: Vec<i32>,
 }
 
+impl TransformScratch {
+    /// An empty scratch holding no buffers. Size it for a transformer with
+    /// [`TileTransformer::ensure_scratch`] before use; until then it is only
+    /// valid for `lanes == 0` work (i.e. nothing).
+    ///
+    /// This is the persistent-arena entry point: a worker slot holds one
+    /// `TransformScratch` for its whole life and re-`ensure`s it per layer,
+    /// so the buffers grow to the high-water mark once and are then reused
+    /// allocation-free.
+    pub fn empty() -> Self {
+        Self {
+            lanes: 0,
+            tmp: Vec::new(),
+            cse: Vec::new(),
+            tmp_i32: Vec::new(),
+            cse_i32: Vec::new(),
+        }
+    }
+}
+
+impl Default for TransformScratch {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// Compiled transforms for one `F(m×m, r×r)` algorithm.
 #[derive(Debug)]
 pub struct TileTransformer {
@@ -65,6 +91,15 @@ impl TileTransformer {
 
     /// Allocate scratch sized for `lanes`-wide execution.
     pub fn make_scratch(&self, lanes: usize) -> TransformScratch {
+        let mut s = TransformScratch::empty();
+        self.ensure_scratch(&mut s, lanes);
+        s
+    }
+
+    /// Grow (never shrink) `s` so it can serve this transformer at `lanes`
+    /// width. Idempotent and allocation-free once the buffers have reached
+    /// the high-water mark across all layers sharing the scratch.
+    pub fn ensure_scratch(&self, s: &mut TransformScratch, lanes: usize) {
         let n = self.n();
         let max_temps = self
             .bt_code
@@ -72,12 +107,20 @@ impl TileTransformer {
             .max(self.g_code.n_temps())
             .max(self.at_code.n_temps())
             .max(1);
-        TransformScratch {
-            lanes,
-            tmp: vec![0.0; n * n * lanes],
-            cse: vec![0.0; max_temps * lanes],
-            tmp_i32: vec![0; n * n * lanes],
-            cse_i32: vec![0; max_temps * lanes],
+        s.lanes = lanes;
+        let tmp_len = n * n * lanes;
+        let cse_len = max_temps * lanes;
+        if s.tmp.len() < tmp_len {
+            s.tmp.resize(tmp_len, 0.0);
+        }
+        if s.cse.len() < cse_len {
+            s.cse.resize(cse_len, 0.0);
+        }
+        if s.tmp_i32.len() < tmp_len {
+            s.tmp_i32.resize(tmp_len, 0);
+        }
+        if s.cse_i32.len() < cse_len {
+            s.cse_i32.resize(cse_len, 0);
         }
     }
 
@@ -382,6 +425,32 @@ mod tests {
             .collect();
         let v = input_transform_i32(4, 3, &d).unwrap();
         assert!(v.iter().all(|x| x.abs() <= 100 * 127));
+    }
+
+    #[test]
+    fn ensure_scratch_grows_then_reuses() {
+        let small = TileTransformer::new(2, 3).unwrap();
+        let big = TileTransformer::new(6, 3).unwrap();
+        let mut s = TransformScratch::empty();
+        small.ensure_scratch(&mut s, 16);
+        big.ensure_scratch(&mut s, 64);
+        let tmp_ptr = s.tmp.as_ptr();
+        // Shrinking requests keep the high-water buffers (no realloc, no move).
+        small.ensure_scratch(&mut s, 16);
+        assert_eq!(s.tmp.as_ptr(), tmp_ptr);
+        assert_eq!(s.lanes, 16);
+        // And the shared scratch still computes correctly at each width.
+        let n = small.n();
+        let d: Vec<f32> = (0..n * n * 16).map(|i| (i as f32).cos()).collect();
+        let mut v = vec![0.0f32; n * n * 16];
+        small.input_tile_f32(&d, &mut v, &mut s);
+        for lane in [0usize, 15] {
+            let d1: Vec<f32> = (0..n * n).map(|e| d[e * 16 + lane]).collect();
+            let v1 = input_transform_f32(2, 3, &d1).unwrap();
+            for e in 0..n * n {
+                assert!((v[e * 16 + lane] - v1[e]).abs() < 1e-3);
+            }
+        }
     }
 
     #[test]
