@@ -21,11 +21,33 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline"
 cargo test -q --offline --workspace
 
+# Re-run the suite pinned to each narrower vector tier the host supports
+# (LOWINO_FORCE_TIER caps dispatch below the native probe). The compiled
+# transform tapes, the dpbusd kernels and the quantize epilogues all
+# dispatch on the tier, so every per-tier bitwise-equivalence property
+# must hold on every tier, not just the widest one. detect() rejects
+# tiers above the native level, so probe availability first with the
+# print_tier example (exits non-zero on an unsupported forced tier).
+for forced in scalar avx2 avx512vnni; do
+    if LOWINO_FORCE_TIER="$forced" cargo run -q --release --offline -p lowino --example print_tier >/dev/null 2>&1; then
+        echo "==> cargo test --offline (LOWINO_FORCE_TIER=$forced)"
+        LOWINO_FORCE_TIER="$forced" cargo test -q --offline --workspace
+    else
+        echo "==> tier $forced not supported on this host; skipping forced-tier pass"
+    fi
+done
+
 # Smoke-run the schedule bench: proves the bench targets build and that
 # both the fused single-fork-join path and the retained three-fork-join
 # reference path execute end to end (seconds-long smoke configuration).
 echo "==> bench smoke (forkjoin, LOWINO_BENCH_SMOKE=1)"
 LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench forkjoin
+
+# Smoke-run the transform-codelet bench: interpreted codelet executor vs
+# the compiled instruction tape, plus the fused quantize/dequantize
+# epilogues vs their two-pass spellings.
+echo "==> bench smoke (transforms, LOWINO_BENCH_SMOKE=1)"
+LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench transforms
 
 if [[ "$run_lint" == 1 ]]; then
     if cargo clippy --version >/dev/null 2>&1; then

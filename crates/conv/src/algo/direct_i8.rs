@@ -16,7 +16,8 @@
 use lowino_gemm::kernel::{microkernel, Seed};
 use lowino_gemm::{Blocking, GemmShape, UPanel, ZPanel};
 use lowino_quant::QParams;
-use lowino_simd::{quantize_f32_lanes_i8, store::stream_fence, stream_store_u8_64};
+use lowino_simd::vecf32::VecTier;
+use lowino_simd::{dequantize_lanes, quantize_lanes, store::stream_fence, stream_store_u8_64};
 use lowino_tensor::{round_up, AlignedBuf, BlockedImage, ConvShape, Tensor4, LANES};
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
@@ -137,6 +138,7 @@ impl ConvExecutor for DirectInt8Conv {
             ..
         } = ctx;
         let tier = *tier;
+        let vt = VecTier::for_simd(tier);
 
         let shape = self.gemm_shape();
         let blocking = self
@@ -173,7 +175,7 @@ impl ConvExecutor for DirectInt8Conv {
                             } else {
                                 &[0.0; LANES]
                             };
-                            quantize_f32_lanes_i8(lanes, alpha, true, &mut q);
+                            quantize_lanes(vt, lanes, alpha, true, &mut q);
                             let off = ((b * hp + y + spec.pad) * wp + x + spec.pad) * cp
                                 + cb * LANES;
                             // SAFETY: each (b, y) row is owned by one task;
@@ -261,7 +263,7 @@ impl ConvExecutor for DirectInt8Conv {
                     let ox = row % out_w;
                     for kg in 0..k_blocks {
                         let block = zp.tile_block(kg, row); // T = 1 -> 64 lanes
-                        lowino_simd::dequantize_i32_lanes(block, inv, &mut f);
+                        dequantize_lanes(vt, block, inv, &mut f);
                         // SAFETY: one task per output pixel.
                         unsafe {
                             let dst = out_ref.lanes_ptr_shared(b, kg, oy, ox);

@@ -16,6 +16,7 @@
 
 use lowino_gemm::{Blocking, GemmShape, GemmTasks, UPanel, VPanel, ZPanel};
 use lowino_quant::QParams;
+use lowino_simd::vecf32::{requantize_i32_lanes, VecTier};
 use lowino_simd::{store::stream_fence, stream_store_u8_64};
 use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::{range_growth_2d, TileTransformer};
@@ -165,6 +166,7 @@ impl ConvExecutor for DownScaleConv {
             ..
         } = ctx;
         let tier = *tier;
+        let vt = VecTier::for_simd(tier);
         let scratch: &ScratchArena = scratch;
 
         // Plan stage ③ (the GEMM) with the oneDNN-like partition-capped
@@ -259,12 +261,7 @@ impl ConvExecutor for DownScaleConv {
                     tt.input_tile_i32(patch_q, v_int, transform);
                     for t in 0..t_count {
                         let src = &v_int[t * LANES..(t + 1) * LANES];
-                        for (qv, &sv) in q.iter_mut().zip(src) {
-                            let scaled = (sv as f32 * alpha_ds)
-                                .round_ties_even()
-                                .clamp(-127.0, 127.0);
-                            *qv = (scaled as i32 + 128) as u8;
-                        }
+                        requantize_i32_lanes(vt, src, alpha_ds, true, &mut q);
                         // SAFETY: disjoint cache lines per task.
                         unsafe {
                             let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
@@ -278,26 +275,31 @@ impl ConvExecutor for DownScaleConv {
             }
             // -- Phase ②: the GEMM.
             2 => gemm.run_range(range),
-            // -- Phase ③: de-quantize + output transform. Effective input
-            // scale is α_in·α_ds (the spatial scale times the transform
+            // -- Phase ③: fused de-quantize + output transform (the inverse
+            // scale 1/(α_in·α_ds·α_U) is folded into the compiled tape's
+            // i32→f32 loads, broadcast across all t). Effective input scale
+            // is α_in·α_ds (the spatial scale times the transform
             // down-scale).
             _ => {
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
-                    transform,
-                    patch_f,
-                    tile_f,
-                    ..
+                    transform, tile_f, ..
                 } = &mut *ws;
                 tt.ensure_scratch(transform, LANES);
-                let zf = ensure_f32(patch_f, t_count * LANES);
                 let y = ensure_f32(tile_f, m * m * LANES);
                 for task in range {
                     let kg = task / geom.total;
                     let tile = task % geom.total;
                     let (b, ty, tx) = tile_coords(&geom, tile);
-                    lowino_simd::dequantize_i32_lanes(gemm.z().tile_block(kg, tile), inv, zf);
-                    tt.output_tile_f32(zf, y, transform);
+                    let block = gemm.z().tile_block(kg, tile);
+                    tt.output_tile_dequantized(
+                        vt,
+                        block,
+                        core::slice::from_ref(&inv),
+                        0,
+                        y,
+                        transform,
+                    );
                     // SAFETY: output tiles never overlap.
                     unsafe {
                         scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use lowino_gemm::{batched_gemm_u8i8, Blocking, GemmShape, GemmTasks, UPanel, VPanel, ZPanel};
 use lowino_quant::QParams;
+use lowino_simd::vecf32::VecTier;
 use lowino_simd::{quantize_f32_lanes_i8, store::stream_fence, stream_store_u8_64};
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::TileTransformer;
@@ -32,7 +33,7 @@ use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
 use crate::error::ConvError;
 use crate::filter::{pack_filters_lowino, pack_filters_lowino_per_position};
-use crate::scratch::{ensure_f32, ScratchArena, WorkerScratch};
+use crate::scratch::{ensure_f32, ensure_u8, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
 use crate::tiles::{gather_patch, scatter_output_tile, tile_coords, tile_origin};
 
@@ -292,9 +293,15 @@ impl ConvExecutor for LoWinoConv {
     /// The fused single-fork-join schedule (paper §4.4): all three pipeline
     /// stages run inside **one** pool job, separated by in-pool barriers,
     /// with working buffers drawn from the context's persistent per-worker
-    /// [`ScratchArena`]. Task decomposition and per-task computation order
-    /// are identical to [`LoWinoConv::execute_three_fork_join`], so outputs
-    /// are bitwise identical.
+    /// [`ScratchArena`]. Transforms run on the **compiled codelet tapes**
+    /// with fused epilogues: phase ① quantizes `V` in-register during the
+    /// row pass (the f32 `V` tile is never materialized) and phase ③ folds
+    /// the `1/(α_V·α_U)` dequantization into the column-pass loads of the
+    /// raw i32 `Z` block. Task decomposition and per-lane arithmetic are
+    /// identical to the interpreted
+    /// [`LoWinoConv::execute_three_fork_join`], so outputs are bitwise
+    /// identical (the equivalence test below is the end-to-end
+    /// compiled-vs-interpreted oracle check).
     fn execute(
         &mut self,
         input: &BlockedImage,
@@ -318,6 +325,7 @@ impl ConvExecutor for LoWinoConv {
             scratch,
         } = ctx;
         let tier = *tier;
+        let vt = VecTier::for_simd(tier);
         let scratch: &ScratchArena = scratch;
 
         // Plan stage ② up front; the plan's exclusive borrow of `Z` lives
@@ -350,39 +358,36 @@ impl ConvExecutor for LoWinoConv {
             k_blocks * geom.total,
         ];
         let times = pool.run_phases(&totals, |worker, phase, range| match phase {
-            // -- Phase ①: input transformation + Winograd-domain quantization.
+            // -- Phase ①: compiled input transform with the quantize
+            // epilogue fused into the row pass, then a stream-scatter of
+            // each 64-channel cache line into the V panel.
             0 => {
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform,
                     patch_f,
-                    tile_f,
+                    tile_u8,
                     ..
                 } = &mut *ws;
                 tt.ensure_scratch(transform, LANES);
                 let patch = ensure_f32(patch_f, n * n * LANES);
-                let v = ensure_f32(tile_f, n * n * LANES);
-                let mut q = [0u8; LANES];
+                let q_tile = ensure_u8(tile_u8, n * n * LANES);
                 for task in range {
                     let cb = task / geom.total;
                     let tile = task % geom.total;
                     let (b, ty, tx) = tile_coords(&geom, tile);
                     let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
                     gather_patch(input, b, cb, y0, x0, n, patch);
-                    tt.input_tile_f32(patch, v, transform);
+                    tt.input_tile_quantized(vt, patch, alpha_v, true, q_tile, transform);
                     for t in 0..t_count {
-                        quantize_f32_lanes_i8(
-                            &v[t * LANES..(t + 1) * LANES],
-                            alpha_v[t],
-                            true,
-                            &mut q,
-                        );
+                        let line: &[u8; LANES] =
+                            q_tile[t * LANES..(t + 1) * LANES].try_into().unwrap();
                         // SAFETY: each (t, tile, cb) cache line is written by
                         // exactly one task; rows are 64-byte aligned.
                         unsafe {
                             let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
                             let dst = core::slice::from_raw_parts_mut(dst, LANES);
-                            stream_store_u8_64(tier, dst, &q);
+                            stream_store_u8_64(tier, dst, line);
                         }
                     }
                 }
@@ -392,31 +397,22 @@ impl ConvExecutor for LoWinoConv {
             }
             // -- Phase ②: batched low-precision GEMM.
             1 => gemm.run_range(range),
-            // -- Phase ③: de-quantize + output transformation.
+            // -- Phase ③: compiled output transform consuming the raw i32
+            // Z block, with the per-element dequantization fused into the
+            // column-pass loads.
             _ => {
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
-                    transform,
-                    patch_f,
-                    tile_f,
-                    ..
+                    transform, tile_f, ..
                 } = &mut *ws;
                 tt.ensure_scratch(transform, LANES);
-                let zf = ensure_f32(patch_f, t_count * LANES);
                 let y = ensure_f32(tile_f, m * m * LANES);
                 for task in range {
                     let kg = task / geom.total;
                     let tile = task % geom.total;
                     let (b, ty, tx) = tile_coords(&geom, tile);
                     let block = gemm.z().tile_block(kg, tile);
-                    for t in 0..t_count {
-                        lowino_simd::dequantize_i32_lanes(
-                            &block[t * LANES..(t + 1) * LANES],
-                            inv_alpha[t],
-                            &mut zf[t * LANES..(t + 1) * LANES],
-                        );
-                    }
-                    tt.output_tile_f32(zf, y, transform);
+                    tt.output_tile_dequantized(vt, block, inv_alpha, 1, y, transform);
                     // SAFETY: output tiles never overlap; one task per tile.
                     unsafe {
                         scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);

@@ -15,6 +15,7 @@
 use lowino_gemm::int16::GemmTasksI16;
 use lowino_gemm::{GemmShape, UPanelI16, VPanelI16, ZPanel};
 use lowino_quant::QParams;
+use lowino_simd::vecf32::VecTier;
 use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::{range_growth_2d, TileTransformer};
 
@@ -122,6 +123,7 @@ impl ConvExecutor for UpCastConv {
             ..
         } = ctx;
         let tier = *tier;
+        let vt = VecTier::for_simd(tier);
         let scratch: &ScratchArena = scratch;
 
         let shape = GemmShape {
@@ -217,26 +219,30 @@ impl ConvExecutor for UpCastConv {
             }
             // -- Phase ②: INT16 GEMM (vpdpwssd — half VNNI throughput).
             2 => gemm.run_range(range),
-            // -- Phase ③: de-quantize + output transform. The integer
-            // transform is exact, so the only scales are the spatial α_in
-            // and the filter α_U.
+            // -- Phase ③: fused de-quantize + output transform (the inverse
+            // scale is folded into the compiled tape's i32→f32 loads,
+            // broadcast across all t). The integer transform is exact, so
+            // the only scales are the spatial α_in and the filter α_U.
             _ => {
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
-                    transform,
-                    patch_f,
-                    tile_f,
-                    ..
+                    transform, tile_f, ..
                 } = &mut *ws;
                 tt.ensure_scratch(transform, LANES);
-                let zf = ensure_f32(patch_f, t_count * LANES);
                 let y = ensure_f32(tile_f, m * m * LANES);
                 for task in range {
                     let kg = task / geom.total;
                     let tile = task % geom.total;
                     let (b, ty, tx) = tile_coords(&geom, tile);
-                    lowino_simd::dequantize_i32_lanes(gemm.z().tile_block(kg, tile), inv, zf);
-                    tt.output_tile_f32(zf, y, transform);
+                    let block = gemm.z().tile_block(kg, tile);
+                    tt.output_tile_dequantized(
+                        vt,
+                        block,
+                        core::slice::from_ref(&inv),
+                        0,
+                        y,
+                        transform,
+                    );
                     // SAFETY: output tiles never overlap.
                     unsafe {
                         scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);

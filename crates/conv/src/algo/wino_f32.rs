@@ -7,6 +7,7 @@
 
 use lowino_gemm::f32gemm::GemmTasksF32;
 use lowino_gemm::{GemmShape, UPanelF32, VPanelF32, ZPanelF32};
+use lowino_simd::vecf32::VecTier;
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::TileTransformer;
 
@@ -58,7 +59,9 @@ impl ConvExecutor for WinogradF32Conv {
 
     /// Single-fork-join schedule: the three stages run as barrier-separated
     /// phases of one pool job; working buffers come from the context's
-    /// persistent per-worker [`ScratchArena`].
+    /// persistent per-worker [`ScratchArena`]. Transforms run on the
+    /// compiled codelet tapes (bitwise identical to the interpreted
+    /// reference).
     fn execute(
         &mut self,
         input: &BlockedImage,
@@ -71,7 +74,13 @@ impl ConvExecutor for WinogradF32Conv {
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
         let tt = &self.tt;
 
-        let ConvContext { pool, scratch, .. } = ctx;
+        let ConvContext {
+            pool,
+            tier,
+            scratch,
+            ..
+        } = ctx;
+        let vt = VecTier::for_simd(*tier);
         let scratch: &ScratchArena = scratch;
 
         let shape = GemmShape {
@@ -109,7 +118,7 @@ impl ConvExecutor for WinogradF32Conv {
                     let (b, ty, tx) = tile_coords(&geom, tile);
                     let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
                     gather_patch(input, b, cb, y0, x0, n, patch);
-                    tt.input_tile_f32(patch, v, transform);
+                    tt.input_tile_f32_compiled(vt, patch, v, transform);
                     for t in 0..t_count {
                         // SAFETY: disjoint (t, tile, cb) groups per task.
                         unsafe {
@@ -138,7 +147,7 @@ impl ConvExecutor for WinogradF32Conv {
                     let tile = task % geom.total;
                     let (b, ty, tx) = tile_coords(&geom, tile);
                     let block = gemm.z().tile_block(kg, tile);
-                    tt.output_tile_f32(block, y, transform);
+                    tt.output_tile_f32_compiled(vt, block, y, transform);
                     // SAFETY: output tiles never overlap.
                     unsafe {
                         scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);

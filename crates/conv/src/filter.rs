@@ -8,7 +8,8 @@
 
 use lowino_gemm::{UPanel, UPanelF32, UPanelI16};
 use lowino_quant::QParams;
-use lowino_simd::saturate_to_i8;
+use lowino_simd::vecf32::VecTier;
+use lowino_simd::{saturate_to_i8, SimdTier};
 use lowino_tensor::{ConvShape, Tensor4, TileGeometry};
 use lowino_winograd::TileTransformer;
 
@@ -25,6 +26,7 @@ pub fn transform_filters_f32(
     let (kk, cc, r, _) = weights.dims();
     let n = tt.n();
     let t_count = n * n;
+    let vt = VecTier::for_simd(SimdTier::detect());
     let mut out = vec![0f32; kk * cc * t_count];
     let mut scratch = tt.make_scratch(1);
     let mut g = vec![0f32; r * r];
@@ -36,7 +38,7 @@ pub fn transform_filters_f32(
                     g[dy * r + dx] = weights.at(k, c, dy, dx);
                 }
             }
-            tt.filter_tile_f32(&g, &mut u, &mut scratch);
+            tt.filter_tile_f32_compiled(vt, &g, &mut u, &mut scratch);
             out[(k * cc + c) * t_count..(k * cc + c) * t_count + t_count].copy_from_slice(&u);
         }
     }

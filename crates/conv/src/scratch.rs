@@ -48,6 +48,9 @@ pub struct WorkerScratch {
     pub patch_i: AlignedBuf<i32>,
     /// i32 tile-sized buffer.
     pub tile_i: AlignedBuf<i32>,
+    /// u8 tile-sized buffer (quantized transform output; 64-byte aligned
+    /// so each 64-lane group can be stream-stored as one cache line).
+    pub tile_u8: AlignedBuf<u8>,
 }
 
 /// Grow-on-demand view: returns `&mut buf[..len]`, reallocating (to the
@@ -63,6 +66,14 @@ pub fn ensure_f32(buf: &mut AlignedBuf<f32>, len: usize) -> &mut [f32] {
 
 /// i32 twin of [`ensure_f32`].
 pub fn ensure_i32(buf: &mut AlignedBuf<i32>, len: usize) -> &mut [i32] {
+    if buf.len() < len {
+        *buf = AlignedBuf::zeroed(len.next_power_of_two());
+    }
+    &mut buf.as_mut_slice()[..len]
+}
+
+/// u8 twin of [`ensure_f32`].
+pub fn ensure_u8(buf: &mut AlignedBuf<u8>, len: usize) -> &mut [u8] {
     if buf.len() < len {
         *buf = AlignedBuf::zeroed(len.next_power_of_two());
     }

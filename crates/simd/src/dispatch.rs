@@ -19,13 +19,38 @@ pub enum SimdTier {
 
 impl SimdTier {
     /// Detect the best tier available on this CPU (cached after first call).
+    ///
+    /// Honours the `LOWINO_FORCE_TIER` environment variable
+    /// (`scalar` / `avx2` / `avx512vnni`) so CI can exercise the non-native
+    /// tiers; forcing a tier the host cannot execute panics rather than
+    /// silently falling back.
     pub fn detect() -> Self {
         static TIER: OnceLock<SimdTier> = OnceLock::new();
         *TIER.get_or_init(Self::detect_uncached)
     }
 
     /// Detection without the cache — used by tests and the ablation bench.
+    /// Applies the same `LOWINO_FORCE_TIER` override as [`Self::detect`].
     pub fn detect_uncached() -> Self {
+        let native = Self::detect_native();
+        if let Ok(forced) = std::env::var("LOWINO_FORCE_TIER") {
+            let tier = Self::from_name(&forced).unwrap_or_else(|| {
+                panic!(
+                    "LOWINO_FORCE_TIER={forced:?} is not a tier \
+                     (expected scalar, avx2 or avx512vnni)"
+                )
+            });
+            assert!(
+                tier <= native,
+                "LOWINO_FORCE_TIER={forced:?} but this host only supports {native}"
+            );
+            return tier;
+        }
+        native
+    }
+
+    /// Raw CPU-feature probe, ignoring any override.
+    fn detect_native() -> Self {
         #[cfg(target_arch = "x86_64")]
         {
             if std::arch::is_x86_feature_detected!("avx512vnni")
@@ -39,6 +64,17 @@ impl SimdTier {
             }
         }
         SimdTier::Scalar
+    }
+
+    /// Parse a tier name as accepted by `LOWINO_FORCE_TIER`. Accepts the
+    /// [`Self::name`] spellings plus `avx512vnni` (no hyphen), case-insensitive.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdTier::Scalar),
+            "avx2" => Some(SimdTier::Avx2),
+            "avx512vnni" | "avx512-vnni" => Some(SimdTier::Avx512Vnni),
+            _ => None,
+        }
     }
 
     /// All tiers available on the current host, best first. Useful for
@@ -96,5 +132,16 @@ mod tests {
     fn names() {
         assert_eq!(SimdTier::Scalar.name(), "scalar");
         assert_eq!(SimdTier::Avx512Vnni.to_string(), "avx512-vnni");
+    }
+
+    #[test]
+    fn from_name_round_trips_and_rejects_garbage() {
+        for tier in SimdTier::available() {
+            assert_eq!(SimdTier::from_name(tier.name()), Some(tier));
+        }
+        assert_eq!(SimdTier::from_name("avx512vnni"), Some(SimdTier::Avx512Vnni));
+        assert_eq!(SimdTier::from_name("AVX2"), Some(SimdTier::Avx2));
+        assert_eq!(SimdTier::from_name("sse2"), None);
+        assert_eq!(SimdTier::from_name(""), None);
     }
 }

@@ -33,12 +33,17 @@ pub mod dispatch;
 pub mod dpbusd;
 pub mod dpwssd;
 pub mod store;
+pub mod vecf32;
 
 pub use cast::{dequantize_i32_lanes, quantize_f32_lanes_i8, saturate_i32_to_i8, saturate_to_i8};
 pub use dispatch::SimdTier;
 pub use dpbusd::{dpbusd, dpbusd_scalar};
 pub use dpwssd::{dpwssd, dpwssd_scalar};
 pub use store::{prefetch_read, stream_store_i32_16, stream_store_u8_64};
+pub use vecf32::{dequantize_lanes, quantize_lanes, requantize_i32_lanes, F32Vector, F32x1, VecTier};
+
+#[cfg(target_arch = "x86_64")]
+pub use vecf32::{F32x16, F32x8};
 
 /// Lanes of `i32` in a 512-bit register.
 pub const I32_LANES: usize = 16;

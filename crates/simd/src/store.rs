@@ -18,6 +18,10 @@ use crate::dispatch::SimdTier;
 #[inline]
 pub fn stream_store_u8_64(tier: SimdTier, dst: &mut [u8], src: &[u8; 64]) {
     debug_assert!(dst.len() >= 64);
+    debug_assert!(
+        (dst.as_ptr() as usize).is_multiple_of(64),
+        "stream_store_u8_64: dst not 64-byte aligned"
+    );
     #[cfg(target_arch = "x86_64")]
     if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize).is_multiple_of(64) {
         // SAFETY: avx512f implied by the tier; dst is valid for 64 bytes and
@@ -34,9 +38,18 @@ pub fn stream_store_u8_64(tier: SimdTier, dst: &mut [u8], src: &[u8; 64]) {
 }
 
 /// Store 16 `i32` lanes (one ZMM) with a non-temporal hint when available.
+///
+/// # Panics
+///
+/// Panics (debug) if `dst` is not 64-byte aligned, like
+/// [`stream_store_u8_64`].
 #[inline]
 pub fn stream_store_i32_16(tier: SimdTier, dst: &mut [i32], src: &[i32; 16]) {
     debug_assert!(dst.len() >= 16);
+    debug_assert!(
+        (dst.as_ptr() as usize).is_multiple_of(64),
+        "stream_store_i32_16: dst not 64-byte aligned"
+    );
     #[cfg(target_arch = "x86_64")]
     if tier == SimdTier::Avx512Vnni && (dst.as_ptr() as usize).is_multiple_of(64) {
         // SAFETY: as in `stream_store_u8_64`.
@@ -95,13 +108,27 @@ mod tests {
         }
     }
 
+    /// Misaligned destinations are a programming error: a debug panic in
+    /// debug builds, a silent (correct but slow) cached-store fallback in
+    /// release builds.
     #[test]
-    fn stream_store_unaligned_falls_back() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "not 64-byte aligned"))]
+    fn stream_store_unaligned_panics_in_debug_falls_back_in_release() {
         let mut backing = vec![0u8; 256];
         let off = backing.as_ptr().align_offset(64) + 1; // deliberately unaligned
         let src = [7u8; 64];
         stream_store_u8_64(SimdTier::detect(), &mut backing[off..off + 64], &src);
         assert_eq!(&backing[off..off + 64], &src);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "not 64-byte aligned"))]
+    fn stream_store_i32_unaligned_panics_in_debug_falls_back_in_release() {
+        let mut backing = vec![0i32; 64];
+        let off = (backing.as_ptr() as usize).wrapping_neg() % 64 / 4 + 1; // unaligned
+        let src = [3i32; 16];
+        stream_store_i32_16(SimdTier::detect(), &mut backing[off..off + 16], &src);
+        assert_eq!(&backing[off..off + 16], &src);
     }
 
     #[test]

@@ -103,6 +103,17 @@ impl Codelet {
         self.temps.len()
     }
 
+    /// f32-rendered temporary expressions, in evaluation order (tape
+    /// lowering input).
+    pub(crate) fn temps_f32(&self) -> &[Vec<(Source, f32)>] {
+        &self.temps_f32
+    }
+
+    /// f32-rendered output expressions (tape lowering input).
+    pub(crate) fn outs_f32(&self) -> &[Vec<(Source, f32)>] {
+        &self.outs_f32
+    }
+
     /// Multiply+add operation count per lane — the metric the CSE pass
     /// minimises (used by tests and the ablation bench).
     pub fn op_count(&self) -> usize {

@@ -20,9 +20,14 @@
 //!   (Fig. 4): an expression IR derived from a transform matrix with
 //!   zero-elimination and common-subexpression elimination, executed
 //!   lane-wise over 64-channel groups;
+//! * [`tape`] — codelet *compilation* (§4.2.4): lowering to a flat
+//!   `(dst, src, coeff)` instruction tape with register-resident
+//!   temporaries, executed over explicit three-tier f32 SIMD vectors with
+//!   fused quantize/dequantize epilogues;
 //! * [`transform`] — input (`Bᵀ d B`), filter (`G g Gᵀ`) and output
 //!   (`Aᵀ Z A`) tile transforms in `f32` and the integer variants used by
-//!   the down-scaling / up-casting baselines;
+//!   the down-scaling / up-casting baselines, in interpreted (reference
+//!   oracle) and compiled forms;
 //! * [`analysis`] — the value-range-growth analysis of paper §2.2 (the
 //!   4× / 100× / ~10⁴× amplification that motivates Winograd-domain
 //!   quantization).
@@ -31,11 +36,13 @@ pub mod analysis;
 pub mod codelet;
 pub mod matrices;
 pub mod rational;
+pub mod tape;
 pub mod transform;
 
 pub use analysis::{range_growth_1d, range_growth_2d};
 pub use matrices::{WinogradMatrices, F2_3, F4_3, F6_3};
 pub use rational::Rational;
+pub use tape::{Tape, TapeInstr};
 pub use transform::{
     filter_transform_f32, input_transform_f32, input_transform_i32, output_transform_f32,
     TileTransformer, TransformScratch,

@@ -1,0 +1,690 @@
+//! Codelet **compilation**: lower a generated [`Codelet`] to a flat
+//! instruction tape and execute it over explicit SIMD vectors.
+//!
+//! The paper JIT-compiles its transform codelets to native code (§4.2.4);
+//! the interpreted executor in [`codelet`](crate::codelet) walks
+//! `Vec<(Source, f32)>` term lists per lane group, paying dispatch and
+//! bounds-check cost on every term. The tape is the compiled form: one
+//! dense `dst += coeff · src` triple per term, operating on a small
+//! **register file** — transform matrices are at most 8×8 with a handful
+//! of CSE temporaries, so every input slot, temporary and output of a 1-D
+//! codelet fits in vector registers for the whole program. The executor
+//! loads each input slot once, streams the triples, and stores (or
+//! *fuses*) the outputs:
+//!
+//! * [`Tape::execute_f32`] — plain f32-in/f32-out, the compiled twin of
+//!   [`Codelet::execute_f32`];
+//! * [`Tape::execute_quant_u8`] — the fused **quantize epilogue** (paper
+//!   Eq. 4 + the §4.2.1 `+128` compensation): output slots are quantized
+//!   in-register and emitted as `u8` lanes, so the input-transform row
+//!   pass writes `V` directly in its low-precision GEMM layout;
+//! * [`Tape::execute_dequant_f32`] — the fused **dequantize prologue**
+//!   (Eq. 6): input slots are raw `i32` GEMM accumulators, converted and
+//!   scaled by `1/(α_V·α_U)` at load time, so the output-transform column
+//!   pass consumes `Z` without a separate dequantization pass.
+//!
+//! Every path is bitwise identical to the interpreted executor composed
+//! with the scalar `lowino-simd` conversions (for finite values — see
+//! `lowino_simd::vecf32`); the interpreter stays as the reference oracle
+//! and the equivalence is property-tested per tier.
+
+use crate::codelet::{Codelet, Source};
+use lowino_simd::vecf32::{F32Vector, F32x1, VecTier};
+
+/// Register-file capacity of the tape executor. One register per input
+/// slot, CSE temporary and output slot; the lowering asserts the program
+/// fits. `F(6,3)` needs 8 + temps + 8; 32 leaves headroom for every
+/// supported tile size.
+pub const MAX_REGS: usize = 32;
+
+/// One compiled statement: `regs[dst] += coeff · regs[src]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TapeInstr {
+    /// Destination register (a temp or output slot).
+    pub dst: u8,
+    /// Source register (an input slot or earlier temp).
+    pub src: u8,
+    /// The f32-rendered matrix coefficient.
+    pub coeff: f32,
+}
+
+/// A lowered codelet: a flat multiply-accumulate tape over a register
+/// file laid out `[inputs | temps | outputs]`.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    n_in: usize,
+    n_temps: usize,
+    n_out: usize,
+    instrs: Vec<TapeInstr>,
+}
+
+impl Tape {
+    /// Lower `code` to its instruction tape. Instruction order follows the
+    /// interpreter exactly — temporaries in definition order, then outputs,
+    /// each accumulating its terms in expression order from zero — which is
+    /// what makes the two executors bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program needs more than [`MAX_REGS`] registers.
+    pub fn lower(code: &Codelet) -> Self {
+        let (n_in, n_temps, n_out) = (code.n_in(), code.n_temps(), code.n_out());
+        let regs = n_in + n_temps + n_out;
+        assert!(
+            regs <= MAX_REGS,
+            "codelet needs {regs} registers (max {MAX_REGS})"
+        );
+        let reg_of = |s: Source| -> u8 {
+            match s {
+                Source::In(j) => j as u8,
+                Source::Temp(t) => (n_in + t) as u8,
+            }
+        };
+        let mut instrs = Vec::new();
+        for (t, expr) in code.temps_f32().iter().enumerate() {
+            let dst = (n_in + t) as u8;
+            for &(src, coeff) in expr {
+                instrs.push(TapeInstr {
+                    dst,
+                    src: reg_of(src),
+                    coeff,
+                });
+            }
+        }
+        for (i, expr) in code.outs_f32().iter().enumerate() {
+            let dst = (n_in + n_temps + i) as u8;
+            for &(src, coeff) in expr {
+                instrs.push(TapeInstr {
+                    dst,
+                    src: reg_of(src),
+                    coeff,
+                });
+            }
+        }
+        Tape {
+            n_in,
+            n_temps,
+            n_out,
+            instrs,
+        }
+    }
+
+    /// Number of input slots.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of output slots.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Number of CSE temporaries (register-resident; no scratch needed).
+    pub fn n_temps(&self) -> usize {
+        self.n_temps
+    }
+
+    /// Multiply-accumulate instruction count (equals the codelet's
+    /// [`op_count`](Codelet::op_count)).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the tape has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Compiled twin of [`Codelet::execute_f32`]: slot `j` of the input
+    /// starts at `input[in_base + j·in_stride]`, slot `i` of the output at
+    /// `output[out_base + i·out_stride]`, each slot `lanes` consecutive
+    /// values. No scratch — temporaries live in registers.
+    #[inline]
+    pub fn execute_f32(
+        &self,
+        vt: VecTier,
+        lanes: usize,
+        input: &[f32],
+        in_base: usize,
+        in_stride: usize,
+        output: &mut [f32],
+        out_base: usize,
+        out_stride: usize,
+    ) {
+        self.check_spans(vt, lanes, input.len(), in_base, in_stride, output.len(), out_base, out_stride);
+        let ip = unsafe { input.as_ptr().add(in_base) };
+        let op = unsafe { output.as_mut_ptr().add(out_base) };
+        match vt {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: spans checked above; tier availability asserted in
+            // `check_spans`.
+            VecTier::F32x16 => unsafe {
+                x86::f32_avx512(self, lanes, ip, in_stride, op, out_stride)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            VecTier::F32x8 => unsafe { x86::f32_avx2(self, lanes, ip, in_stride, op, out_stride) },
+            // SAFETY: scalar model has no feature requirement.
+            _ => unsafe { drive_f32::<F32x1>(self, lanes, ip, in_stride, op, out_stride) },
+        }
+    }
+
+    /// Fused quantize epilogue: run the tape, then per output slot `i`
+    /// quantize with `alphas[alpha_base + i·alpha_stride]` (one scale per
+    /// Winograd-domain element, shared by all lanes of the slot), add the
+    /// `+128` compensation when `compensate`, and store the slot as `u8`
+    /// lanes at `output[out_base + i·out_stride]`.
+    ///
+    /// Bitwise identical (finite values) to [`Self::execute_f32`] followed
+    /// by [`lowino_simd::quantize_f32_lanes_i8`] per slot.
+    #[inline]
+    pub fn execute_quant_u8(
+        &self,
+        vt: VecTier,
+        lanes: usize,
+        input: &[f32],
+        in_base: usize,
+        in_stride: usize,
+        alphas: &[f32],
+        alpha_base: usize,
+        alpha_stride: usize,
+        compensate: bool,
+        output: &mut [u8],
+        out_base: usize,
+        out_stride: usize,
+    ) {
+        self.check_spans(vt, lanes, input.len(), in_base, in_stride, output.len(), out_base, out_stride);
+        assert!(alphas.len() > alpha_base + (self.n_out - 1) * alpha_stride);
+        let offset = if compensate { 128 } else { 0 };
+        let ip = unsafe { input.as_ptr().add(in_base) };
+        let ap = unsafe { alphas.as_ptr().add(alpha_base) };
+        let op = unsafe { output.as_mut_ptr().add(out_base) };
+        match vt {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: spans checked above; tier availability asserted in
+            // `check_spans`.
+            VecTier::F32x16 => unsafe {
+                x86::quant_avx512(self, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            VecTier::F32x8 => unsafe {
+                x86::quant_avx2(self, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride)
+            },
+            // SAFETY: scalar model has no feature requirement.
+            _ => unsafe {
+                drive_quant::<F32x1>(self, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride)
+            },
+        }
+    }
+
+    /// Fused dequantize prologue: input slots are raw `i32` GEMM
+    /// accumulators; slot `j` is loaded as
+    /// `z as f32 · scales[scale_base + j·scale_stride]` (Eq. 6 folded into
+    /// the load; `scale_stride = 0` broadcasts one scale). The tape then
+    /// runs as usual and stores f32 outputs.
+    ///
+    /// Bitwise identical to [`lowino_simd::dequantize_i32_lanes`] per slot
+    /// followed by [`Self::execute_f32`].
+    #[inline]
+    pub fn execute_dequant_f32(
+        &self,
+        vt: VecTier,
+        lanes: usize,
+        input: &[i32],
+        in_base: usize,
+        in_stride: usize,
+        scales: &[f32],
+        scale_base: usize,
+        scale_stride: usize,
+        output: &mut [f32],
+        out_base: usize,
+        out_stride: usize,
+    ) {
+        self.check_spans(vt, lanes, input.len(), in_base, in_stride, output.len(), out_base, out_stride);
+        assert!(scales.len() > scale_base + (self.n_in - 1) * scale_stride);
+        let ip = unsafe { input.as_ptr().add(in_base) };
+        let sp = unsafe { scales.as_ptr().add(scale_base) };
+        let op = unsafe { output.as_mut_ptr().add(out_base) };
+        match vt {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: spans checked above; tier availability asserted in
+            // `check_spans`.
+            VecTier::F32x16 => unsafe {
+                x86::dequant_avx512(self, lanes, ip, in_stride, sp, scale_stride, op, out_stride)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            VecTier::F32x8 => unsafe {
+                x86::dequant_avx2(self, lanes, ip, in_stride, sp, scale_stride, op, out_stride)
+            },
+            // SAFETY: scalar model has no feature requirement.
+            _ => unsafe {
+                drive_dequant::<F32x1>(self, lanes, ip, in_stride, sp, scale_stride, op, out_stride)
+            },
+        }
+    }
+
+    /// Common bounds/capability checks for the execute entry points.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn check_spans(
+        &self,
+        vt: VecTier,
+        lanes: usize,
+        in_len: usize,
+        in_base: usize,
+        in_stride: usize,
+        out_len: usize,
+        out_base: usize,
+        out_stride: usize,
+    ) {
+        assert!(in_len >= in_base + (self.n_in - 1) * in_stride + lanes);
+        assert!(out_len >= out_base + (self.n_out - 1) * out_stride + lanes);
+        debug_assert!(vt <= VecTier::detect(), "vec tier {vt} not supported");
+    }
+}
+
+// -- generic executor core ----------------------------------------------
+//
+// `#[inline(always)]` generic bodies instantiated inside per-tier
+// `#[target_feature]` wrappers — the same codegen pattern as
+// `lowino_simd::dpbusd`.
+
+/// Register-file size of the *small* executor instantiation. The file
+/// holds only inputs and CSE temporaries (sources are never outputs), but
+/// the tape's dynamic source indices still force it onto the stack (LLVM
+/// cannot scalar-promote a dynamically indexed array), so every lane chunk
+/// pays one zero-store per file slot — sizing the file to the program
+/// instead of always [`MAX_REGS`] cuts that fixed cost for the small
+/// tiles (only `F(6,3)`'s `Bᵀ` needs more than 16 slots).
+const SMALL_REGS: usize = 16;
+
+/// Register-file size of the *tiny* executor instantiation — all three
+/// `F(2,3)` codelets fit their inputs + temps in 8 file slots.
+const TINY_REGS: usize = 8;
+
+/// Evaluate the CSE temporaries into `file[n_in..]`, consuming the
+/// leading instructions; `k` is left at the first output instruction.
+///
+/// The lowering emits instructions grouped by destination (temporaries in
+/// definition order, then outputs in order), so each destination's terms
+/// are a contiguous run — the accumulator stays in a true vector register
+/// and only completed values touch the (stack-resident) file. Term order
+/// within a run matches the interpreter's accumulate-from-zero exactly.
+#[inline(always)]
+unsafe fn eval_temps<V: F32Vector, const N: usize>(tape: &Tape, file: &mut [V; N], k: &mut usize) {
+    let instrs = tape.instrs.as_slice();
+    for t in 0..tape.n_temps {
+        let dst = (tape.n_in + t) as u8;
+        let mut acc = V::zero();
+        while *k < instrs.len() && instrs[*k].dst == dst {
+            let ins = instrs[*k];
+            acc = acc.add(V::splat(ins.coeff).mul(file[ins.src as usize]));
+            *k += 1;
+        }
+        file[tape.n_in + t] = acc;
+    }
+}
+
+/// Accumulate output slot `i`'s terms starting at instruction `k`,
+/// returning the finished vector — outputs never round-trip through the
+/// file, they go straight to the caller's store/quantize epilogue.
+#[inline(always)]
+unsafe fn eval_output<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    file: &[V; N],
+    k: &mut usize,
+    i: usize,
+) -> V {
+    let instrs = tape.instrs.as_slice();
+    let dst = (tape.n_in + tape.n_temps + i) as u8;
+    let mut acc = V::zero();
+    while *k < instrs.len() && instrs[*k].dst == dst {
+        let ins = instrs[*k];
+        acc = acc.add(V::splat(ins.coeff).mul(file[ins.src as usize]));
+        *k += 1;
+    }
+    acc
+}
+
+/// Load the f32 input slots and evaluate the temporaries; returns the
+/// file and the instruction cursor positioned at the first output term.
+#[inline(always)]
+unsafe fn load_and_eval<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    ip: *const f32,
+    in_stride: usize,
+) -> ([V; N], usize) {
+    let mut file = [V::zero(); N];
+    for j in 0..tape.n_in {
+        file[j] = V::load(ip.add(j * in_stride));
+    }
+    let mut k = 0;
+    eval_temps(tape, &mut file, &mut k);
+    (file, k)
+}
+
+/// As [`load_and_eval`], but inputs are `i32` lanes dequantized at load
+/// time.
+#[inline(always)]
+unsafe fn load_and_eval_dequant<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    ip: *const i32,
+    in_stride: usize,
+    sp: *const f32,
+    scale_stride: usize,
+) -> ([V; N], usize) {
+    let mut file = [V::zero(); N];
+    for j in 0..tape.n_in {
+        file[j] = V::load_i32_scaled(ip.add(j * in_stride), *sp.add(j * scale_stride));
+    }
+    let mut k = 0;
+    eval_temps(tape, &mut file, &mut k);
+    (file, k)
+}
+
+#[inline(always)]
+unsafe fn drive_f32_sized<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const f32,
+    in_stride: usize,
+    op: *mut f32,
+    out_stride: usize,
+) {
+    let main = lanes - lanes % V::WIDTH;
+    let mut l = 0;
+    while l < main {
+        let (file, mut k) = load_and_eval::<V, N>(tape, ip.add(l), in_stride);
+        for i in 0..tape.n_out {
+            eval_output(tape, &file, &mut k, i).store(op.add(i * out_stride + l));
+        }
+        l += V::WIDTH;
+    }
+    while l < lanes {
+        let (file, mut k) = load_and_eval::<F32x1, N>(tape, ip.add(l), in_stride);
+        for i in 0..tape.n_out {
+            eval_output(tape, &file, &mut k, i).store(op.add(i * out_stride + l));
+        }
+        l += 1;
+    }
+}
+
+#[inline(always)]
+unsafe fn drive_f32<V: F32Vector>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const f32,
+    in_stride: usize,
+    op: *mut f32,
+    out_stride: usize,
+) {
+    let file_regs = tape.n_in + tape.n_temps;
+    if file_regs <= TINY_REGS {
+        drive_f32_sized::<V, TINY_REGS>(tape, lanes, ip, in_stride, op, out_stride);
+    } else if file_regs <= SMALL_REGS {
+        drive_f32_sized::<V, SMALL_REGS>(tape, lanes, ip, in_stride, op, out_stride);
+    } else {
+        drive_f32_sized::<V, MAX_REGS>(tape, lanes, ip, in_stride, op, out_stride);
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drive_quant_sized<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const f32,
+    in_stride: usize,
+    ap: *const f32,
+    alpha_stride: usize,
+    offset: i32,
+    op: *mut u8,
+    out_stride: usize,
+) {
+    let main = lanes - lanes % V::WIDTH;
+    let mut l = 0;
+    while l < main {
+        let (file, mut k) = load_and_eval::<V, N>(tape, ip.add(l), in_stride);
+        for i in 0..tape.n_out {
+            eval_output(tape, &file, &mut k, i).quantize_u8(
+                *ap.add(i * alpha_stride),
+                offset,
+                op.add(i * out_stride + l),
+            );
+        }
+        l += V::WIDTH;
+    }
+    while l < lanes {
+        let (file, mut k) = load_and_eval::<F32x1, N>(tape, ip.add(l), in_stride);
+        for i in 0..tape.n_out {
+            eval_output(tape, &file, &mut k, i).quantize_u8(
+                *ap.add(i * alpha_stride),
+                offset,
+                op.add(i * out_stride + l),
+            );
+        }
+        l += 1;
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drive_quant<V: F32Vector>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const f32,
+    in_stride: usize,
+    ap: *const f32,
+    alpha_stride: usize,
+    offset: i32,
+    op: *mut u8,
+    out_stride: usize,
+) {
+    let file_regs = tape.n_in + tape.n_temps;
+    if file_regs <= TINY_REGS {
+        drive_quant_sized::<V, TINY_REGS>(
+            tape, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride,
+        );
+    } else if file_regs <= SMALL_REGS {
+        drive_quant_sized::<V, SMALL_REGS>(
+            tape, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride,
+        );
+    } else {
+        drive_quant_sized::<V, MAX_REGS>(
+            tape, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride,
+        );
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drive_dequant_sized<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const i32,
+    in_stride: usize,
+    sp: *const f32,
+    scale_stride: usize,
+    op: *mut f32,
+    out_stride: usize,
+) {
+    let main = lanes - lanes % V::WIDTH;
+    let mut l = 0;
+    while l < main {
+        let (file, mut k) =
+            load_and_eval_dequant::<V, N>(tape, ip.add(l), in_stride, sp, scale_stride);
+        for i in 0..tape.n_out {
+            eval_output(tape, &file, &mut k, i).store(op.add(i * out_stride + l));
+        }
+        l += V::WIDTH;
+    }
+    while l < lanes {
+        let (file, mut k) =
+            load_and_eval_dequant::<F32x1, N>(tape, ip.add(l), in_stride, sp, scale_stride);
+        for i in 0..tape.n_out {
+            eval_output(tape, &file, &mut k, i).store(op.add(i * out_stride + l));
+        }
+        l += 1;
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drive_dequant<V: F32Vector>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const i32,
+    in_stride: usize,
+    sp: *const f32,
+    scale_stride: usize,
+    op: *mut f32,
+    out_stride: usize,
+) {
+    let file_regs = tape.n_in + tape.n_temps;
+    if file_regs <= TINY_REGS {
+        drive_dequant_sized::<V, TINY_REGS>(
+            tape, lanes, ip, in_stride, sp, scale_stride, op, out_stride,
+        );
+    } else if file_regs <= SMALL_REGS {
+        drive_dequant_sized::<V, SMALL_REGS>(
+            tape, lanes, ip, in_stride, sp, scale_stride, op, out_stride,
+        );
+    } else {
+        drive_dequant_sized::<V, MAX_REGS>(
+            tape, lanes, ip, in_stride, sp, scale_stride, op, out_stride,
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use lowino_simd::vecf32::{F32x16, F32x8};
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn f32_avx512(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const f32,
+        in_stride: usize,
+        op: *mut f32,
+        out_stride: usize,
+    ) {
+        drive_f32::<F32x16>(tape, lanes, ip, in_stride, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn f32_avx2(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const f32,
+        in_stride: usize,
+        op: *mut f32,
+        out_stride: usize,
+    ) {
+        drive_f32::<F32x8>(tape, lanes, ip, in_stride, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn quant_avx512(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const f32,
+        in_stride: usize,
+        ap: *const f32,
+        alpha_stride: usize,
+        offset: i32,
+        op: *mut u8,
+        out_stride: usize,
+    ) {
+        drive_quant::<F32x16>(tape, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn quant_avx2(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const f32,
+        in_stride: usize,
+        ap: *const f32,
+        alpha_stride: usize,
+        offset: i32,
+        op: *mut u8,
+        out_stride: usize,
+    ) {
+        drive_quant::<F32x8>(tape, lanes, ip, in_stride, ap, alpha_stride, offset, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn dequant_avx512(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const i32,
+        in_stride: usize,
+        sp: *const f32,
+        scale_stride: usize,
+        op: *mut f32,
+        out_stride: usize,
+    ) {
+        drive_dequant::<F32x16>(tape, lanes, ip, in_stride, sp, scale_stride, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn dequant_avx2(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const i32,
+        in_stride: usize,
+        sp: *const f32,
+        scale_stride: usize,
+        op: *mut f32,
+        out_stride: usize,
+    ) {
+        drive_dequant::<F32x8>(tape, lanes, ip, in_stride, sp, scale_stride, op, out_stride);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::WinogradMatrices;
+
+    #[test]
+    fn all_supported_codelets_fit_the_register_file() {
+        for (m, r) in [(2usize, 3usize), (4, 3), (6, 3), (3, 3), (3, 5)] {
+            let w = WinogradMatrices::for_tile(m, r).unwrap();
+            for mat in [&w.bt, &w.g, &w.at] {
+                let code = Codelet::generate(mat);
+                let tape = Tape::lower(&code);
+                assert!(tape.n_in() + tape.n_temps() + tape.n_out() <= MAX_REGS);
+                assert_eq!(tape.len(), code.op_count());
+            }
+        }
+    }
+
+    #[test]
+    fn tape_matches_interpreter_bitwise_scalar_smoke() {
+        // Full per-tier property coverage lives in tests/tape_equivalence.rs;
+        // this is the in-crate smoke check.
+        let w = WinogradMatrices::lavin_f4_3();
+        let code = Codelet::generate(&w.bt);
+        let tape = Tape::lower(&code);
+        let lanes = 5;
+        let input: Vec<f32> = (0..6 * lanes).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+        let mut want = vec![0.0f32; 6 * lanes];
+        let mut scratch = vec![0.0f32; code.n_temps().max(1) * lanes];
+        code.execute_f32(lanes, &input, 0, lanes, &mut want, 0, lanes, &mut scratch);
+        let mut got = vec![0.0f32; 6 * lanes];
+        tape.execute_f32(VecTier::Scalar, lanes, &input, 0, lanes, &mut got, 0, lanes);
+        assert_eq!(
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

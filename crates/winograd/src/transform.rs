@@ -10,6 +10,8 @@
 
 use crate::codelet::Codelet;
 use crate::matrices::{MatrixError, WinogradMatrices};
+use crate::tape::Tape;
+use lowino_simd::vecf32::VecTier;
 
 /// Scratch space for tile transforms (reused across tiles; no allocation in
 /// the hot loop).
@@ -49,24 +51,54 @@ impl Default for TransformScratch {
 }
 
 /// Compiled transforms for one `F(m×m, r×r)` algorithm.
+///
+/// Each 1-D codelet exists in two forms: the interpreted [`Codelet`]
+/// (reference oracle) and its lowered [`Tape`] (the production path,
+/// executed over explicit SIMD vectors — see [`crate::tape`]). The
+/// `*_compiled` / fused methods are bitwise identical to their
+/// interpreted counterparts.
 #[derive(Debug)]
 pub struct TileTransformer {
     w: WinogradMatrices,
     bt_code: Codelet,
     g_code: Codelet,
     at_code: Codelet,
+    bt_tape: Tape,
+    g_tape: Tape,
+    at_tape: Tape,
 }
 
 impl TileTransformer {
-    /// Build the codelets for `F(m, r)`.
+    /// Build the codelets for `F(m, r)` and lower them to tapes.
     pub fn new(m: usize, r: usize) -> Result<Self, MatrixError> {
         let w = WinogradMatrices::for_tile(m, r)?;
+        let bt_code = Codelet::generate(&w.bt);
+        let g_code = Codelet::generate(&w.g);
+        let at_code = Codelet::generate(&w.at);
         Ok(Self {
-            bt_code: Codelet::generate(&w.bt),
-            g_code: Codelet::generate(&w.g),
-            at_code: Codelet::generate(&w.at),
+            bt_tape: Tape::lower(&bt_code),
+            g_tape: Tape::lower(&g_code),
+            at_tape: Tape::lower(&at_code),
+            bt_code,
+            g_code,
+            at_code,
             w,
         })
+    }
+
+    /// The lowered `Bᵀ` tape (used by the transforms micro-bench).
+    pub fn bt_tape(&self) -> &Tape {
+        &self.bt_tape
+    }
+
+    /// The lowered `G` tape.
+    pub fn g_tape(&self) -> &Tape {
+        &self.g_tape
+    }
+
+    /// The lowered `Aᵀ` tape.
+    pub fn at_tape(&self) -> &Tape {
+        &self.at_tape
     }
 
     /// The underlying matrices.
@@ -256,6 +288,158 @@ impl TileTransformer {
                 lanes,
                 &mut s.cse,
             );
+        }
+    }
+
+    // -- compiled (tape) transforms -------------------------------------
+
+    /// Compiled [`Self::input_tile_f32`]: same layout, executed on the
+    /// lowered tape at vector tier `vt`. Bitwise identical to the
+    /// interpreted version.
+    pub fn input_tile_f32_compiled(
+        &self,
+        vt: VecTier,
+        d: &[f32],
+        v: &mut [f32],
+        s: &mut TransformScratch,
+    ) {
+        let n = self.n();
+        let lanes = s.lanes;
+        for j in 0..n {
+            self.bt_tape
+                .execute_f32(vt, lanes, d, j * lanes, n * lanes, &mut s.tmp, j * lanes, n * lanes);
+        }
+        for i in 0..n {
+            self.bt_tape
+                .execute_f32(vt, lanes, &s.tmp, i * n * lanes, lanes, v, i * n * lanes, lanes);
+        }
+    }
+
+    /// Compiled [`Self::filter_tile_f32`].
+    pub fn filter_tile_f32_compiled(
+        &self,
+        vt: VecTier,
+        g: &[f32],
+        u: &mut [f32],
+        s: &mut TransformScratch,
+    ) {
+        let (n, r) = (self.n(), self.r());
+        let lanes = s.lanes;
+        for j in 0..r {
+            self.g_tape
+                .execute_f32(vt, lanes, g, j * lanes, r * lanes, &mut s.tmp, j * lanes, r * lanes);
+        }
+        for i in 0..n {
+            self.g_tape
+                .execute_f32(vt, lanes, &s.tmp, i * r * lanes, lanes, u, i * n * lanes, lanes);
+        }
+    }
+
+    /// Compiled [`Self::output_tile_f32`].
+    pub fn output_tile_f32_compiled(
+        &self,
+        vt: VecTier,
+        z: &[f32],
+        y: &mut [f32],
+        s: &mut TransformScratch,
+    ) {
+        let (n, m) = (self.n(), self.m());
+        let lanes = s.lanes;
+        for j in 0..n {
+            self.at_tape
+                .execute_f32(vt, lanes, z, j * lanes, n * lanes, &mut s.tmp, j * lanes, n * lanes);
+        }
+        for i in 0..m {
+            self.at_tape
+                .execute_f32(vt, lanes, &s.tmp, i * n * lanes, lanes, y, i * m * lanes, lanes);
+        }
+    }
+
+    // -- fused epilogue transforms (the LoWino production path) ----------
+
+    /// Input transform with the **fused quantize epilogue**: the column
+    /// pass runs on the compiled tape as usual, and the row pass quantizes
+    /// each `V` element group in-register (Eq. 4 with scale
+    /// `alphas[t]` for Winograd-domain element `t = i·n + j`, plus the
+    /// `+128` compensation when `compensate`) and writes `q` directly as
+    /// u8 lanes — the f32 `V` tile is never materialized.
+    ///
+    /// `q` uses the same `n×n` lane-group layout as `v` in
+    /// [`Self::input_tile_f32`]. Bitwise identical to the interpreted
+    /// transform followed by `quantize_f32_lanes_i8` per element group.
+    pub fn input_tile_quantized(
+        &self,
+        vt: VecTier,
+        d: &[f32],
+        alphas: &[f32],
+        compensate: bool,
+        q: &mut [u8],
+        s: &mut TransformScratch,
+    ) {
+        let n = self.n();
+        let lanes = s.lanes;
+        debug_assert!(alphas.len() >= n * n);
+        for j in 0..n {
+            self.bt_tape
+                .execute_f32(vt, lanes, d, j * lanes, n * lanes, &mut s.tmp, j * lanes, n * lanes);
+        }
+        for i in 0..n {
+            self.bt_tape.execute_quant_u8(
+                vt,
+                lanes,
+                &s.tmp,
+                i * n * lanes,
+                lanes,
+                alphas,
+                i * n,
+                1,
+                compensate,
+                q,
+                i * n * lanes,
+                lanes,
+            );
+        }
+    }
+
+    /// Output transform with the **fused dequantize prologue**: consumes
+    /// the raw `i32` GEMM accumulator tile `z` directly, folding the
+    /// `1/(α_V·α_U)` dequantization (Eq. 6) into the column-pass loads.
+    /// Element `t = k·n + j` of `z` is scaled by `inv_alphas[t·stride]`
+    /// (`stride = 1` per-element, `stride = 0` broadcasts a single scale).
+    ///
+    /// Bitwise identical to `dequantize_i32_lanes` into a scratch f32 tile
+    /// followed by [`Self::output_tile_f32`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn output_tile_dequantized(
+        &self,
+        vt: VecTier,
+        z: &[i32],
+        inv_alphas: &[f32],
+        stride: usize,
+        y: &mut [f32],
+        s: &mut TransformScratch,
+    ) {
+        let (n, m) = (self.n(), self.m());
+        let lanes = s.lanes;
+        debug_assert!(stride == 0 || inv_alphas.len() >= n * n);
+        for j in 0..n {
+            self.at_tape.execute_dequant_f32(
+                vt,
+                lanes,
+                z,
+                j * lanes,
+                n * lanes,
+                inv_alphas,
+                j * stride,
+                n * stride,
+                &mut s.tmp,
+                j * lanes,
+                n * lanes,
+            );
+        }
+        for i in 0..m {
+            self.at_tape
+                .execute_f32(vt, lanes, &s.tmp, i * n * lanes, lanes, y, i * m * lanes, lanes);
         }
     }
 }

@@ -1,0 +1,222 @@
+//! Property tests: the compiled instruction tape ([`lowino_winograd::tape`])
+//! is **bitwise identical** to the interpreted codelet executor (the
+//! reference oracle) — for every available vector tier, every supported
+//! `F(m, 3)` transform matrix, random lane counts and strided addressing,
+//! and for the fused quantize/dequantize epilogues against their two-pass
+//! spellings.
+
+use lowino_simd::vecf32::VecTier;
+use lowino_simd::{dequantize_i32_lanes, quantize_f32_lanes_i8};
+use lowino_testkit::{one_of, prop_assert, property, Rng};
+use lowino_winograd::codelet::Codelet;
+use lowino_winograd::tape::Tape;
+use lowino_winograd::{TileTransformer, WinogradMatrices};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The three 1-D transform matrices of `F(m, 3)` as (name, codelet) pairs.
+fn codelets(m: usize) -> Vec<(&'static str, Codelet)> {
+    let w = WinogradMatrices::for_tile(m, 3).unwrap();
+    vec![
+        ("bt", Codelet::generate(&w.bt)),
+        ("g", Codelet::generate(&w.g)),
+        ("at", Codelet::generate(&w.at)),
+    ]
+}
+
+property! {
+    /// 1-D codelet execution: tape == interpreter, bit for bit, on every
+    /// available tier, for random lane counts straddling every chunk
+    /// boundary.
+    #[cases(48)]
+    fn tape_matches_interpreter_1d(
+        m in one_of(&[2usize, 4, 6]),
+        lanes in 1usize..70,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xD1CE);
+        for (name, code) in codelets(m) {
+            let tape = Tape::lower(&code);
+            let (n_in, n_out) = (code.n_in(), code.n_out());
+            let mut input = vec![0.0f32; n_in * lanes];
+            rng.fill_f32(&mut input, -9.0, 9.0);
+            let mut want = vec![0.0f32; n_out * lanes];
+            let mut cse = vec![0.0f32; code.n_temps().max(1) * lanes];
+            code.execute_f32(lanes, &input, 0, lanes, &mut want, 0, lanes, &mut cse);
+            for vt in VecTier::available() {
+                let mut got = vec![f32::NAN; n_out * lanes];
+                tape.execute_f32(vt, lanes, &input, 0, lanes, &mut got, 0, lanes);
+                prop_assert!(
+                    bits(&got) == bits(&want),
+                    "F({m},3) {name} tier={vt} lanes={lanes}: {got:?} != {want:?}"
+                );
+            }
+        }
+    }
+
+    /// 2-D tile transforms (column + row pass with strided addressing):
+    /// compiled == interpreted for input, filter and output transforms.
+    #[cases(32)]
+    fn tile_transforms_match_2d(
+        m in one_of(&[2usize, 4, 6]),
+        lanes in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let tt = TileTransformer::new(m, 3).unwrap();
+        let n = tt.n();
+        let r = tt.r();
+        let mut rng = Rng::seed_from_u64(seed ^ 0x7070);
+        let mut s_int = tt.make_scratch(lanes);
+        let mut s_cmp = tt.make_scratch(lanes);
+
+        let mut d = vec![0.0f32; n * n * lanes];
+        rng.fill_f32(&mut d, -6.0, 6.0);
+        let mut want = vec![0.0f32; n * n * lanes];
+        tt.input_tile_f32(&d, &mut want, &mut s_int);
+        let mut g = vec![0.0f32; r * r * lanes];
+        rng.fill_f32(&mut g, -2.0, 2.0);
+        let mut want_u = vec![0.0f32; n * n * lanes];
+        tt.filter_tile_f32(&g, &mut want_u, &mut s_int);
+        let mut z = vec![0.0f32; n * n * lanes];
+        rng.fill_f32(&mut z, -50.0, 50.0);
+        let mut want_y = vec![0.0f32; m * m * lanes];
+        tt.output_tile_f32(&z, &mut want_y, &mut s_int);
+
+        for vt in VecTier::available() {
+            let mut v = vec![f32::NAN; n * n * lanes];
+            tt.input_tile_f32_compiled(vt, &d, &mut v, &mut s_cmp);
+            prop_assert!(bits(&v) == bits(&want), "input F({m},3) tier={vt} lanes={lanes}");
+            let mut u = vec![f32::NAN; n * n * lanes];
+            tt.filter_tile_f32_compiled(vt, &g, &mut u, &mut s_cmp);
+            prop_assert!(bits(&u) == bits(&want_u), "filter F({m},3) tier={vt} lanes={lanes}");
+            let mut y = vec![f32::NAN; m * m * lanes];
+            tt.output_tile_f32_compiled(vt, &z, &mut y, &mut s_cmp);
+            prop_assert!(bits(&y) == bits(&want_y), "output F({m},3) tier={vt} lanes={lanes}");
+        }
+    }
+
+    /// Fused quantize epilogue == interpreted transform followed by the
+    /// scalar per-element `quantize_f32_lanes_i8` (the two-pass reference),
+    /// with per-element Winograd-domain scales and both compensation modes.
+    #[cases(32)]
+    fn fused_input_quantize_matches_two_pass(
+        m in one_of(&[2usize, 4, 6]),
+        lanes in 1usize..80,
+        seed in 0u64..1_000_000,
+        compensate in one_of(&[true, false]),
+    ) {
+        let tt = TileTransformer::new(m, 3).unwrap();
+        let n = tt.n();
+        let mut rng = Rng::seed_from_u64(seed ^ 0xFACADE);
+        let mut d = vec![0.0f32; n * n * lanes];
+        rng.fill_f32(&mut d, -6.0, 6.0);
+        // Per-element scales like LoWino's per-t α_V (include magnitudes
+        // that drive some lanes into saturation).
+        let mut alphas = vec![0.0f32; n * n];
+        rng.fill_f32(&mut alphas, 0.05, 40.0);
+
+        // Two-pass reference: interpreted transform, then scalar quantize
+        // per element group.
+        let mut s = tt.make_scratch(lanes);
+        let mut v = vec![0.0f32; n * n * lanes];
+        tt.input_tile_f32(&d, &mut v, &mut s);
+        let mut want = vec![0u8; n * n * lanes];
+        for t in 0..n * n {
+            quantize_f32_lanes_i8(
+                &v[t * lanes..(t + 1) * lanes],
+                alphas[t],
+                compensate,
+                &mut want[t * lanes..(t + 1) * lanes],
+            );
+        }
+
+        for vt in VecTier::available() {
+            let mut q = vec![0xAAu8; n * n * lanes];
+            tt.input_tile_quantized(vt, &d, &alphas, compensate, &mut q, &mut s);
+            prop_assert!(
+                q == want,
+                "F({m},3) tier={vt} lanes={lanes} compensate={compensate}"
+            );
+        }
+    }
+
+    /// Fused dequantize prologue == scalar `dequantize_i32_lanes` into an
+    /// f32 tile followed by the interpreted output transform, for both
+    /// per-element scales (stride 1) and a broadcast scale (stride 0).
+    #[cases(32)]
+    fn fused_output_dequantize_matches_two_pass(
+        m in one_of(&[2usize, 4, 6]),
+        lanes in 1usize..80,
+        seed in 0u64..1_000_000,
+        stride in one_of(&[0usize, 1]),
+    ) {
+        let tt = TileTransformer::new(m, 3).unwrap();
+        let n = tt.n();
+        let mut rng = Rng::seed_from_u64(seed ^ 0xDE0);
+        let z: Vec<i32> = (0..n * n * lanes)
+            .map(|_| rng.range_i32(-2_000_000, 2_000_000))
+            .collect();
+        let mut inv = vec![0.0f32; n * n];
+        rng.fill_f32(&mut inv, 1e-5, 2e-3);
+
+        // Two-pass reference.
+        let mut s = tt.make_scratch(lanes);
+        let mut f = vec![0.0f32; n * n * lanes];
+        for t in 0..n * n {
+            dequantize_i32_lanes(
+                &z[t * lanes..(t + 1) * lanes],
+                inv[t * stride],
+                &mut f[t * lanes..(t + 1) * lanes],
+            );
+        }
+        let mut want = vec![0.0f32; m * m * lanes];
+        tt.output_tile_f32(&f, &mut want, &mut s);
+
+        for vt in VecTier::available() {
+            let mut y = vec![f32::NAN; m * m * lanes];
+            tt.output_tile_dequantized(vt, &z, &inv, stride, &mut y, &mut s);
+            prop_assert!(
+                bits(&y) == bits(&want),
+                "F({m},3) tier={vt} lanes={lanes} stride={stride}"
+            );
+        }
+    }
+
+    /// Integer-oracle bridge: on INT8-range inputs the integral `Bᵀ`
+    /// transform is exact in both `i32` and `f32` (everything stays far
+    /// below 2²⁴), so the tape's f32 result must equal the interpreted
+    /// `execute_i32` exactly.
+    #[cases(32)]
+    fn tape_matches_integer_interpreter_on_int8_range(
+        m in one_of(&[2usize, 4, 6]),
+        lanes in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let w = WinogradMatrices::for_tile(m, 3).unwrap();
+        let code = Codelet::generate(&w.bt);
+        let tape = Tape::lower(&code);
+        let (n_in, n_out) = (code.n_in(), code.n_out());
+        let mut rng = Rng::seed_from_u64(seed ^ 0x1B);
+        let input_i: Vec<i32> = (0..n_in * lanes)
+            .map(|_| i32::from(rng.i8()))
+            .collect();
+        let input_f: Vec<f32> = input_i.iter().map(|&x| x as f32).collect();
+
+        let mut want = vec![0i32; n_out * lanes];
+        let mut cse = vec![0i32; code.n_temps().max(1) * lanes];
+        code.execute_i32(lanes, &input_i, 0, lanes, &mut want, 0, lanes, &mut cse);
+
+        for vt in VecTier::available() {
+            let mut got = vec![f32::NAN; n_out * lanes];
+            tape.execute_f32(vt, lanes, &input_f, 0, lanes, &mut got, 0, lanes);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!(
+                    *g == *w as f32,
+                    "F({m},3) tier={vt} lanes={lanes}: {g} != {w}"
+                );
+            }
+        }
+    }
+}

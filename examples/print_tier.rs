@@ -1,0 +1,14 @@
+//! Print the resolved SIMD dispatch tier and its f32 vector tier.
+//!
+//! Honours `LOWINO_FORCE_TIER` (and exits non-zero when the forced tier is
+//! invalid or above what the host supports), so CI can use it as a cheap
+//! probe: `LOWINO_FORCE_TIER=avx2 cargo run --example print_tier` succeeds
+//! exactly when the forced-tier test pass would be meaningful.
+
+use lowino_simd::vecf32::VecTier;
+use lowino_simd::SimdTier;
+
+fn main() {
+    let tier = SimdTier::detect();
+    println!("{tier} (f32 vectors: {})", VecTier::for_simd(tier));
+}
