@@ -49,6 +49,16 @@ LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench forkjoin
 echo "==> bench smoke (transforms, LOWINO_BENCH_SMOKE=1)"
 LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench transforms
 
+# Trace smoke: re-run the forkjoin smoke with the recorder enabled and
+# validate the emitted chrome trace (must exist, be non-empty, be valid
+# JSON per the in-tree validator, and contain pool phase spans).
+echo "==> trace smoke (forkjoin, LOWINO_TRACE set)"
+trace_tmp="$(mktemp -t lowino-trace-XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+LOWINO_BENCH_SMOKE=1 LOWINO_TRACE="$trace_tmp" \
+    cargo bench -q --offline -p lowino-bench --bench forkjoin
+cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$trace_tmp"
+
 if [[ "$run_lint" == 1 ]]; then
     if cargo clippy --version >/dev/null 2>&1; then
         echo "==> cargo clippy (-D warnings)"

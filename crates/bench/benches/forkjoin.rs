@@ -74,10 +74,12 @@ fn bench_layer(name: &str, batch_div: usize, hw_div: usize, m: usize, cfg: &Conf
 }
 
 fn main() {
+    lowino_trace::init_from_env();
     let cfg = Config::from_env();
     if cfg.smoke {
         // One tiny layer, enough to prove both paths build and run.
         bench_layer("GoogLeNet_c", 64, 1, 4, &cfg);
+        lowino_trace::flush_to_env();
         return;
     }
     // Small-spatial layers (short stage bodies → schedule-dominated), one
@@ -86,4 +88,5 @@ fn main() {
     bench_layer("GoogLeNet_c", 16, 1, 4, &cfg); // 7×7, K=384
     bench_layer("ResNet-50_b", 16, 1, 4, &cfg); // 14×14, K=256
     bench_layer("VGG16_c", 32, 1, 4, &cfg); // 16×16, K=512 (control)
+    lowino_trace::flush_to_env();
 }

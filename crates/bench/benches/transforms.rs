@@ -161,13 +161,16 @@ fn bench_tile(m: usize, cfg: &Config) {
 }
 
 fn main() {
+    lowino_trace::init_from_env();
     let cfg = Config::from_env();
     if cfg.smoke {
         // One tile size, enough to prove both paths build and run.
         bench_tile(4, &cfg);
+        lowino_trace::flush_to_env();
         return;
     }
     for m in [2, 4, 6] {
         bench_tile(m, &cfg);
     }
+    lowino_trace::flush_to_env();
 }

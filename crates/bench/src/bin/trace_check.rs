@@ -1,0 +1,44 @@
+//! CI helper: validate a chrome trace file produced via `LOWINO_TRACE`.
+//!
+//! Usage: `trace_check <trace.json>`. Exits non-zero (with a message on
+//! stderr) if the file is missing, empty, not valid JSON per the in-tree
+//! validator, or contains no begin events — any of which would mean the
+//! recorder silently failed during the traced bench run.
+
+use lowino_testkit::validate_json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        fail("usage: trace_check <trace.json>");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    if text.trim().is_empty() {
+        fail(&format!("{path} is empty"));
+    }
+    if let Err(e) = validate_json(&text) {
+        fail(&format!("{path} is not valid JSON: {e}"));
+    }
+    if !text.contains("\"traceEvents\"") {
+        fail(&format!("{path} has no traceEvents array"));
+    }
+    if !text.contains("\"ph\":\"B\"") {
+        fail(&format!("{path} contains no span begin events"));
+    }
+    if !text.contains("pool/phase") {
+        fail(&format!("{path} contains no pool phase spans"));
+    }
+    println!(
+        "trace_check: {path} ok ({} bytes, {} begin events)",
+        text.len(),
+        text.matches("\"ph\":\"B\"").count()
+    );
+}

@@ -105,13 +105,36 @@ pub fn run_timed(
     best.expect("reps >= 1")
 }
 
+/// Testable core of [`arg`]: `Ok(None)` when the key is absent,
+/// `Ok(Some(v))` when present and parseable, and `Err` (naming the key
+/// and the offending value) when a value is present but does not parse —
+/// a typo like `--reps abc` must never silently become the default.
+pub fn parse_arg<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == key) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("{key} expects a value but none was given"));
+    };
+    raw.parse().map(Some).map_err(|_| {
+        format!(
+            "invalid value {raw:?} for {key} (expected a {})",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
 /// Tiny argv parser for the harness binaries: `--key value` pairs.
+/// Missing keys fall back to `default`; a present-but-unparseable value
+/// aborts the process with a clear message instead of being ignored.
 pub fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match parse_arg(args, key) {
+        Ok(v) => v.unwrap_or(default),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Flag presence.
@@ -163,5 +186,19 @@ mod tests {
         assert_eq!(arg(&args, "--missing", 3u32), 3);
         assert!(has_flag(&args, "--flag"));
         assert!(!has_flag(&args, "--other"));
+    }
+
+    #[test]
+    fn bad_arg_values_are_errors_not_defaults() {
+        let args: Vec<String> = ["--reps", "abc", "--tail"].iter().map(|s| s.to_string()).collect();
+        let err = parse_arg::<u32>(&args, "--reps").unwrap_err();
+        assert!(err.contains("--reps"), "message names the key: {err}");
+        assert!(err.contains("abc"), "message names the value: {err}");
+        // A key at the end of argv with no value is also an error.
+        let err = parse_arg::<u32>(&args, "--tail").unwrap_err();
+        assert!(err.contains("--tail"), "{err}");
+        // Present-and-valid / absent keys still behave as before.
+        assert_eq!(parse_arg::<String>(&args, "--reps").unwrap().as_deref(), Some("abc"));
+        assert_eq!(parse_arg::<u32>(&args, "--missing").unwrap(), None);
     }
 }

@@ -164,6 +164,10 @@ impl ConvExecutor for DirectInt8Conv {
         let times = pool.run_phases(&totals, |_, phase, range| match phase {
             // -- Phase ①: quantize the input once into the padded u8 buffer.
             0 => {
+                let _span = lowino_trace::span("direct_i8/quantize_input");
+                let tracing = lowino_trace::enabled();
+                let mut saturated = 0u64;
+                let mut values = 0u64;
                 let mut q = [0u8; LANES];
                 for row in range {
                     let b = row / spec.h;
@@ -176,6 +180,10 @@ impl ConvExecutor for DirectInt8Conv {
                                 &[0.0; LANES]
                             };
                             quantize_lanes(vt, lanes, alpha, true, &mut q);
+                            if tracing {
+                                saturated += lowino_quant::count_saturated_u8(&q);
+                                values += LANES as u64;
+                            }
                             let off = ((b * hp + y + spec.pad) * wp + x + spec.pad) * cp
                                 + cb * LANES;
                             // SAFETY: each (b, y) row is owned by one task;
@@ -188,11 +196,24 @@ impl ConvExecutor for DirectInt8Conv {
                         }
                     }
                 }
+                if tracing {
+                    lowino_trace::counter("quant/saturated", saturated);
+                    lowino_trace::counter("quant/values", values);
+                }
                 stream_fence();
             }
             // -- Phase ②: r² shifted-pointer GEMM passes accumulating
             // into Z.
             1 => {
+                let _span = lowino_trace::span("direct_i8/gemm");
+                // Each task (one output row) runs r² shifted passes of an
+                // out_w × cp × kp product.
+                if lowino_trace::enabled() {
+                    lowino_trace::counter(
+                        "gemm/dpbusd_macs",
+                        (range.len() * out_w * cp * kp * r * r) as u64,
+                    );
+                }
                 for task in range {
                     let b = task / out_h;
                     let oy = task % out_h;
@@ -256,6 +277,7 @@ impl ConvExecutor for DirectInt8Conv {
             }
             // -- Phase ③: de-quantize into the blocked output.
             _ => {
+                let _span = lowino_trace::span("direct_i8/dequantize_output");
                 let mut f = [0f32; LANES];
                 for row in range {
                     let b = row / (out_h * out_w);

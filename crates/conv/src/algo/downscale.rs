@@ -200,6 +200,10 @@ impl ConvExecutor for DownScaleConv {
             // padded INT8 buffer (❶ of Fig. 2b) — the oneDNN design:
             // overlapping tiles then re-read cheap INT8 bytes.
             0 => {
+                let _span = lowino_trace::span("downscale/quantize_input");
+                let tracing = lowino_trace::enabled();
+                let mut saturated = 0u64;
+                let mut values = 0u64;
                 for row in range {
                     let b = row / spec.h;
                     let y = row % spec.h;
@@ -212,20 +216,35 @@ impl ConvExecutor for DownScaleConv {
                             unsafe {
                                 let dst = qb.as_ptr().add(off) as *mut i8;
                                 for (l, &s) in lanes.iter().enumerate() {
-                                    *dst.add(l) = (s * alpha_in)
+                                    let qv = (s * alpha_in)
                                         .round_ties_even()
                                         .clamp(-127.0, 127.0)
                                         as i8;
+                                    *dst.add(l) = qv;
+                                    if tracing && (qv == 127 || qv == -127) {
+                                        saturated += 1;
+                                    }
                                 }
+                            }
+                            if tracing {
+                                values += LANES as u64;
                             }
                         }
                     }
+                }
+                if tracing {
+                    lowino_trace::counter("quant/saturated", saturated);
+                    lowino_trace::counter("quant/values", values);
                 }
             }
             // -- Phase ① part B: integer transform of INT8 tiles,
             // down-scale, round back to INT8 (❷ — the lossy step), +128
             // compensation.
             1 => {
+                let _span = lowino_trace::span("downscale/input_transform");
+                let tracing = lowino_trace::enabled();
+                let mut saturated = 0u64;
+                let mut values = 0u64;
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform,
@@ -262,6 +281,10 @@ impl ConvExecutor for DownScaleConv {
                     for t in 0..t_count {
                         let src = &v_int[t * LANES..(t + 1) * LANES];
                         requantize_i32_lanes(vt, src, alpha_ds, true, &mut q);
+                        if tracing {
+                            saturated += lowino_quant::count_saturated_u8(&q);
+                            values += LANES as u64;
+                        }
                         // SAFETY: disjoint cache lines per task.
                         unsafe {
                             let dst = vp.row_ptr_shared(t, tile).add(cb * LANES);
@@ -270,17 +293,25 @@ impl ConvExecutor for DownScaleConv {
                         }
                     }
                 }
+                if tracing {
+                    lowino_trace::counter("quant/saturated", saturated);
+                    lowino_trace::counter("quant/values", values);
+                }
                 // Drain the non-temporal stores before the phase barrier.
                 stream_fence();
             }
             // -- Phase ②: the GEMM.
-            2 => gemm.run_range(range),
+            2 => {
+                let _span = lowino_trace::span("downscale/gemm");
+                gemm.run_range(range);
+            }
             // -- Phase ③: fused de-quantize + output transform (the inverse
             // scale 1/(α_in·α_ds·α_U) is folded into the compiled tape's
             // i32→f32 loads, broadcast across all t). Effective input scale
             // is α_in·α_ds (the spatial scale times the transform
             // down-scale).
             _ => {
+                let _span = lowino_trace::span("downscale/output_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform, tile_f, ..

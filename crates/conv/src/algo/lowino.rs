@@ -362,6 +362,12 @@ impl ConvExecutor for LoWinoConv {
             // epilogue fused into the row pass, then a stream-scatter of
             // each 64-channel cache line into the V panel.
             0 => {
+                let _span = lowino_trace::span("lowino/input_transform");
+                // One gate load per phase body; saturation totals accumulate
+                // locally and flush as a single counter add per worker.
+                let tracing = lowino_trace::enabled();
+                let mut saturated = 0u64;
+                let mut values = 0u64;
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform,
@@ -379,6 +385,10 @@ impl ConvExecutor for LoWinoConv {
                     let (y0, x0) = tile_origin(&spec, &geom, ty, tx);
                     gather_patch(input, b, cb, y0, x0, n, patch);
                     tt.input_tile_quantized(vt, patch, alpha_v, true, q_tile, transform);
+                    if tracing {
+                        saturated += lowino_quant::count_saturated_u8(&q_tile[..t_count * LANES]);
+                        values += (t_count * LANES) as u64;
+                    }
                     for t in 0..t_count {
                         let line: &[u8; LANES] =
                             q_tile[t * LANES..(t + 1) * LANES].try_into().unwrap();
@@ -391,16 +401,24 @@ impl ConvExecutor for LoWinoConv {
                         }
                     }
                 }
+                if tracing {
+                    lowino_trace::counter("quant/saturated", saturated);
+                    lowino_trace::counter("quant/values", values);
+                }
                 // Drain the non-temporal stores before the phase barrier —
                 // the GEMM phase reads V from other threads.
                 stream_fence();
             }
             // -- Phase ②: batched low-precision GEMM.
-            1 => gemm.run_range(range),
+            1 => {
+                let _span = lowino_trace::span("lowino/gemm");
+                gemm.run_range(range);
+            }
             // -- Phase ③: compiled output transform consuming the raw i32
             // Z block, with the per-element dequantization fused into the
             // column-pass loads.
             _ => {
+                let _span = lowino_trace::span("lowino/output_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform, tile_f, ..

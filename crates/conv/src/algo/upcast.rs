@@ -148,6 +148,10 @@ impl ConvExecutor for UpCastConv {
             // -- Phase ① part A: quantize the input once into the padded
             // INT8 buffer (shared design with the down-scaling baseline).
             0 => {
+                let _span = lowino_trace::span("upcast/quantize_input");
+                let tracing = lowino_trace::enabled();
+                let mut saturated = 0u64;
+                let mut values = 0u64;
                 for row in range {
                     let b = row / spec.h;
                     let y = row % spec.h;
@@ -160,18 +164,30 @@ impl ConvExecutor for UpCastConv {
                             unsafe {
                                 let dst = qb.as_ptr().add(off) as *mut i8;
                                 for (l, &s) in lanes.iter().enumerate() {
-                                    *dst.add(l) = (s * alpha_in)
+                                    let qv = (s * alpha_in)
                                         .round_ties_even()
                                         .clamp(-127.0, 127.0)
                                         as i8;
+                                    *dst.add(l) = qv;
+                                    if tracing && (qv == 127 || qv == -127) {
+                                        saturated += 1;
+                                    }
                                 }
+                            }
+                            if tracing {
+                                values += LANES as u64;
                             }
                         }
                     }
                 }
+                if tracing {
+                    lowino_trace::counter("quant/saturated", saturated);
+                    lowino_trace::counter("quant/values", values);
+                }
             }
             // -- Phase ① part B: exact integer transform of INT8 → INT16.
             1 => {
+                let _span = lowino_trace::span("upcast/input_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform,
@@ -218,12 +234,16 @@ impl ConvExecutor for UpCastConv {
                 }
             }
             // -- Phase ②: INT16 GEMM (vpdpwssd — half VNNI throughput).
-            2 => gemm.run_range(range),
+            2 => {
+                let _span = lowino_trace::span("upcast/gemm");
+                gemm.run_range(range);
+            }
             // -- Phase ③: fused de-quantize + output transform (the inverse
             // scale is folded into the compiled tape's i32→f32 loads,
             // broadcast across all t). The integer transform is exact, so
             // the only scales are the spatial α_in and the filter α_U.
             _ => {
+                let _span = lowino_trace::span("upcast/output_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform, tile_f, ..

@@ -102,6 +102,7 @@ impl ConvExecutor for WinogradF32Conv {
         let times = pool.run_phases(&totals, |worker, phase, range| match phase {
             // -- Phase ①: FP32 input transform into the V panel.
             0 => {
+                let _span = lowino_trace::span("wino_f32/input_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform,
@@ -130,12 +131,14 @@ impl ConvExecutor for WinogradF32Conv {
             }
             // -- Phase ②: FP32 batched GEMM.
             1 => {
+                let _span = lowino_trace::span("wino_f32/gemm");
                 let mut ws = scratch.worker(worker);
                 let acc = ensure_f32(&mut ws.acc_f, acc_len);
                 gemm.run_range(range, acc);
             }
             // -- Phase ③: output transform.
             _ => {
+                let _span = lowino_trace::span("wino_f32/output_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
                     transform, tile_f, ..

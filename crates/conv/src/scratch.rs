@@ -53,13 +53,26 @@ pub struct WorkerScratch {
     pub tile_u8: AlignedBuf<u8>,
 }
 
+/// Record an arena growth in the trace. Buffers never shrink, so the
+/// cumulative `scratch/high_water_bytes` counter *is* the arena's
+/// high-water footprint across all workers; growth only happens on the
+/// first execute of a new shape, so this never fires in steady state.
+fn note_growth(old_len: usize, new_len: usize, elem_bytes: usize) {
+    lowino_trace::counter(
+        "scratch/high_water_bytes",
+        ((new_len - old_len) * elem_bytes) as u64,
+    );
+}
+
 /// Grow-on-demand view: returns `&mut buf[..len]`, reallocating (to the
 /// next power of two, so repeated layers of mixed sizes settle quickly)
 /// only when the buffer is too small. Contents are unspecified — every
 /// user fully overwrites the slice it asks for.
 pub fn ensure_f32(buf: &mut AlignedBuf<f32>, len: usize) -> &mut [f32] {
     if buf.len() < len {
-        *buf = AlignedBuf::zeroed(len.next_power_of_two());
+        let new_len = len.next_power_of_two();
+        note_growth(buf.len(), new_len, core::mem::size_of::<f32>());
+        *buf = AlignedBuf::zeroed(new_len);
     }
     &mut buf.as_mut_slice()[..len]
 }
@@ -67,7 +80,9 @@ pub fn ensure_f32(buf: &mut AlignedBuf<f32>, len: usize) -> &mut [f32] {
 /// i32 twin of [`ensure_f32`].
 pub fn ensure_i32(buf: &mut AlignedBuf<i32>, len: usize) -> &mut [i32] {
     if buf.len() < len {
-        *buf = AlignedBuf::zeroed(len.next_power_of_two());
+        let new_len = len.next_power_of_two();
+        note_growth(buf.len(), new_len, core::mem::size_of::<i32>());
+        *buf = AlignedBuf::zeroed(new_len);
     }
     &mut buf.as_mut_slice()[..len]
 }
@@ -75,7 +90,9 @@ pub fn ensure_i32(buf: &mut AlignedBuf<i32>, len: usize) -> &mut [i32] {
 /// u8 twin of [`ensure_f32`].
 pub fn ensure_u8(buf: &mut AlignedBuf<u8>, len: usize) -> &mut [u8] {
     if buf.len() < len {
-        *buf = AlignedBuf::zeroed(len.next_power_of_two());
+        let new_len = len.next_power_of_two();
+        note_growth(buf.len(), new_len, core::mem::size_of::<u8>());
+        *buf = AlignedBuf::zeroed(new_len);
     }
     &mut buf.as_mut_slice()[..len]
 }

@@ -148,10 +148,24 @@ impl<'a> GemmTasks<'a> {
     /// non-temporal scatter stores are globally visible before the caller
     /// crosses the next phase barrier.
     pub fn run_range(&self, range: Range<usize>) {
+        // One gate check per range, not per task: when tracing is off this
+        // is a single relaxed load; when on, the panel-byte and dpbusd
+        // MAC-equivalent totals are accumulated locally and emitted once.
+        let tracing = lowino_trace::enabled();
+        let mut panel_bytes = 0u64;
+        let mut macs = 0u64;
         for task in range {
             let t = task / self.n_chunks;
             let n0 = (task % self.n_chunks) * self.b.n_blk;
             let n_end = (n0 + self.b.n_blk).min(self.shape.n);
+            if tracing {
+                let rows = (n_end - n0) as u64;
+                let (cp, kp) = (self.cp as u64, self.kp as u64);
+                // Per task: V rows read (u8), the U panel streamed once
+                // (i8), and Z partial sums written (i32).
+                panel_bytes += rows * cp + cp * kp + rows * kp * 4;
+                macs += rows * cp * kp;
+            }
             gemm_block(
                 self.tier,
                 &self.b,
@@ -165,6 +179,10 @@ impl<'a> GemmTasks<'a> {
                 self.u,
                 self.z,
             );
+        }
+        if tracing {
+            lowino_trace::counter("gemm/panel_bytes", panel_bytes);
+            lowino_trace::counter("gemm/dpbusd_macs", macs);
         }
         lowino_simd::store::stream_fence();
     }

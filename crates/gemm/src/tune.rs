@@ -101,6 +101,10 @@ pub fn tune_blocking(
         if best.as_ref().is_none_or(|(t, _)| t_best < *t) {
             best = Some((t_best, b));
         }
+        // Every candidate measurement lands in the trace as an instant
+        // event (payload = best-of-repeats nanoseconds), so a traced tuning
+        // run shows the whole search, not just the winner.
+        lowino_trace::instant("tune/measurement", t_best.as_nanos() as u64);
         log.push(Measurement {
             blocking: b,
             time: t_best,
@@ -207,9 +211,13 @@ impl Wisdom {
     }
 
     /// Load from a wisdom file; a missing file yields empty wisdom.
+    ///
+    /// Bytes are decoded lossily (invalid UTF-8 becomes U+FFFD) so a
+    /// corrupted file always reaches [`Wisdom::parse`] and every rejection
+    /// carries the offending line number instead of an opaque decode error.
     pub fn load(path: &Path) -> Result<Self, String> {
-        match std::fs::read_to_string(path) {
-            Ok(text) => Self::parse(&text),
+        match std::fs::read(path) {
+            Ok(bytes) => Self::parse(&String::from_utf8_lossy(&bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
             Err(e) => Err(format!("reading {}: {e}", path.display())),
         }
@@ -291,5 +299,76 @@ mod tests {
         let w = Wisdom::new();
         let s = GemmShape { t: 16, n: 128, c: 64, k: 64 };
         assert_eq!(w.blocking_or_default(&s), Blocking::default_for(&s));
+    }
+
+    use lowino_testkit::{prop_assert, property, vec_of};
+
+    property! {
+        #[cases(120)]
+        fn wisdom_load_survives_random_byte_corruption(
+            muts in vec_of((0usize..4096, 0u16..256), 1..9)
+        ) {
+            // Start from a valid file and flip 1–8 arbitrary bytes
+            // (arbitrary values, including non-UTF-8 and control bytes).
+            let mut w = Wisdom::new();
+            w.insert(
+                &GemmShape { t: 16, n: 4096, c: 256, k: 256 },
+                Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 },
+            );
+            w.insert(
+                &GemmShape { t: 36, n: 1024, c: 512, k: 512 },
+                Blocking { n_blk: 48, c_blk: 512, k_blk: 64, row_blk: 8, col_blk: 2 },
+            );
+            let mut bytes = w.to_string_format().into_bytes();
+            let len = bytes.len();
+            for &(pos, byte) in &muts {
+                bytes[pos % len] = byte as u8;
+            }
+
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static UNIQ: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "lowino-wisdom-fuzz-{}-{}.txt",
+                std::process::id(),
+                UNIQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&path, &bytes).unwrap();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Wisdom::load(&path)
+            }));
+            std::fs::remove_file(&path).ok();
+
+            let result = match result {
+                Ok(r) => r,
+                Err(_) => {
+                    prop_assert!(false, "Wisdom::load panicked on corrupt input");
+                    return Ok(());
+                }
+            };
+            if let Err(msg) = result {
+                // Every rejection must name the offending line.
+                let tail = match msg.split_once("line ") {
+                    Some((_, tail)) => tail,
+                    None => {
+                        prop_assert!(false, "error without line number: {msg}");
+                        return Ok(());
+                    }
+                };
+                let digits: String =
+                    tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+                let lineno: usize = match digits.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        prop_assert!(false, "no line number after 'line ': {msg}");
+                        return Ok(());
+                    }
+                };
+                let line_count = String::from_utf8_lossy(&bytes).lines().count();
+                prop_assert!(
+                    lineno >= 1 && lineno <= line_count.max(1),
+                    "line {lineno} out of range 1..={line_count}: {msg}"
+                );
+            }
+        }
     }
 }

@@ -138,6 +138,7 @@ fn phase_loop<F, A>(
     match sync {
         None => {
             for (phase, ranges) in plan.iter().enumerate() {
+                let _span = lowino_trace::span_arg("pool/phase", phase as u64);
                 if let Some(r) = ranges.get(worker) {
                     f(worker, phase, r.clone());
                 }
@@ -147,6 +148,11 @@ fn phase_loop<F, A>(
         Some((barrier, panics)) => {
             let mut token = barrier.sense_token();
             for (phase, ranges) in plan.iter().enumerate() {
+                // The span covers the phase body *and* the barrier wait, so
+                // each worker's phase span ends when the slowest worker
+                // finishes — the same accounting as `PhaseTimes`, but per
+                // worker instead of caller-only.
+                let span = lowino_trace::span_arg("pool/phase", phase as u64);
                 if !panics.tripped() {
                     if let Some(r) = ranges.get(worker) {
                         let r = r.clone();
@@ -158,6 +164,7 @@ fn phase_loop<F, A>(
                     }
                 }
                 barrier.wait(&mut token);
+                drop(span);
                 after_phase(phase);
             }
         }
@@ -281,6 +288,9 @@ impl StaticPool {
     /// Create a pool with `threads` total execution slots (≥ 1).
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "threads must be non-zero");
+        // Pool construction is on every entry path into the executor stack,
+        // so it doubles as the `LOWINO_TRACE` activation point.
+        lowino_trace::init_from_env();
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 epoch: 0,

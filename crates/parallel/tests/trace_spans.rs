@@ -1,0 +1,73 @@
+//! Pool ↔ trace integration: `run_phases` emits one well-nested
+//! `pool/phase` span per phase per participating worker.
+//!
+//! Single `#[test]` on purpose — the recorder is process-global and this
+//! binary must own it exclusively while recording.
+
+use lowino_parallel::StaticPool;
+use lowino_trace as trace;
+use lowino_trace::EventKind;
+
+#[test]
+fn run_phases_emits_one_span_per_phase_per_worker() {
+    const THREADS: usize = 4;
+    const PHASES: usize = 3;
+    let mut pool = StaticPool::new(THREADS);
+    trace::set_enabled(true);
+    trace::reset();
+    pool.run_phases(&[64, 32, 16], |_, phase, range| {
+        trace::counter("test/tasks", range.len() as u64);
+        trace::instant("test/phase_tick", phase as u64);
+    });
+    let threads = trace::drain();
+    trace::set_enabled(false);
+
+    let mut participants = 0;
+    let mut tasks = 0u64;
+    for th in &threads {
+        let phase_events: Vec<_> = th
+            .events
+            .iter()
+            .filter(|e| e.name == "pool/phase")
+            .collect();
+        if phase_events.is_empty() {
+            continue;
+        }
+        participants += 1;
+        // Per thread: Begin(0) End Begin(1) End Begin(2) End — strictly
+        // alternating (phase spans never nest in one worker) and in phase
+        // order.
+        assert_eq!(phase_events.len(), 2 * PHASES, "tid {}", th.tid);
+        let mut open: Option<u64> = None;
+        let mut next_phase = 0u64;
+        for ev in phase_events {
+            match ev.kind {
+                EventKind::Begin => {
+                    assert!(open.is_none(), "tid {}: nested pool/phase", th.tid);
+                    assert_eq!(ev.arg, next_phase, "tid {}: phases in order", th.tid);
+                    open = Some(ev.arg);
+                    next_phase += 1;
+                }
+                EventKind::End => {
+                    assert!(open.take().is_some(), "tid {}: End w/o Begin", th.tid);
+                }
+                _ => panic!("unexpected pool/phase event kind"),
+            }
+        }
+        assert!(open.is_none(), "tid {}: span left open", th.tid);
+        // Body events must land inside the phase spans: counters were
+        // emitted between each Begin/End pair, so the thread saw some work.
+        tasks += th
+            .events
+            .iter()
+            .filter(|e| e.name == "test/tasks")
+            .map(|e| e.arg)
+            .sum::<u64>();
+    }
+    assert_eq!(
+        participants, THREADS,
+        "every pool worker (incl. the caller) emits phase spans"
+    );
+    assert_eq!(tasks, 64 + 32 + 16, "all tasks ran inside traced phases");
+    trace::reset();
+}

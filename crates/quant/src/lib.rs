@@ -19,10 +19,12 @@
 pub mod calibrate;
 pub mod histogram;
 pub mod linear;
+pub mod saturation;
 
 pub use calibrate::{calibrate_kl, Calibration};
 pub use histogram::Histogram;
 pub use linear::QParams;
+pub use saturation::{count_saturated_i8, count_saturated_u8};
 
 #[cfg(test)]
 mod tests {

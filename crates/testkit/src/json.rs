@@ -1,0 +1,261 @@
+//! Minimal JSON validity checker.
+//!
+//! A strict RFC 8259 recogniser — no parse tree, no allocation beyond the
+//! recursion — used to assert that machine-emitted artifacts (the
+//! `lowino-trace` chrome-trace export, the bench `BENCH_JSON` lines) are
+//! well-formed without taking on a JSON dependency. Errors carry the byte
+//! offset of the first offending character.
+
+/// Maximum nesting depth accepted before the document is rejected (guards
+/// the recursive-descent walker against stack exhaustion on adversarial
+/// input; real trace files nest 4 deep).
+const MAX_DEPTH: usize = 128;
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("byte {}: {what}", self.pos)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(format!(
+                "byte {}: expected '{}', found '{}'",
+                self.pos - 1,
+                want as char,
+                b as char
+            )),
+            None => Err(self.err(&format!("expected '{}', found end of input", want as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        let start = self.pos;
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("byte {start}: expected literal '{word}'"))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(c) if c.is_ascii_hexdigit() => {}
+                                _ => return Err(self.err("bad \\u escape (need 4 hex digits)")),
+                            }
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0 alone, or a non-zero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => self.digits()?,
+            _ => return Err(self.err("expected number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-') => self.number(),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("expected value, found end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+}
+
+/// Validate that `s` is exactly one well-formed JSON document (any value
+/// type, per RFC 8259). Returns the byte offset and a description of the
+/// first violation otherwise.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut c = Cursor {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    c.value(0)?;
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(c.err("trailing characters after JSON document"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e+3",
+            "\"hi\\n\\u00e9\"",
+            r#"{"traceEvents":[{"name":"a","ph":"B","ts":1.5,"args":{"x":[1,2,3]}}]}"#,
+            "[1, [2, [3, {\"k\": null}]]]",
+        ] {
+            assert!(validate_json(ok).is_ok(), "rejected valid: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{'a': 1}",
+            "01",
+            "1.",
+            "+1",
+            "nul",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"bad\\u12g4\"",
+            "{} extra",
+            "[1 2]",
+        ] {
+            let err = validate_json(bad);
+            assert!(err.is_err(), "accepted invalid: {bad}");
+            assert!(
+                err.unwrap_err().starts_with("byte "),
+                "error must carry a byte offset"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(validate_json(&deep).is_err());
+        let fine = "[".repeat(64) + "1" + &"]".repeat(64);
+        assert!(validate_json(&fine).is_ok());
+    }
+
+    #[test]
+    fn rejects_raw_control_chars_in_strings() {
+        assert!(validate_json("\"a\u{0001}b\"").is_err());
+    }
+}

@@ -2,7 +2,7 @@
 //! workspace build and test **hermetically**: no registry, no network, no
 //! third-party crates.
 //!
-//! Three pieces, each replacing an external dev-dependency the build
+//! Four pieces, each replacing an external dev-dependency the build
 //! environment cannot fetch:
 //!
 //! * [`rng`] — deterministic xoshiro256++ PRNG (replaces `rand`) for
@@ -11,7 +11,9 @@
 //!   shrinking and seed-replay via `LOWINO_PROP_SEED` (replaces
 //!   `proptest`);
 //! * [`bench`] — a warmup + median-of-samples micro-bench timer with
-//!   JSON-line output (replaces `criterion`).
+//!   JSON-line output (replaces `criterion`);
+//! * [`json`] — a strict JSON validity checker (replaces `serde_json` for
+//!   the "is this emitted artifact well-formed?" assertions).
 //!
 //! Correctness of the numeric kernels is LoWino's whole claim (bit-exact
 //! integer semantics across SIMD tiers, bounded Winograd-domain
@@ -20,9 +22,11 @@
 //! dependency-free.
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, BenchGroup, Stats};
+pub use json::validate_json;
 pub use prop::{one_of, run_property, vec_of, Config, Strategy};
 pub use rng::{splitmix64, Rng};

@@ -1,0 +1,149 @@
+//! Drained-event export: chrome://tracing JSON and a plain-text summary.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::ring::EventKind;
+use crate::ThreadEvents;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, tid: u32, ts_ns: u64) {
+    out.push_str("{\"name\":\"");
+    escape_json(name, out);
+    let ts_us = ts_ns as f64 / 1000.0;
+    let _ = write!(
+        out,
+        "\",\"cat\":\"lowino\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3}"
+    );
+}
+
+/// Render drained events as a chrome://tracing "trace event format"
+/// document (the `{"traceEvents":[...]}` object form).
+///
+/// Counters are cumulated per `(tid, name)` so the rendered `C` events show
+/// running totals, matching the "monotonic add" counter semantics.
+pub(crate) fn chrome_trace_json(threads: &[ThreadEvents]) -> String {
+    let mut out = String::with_capacity(1 << 16);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for te in threads {
+        let mut running: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &te.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match ev.kind {
+                EventKind::Begin => {
+                    push_common(&mut out, ev.name, 'B', te.tid, ev.ts_ns);
+                    let _ = write!(out, ",\"args\":{{\"arg\":{}}}}}", ev.arg);
+                }
+                EventKind::End => {
+                    push_common(&mut out, ev.name, 'E', te.tid, ev.ts_ns);
+                    out.push('}');
+                }
+                EventKind::Counter => {
+                    let total = running.entry(ev.name).or_insert(0);
+                    *total += ev.arg;
+                    push_common(&mut out, ev.name, 'C', te.tid, ev.ts_ns);
+                    let _ = write!(out, ",\"args\":{{\"value\":{total}}}}}");
+                }
+                EventKind::Instant => {
+                    push_common(&mut out, ev.name, 'i', te.tid, ev.ts_ns);
+                    let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"arg\":{}}}}}", ev.arg);
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+/// Render drained events as an aligned plain-text table: per-span-name
+/// count/total/mean, per-counter-name totals, per-instant-name counts.
+///
+/// Span begin/end pairs are matched per thread with a stack; orphans left
+/// by ring wraparound (an `End` whose `Begin` was overwritten, or an open
+/// `Begin` at drain time) are skipped.
+pub(crate) fn summary(threads: &[ThreadEvents]) -> String {
+    let mut spans: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut instants: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut dropped = 0u64;
+    for te in threads {
+        dropped += te.dropped;
+        let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        for ev in &te.events {
+            match ev.kind {
+                EventKind::Begin => stack.push((ev.name, ev.ts_ns)),
+                EventKind::End => {
+                    if let Some((name, begin_ns)) = stack.pop() {
+                        if name == ev.name {
+                            let agg = spans.entry(name).or_default();
+                            agg.count += 1;
+                            agg.total_ns += ev.ts_ns.saturating_sub(begin_ns);
+                        }
+                    }
+                }
+                EventKind::Counter => *counters.entry(ev.name).or_insert(0) += ev.arg,
+                EventKind::Instant => *instants.entry(ev.name).or_insert(0) += 1,
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== lowino trace summary ==");
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>14} {:>12}",
+            "span", "count", "total ms", "mean us"
+        );
+        for (name, agg) in &spans {
+            let total_ms = agg.total_ns as f64 / 1e6;
+            let mean_us = agg.total_ns as f64 / 1e3 / agg.count.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>10} {:>14.3} {:>12.2}",
+                name, agg.count, total_ms, mean_us
+            );
+        }
+    }
+    if !counters.is_empty() {
+        let _ = writeln!(out, "{:<32} {:>16}", "counter", "total");
+        for (name, total) in &counters {
+            let _ = writeln!(out, "  {name:<30} {total:>16}");
+        }
+    }
+    if !instants.is_empty() {
+        let _ = writeln!(out, "{:<32} {:>10}", "instant", "count");
+        for (name, count) in &instants {
+            let _ = writeln!(out, "  {name:<30} {count:>10}");
+        }
+    }
+    if dropped > 0 {
+        let _ = writeln!(out, "(ring wraparound dropped {dropped} oldest events)");
+    }
+    out
+}

@@ -1,0 +1,136 @@
+//! Integration tests for the global recorder: gating, drain/reset, chrome
+//! JSON round-trip through the in-tree validator, and concurrent emission.
+//!
+//! The recorder is process-global, so every test that flips `set_enabled`
+//! or drains serialises on [`test_lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use lowino_testkit::validate_json;
+use lowino_trace as trace;
+use lowino_trace::EventKind;
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Events recorded by this test binary's threads since the last reset.
+fn all_events() -> Vec<trace::Event> {
+    trace::drain().into_iter().flat_map(|t| t.events).collect()
+}
+
+#[test]
+fn disabled_recorder_emits_nothing() {
+    let _guard = test_lock();
+    trace::set_enabled(false);
+    trace::reset();
+    {
+        let _s = trace::span("quiet/span");
+        trace::counter("quiet/counter", 7);
+        trace::instant("quiet/instant", 1);
+    }
+    assert!(
+        all_events().is_empty(),
+        "disabled recorder must record nothing"
+    );
+}
+
+#[test]
+fn span_open_across_disable_still_closes() {
+    let _guard = test_lock();
+    trace::set_enabled(true);
+    trace::reset();
+    let s = trace::span("gate/span");
+    trace::set_enabled(false);
+    drop(s);
+    let evs = all_events();
+    let begins = evs.iter().filter(|e| e.kind == EventKind::Begin).count();
+    let ends = evs.iter().filter(|e| e.kind == EventKind::End).count();
+    assert_eq!((begins, ends), (1, 1), "armed span must close after disable");
+    trace::reset();
+}
+
+#[test]
+fn chrome_json_round_trips_through_validator() {
+    let _guard = test_lock();
+    trace::set_enabled(true);
+    trace::reset();
+    {
+        let _outer = trace::span_arg("json/outer", 3);
+        {
+            let _inner = trace::span("json/inner");
+            trace::counter("json/bytes", 100);
+            trace::counter("json/bytes", 23);
+        }
+        trace::instant("json/mark", 9);
+    }
+    let json = trace::chrome_trace_json();
+    trace::set_enabled(false);
+    validate_json(&json).unwrap_or_else(|e| panic!("emitted JSON is invalid: {e}\n{json}"));
+    for needle in [
+        "\"traceEvents\"",
+        "\"json/outer\"",
+        "\"ph\":\"B\"",
+        "\"ph\":\"E\"",
+        "\"ph\":\"C\"",
+        "\"ph\":\"i\"",
+        // Counter events carry the running total, so the second add shows 123.
+        "\"value\":123",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    let summary = trace::summary();
+    assert!(summary.contains("json/outer"), "summary lists spans");
+    assert!(summary.contains("json/bytes"), "summary lists counters");
+    assert!(summary.contains("123"), "summary totals counters");
+    trace::reset();
+}
+
+#[test]
+fn concurrent_threads_emit_well_nested_per_thread_pairs() {
+    let _guard = test_lock();
+    trace::set_enabled(true);
+    trace::reset();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            scope.spawn(move || {
+                for i in 0..50u64 {
+                    let _outer = trace::span_arg("mt/outer", t);
+                    let _inner = trace::span_arg("mt/inner", i);
+                    trace::counter("mt/work", 1);
+                }
+            });
+        }
+    });
+    let threads = trace::drain();
+    trace::set_enabled(false);
+    let active: Vec<_> = threads.iter().filter(|t| !t.events.is_empty()).collect();
+    assert!(active.len() >= 4, "each emitting thread gets its own ring");
+    let mut total_spans = 0u64;
+    for th in &active {
+        let mut depth = 0i64;
+        for ev in &th.events {
+            match ev.kind {
+                EventKind::Begin => depth += 1,
+                EventKind::End => {
+                    depth -= 1;
+                    assert!(depth >= 0, "tid {}: End without Begin", th.tid);
+                    total_spans += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "tid {}: unbalanced spans", th.tid);
+    }
+    // Some scoped threads may reuse a ring registered by an earlier test's
+    // thread, but the span count across all rings is exact.
+    let span_count: u64 = total_spans;
+    assert_eq!(span_count, 4 * 50 * 2, "every begin matched an end");
+    let json = trace::chrome_trace_json();
+    validate_json(&json).expect("multi-thread JSON validates");
+    trace::reset();
+}

@@ -1,0 +1,152 @@
+//! Cross-tier differential test: every executor must produce **bitwise
+//! identical** outputs on every vector tier the host supports.
+//!
+//! The compiled transform tapes, the dpbusd GEMM micro-kernels and the
+//! quantize/dequantize epilogues all dispatch on [`SimdTier`]; the whole
+//! dispatch design rests on the scalar tier being the semantics and the
+//! wide tiers being pure speedups. The per-crate property tests check
+//! individual kernels — this test checks the composition: five executors
+//! × several layer shapes × every supported tier, end to end.
+//!
+//! Tiers are forced through [`ConvContext::with_tier`] (not the
+//! `LOWINO_FORCE_TIER` env var) so the test is self-contained and can
+//! exercise *every* supported tier in one process.
+
+use lowino::prelude::*;
+use lowino::SimdTier;
+use lowino_conv::{
+    calibrate_spatial, calibrate_winograd_domain, ConvContext, DirectInt8Conv, DownScaleConv,
+    LoWinoConv, UpCastConv, WinogradF32Conv,
+};
+
+fn weights(spec: &ConvShape, seed: usize) -> Tensor4 {
+    Tensor4::from_fn(spec.out_c, spec.in_c, spec.r, spec.r, |k, c, y, x| {
+        ((k * 29 + c * 11 + y * 3 + x + seed) as f32 * 0.41).sin() * 0.2
+    })
+}
+
+fn image(spec: &ConvShape, seed: usize) -> BlockedImage {
+    BlockedImage::from_nchw(&Tensor4::from_fn(
+        spec.batch,
+        spec.in_c,
+        spec.h,
+        spec.w,
+        |b, c, y, x| ((b * 7 + c * 3 + y * 13 + x * 5 + seed) as f32 * 0.19).cos(),
+    ))
+}
+
+/// The layer shapes: a small square layer, a ragged one whose channels
+/// cross the 64-lane block boundary, and a batched rectangular one.
+fn shapes() -> Vec<ConvShape> {
+    vec![
+        ConvShape::same(1, 16, 16, 8, 3).validate().unwrap(),
+        ConvShape::same(1, 65, 70, 9, 3).validate().unwrap(),
+        ConvShape::same(2, 32, 16, 10, 3).validate().unwrap(),
+    ]
+}
+
+/// Run one executor on every supported tier and assert all outputs are
+/// bitwise identical to the scalar (last-listed) tier's.
+fn assert_tier_identity<F>(label: &str, spec: &ConvShape, mut run: F)
+where
+    F: FnMut(&mut ConvContext) -> Tensor4,
+{
+    let tiers = SimdTier::available();
+    assert!(
+        tiers.contains(&SimdTier::Scalar),
+        "scalar tier must always be available"
+    );
+    let mut reference: Option<(SimdTier, Tensor4)> = None;
+    for &tier in &tiers {
+        // Two thread counts per tier: partitioning must not matter either.
+        for threads in [1usize, 3] {
+            let mut ctx = ConvContext::with_tier(threads, tier);
+            let out = run(&mut ctx);
+            match &reference {
+                None => reference = Some((tier, out)),
+                Some((ref_tier, want)) => {
+                    let diff = want.max_abs_diff(&out);
+                    assert_eq!(
+                        diff, 0.0,
+                        "{label} {spec:?}: tier {tier} (t{threads}) diverges \
+                         from tier {ref_tier} by {diff}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lowino_is_bitwise_identical_across_tiers() {
+    for (i, spec) in shapes().into_iter().enumerate() {
+        let w = weights(&spec, i);
+        let img = image(&spec, i);
+        let cal = calibrate_winograd_domain(&spec, 2, std::slice::from_ref(&img)).unwrap();
+        let mut conv = LoWinoConv::new(spec, 2, &w, cal).unwrap();
+        assert_tier_identity("LoWino", &spec, |ctx| {
+            let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+            conv.execute(&img, &mut out, ctx);
+            out.to_nchw()
+        });
+    }
+}
+
+#[test]
+fn winograd_f32_is_bitwise_identical_across_tiers() {
+    for (i, spec) in shapes().into_iter().enumerate() {
+        let w = weights(&spec, i);
+        let img = image(&spec, i);
+        let mut conv = WinogradF32Conv::new(spec, 4, &w).unwrap();
+        assert_tier_identity("WinogradF32", &spec, |ctx| {
+            let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+            conv.execute(&img, &mut out, ctx);
+            out.to_nchw()
+        });
+    }
+}
+
+#[test]
+fn downscale_is_bitwise_identical_across_tiers() {
+    for (i, spec) in shapes().into_iter().enumerate() {
+        let w = weights(&spec, i);
+        let img = image(&spec, i);
+        let cal = calibrate_spatial(std::slice::from_ref(&img)).unwrap();
+        let mut conv = DownScaleConv::new(spec, 2, &w, cal).unwrap();
+        assert_tier_identity("DownScale", &spec, |ctx| {
+            let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+            conv.execute(&img, &mut out, ctx);
+            out.to_nchw()
+        });
+    }
+}
+
+#[test]
+fn upcast_is_bitwise_identical_across_tiers() {
+    for (i, spec) in shapes().into_iter().enumerate() {
+        let w = weights(&spec, i);
+        let img = image(&spec, i);
+        let cal = calibrate_spatial(std::slice::from_ref(&img)).unwrap();
+        let mut conv = UpCastConv::new(spec, 2, &w, cal).unwrap();
+        assert_tier_identity("UpCast", &spec, |ctx| {
+            let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+            conv.execute(&img, &mut out, ctx);
+            out.to_nchw()
+        });
+    }
+}
+
+#[test]
+fn direct_i8_is_bitwise_identical_across_tiers() {
+    for (i, spec) in shapes().into_iter().enumerate() {
+        let w = weights(&spec, i);
+        let img = image(&spec, i);
+        let cal = calibrate_spatial(std::slice::from_ref(&img)).unwrap();
+        let mut conv = DirectInt8Conv::new(spec, &w, cal).unwrap();
+        assert_tier_identity("DirectInt8", &spec, |ctx| {
+            let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+            conv.execute(&img, &mut out, ctx);
+            out.to_nchw()
+        });
+    }
+}
