@@ -49,6 +49,17 @@ LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench forkjoin
 echo "==> bench smoke (transforms, LOWINO_BENCH_SMOKE=1)"
 LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench transforms
 
+# Fault-injection smoke: run the resilience binary once with the
+# pool/phase and wisdom/save sites armed (the layer must demote and keep
+# serving within direct-f32 tolerance; the crashed wisdom save must leave
+# the previous file loadable) and once disarmed (no demotion, same
+# tolerance).
+echo "==> fault-injection smoke (LOWINO_FAULT=pool/phase,wisdom/save)"
+LOWINO_FAULT=pool/phase,wisdom/save \
+    cargo run -q --release --offline -p lowino-bench --bin resilient_smoke
+echo "==> fault-injection smoke (disarmed)"
+cargo run -q --release --offline -p lowino-bench --bin resilient_smoke
+
 # Trace smoke: re-run the forkjoin smoke with the recorder enabled and
 # validate the emitted chrome trace (must exist, be non-empty, be valid
 # JSON per the in-tree validator, and contain pool phase spans).

@@ -35,7 +35,7 @@ fn ablation_tile_size() {
         let mut l =
             build_executor(BenchAlgo::LoWino(m), &spec, &weights, &input, &engine).expect("plan");
         group.bench_function(format!("lowino_m/{m}"), || {
-            let t = engine.execute(&mut l, &input, &mut out);
+            let t = engine.execute(&mut l, &input, &mut out).expect("bench rep");
             black_box(t.total());
         });
     }
@@ -83,14 +83,14 @@ fn ablation_blocking() {
             let mut conv = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
             conv.set_blocking(b);
             group.bench_function(format!("blocking/{name}"), || {
-                let t = conv.execute(&input, &mut out, engine.context_mut());
+                let t = conv.execute(&input, &mut out, engine.context_mut()).expect("bench rep");
                 black_box(t.total());
             });
         } else {
             let mut l = build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine)
                 .expect("plan");
             group.bench_function(format!("blocking/{name}"), || {
-                let t = engine.execute(&mut l, &input, &mut out);
+                let t = engine.execute(&mut l, &input, &mut out).expect("bench rep");
                 black_box(t.total());
             });
         }
@@ -109,7 +109,7 @@ fn ablation_simd_tier() {
         let mut l =
             build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine).expect("plan");
         group.bench_function(tier, || {
-            let t = engine.execute(&mut l, &input, &mut out);
+            let t = engine.execute(&mut l, &input, &mut out).expect("bench rep");
             black_box(t.total());
         });
     }
@@ -127,7 +127,7 @@ fn ablation_scheduling() {
         let mut l =
             build_executor(BenchAlgo::LoWino(4), &spec, &weights, &input, &engine).expect("plan");
         group.bench_function(format!("static/{threads}"), || {
-            let t = engine.execute(&mut l, &input, &mut out);
+            let t = engine.execute(&mut l, &input, &mut out).expect("bench rep");
             black_box(t.total());
         });
     }

@@ -63,7 +63,7 @@ fn bench_layer(name: &str, batch_div: usize, hw_div: usize, m: usize, cfg: &Conf
         group.throughput_elements(spec.direct_macs());
 
         group.bench_function("fused", || {
-            let timings = conv.execute(&input, &mut out, &mut ctx);
+            let timings = conv.execute(&input, &mut out, &mut ctx).expect("bench rep");
             black_box(timings.total());
         });
         group.bench_function("three_fork_join", || {

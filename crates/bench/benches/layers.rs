@@ -34,7 +34,7 @@ fn bench_layer(name: &str, batch_div: usize, hw_div: usize) {
     ] {
         let mut l = build_executor(algo, &spec, &weights, &input, &engine).expect("plan");
         group.bench_function(algo.label(), || {
-            let t = engine.execute(&mut l, &input, &mut out);
+            let t = engine.execute(&mut l, &input, &mut out).expect("bench rep");
             black_box(t.total());
         });
     }

@@ -1,0 +1,123 @@
+//! CI fault-injection smoke: prove the robustness machinery end to end.
+//!
+//! Run once with `LOWINO_FAULT=pool/phase,wisdom/save` and once with no
+//! fault armed (see `ci/check.sh`). In both modes the binary asserts:
+//!
+//! * the resilient layer produces finite output within direct-f32
+//!   tolerance — demoted exactly when a fault was armed, undemoted when
+//!   not;
+//! * the wisdom file on disk stays loadable and keeps its entry — the
+//!   armed `wisdom/save` crash mid-write must not clobber the previous
+//!   save (tmp-file + atomic-rename).
+//!
+//! Exits non-zero (via panic) on any violated expectation, so the CI step
+//! fails loudly.
+
+use lowino::prelude::*;
+use lowino::{Blocking, ConvContext, DirectF32Conv, GemmShape, ResilientConv, Wisdom};
+
+fn main() {
+    let faulted = std::env::var("LOWINO_FAULT").map(|s| !s.is_empty()).unwrap_or(false);
+    let mode = if faulted { "faulted" } else { "clean" };
+    println!("resilient_smoke: mode = {mode}");
+
+    // Injected worker panics are expected and caught by the pool; keep the
+    // default hook from spraying their backtraces over the CI log while
+    // still reporting any *unexpected* panic in full.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // -- Wisdom crash-safety. Save once cleanly, then arm the env-specified
+    // faults; the second save crashes mid-write when `wisdom/save` is armed.
+    let dir = std::env::temp_dir().join(format!("lowino_resilient_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create smoke dir");
+    let path = dir.join("wisdom.txt");
+    let shape = GemmShape { t: 16, n: 100, c: 64, k: 64 };
+    let mut wisdom = Wisdom::new();
+    wisdom.insert(&shape, Blocking::default_for(&shape));
+    wisdom.save(&path).expect("clean save before faults are armed");
+
+    lowino_testkit::faults::init_from_env();
+
+    match wisdom.save(&path) {
+        Ok(()) => assert!(
+            !faulted || !lowino_testkit::faults::WISDOM_SAVE.is_armed(),
+            "armed wisdom/save fault did not fire"
+        ),
+        Err(e) => {
+            assert!(faulted, "unexpected save failure with no fault armed: {e}");
+            assert!(e.contains("injected fault: wisdom/save"), "{e}");
+            println!("resilient_smoke: wisdom save failed as injected ({e})");
+        }
+    }
+    let loaded = Wisdom::load(&path).expect("wisdom file must stay loadable");
+    assert!(
+        loaded.get(&shape).is_some(),
+        "wisdom entry lost after {} save",
+        if faulted { "crashed" } else { "clean" }
+    );
+
+    // -- Resilient layer under (possibly) armed pool/phase fault.
+    let spec = ConvShape::same(1, 8, 8, 10, 3).validate().expect("spec");
+    let weights = Tensor4::from_fn(8, 8, 3, 3, |k, c, y, x| {
+        ((k + c + y + x) as f32 * 0.3).sin() * 0.2
+    });
+    let input = Tensor4::from_fn(1, 8, 10, 10, |_, c, y, x| {
+        ((c * 5 + y * 3 + x) as f32 * 0.17).cos()
+    });
+    let img = BlockedImage::from_nchw(&input);
+
+    // The resilient layer executes FIRST so an armed pool/phase fault
+    // fires inside it (the one-shot site would otherwise be consumed by
+    // the reference run below).
+    let mut ctx = ConvContext::new(2);
+    let mut conv = ResilientConv::new(spec, 4, &weights, vec![img.clone()]).expect("plan");
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+    conv.execute(&img, &mut out, &mut ctx).expect("resilient execute");
+
+    assert!(
+        !lowino_testkit::faults::POOL_PHASE.is_armed(),
+        "armed pool/phase fault never fired"
+    );
+    if faulted {
+        assert!(
+            !conv.demotions().is_empty(),
+            "faulted run must demote at least once"
+        );
+        println!(
+            "resilient_smoke: demoted to {} ({})",
+            conv.algorithm(),
+            conv.demotions().last().expect("non-empty").reason
+        );
+    } else {
+        assert!(
+            conv.demotions().is_empty(),
+            "clean run must not demote, but: {:?}",
+            conv.demotions()
+        );
+        assert_eq!(conv.algorithm(), Algorithm::LoWino { m: 4 });
+    }
+
+    let mut reference = DirectF32Conv::new(spec, &weights).expect("reference");
+    let mut want = BlockedImage::zeros(1, 8, 10, 10);
+    reference.execute(&img, &mut want, &mut ctx).expect("reference");
+
+    assert!(
+        out.to_nchw().data().iter().all(|v| v.is_finite()),
+        "output contains non-finite values"
+    );
+    let err = out.to_nchw().rel_l2_error(&want.to_nchw());
+    assert!(err < 0.30, "rel error vs direct-f32: {err}");
+    println!("resilient_smoke: rel error vs direct-f32 = {err:.4}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("resilient_smoke: OK ({mode})");
+}

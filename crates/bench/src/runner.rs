@@ -94,10 +94,10 @@ pub fn run_timed(
     reps: u32,
 ) -> StageTimings {
     let exec = layer.executor_mut();
-    let _ = exec.execute(input, output, ctx); // warm-up
+    exec.execute(input, output, ctx).expect("warm-up rep");
     let mut best: Option<StageTimings> = None;
     for _ in 0..reps.max(1) {
-        let t = exec.execute(input, output, ctx);
+        let t = exec.execute(input, output, ctx).expect("timed rep");
         if best.as_ref().is_none_or(|b| t.total() < b.total()) {
             best = Some(t);
         }

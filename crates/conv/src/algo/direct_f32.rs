@@ -11,7 +11,7 @@ use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, LANES};
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
-use crate::error::{check_weights, ConvError};
+use crate::error::{check_weights, ConvError, ExecError};
 use crate::stats::StageTimings;
 
 /// FP32 direct convolution executor.
@@ -63,8 +63,8 @@ impl ConvExecutor for DirectF32Conv {
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings {
-        check_io(&self.spec, input, output);
+    ) -> Result<StageTimings, ExecError> {
+        check_io(&self.spec, input, output, ctx.non_finite)?;
         let start = Instant::now();
         let spec = self.spec;
         let (out_h, out_w) = (spec.out_h(), spec.out_w());
@@ -74,7 +74,7 @@ impl ConvExecutor for DirectF32Conv {
         // Task = (batch, k-block, output row); rows never overlap.
         let tasks = spec.batch * self.k_blocks * out_h;
         let k_blocks = self.k_blocks;
-        ctx.pool.run(tasks, |_, range| {
+        ctx.pool.run_phases_catching(&[tasks], |_, _, range| {
             let mut acc = [0f32; LANES];
             for task in range {
                 let b = task / (k_blocks * out_h);
@@ -115,12 +115,12 @@ impl ConvExecutor for DirectF32Conv {
                     }
                 }
             }
-        });
-        StageTimings {
+        })?;
+        Ok(StageTimings {
             input_transform: std::time::Duration::ZERO,
             gemm: start.elapsed(),
             output_transform: std::time::Duration::ZERO,
-        }
+        })
     }
 }
 
@@ -176,7 +176,7 @@ mod tests {
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut conv = DirectF32Conv::new(spec, &weights).unwrap();
         let mut ctx = ConvContext::new(threads);
-        let t = conv.execute(&img, &mut out, &mut ctx);
+        let t = conv.execute(&img, &mut out, &mut ctx).unwrap();
         assert!(t.total() > std::time::Duration::ZERO);
         let got = out.to_nchw();
         assert!(

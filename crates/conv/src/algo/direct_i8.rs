@@ -22,7 +22,7 @@ use lowino_tensor::{round_up, AlignedBuf, BlockedImage, ConvShape, Tensor4, LANE
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
-use crate::error::ConvError;
+use crate::error::{ConvError, ExecError};
 use crate::filter::pack_filters_direct_i8;
 use crate::stats::StageTimings;
 
@@ -121,8 +121,8 @@ impl ConvExecutor for DirectInt8Conv {
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings {
-        check_io(&self.spec, input, output);
+    ) -> Result<StageTimings, ExecError> {
+        check_io(&self.spec, input, output, ctx.non_finite)?;
         let spec = self.spec;
         let (out_h, out_w) = (spec.out_h(), spec.out_w());
         let (hp, wp) = (spec.h + 2 * spec.pad, spec.w + 2 * spec.pad);
@@ -161,7 +161,7 @@ impl ConvExecutor for DirectInt8Conv {
             spec.batch * out_h,
             spec.batch * out_h * out_w,
         ];
-        let times = pool.run_phases(&totals, |_, phase, range| match phase {
+        let times = pool.run_phases_catching(&totals, |_, phase, range| match phase {
             // -- Phase ①: quantize the input once into the padded u8 buffer.
             0 => {
                 let _span = lowino_trace::span("direct_i8/quantize_input");
@@ -294,12 +294,23 @@ impl ConvExecutor for DirectInt8Conv {
                     }
                 }
             }
-        });
-        StageTimings {
+        })?;
+        Ok(StageTimings {
             input_transform: times[0],
             gemm: times[1],
             output_transform: times[2],
-        }
+        })
+    }
+
+    /// Saturation over the persistent quantized input buffer. Padding
+    /// pixels and padded channels hold the compensated zero (128), which
+    /// [`lowino_quant::count_saturated_u8`] ignores, so only real input
+    /// values can count as saturated; the denominator is the real value
+    /// count.
+    fn saturation(&self) -> Option<(u64, u64)> {
+        let spec = &self.spec;
+        let sat = lowino_quant::count_saturated_u8(self.qbuf.as_slice());
+        Some((sat, (spec.batch * spec.in_c * spec.h * spec.w) as u64))
     }
 }
 
@@ -323,7 +334,7 @@ mod tests {
         let mut conv = DirectInt8Conv::new(spec, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(threads);
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
         out.to_nchw().rel_l2_error(&want)
     }
 
@@ -396,7 +407,7 @@ mod tests {
         let mut outs = Vec::new();
         for _ in 0..3 {
             let mut out = BlockedImage::zeros(1, 8, 8, 8);
-            conv.execute(&img, &mut out, &mut ctx);
+            conv.execute(&img, &mut out, &mut ctx).unwrap();
             outs.push(out.to_nchw());
         }
         assert_eq!(outs[0].max_abs_diff(&outs[1]), 0.0);

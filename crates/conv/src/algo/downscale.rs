@@ -23,7 +23,7 @@ use lowino_winograd::{range_growth_2d, TileTransformer};
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
-use crate::error::ConvError;
+use crate::error::{ConvError, ExecError};
 use crate::filter::pack_filters_lowino;
 use crate::scratch::{ensure_f32, ensure_i32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
@@ -147,8 +147,8 @@ impl ConvExecutor for DownScaleConv {
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings {
-        check_io(&self.spec, input, output);
+    ) -> Result<StageTimings, ExecError> {
+        check_io(&self.spec, input, output, ctx.non_finite)?;
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
@@ -195,7 +195,7 @@ impl ConvExecutor for DownScaleConv {
             gemm.total(),
             out_ref.c_blocks() * geom.total,
         ];
-        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+        let times = pool.run_phases_catching(&totals, |worker, phase, range| match phase {
             // -- Phase ① part A: quantize the input image ONCE into the
             // padded INT8 buffer (❶ of Fig. 2b) — the oneDNN design:
             // overlapping tiles then re-read cheap INT8 bytes.
@@ -337,12 +337,28 @@ impl ConvExecutor for DownScaleConv {
                     }
                 }
             }
-        });
-        StageTimings {
+        })?;
+        Ok(StageTimings {
             input_transform: times[0] + times[1],
             gemm: times[2],
             output_transform: times[3],
+        })
+    }
+
+    /// Saturation of the last execute's down-scaled `V` panel — the
+    /// transform-domain requantization (❷ of Fig. 2b) is where this
+    /// baseline clamps. Padding channels are zero bytes (ignored by the
+    /// compensated-u8 counter); `total` counts only the real `T·N·C`
+    /// values.
+    fn saturation(&self) -> Option<(u64, u64)> {
+        let (t, n, c, _) = self.v_panel.dims();
+        let mut sat = 0u64;
+        for ti in 0..t {
+            for ni in 0..n {
+                sat += lowino_quant::count_saturated_u8(self.v_panel.row(ti, ni));
+            }
         }
+        Some((sat, (t * n * c) as u64))
     }
 }
 
@@ -366,7 +382,7 @@ mod tests {
         let mut conv = DownScaleConv::new(spec, m, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(1);
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
         out.to_nchw().rel_l2_error(&want)
     }
 

@@ -30,8 +30,8 @@ use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::TileTransformer;
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
-use crate::context::ConvContext;
-use crate::error::ConvError;
+use crate::context::{ConvContext, NonFinitePolicy};
+use crate::error::{ConvError, ExecError};
 use crate::filter::{pack_filters_lowino, pack_filters_lowino_per_position};
 use crate::scratch::{ensure_f32, ensure_u8, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
@@ -188,7 +188,8 @@ impl LoWinoConv {
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
     ) -> StageTimings {
-        check_io(&self.spec, input, output);
+        check_io(&self.spec, input, output, NonFinitePolicy::Propagate)
+            .expect("io mismatch on the legacy reference path");
         let mut timings = StageTimings::default();
         let spec = self.spec;
         let geom = self.geom;
@@ -307,8 +308,8 @@ impl ConvExecutor for LoWinoConv {
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings {
-        check_io(&self.spec, input, output);
+    ) -> Result<StageTimings, ExecError> {
+        check_io(&self.spec, input, output, ctx.non_finite)?;
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
@@ -323,6 +324,7 @@ impl ConvExecutor for LoWinoConv {
             tier,
             wisdom,
             scratch,
+            ..
         } = ctx;
         let tier = *tier;
         let vt = VecTier::for_simd(tier);
@@ -357,7 +359,7 @@ impl ConvExecutor for LoWinoConv {
             gemm.total(),
             k_blocks * geom.total,
         ];
-        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+        let times = pool.run_phases_catching(&totals, |worker, phase, range| match phase {
             // -- Phase ①: compiled input transform with the quantize
             // epilogue fused into the row pass, then a stream-scatter of
             // each 64-channel cache line into the V panel.
@@ -437,12 +439,27 @@ impl ConvExecutor for LoWinoConv {
                     }
                 }
             }
-        });
-        StageTimings {
+        })?;
+        Ok(StageTimings {
             input_transform: times[0],
             gemm: times[1],
             output_transform: times[2],
+        })
+    }
+
+    /// Saturation of the last execute's Winograd-domain quantized `V`
+    /// panel. Padding channels are zero bytes, which the compensated-u8
+    /// counter ignores, so scanning full padded rows is exact; `total`
+    /// counts only the real `T·N·C` values.
+    fn saturation(&self) -> Option<(u64, u64)> {
+        let (t, n, c, _) = self.v_panel.dims();
+        let mut sat = 0u64;
+        for ti in 0..t {
+            for ni in 0..n {
+                sat += lowino_quant::count_saturated_u8(self.v_panel.row(ti, ni));
+            }
         }
+        Some((sat, (t * n * c) as u64))
     }
 }
 
@@ -466,7 +483,7 @@ mod tests {
         let mut conv = LoWinoConv::new(spec, m, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(threads);
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
         out.to_nchw().rel_l2_error(&want)
     }
 
@@ -501,7 +518,7 @@ mod tests {
         assert!(conv.is_per_position());
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(1);
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
         out.to_nchw().rel_l2_error(&want)
     }
 
@@ -563,7 +580,7 @@ mod tests {
             let mut conv = LoWinoConv::new(spec, 2, &weights, cal).unwrap();
             let mut out = BlockedImage::zeros(2, 8, 10, 10);
             let mut ctx = ConvContext::new(threads);
-            conv.execute(&img, &mut out, &mut ctx);
+            conv.execute(&img, &mut out, &mut ctx).unwrap();
             outs.push(out.to_nchw());
         }
         assert_eq!(outs[0].max_abs_diff(&outs[1]), 0.0);
@@ -590,8 +607,8 @@ mod tests {
         let mut ctx = ConvContext::new(1);
         let mut out_a = BlockedImage::zeros(1, 8, 8, 8);
         let mut out_b = BlockedImage::zeros(1, 8, 8, 8);
-        a.execute(&img, &mut out_a, &mut ctx);
-        b.execute(&img, &mut out_b, &mut ctx);
+        a.execute(&img, &mut out_a, &mut ctx).unwrap();
+        b.execute(&img, &mut out_b, &mut ctx).unwrap();
         assert_eq!(out_a.to_nchw().max_abs_diff(&out_b.to_nchw()), 0.0);
     }
 
@@ -613,7 +630,7 @@ mod tests {
             let mut out_fused = BlockedImage::zeros(2, 16, 11, 11);
             let mut out_legacy = BlockedImage::zeros(2, 16, 11, 11);
             let before = ctx.pool.fork_joins();
-            fused.execute(&img, &mut out_fused, &mut ctx);
+            fused.execute(&img, &mut out_fused, &mut ctx).unwrap();
             assert_eq!(
                 ctx.pool.fork_joins() - before,
                 1,
@@ -641,7 +658,7 @@ mod tests {
         let mut out = BlockedImage::zeros(1, 8, 8, 8);
         let mut ctx = ConvContext::new(1);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            conv.execute(&img, &mut out, &mut ctx);
+            conv.execute(&img, &mut out, &mut ctx).unwrap();
         }));
         assert!(result.is_err());
     }

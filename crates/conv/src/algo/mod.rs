@@ -9,7 +9,8 @@ pub mod wino_f32;
 
 use lowino_tensor::{BlockedImage, ConvShape};
 
-use crate::context::ConvContext;
+use crate::context::{ConvContext, NonFinitePolicy};
+use crate::error::ExecError;
 use crate::stats::StageTimings;
 
 /// Algorithm identifiers (the paper's comparison set).
@@ -96,26 +97,63 @@ pub trait ConvExecutor {
 
     /// Run the convolution. `input` must match the spec's `(B, C, H, W)`;
     /// `output` must be pre-allocated as `(B, K, H', W')`.
+    ///
+    /// Every failure is recoverable: mismatched tensors and rejected
+    /// non-finite inputs ([`ExecError::IoShape`] /
+    /// [`ExecError::NonFiniteInput`]) are detected before any work starts,
+    /// and a panic inside the fork-join surfaces as
+    /// [`ExecError::WorkerPanic`] with the pool, scratch and executor all
+    /// still usable (the output buffer contents are then unspecified).
     fn execute(
         &mut self,
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings;
+    ) -> Result<StageTimings, ExecError>;
+
+    /// Post-execute numeric-health signal: `(saturated, total)` counts of
+    /// quantized intermediate values from the last `execute`, if this
+    /// algorithm quantizes. `None` for full-precision executors.
+    ///
+    /// A high saturated/total ratio means the calibrated scales no longer
+    /// fit the live data distribution — the signal `ResilientConv` uses to
+    /// demote to a higher-precision algorithm.
+    fn saturation(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
-/// Shared input/output dimension assertions for all executors.
-pub(crate) fn check_io(spec: &ConvShape, input: &BlockedImage, output: &BlockedImage) {
-    assert_eq!(
-        input.dims(),
-        (spec.batch, spec.in_c, spec.h, spec.w),
-        "input dims don't match spec"
-    );
-    assert_eq!(
-        output.dims(),
-        (spec.batch, spec.out_c, spec.out_h(), spec.out_w()),
-        "output dims don't match spec"
-    );
+/// Shared input/output validation for all executors: dimension check plus
+/// the context's non-finite input policy.
+pub(crate) fn check_io(
+    spec: &ConvShape,
+    input: &BlockedImage,
+    output: &BlockedImage,
+    policy: NonFinitePolicy,
+) -> Result<(), ExecError> {
+    let expected_in = (spec.batch, spec.in_c, spec.h, spec.w);
+    if input.dims() != expected_in {
+        return Err(ExecError::IoShape {
+            which: "input",
+            expected: expected_in,
+            got: input.dims(),
+        });
+    }
+    let expected_out = (spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+    if output.dims() != expected_out {
+        return Err(ExecError::IoShape {
+            which: "output",
+            expected: expected_out,
+            got: output.dims(),
+        });
+    }
+    if policy == NonFinitePolicy::Reject {
+        let count = input.data().iter().filter(|v| !v.is_finite()).count() as u64;
+        if count > 0 {
+            return Err(ExecError::NonFiniteInput { count });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use lowino_winograd::{range_growth_2d, TileTransformer};
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
-use crate::error::ConvError;
+use crate::error::{ConvError, ExecError};
 use crate::filter::pack_filters_upcast;
 use crate::scratch::{ensure_f32, ensure_i32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
@@ -105,8 +105,8 @@ impl ConvExecutor for UpCastConv {
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings {
-        check_io(&self.spec, input, output);
+    ) -> Result<StageTimings, ExecError> {
+        check_io(&self.spec, input, output, ctx.non_finite)?;
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
@@ -144,7 +144,7 @@ impl ConvExecutor for UpCastConv {
             gemm.total(),
             out_ref.c_blocks() * geom.total,
         ];
-        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+        let times = pool.run_phases_catching(&totals, |worker, phase, range| match phase {
             // -- Phase ① part A: quantize the input once into the padded
             // INT8 buffer (shared design with the down-scaling baseline).
             0 => {
@@ -269,12 +269,22 @@ impl ConvExecutor for UpCastConv {
                     }
                 }
             }
-        });
-        StageTimings {
+        })?;
+        Ok(StageTimings {
             input_transform: times[0] + times[1],
             gemm: times[2],
             output_transform: times[3],
-        }
+        })
+    }
+
+    /// Saturation of the last execute's spatially-quantized INT8 input
+    /// buffer. Padding bytes are zero (never on the ±127 clamp bounds), so
+    /// scanning the whole padded buffer is exact; `total` counts only the
+    /// real `B·C·H·W` values.
+    fn saturation(&self) -> Option<(u64, u64)> {
+        let spec = &self.spec;
+        let sat = lowino_quant::count_saturated_i8(self.qbuf.as_slice());
+        Some((sat, (spec.batch * spec.in_c * spec.h * spec.w) as u64))
     }
 }
 
@@ -298,7 +308,7 @@ mod tests {
         let mut conv = UpCastConv::new(spec, m, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(2);
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
         out.to_nchw().rel_l2_error(&want)
     }
 

@@ -13,7 +13,7 @@ use lowino_winograd::TileTransformer;
 
 use crate::algo::{check_io, Algorithm, ConvExecutor};
 use crate::context::ConvContext;
-use crate::error::ConvError;
+use crate::error::{ConvError, ExecError};
 use crate::filter::pack_filters_f32;
 use crate::scratch::{ensure_f32, ScratchArena, WorkerScratch};
 use crate::stats::StageTimings;
@@ -67,8 +67,8 @@ impl ConvExecutor for WinogradF32Conv {
         input: &BlockedImage,
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
-    ) -> StageTimings {
-        check_io(&self.spec, input, output);
+    ) -> Result<StageTimings, ExecError> {
+        check_io(&self.spec, input, output, ctx.non_finite)?;
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
@@ -99,7 +99,7 @@ impl ConvExecutor for WinogradF32Conv {
             gemm.total(),
             out_ref.c_blocks() * geom.total,
         ];
-        let times = pool.run_phases(&totals, |worker, phase, range| match phase {
+        let times = pool.run_phases_catching(&totals, |worker, phase, range| match phase {
             // -- Phase ①: FP32 input transform into the V panel.
             0 => {
                 let _span = lowino_trace::span("wino_f32/input_transform");
@@ -157,12 +157,12 @@ impl ConvExecutor for WinogradF32Conv {
                     }
                 }
             }
-        });
-        StageTimings {
+        })?;
+        Ok(StageTimings {
             input_transform: times[0],
             gemm: times[1],
             output_transform: times[2],
-        }
+        })
     }
 }
 
@@ -184,7 +184,7 @@ mod tests {
         let mut conv = WinogradF32Conv::new(spec, m, &weights).unwrap();
         let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
         let mut ctx = ConvContext::new(threads);
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
         let diff = out.to_nchw().max_abs_diff(&want);
         assert!(diff < tol, "diff {diff} (m={m}, spec={spec:?})");
     }

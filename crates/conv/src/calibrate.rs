@@ -19,6 +19,35 @@ use crate::tiles::{gather_patch, tile_coords, tile_origin};
 /// Histogram bin count used by all calibrations (TensorRT convention).
 const CAL_BINS: usize = 2048;
 
+/// Degenerate-distribution guard shared by all calibrations: a sample set
+/// with no finite values, or one that is identically zero, has no dynamic
+/// range — the KL search would return `τ = 0` and the resulting scale
+/// would silently zero out (or NaN out) every quantized activation. Fail
+/// loudly at calibration time instead.
+///
+/// For per-position calibration the check passes as long as *any* position
+/// saw real data (quiet corner positions of a sparse input may legitimately
+/// be all-zero). Also carries the `calibrate/samples` fault site so the
+/// error path can be exercised with healthy data.
+fn check_distribution(what: &str, hists: &[&Histogram]) -> Result<(), ConvError> {
+    if lowino_testkit::faults::CALIBRATE_SAMPLES.fire() {
+        return Err(ConvError::Calibration(format!(
+            "injected fault: calibrate/samples ({what})"
+        )));
+    }
+    if hists.iter().all(|h| h.total() == 0) {
+        return Err(ConvError::Calibration(format!(
+            "{what}: samples contain no finite values"
+        )));
+    }
+    if hists.iter().all(|h| h.max_abs() == 0.0) {
+        return Err(ConvError::Calibration(format!(
+            "{what}: samples are identically zero (no dynamic range to calibrate)"
+        )));
+    }
+    Ok(())
+}
+
 /// Spatial-domain KL calibration over raw activation samples.
 ///
 /// Only logical channels are histogrammed — the blocked layout's zero
@@ -42,6 +71,7 @@ pub fn calibrate_spatial(samples: &[BlockedImage]) -> Result<QParams, ConvError>
             }
         }
     }
+    check_distribution("calibrate_spatial", &[&hist])?;
     Ok(QParams::from_threshold(calibrate_kl(&hist).tau))
 }
 
@@ -91,6 +121,7 @@ pub fn calibrate_winograd_domain(
             }
         }
     }
+    check_distribution("calibrate_winograd_domain", &[&hist])?;
     Ok(QParams::from_threshold(calibrate_kl(&hist).tau))
 }
 
@@ -141,6 +172,8 @@ pub fn calibrate_winograd_domain_per_position(
             }
         }
     }
+    let refs: Vec<&Histogram> = hists.iter().collect();
+    check_distribution("calibrate_winograd_domain_per_position", &refs)?;
     Ok(hists
         .iter()
         .map(|h| QParams::from_threshold(calibrate_kl(h).tau))
@@ -190,6 +223,26 @@ mod tests {
         let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
         assert!(calibrate_spatial(&[]).is_err());
         assert!(calibrate_winograd_domain(&spec, 2, &[]).is_err());
+    }
+
+    #[test]
+    fn all_zero_samples_error() {
+        let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+        let zero = BlockedImage::zeros(1, 8, 10, 10);
+        let err = calibrate_spatial(std::slice::from_ref(&zero)).unwrap_err();
+        assert!(err.to_string().contains("identically zero"), "{err}");
+        assert!(calibrate_winograd_domain(&spec, 2, std::slice::from_ref(&zero)).is_err());
+        assert!(
+            calibrate_winograd_domain_per_position(&spec, 2, std::slice::from_ref(&zero)).is_err()
+        );
+    }
+
+    #[test]
+    fn all_non_finite_samples_error() {
+        let t = Tensor4::from_fn(1, 8, 10, 10, |_, _, _, _| f32::NAN);
+        let nan = BlockedImage::from_nchw(&t);
+        let err = calibrate_spatial(std::slice::from_ref(&nan)).unwrap_err();
+        assert!(err.to_string().contains("no finite values"), "{err}");
     }
 
     #[test]

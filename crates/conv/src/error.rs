@@ -1,4 +1,9 @@
-//! Error type for convolution planning and execution.
+//! Error types for convolution planning and execution.
+//!
+//! [`ConvError`] covers planning/construction-time failures; [`ExecError`]
+//! covers *runtime* failures of a prepared executor's `execute` call —
+//! conditions a long-lived inference process must recover from (retry,
+//! demote to a sturdier algorithm) rather than abort on.
 
 use lowino_tensor::ShapeError;
 use lowino_winograd::matrices::MatrixError;
@@ -21,6 +26,8 @@ pub enum ConvError {
     Unsupported(String),
     /// Calibration failed (e.g. empty sample set).
     Calibration(String),
+    /// A prepared executor failed at runtime.
+    Exec(ExecError),
 }
 
 impl core::fmt::Display for ConvError {
@@ -33,11 +40,75 @@ impl core::fmt::Display for ConvError {
             }
             ConvError::Unsupported(s) => write!(f, "unsupported configuration: {s}"),
             ConvError::Calibration(s) => write!(f, "calibration error: {s}"),
+            ConvError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ConvError {}
+
+/// Runtime failure of a prepared executor's `execute` call.
+///
+/// Every variant is recoverable: the executor and its context (pool,
+/// scratch) remain usable, so a caller may retry with fixed inputs or
+/// demote to another algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An input or output tensor doesn't match the planned spec.
+    IoShape {
+        /// Which tensor mismatched (`"input"` / `"output"`).
+        which: &'static str,
+        /// Dims the spec requires, `(B, C, H, W)`.
+        expected: (usize, usize, usize, usize),
+        /// Dims that were provided.
+        got: (usize, usize, usize, usize),
+    },
+    /// The input contained NaN/±inf values and the context's
+    /// [`NonFinitePolicy`](crate::NonFinitePolicy) is `Reject`.
+    NonFiniteInput {
+        /// Number of non-finite input values found.
+        count: u64,
+    },
+    /// A worker panicked inside the fork-join; the pool recovered and
+    /// stays usable, the output buffer contents are unspecified.
+    WorkerPanic {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExecError::IoShape {
+                which,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{which} dims don't match spec: expected {expected:?}, got {got:?}"
+            ),
+            ExecError::NonFiniteInput { count } => {
+                write!(f, "input contains {count} non-finite value(s)")
+            }
+            ExecError::WorkerPanic { message } => write!(f, "worker panic: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ExecError> for ConvError {
+    fn from(e: ExecError) -> Self {
+        ConvError::Exec(e)
+    }
+}
+
+impl From<lowino_parallel::JobPanic> for ExecError {
+    fn from(p: lowino_parallel::JobPanic) -> Self {
+        ExecError::WorkerPanic { message: p.message }
+    }
+}
 
 impl From<ShapeError> for ConvError {
     fn from(e: ShapeError) -> Self {

@@ -39,8 +39,8 @@ pub use algo::upcast::UpCastConv;
 pub use algo::wino_f32::WinogradF32Conv;
 pub use algo::{Algorithm, ConvExecutor};
 pub use calibrate::{calibrate_spatial, calibrate_winograd_domain};
-pub use context::ConvContext;
-pub use error::ConvError;
+pub use context::{ConvContext, NonFinitePolicy};
+pub use error::{ConvError, ExecError};
 pub use scratch::{ScratchArena, WorkerScratch};
 pub use stats::StageTimings;
 
@@ -65,12 +65,12 @@ mod tests {
 
         let mut reference = DirectF32Conv::new(spec, &weights).unwrap();
         let mut out_ref = BlockedImage::zeros(1, 8, 12, 12);
-        reference.execute(&img, &mut out_ref, &mut ctx);
+        reference.execute(&img, &mut out_ref, &mut ctx).unwrap();
 
         let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
         let mut lw = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
         let mut out = BlockedImage::zeros(1, 8, 12, 12);
-        lw.execute(&img, &mut out, &mut ctx);
+        lw.execute(&img, &mut out, &mut ctx).unwrap();
         // Per-tensor F(4,3) on an 8-channel toy layer is noisy (the error
         // averages down ~1/√C on real layers); it must still be in the
         // right ballpark...
@@ -83,7 +83,7 @@ mod tests {
             calibrate::calibrate_winograd_domain_per_position(&spec, 4, std::slice::from_ref(&img)).unwrap();
         let mut lw = LoWinoConv::new_per_position(spec, 4, &weights, &cal_pp).unwrap();
         let mut out = BlockedImage::zeros(1, 8, 12, 12);
-        lw.execute(&img, &mut out, &mut ctx);
+        lw.execute(&img, &mut out, &mut ctx).unwrap();
         let err_pp = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
         assert!(err_pp < 0.08, "per-position relative error {err_pp}");
         assert!(err_pp < err, "granularity must help: {err_pp} vs {err}");

@@ -64,6 +64,21 @@ fn note_growth(old_len: usize, new_len: usize, elem_bytes: usize) {
     );
 }
 
+/// The `scratch/grow` fault site: an armed fault panics in place of the
+/// reallocation, modelling an allocation failure at the only point the
+/// steady state can allocate. The panic unwinds into the pool's capture
+/// (`StaticPool::run_phases_catching`) and surfaces to the caller as a
+/// recoverable `ExecError::WorkerPanic`. One relaxed atomic load when
+/// disarmed.
+fn grow_fault_probe(new_len: usize, elem_bytes: usize) {
+    if lowino_testkit::faults::SCRATCH_GROW.fire() {
+        panic!(
+            "injected fault: scratch/grow (realloc to {} bytes)",
+            new_len * elem_bytes
+        );
+    }
+}
+
 /// Grow-on-demand view: returns `&mut buf[..len]`, reallocating (to the
 /// next power of two, so repeated layers of mixed sizes settle quickly)
 /// only when the buffer is too small. Contents are unspecified — every
@@ -71,6 +86,7 @@ fn note_growth(old_len: usize, new_len: usize, elem_bytes: usize) {
 pub fn ensure_f32(buf: &mut AlignedBuf<f32>, len: usize) -> &mut [f32] {
     if buf.len() < len {
         let new_len = len.next_power_of_two();
+        grow_fault_probe(new_len, core::mem::size_of::<f32>());
         note_growth(buf.len(), new_len, core::mem::size_of::<f32>());
         *buf = AlignedBuf::zeroed(new_len);
     }
@@ -81,6 +97,7 @@ pub fn ensure_f32(buf: &mut AlignedBuf<f32>, len: usize) -> &mut [f32] {
 pub fn ensure_i32(buf: &mut AlignedBuf<i32>, len: usize) -> &mut [i32] {
     if buf.len() < len {
         let new_len = len.next_power_of_two();
+        grow_fault_probe(new_len, core::mem::size_of::<i32>());
         note_growth(buf.len(), new_len, core::mem::size_of::<i32>());
         *buf = AlignedBuf::zeroed(new_len);
     }
@@ -91,6 +108,7 @@ pub fn ensure_i32(buf: &mut AlignedBuf<i32>, len: usize) -> &mut [i32] {
 pub fn ensure_u8(buf: &mut AlignedBuf<u8>, len: usize) -> &mut [u8] {
     if buf.len() < len {
         let new_len = len.next_power_of_two();
+        grow_fault_probe(new_len, core::mem::size_of::<u8>());
         note_growth(buf.len(), new_len, core::mem::size_of::<u8>());
         *buf = AlignedBuf::zeroed(new_len);
     }
@@ -110,11 +128,12 @@ pub struct ScratchArena {
 impl ScratchArena {
     /// An arena with `workers` slots (must match the pool's thread count).
     ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
+    /// `workers == 0` is clamped to one slot, mirroring
+    /// `StaticPool::new`'s sequential-fallback clamp: a zero-thread
+    /// misconfiguration degrades to single-slot operation instead of
+    /// aborting the process.
     pub fn new(workers: usize) -> Self {
-        assert!(workers > 0, "arena needs at least one worker slot");
+        let workers = workers.max(1);
         Self {
             slots: (0..workers)
                 .map(|_| Slot(Mutex::new(WorkerScratch::default())))
@@ -179,9 +198,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
-        let _ = ScratchArena::new(0);
+    fn zero_workers_clamps_to_one_slot() {
+        assert_eq!(ScratchArena::new(0).workers(), 1);
     }
 
     #[test]

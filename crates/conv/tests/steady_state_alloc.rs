@@ -74,12 +74,12 @@ fn lowino_steady_state_allocates_nothing_and_is_one_fork_join() {
     for threads in [1, 3] {
         let mut ctx = ConvContext::new(threads);
         // Warm-up: the first execute on this shape grows the arenas.
-        conv.execute(&img, &mut out, &mut ctx);
+        conv.execute(&img, &mut out, &mut ctx).unwrap();
 
         let before = ctx.pool.fork_joins();
         let allocs = count_allocs(|| {
             for _ in 0..3 {
-                conv.execute(&img, &mut out, &mut ctx);
+                conv.execute(&img, &mut out, &mut ctx).unwrap();
             }
         });
         assert_eq!(
@@ -129,7 +129,7 @@ fn every_executor_is_one_fork_join_per_execute() {
     let mut out = BlockedImage::zeros(1, 8, 10, 10);
     for (name, exec) in &mut executors {
         let before = ctx.pool.fork_joins();
-        exec.execute(&img, &mut out, &mut ctx);
+        exec.execute(&img, &mut out, &mut ctx).unwrap();
         assert_eq!(
             ctx.pool.fork_joins() - before,
             1,
@@ -151,7 +151,7 @@ fn fused_lowino_matches_three_fork_join_bitwise() {
         let mut ctx = ConvContext::new(threads);
         let mut out_fused = BlockedImage::zeros(1, 66, 11, 11);
         let mut out_legacy = BlockedImage::zeros(1, 66, 11, 11);
-        fused.execute(&img, &mut out_fused, &mut ctx);
+        fused.execute(&img, &mut out_fused, &mut ctx).unwrap();
         legacy.execute_three_fork_join(&img, &mut out_legacy, &mut ctx);
         assert_eq!(
             out_fused.to_nchw().max_abs_diff(&out_legacy.to_nchw()),

@@ -8,8 +8,8 @@
 
 use lowino_conv::{
     calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext, ConvError,
-    ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, LoWinoConv, StageTimings,
-    UpCastConv, WinogradF32Conv,
+    ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, ExecError, LoWinoConv,
+    StageTimings, UpCastConv, WinogradF32Conv,
 };
 use lowino_conv::calibrate::calibrate_winograd_domain_per_position;
 use lowino_quant::QParams;
@@ -56,13 +56,14 @@ impl Engine {
         BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w())
     }
 
-    /// Run a planned layer.
+    /// Run a planned layer. Every failure is recoverable ([`ExecError`]):
+    /// the engine and the layer both remain usable afterwards.
     pub fn execute(
         &mut self,
         layer: &mut Layer,
         input: &BlockedImage,
         output: &mut BlockedImage,
-    ) -> StageTimings {
+    ) -> Result<StageTimings, ExecError> {
         layer.exec.execute(input, output, &mut self.ctx)
     }
 }
@@ -237,7 +238,7 @@ mod tests {
             assert_eq!(layer.algorithm(), algo);
             assert_eq!(*layer.spec(), spec);
             let mut out = engine.alloc_output(&spec);
-            let t = engine.execute(&mut layer, &img, &mut out);
+            let t = engine.execute(&mut layer, &img, &mut out).unwrap();
             assert!(t.total() > std::time::Duration::ZERO, "{algo}");
             assert!(out.max_abs() > 0.0, "{algo} produced all zeros");
         }
@@ -282,7 +283,7 @@ mod tests {
             .build(&engine)
             .unwrap();
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         assert!(out.max_abs() > 0.0);
     }
 
@@ -297,7 +298,7 @@ mod tests {
             .build(&engine)
             .unwrap();
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         assert!(out.max_abs() > 0.0);
     }
 

@@ -34,7 +34,7 @@
 //!
 //! let img = BlockedImage::from_nchw(&input);
 //! let mut out = engine.alloc_output(&spec);
-//! let timings = engine.execute(&mut layer, &img, &mut out);
+//! let timings = engine.execute(&mut layer, &img, &mut out).expect("run layer");
 //! assert!(timings.total() > std::time::Duration::ZERO);
 //! ```
 //!
@@ -48,15 +48,17 @@
 //! [`lowino_conv`] (the six convolution algorithms).
 
 pub mod builder;
+pub mod resilient;
 pub mod select;
 
 pub use builder::{AlgoChoice, Engine, Layer, LayerBuilder};
+pub use resilient::{Demotion, DemotionReason, HealthPolicy, ResilientConv};
 pub use select::{estimate_cost, select_algorithm, CostModel};
 
 pub use lowino_conv::{
     calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext, ConvError,
-    ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, LoWinoConv, StageTimings,
-    UpCastConv, WinogradF32Conv,
+    ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, ExecError, LoWinoConv,
+    NonFinitePolicy, StageTimings, UpCastConv, WinogradF32Conv,
 };
 pub use lowino_gemm::{Blocking, GemmShape, Wisdom};
 pub use lowino_quant::QParams;
@@ -66,8 +68,9 @@ pub use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry};
 /// Everything a typical user needs.
 pub mod prelude {
     pub use crate::builder::{AlgoChoice, Engine, Layer, LayerBuilder};
+    pub use crate::resilient::{HealthPolicy, ResilientConv};
     pub use crate::select::select_algorithm;
-    pub use lowino_conv::{Algorithm, ConvError, ConvExecutor, StageTimings};
+    pub use lowino_conv::{Algorithm, ConvError, ConvExecutor, ExecError, StageTimings};
     pub use lowino_quant::QParams;
     pub use lowino_tensor::{BlockedImage, ConvShape, Tensor4};
 }
@@ -92,7 +95,7 @@ mod tests {
             .unwrap();
         let img = BlockedImage::from_nchw(&input);
         let mut out = engine.alloc_output(&spec);
-        let t = engine.execute(&mut layer, &img, &mut out);
+        let t = engine.execute(&mut layer, &img, &mut out).unwrap();
         assert!(t.total() > std::time::Duration::ZERO);
         assert!(out.max_abs() > 0.0);
     }

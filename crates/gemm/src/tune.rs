@@ -223,12 +223,46 @@ impl Wisdom {
         }
     }
 
-    /// Save to a wisdom file.
+    /// Save to a wisdom file, crash-safely.
+    ///
+    /// The bytes are written to `<path>.tmp` first and moved into place
+    /// with an atomic rename, so an interruption at any point (crash,
+    /// kill, disk-full error) leaves the previous wisdom file intact —
+    /// never a truncated half-write. The `wisdom/save` fault site sits
+    /// between the two halves of the write to let tests prove exactly
+    /// that.
     pub fn save(&self, path: &Path) -> Result<(), String> {
-        let mut f =
-            std::fs::File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?;
-        f.write_all(self.to_string_format().as_bytes())
-            .map_err(|e| format!("writing {}: {e}", path.display()))
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let bytes = self.to_string_format().into_bytes();
+        let result = (|| -> Result<(), String> {
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| format!("creating {}: {e}", tmp.display()))?;
+            let mid = bytes.len() / 2;
+            f.write_all(&bytes[..mid])
+                .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+            if lowino_testkit::faults::WISDOM_SAVE.fire() {
+                // Simulated crash mid-write: the temp file is left
+                // half-written and the rename never happens.
+                return Err(format!(
+                    "injected fault: wisdom/save (crash mid-write of {})",
+                    tmp.display()
+                ));
+            }
+            f.write_all(&bytes[mid..])
+                .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+            f.sync_all()
+                .map_err(|e| format!("syncing {}: {e}", tmp.display()))?;
+            drop(f);
+            std::fs::rename(&tmp, path).map_err(|e| {
+                format!("renaming {} -> {}: {e}", tmp.display(), path.display())
+            })
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 }
 
@@ -277,8 +311,15 @@ mod tests {
         assert_eq!(w.len(), 1);
     }
 
+    /// Serialises the tests that call `Wisdom::save`: the `wisdom/save`
+    /// fault site is process-global, so a concurrently-running save could
+    /// otherwise consume (or trip over) an armed fault meant for another
+    /// test.
+    static SAVE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn wisdom_file_io() {
+        let _guard = SAVE_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("lowino-wisdom-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wisdom.txt");
@@ -292,6 +333,46 @@ mod tests {
         // Missing file -> empty wisdom, not an error.
         let empty = Wisdom::load(&path).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn save_crash_leaves_old_wisdom_intact() {
+        use lowino_testkit::faults::WISDOM_SAVE;
+        let _guard = SAVE_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "lowino-wisdom-crash-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        // Persist a first generation of wisdom normally.
+        let mut old = Wisdom::new();
+        let s_old = GemmShape { t: 16, n: 100, c: 64, k: 128 };
+        old.insert(&s_old, Blocking { n_blk: 48, c_blk: 64, k_blk: 128, row_blk: 4, col_blk: 4 });
+        old.save(&path).unwrap();
+
+        // A crash mid-save of a *new* generation must not corrupt it.
+        let mut new = Wisdom::new();
+        new.insert(
+            &GemmShape { t: 36, n: 1024, c: 512, k: 512 },
+            Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 },
+        );
+        WISDOM_SAVE.arm();
+        let err = new.save(&path).expect_err("armed fault must fail the save");
+        assert!(err.contains("injected fault: wisdom/save"), "got: {err}");
+        assert!(!WISDOM_SAVE.is_armed(), "fault is one-shot");
+
+        let back = Wisdom::load(&path).expect("old file must still parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(&s_old), old.get(&s_old), "old wisdom corrupted");
+
+        // Disarmed retry succeeds and replaces the file atomically.
+        new.save(&path).expect("disarmed save succeeds");
+        let back = Wisdom::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(&s_old), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -236,7 +236,8 @@ fn forward_stages(stages: &mut [QStage], x: &Tensor4, engine: &mut Engine) -> Te
                 let img = BlockedImage::from_nchw(&h);
                 let spec = *layer.spec();
                 let mut out = engine.alloc_output(&spec);
-                engine.execute(layer, &img, &mut out);
+                engine.execute(layer, &img, &mut out)
+                    .expect("quantized layer execute");
                 let mut t = out.to_nchw();
                 add_bias(&mut t, bias);
                 t

@@ -28,7 +28,9 @@ pub mod pool;
 
 pub use barrier::{Barrier, SenseToken};
 pub use partition::{partition, partition_2d, partition_into, Partition2d};
-pub use pool::{run_static, run_static_phases, PhaseTimes, StaticPool, MAX_PHASES};
+pub use pool::{
+    phase_fault_key, run_static, run_static_phases, JobPanic, PhaseTimes, StaticPool, MAX_PHASES,
+};
 
 #[cfg(test)]
 mod tests {

@@ -23,6 +23,24 @@ use std::time::{Duration, Instant};
 use crate::barrier::Barrier;
 use crate::partition::{partition, partition_into};
 
+/// Key for the `pool/phase` fault site: which `(worker, phase)` visit of the
+/// phase loop an armed fault should hit (see
+/// [`lowino_testkit::faults::POOL_PHASE`]).
+pub fn phase_fault_key(worker: usize, phase: usize) -> u64 {
+    ((worker as u64) << 32) | phase as u64
+}
+
+/// Probe the `pool/phase` injection site at the top of every phase body.
+/// Disarmed cost: one relaxed atomic load. A triggered fault panics exactly
+/// like a buggy phase body would — inside the capture machinery, so it
+/// exercises the real panic path end-to-end.
+#[inline]
+fn phase_fault_probe(worker: usize, phase: usize) {
+    if lowino_testkit::faults::POOL_PHASE.fire_keyed(phase_fault_key(worker, phase)) {
+        panic!("injected fault: pool/phase (worker {worker}, phase {phase})");
+    }
+}
+
 /// Maximum number of phases a single fork-join job may contain. Generous:
 /// the deepest executor pipeline today (quantize → transform → GEMM →
 /// output) has four.
@@ -77,6 +95,40 @@ impl core::ops::Index<usize> for PhaseTimes {
         &self.times[..self.len][phase]
     }
 }
+
+/// A panic captured from a fork-join job body, demoted to a plain message
+/// so callers can surface it as a typed error instead of unwinding.
+///
+/// Returned by [`StaticPool::run_phases_catching`]; the pool itself is left
+/// fully usable (the same guarantee [`StaticPool::run_phases`] gives when it
+/// rethrows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload (`&str` / `String` payloads verbatim, anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+impl JobPanic {
+    fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        Self { message }
+    }
+}
+
+impl core::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "worker panic: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
 
 /// First-panic-wins capture slot shared by all participants of one job.
 ///
@@ -139,6 +191,7 @@ fn phase_loop<F, A>(
         None => {
             for (phase, ranges) in plan.iter().enumerate() {
                 let _span = lowino_trace::span_arg("pool/phase", phase as u64);
+                phase_fault_probe(worker, phase);
                 if let Some(r) = ranges.get(worker) {
                     f(worker, phase, r.clone());
                 }
@@ -154,13 +207,14 @@ fn phase_loop<F, A>(
                 // worker instead of caller-only.
                 let span = lowino_trace::span_arg("pool/phase", phase as u64);
                 if !panics.tripped() {
-                    if let Some(r) = ranges.get(worker) {
-                        let r = r.clone();
-                        if let Err(payload) =
-                            catch_unwind(AssertUnwindSafe(|| f(worker, phase, r)))
-                        {
-                            panics.store(payload);
+                    let r = ranges.get(worker).cloned();
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        phase_fault_probe(worker, phase);
+                        if let Some(r) = r {
+                            f(worker, phase, r);
                         }
+                    })) {
+                        panics.store(payload);
                     }
                 }
                 barrier.wait(&mut token);
@@ -179,11 +233,15 @@ fn phase_loop<F, A>(
 /// With one effective participant this degenerates to a plain sequential
 /// loop on the caller — zero overhead, which is also the fast path on
 /// single-core hosts.
+///
+/// `threads == 0` is clamped to 1 (the caller always participates), so a
+/// misconfigured thread count degrades to sequential execution instead of
+/// aborting the process.
 pub fn run_static_phases<F>(threads: usize, totals: &[usize], f: F)
 where
     F: Fn(usize, usize, Range<usize>) + Sync,
 {
-    assert!(threads > 0, "threads must be non-zero");
+    let threads = threads.max(1);
     assert!(
         totals.len() <= MAX_PHASES,
         "at most {MAX_PHASES} phases per job (got {})",
@@ -285,12 +343,16 @@ pub struct StaticPool {
 }
 
 impl StaticPool {
-    /// Create a pool with `threads` total execution slots (≥ 1).
+    /// Create a pool with `threads` total execution slots. `0` is clamped
+    /// to 1 (the caller is always a participant), so a misconfigured thread
+    /// count yields a sequential pool rather than an abort.
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "threads must be non-zero");
+        let threads = threads.max(1);
         // Pool construction is on every entry path into the executor stack,
-        // so it doubles as the `LOWINO_TRACE` activation point.
+        // so it doubles as the `LOWINO_TRACE` / `LOWINO_FAULT` activation
+        // point.
         lowino_trace::init_from_env();
+        lowino_testkit::faults::init_from_env();
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 epoch: 0,
@@ -379,6 +441,47 @@ impl StaticPool {
     where
         F: Fn(usize, usize, Range<usize>) + Sync,
     {
+        match self.run_phases_inner(totals, &f, false) {
+            (times, None) => times,
+            (_, Some(payload)) => resume_unwind(payload),
+        }
+    }
+
+    /// [`run_phases`](StaticPool::run_phases) that converts a captured
+    /// phase-body panic into a typed [`JobPanic`] instead of rethrowing.
+    ///
+    /// This is the resilient-execution entry point: a worker panic surfaces
+    /// as a recoverable `Err`, and the pool (workers parked, bookkeeping
+    /// consistent) is immediately reusable for the next job — including on
+    /// the inline single-participant fast path, where the caller's own
+    /// panic is caught too.
+    pub fn run_phases_catching<F>(
+        &mut self,
+        totals: &[usize],
+        f: F,
+    ) -> Result<PhaseTimes, JobPanic>
+    where
+        F: Fn(usize, usize, Range<usize>) + Sync,
+    {
+        match self.run_phases_inner(totals, &f, true) {
+            (times, None) => Ok(times),
+            (_, Some(payload)) => Err(JobPanic::from_payload(payload)),
+        }
+    }
+
+    /// Shared machinery: returns the first captured panic payload instead
+    /// of deciding whether to rethrow. `catch_inline` additionally wraps
+    /// the no-fan-out fast path in `catch_unwind` (the fan-out path always
+    /// captures, so the pool bookkeeping completes either way).
+    fn run_phases_inner<F>(
+        &mut self,
+        totals: &[usize],
+        f: &F,
+        catch_inline: bool,
+    ) -> (PhaseTimes, Option<Box<dyn Any + Send>>)
+    where
+        F: Fn(usize, usize, Range<usize>) + Sync,
+    {
         let phases = totals.len();
         assert!(
             phases <= MAX_PHASES,
@@ -395,12 +498,21 @@ impl StaticPool {
             // Every phase fits one participant: run the whole job inline on
             // the caller without waking anyone.
             let mut mark = Instant::now();
-            phase_loop(0, plan, None, &f, |p| {
-                let now = Instant::now();
-                times.times[p] = now - mark;
-                mark = now;
-            });
-            return times;
+            let mut run = |times: &mut PhaseTimes| {
+                phase_loop(0, plan, None, f, |p| {
+                    let now = Instant::now();
+                    times.times[p] = now - mark;
+                    mark = now;
+                });
+            };
+            if catch_inline {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(&mut times))) {
+                    return (times, Some(payload));
+                }
+            } else {
+                run(&mut times);
+            }
+            return (times, None);
         }
         let barrier = Barrier::new(self.threads);
         let panics = PanicSlot::default();
@@ -432,10 +544,8 @@ impl StaticPool {
         }
         st.job = None;
         drop(st);
-        if let Some(payload) = panics.take() {
-            resume_unwind(payload);
-        }
-        times
+        let payload = panics.take();
+        (times, payload)
     }
 
     /// Execute `f(worker, range)` over a static partition of `0..total`.
@@ -690,6 +800,84 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_phases_catching_surfaces_panic_as_error() {
+        let mut pool = StaticPool::new(4);
+        let err = pool
+            .run_phases_catching(&[16, 16], |_, phase, range| {
+                if phase == 1 && range.contains(&3) {
+                    panic!("typed boom");
+                }
+            })
+            .expect_err("panic must surface as JobPanic");
+        assert!(err.message.contains("typed boom"), "got: {err}");
+        // Pool reusable, and the clean run succeeds via the same API.
+        let counter = AtomicUsize::new(0);
+        let times = pool
+            .run_phases_catching(&[32], |_, _, range| {
+                counter.fetch_add(range.len(), Ordering::Relaxed);
+            })
+            .expect("clean job succeeds");
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(times.len(), 1);
+    }
+
+    #[test]
+    fn run_phases_catching_covers_inline_fast_path() {
+        // One thread ⇒ no fan-out: the caller's own panic must be caught too.
+        let mut pool = StaticPool::new(1);
+        let err = pool
+            .run_phases_catching(&[4], |_, _, _| panic!("inline boom"))
+            .expect_err("inline panic must surface as JobPanic");
+        assert!(err.message.contains("inline boom"));
+        let counter = AtomicUsize::new(0);
+        pool.run(10, |_, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn injected_pool_phase_fault_is_caught() {
+        use lowino_testkit::faults::POOL_PHASE;
+        let mut pool = StaticPool::new(3);
+        // Key on phase 3: no other test in this binary runs a 4-phase job,
+        // so concurrently-running tests cannot consume the armed fault.
+        POOL_PHASE.arm_keyed(phase_fault_key(2, 3));
+        let totals = [24, 24, 24, 24];
+        let err = pool
+            .run_phases_catching(&totals, |_, _, _| {})
+            .expect_err("armed fault must trigger");
+        assert!(
+            err.message.contains("injected fault: pool/phase"),
+            "got: {err}"
+        );
+        assert!(!POOL_PHASE.is_armed(), "fault is one-shot");
+        // One-shot: the retry completes clean on the same pool.
+        let counter = AtomicUsize::new(0);
+        pool.run_phases_catching(&totals, |_, _, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        })
+        .expect("disarmed retry succeeds");
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 24);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_sequential() {
+        let mut pool = StaticPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let counter = AtomicUsize::new(0);
+        pool.run(7, |w, range| {
+            assert_eq!(w, 0);
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+        run_static_phases(0, &[5], |_, _, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
     }
 
     #[test]

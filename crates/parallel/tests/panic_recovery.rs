@@ -1,0 +1,86 @@
+//! Pool panic-recovery property: an injected panic at a *random*
+//! `(worker, phase)` — armed through the `pool/phase` fault site, exactly the
+//! probe the production phase loop carries — must surface from
+//! `run_phases_catching` as a typed [`JobPanic`] (never unwind into the
+//! harness), and the very same pool must then complete a clean job
+//! **bitwise-identically** to a fresh pool.
+//!
+//! Integration test = own process, so arming the process-global fault site
+//! races with nothing; the property harness runs cases sequentially.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lowino_parallel::{phase_fault_key, StaticPool};
+use lowino_testkit::faults::{disarm_all, POOL_PHASE};
+use lowino_testkit::{prop_assert, property};
+
+/// A deterministic float-producing job: phase `p` combines each cell with a
+/// task-dependent value via non-associative f32 arithmetic, so any
+/// scheduling difference between two pools would show up in the bits.
+fn clean_job(pool: &mut StaticPool, totals: &[usize; 3], cells: &[AtomicU32]) {
+    pool.run_phases_catching(totals, |_, phase, range| {
+        for i in range {
+            let prev = f32::from_bits(cells[i].load(Ordering::SeqCst));
+            let x = (i as f32 + 1.0) * 0.1 + phase as f32 * 0.731;
+            let next = prev + x.sin() * 1.0e-3 + prev * 1.0e-7;
+            cells[i].store(next.to_bits(), Ordering::SeqCst);
+        }
+    })
+    .expect("clean job must succeed");
+}
+
+fn run_clean(pool: &mut StaticPool, totals: &[usize; 3]) -> Vec<u32> {
+    let cells: Vec<AtomicU32> = (0..totals[0]).map(|_| AtomicU32::new(0)).collect();
+    clean_job(pool, totals, &cells);
+    cells.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+property! {
+    /// For any pool width and any (worker, phase) fault target: the injected
+    /// panic surfaces as `JobPanic`, the fault one-shots, and the recovered
+    /// pool's next clean job is bit-for-bit the fresh pool's.
+    #[cases(32)]
+    fn injected_panic_recovers_bitwise(
+        threads in 1usize..6,
+        worker_pick in 0usize..8,
+        phase in 0usize..3,
+    ) {
+        disarm_all();
+        let worker = worker_pick % threads;
+        let totals = [64usize, 64, 64];
+        let mut pool = StaticPool::new(threads);
+
+        POOL_PHASE.arm_keyed(phase_fault_key(worker, phase));
+        let hits_before = POOL_PHASE.hits();
+        let err = pool.run_phases_catching(&totals, |_, _, _| {});
+        let err = match err {
+            Err(e) => e,
+            Ok(_) => {
+                return Err(format!(
+                    "armed fault (worker {worker}, phase {phase}, threads {threads}) \
+                     did not trigger"
+                ));
+            }
+        };
+        prop_assert!(
+            err.message.contains("injected fault: pool/phase"),
+            "unexpected panic message: {}",
+            err.message
+        );
+        prop_assert!(!POOL_PHASE.is_armed(), "triggered fault must disarm itself");
+        prop_assert!(
+            POOL_PHASE.hits() == hits_before + 1,
+            "exactly one trigger per armed fault"
+        );
+
+        // Same pool, clean job, vs a fresh pool of the same width: bitwise.
+        let recovered = run_clean(&mut pool, &totals);
+        let mut fresh = StaticPool::new(threads);
+        let reference = run_clean(&mut fresh, &totals);
+        prop_assert!(
+            recovered == reference,
+            "post-recovery output differs from fresh pool \
+             (threads {threads}, fault at worker {worker} phase {phase})"
+        );
+    }
+}

@@ -31,7 +31,14 @@ impl SimdTier {
 
     /// Detection without the cache — used by tests and the ablation bench.
     /// Applies the same `LOWINO_FORCE_TIER` override as [`Self::detect`].
+    ///
+    /// Carries the `tier/detect` fault site: a triggered fault degrades
+    /// detection to [`SimdTier::Scalar`] — the tier that is always
+    /// executable — modelling a host whose feature probe fails.
     pub fn detect_uncached() -> Self {
+        if lowino_testkit::faults::TIER_DETECT.fire() {
+            return SimdTier::Scalar;
+        }
         let native = Self::detect_native();
         if let Ok(forced) = std::env::var("LOWINO_FORCE_TIER") {
             let tier = Self::from_name(&forced).unwrap_or_else(|| {
@@ -112,10 +119,29 @@ impl std::fmt::Display for SimdTier {
 mod tests {
     use super::*;
 
+    /// Serialises the tests that probe the process-global `tier/detect`
+    /// fault site, so an armed fault is consumed by the test that armed it.
+    static DETECT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn detect_is_stable() {
+        let _guard = DETECT_LOCK.lock().unwrap();
         assert_eq!(SimdTier::detect(), SimdTier::detect());
         assert_eq!(SimdTier::detect(), SimdTier::detect_uncached());
+    }
+
+    #[test]
+    fn detect_fault_degrades_to_scalar() {
+        use lowino_testkit::faults::TIER_DETECT;
+        let _guard = DETECT_LOCK.lock().unwrap();
+        // Populate the `detect()` cache before arming, so a concurrent
+        // first-call cannot consume the fault and cache Scalar process-wide.
+        let native = SimdTier::detect();
+        TIER_DETECT.arm();
+        assert_eq!(SimdTier::detect_uncached(), SimdTier::Scalar);
+        assert!(!TIER_DETECT.is_armed(), "fault is one-shot");
+        // Recovery: the next probe detects normally again.
+        assert_eq!(SimdTier::detect_uncached(), native);
     }
 
     #[test]

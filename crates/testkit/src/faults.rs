@@ -1,0 +1,319 @@
+//! Fault-injection registry: named injection sites compiled into the
+//! production crates, armed only by tests or the `LOWINO_FAULT` environment
+//! variable.
+//!
+//! Robustness claims ("a worker panic does not wedge the pool", "a crash
+//! mid-save never corrupts the wisdom file") are untestable without a way to
+//! *cause* the failure on demand. Each [`FaultSite`] is a static the
+//! production code probes at the exact point where the real failure would
+//! occur; what a triggered fault *does* (panic, early return, degraded
+//! result) is decided by the probing crate, so the registry itself stays a
+//! pure arming/counting mechanism.
+//!
+//! ## Overhead discipline
+//!
+//! Same zero-cost contract as `lowino-trace`: while a site is disarmed,
+//! [`FaultSite::fire`] is **one relaxed atomic load and an untaken branch**
+//! — no allocation, no TLS, no synchronisation. The zero-steady-state-
+//! allocation guarantee of the executor path is unaffected by compiled-in
+//! disarmed sites.
+//!
+//! ## Arming
+//!
+//! * programmatically: [`FaultSite::arm`] / [`FaultSite::arm_nth`] /
+//!   [`FaultSite::arm_keyed`] (tests);
+//! * from the environment: `LOWINO_FAULT=<site>[:<nth>][,<site>[:<nth>]…]`
+//!   via [`init_from_env`] (CI smoke runs). `nth` is 1-based: the n-th
+//!   matching [`fire`](FaultSite::fire) call triggers.
+//!
+//! Every site is **one-shot**: it disarms itself when it triggers, so a
+//! demotion path recovers on retry instead of failing forever.
+//!
+//! The site list is a closed registry ([`all`]) so tests can iterate and
+//! assert the disarmed state, and so `LOWINO_FAULT` typos fail loudly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Once;
+
+/// Key wildcard: matches every `fire_keyed` call (and plain `fire`).
+pub const ANY_KEY: u64 = u64::MAX;
+
+/// One named injection site.
+///
+/// All state is atomic so sites can live in statics and be probed from any
+/// worker thread without locks.
+pub struct FaultSite {
+    name: &'static str,
+    /// Fast gate — the only thing a disarmed `fire` reads.
+    armed: AtomicBool,
+    /// Matching `fire` calls remaining before the trigger (1 ⇒ next call).
+    countdown: AtomicU64,
+    /// Key filter; [`ANY_KEY`] matches everything.
+    key: AtomicU64,
+    /// Times this site has triggered since process start.
+    hits: AtomicU64,
+}
+
+impl FaultSite {
+    /// A disarmed site (const so sites can be statics).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            armed: AtomicBool::new(false),
+            countdown: AtomicU64::new(0),
+            key: AtomicU64::new(ANY_KEY),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The site's registry name (e.g. `"pool/phase"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Arm so the **next** matching [`fire`](Self::fire) triggers.
+    pub fn arm(&self) {
+        self.arm_nth(1);
+    }
+
+    /// Arm so the `nth` matching call triggers (1-based; 0 is clamped to 1).
+    pub fn arm_nth(&self, nth: u64) {
+        self.key.store(ANY_KEY, Ordering::Relaxed);
+        self.countdown.store(nth.max(1), Ordering::Relaxed);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Arm so the next [`fire_keyed`](Self::fire_keyed) with exactly this
+    /// key triggers (calls with other keys pass through untriggered).
+    pub fn arm_keyed(&self, key: u64) {
+        self.key.store(key, Ordering::Relaxed);
+        self.countdown.store(1, Ordering::Relaxed);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm without triggering.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Is the site currently armed?
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// Times this site has triggered since process start.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Acquire)
+    }
+
+    /// Probe the site: `true` exactly when the armed fault elects this call
+    /// as the failure point. Disarmed cost: one relaxed load.
+    #[inline]
+    pub fn fire(&self) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.fire_slow(ANY_KEY)
+    }
+
+    /// [`fire`](Self::fire) with a caller-chosen key (e.g. a packed
+    /// `(worker, phase)`) so tests can target one specific visit of a site
+    /// that is probed from many places.
+    #[inline]
+    pub fn fire_keyed(&self, key: u64) -> bool {
+        if !self.armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.fire_slow(key)
+    }
+
+    /// Slow path, reached only while armed. Exactly one caller observes the
+    /// 1→0 countdown transition, triggers, and disarms the site.
+    #[cold]
+    fn fire_slow(&self, key: u64) -> bool {
+        let want = self.key.load(Ordering::Relaxed);
+        if want != ANY_KEY && key != want {
+            return false;
+        }
+        let elected = self
+            .countdown
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| c.checked_sub(1))
+            .is_ok_and(|prev| prev == 1);
+        if elected {
+            self.armed.store(false, Ordering::Release);
+            self.hits.fetch_add(1, Ordering::AcqRel);
+        }
+        elected
+    }
+}
+
+/// Simulated crash while persisting the GEMM wisdom file (probed between
+/// the partial write and the atomic rename in `Wisdom::save`).
+pub static WISDOM_SAVE: FaultSite = FaultSite::new("wisdom/save");
+
+/// Worker panic inside a fork-join phase body (probed per `(worker, phase)`
+/// visit in the pool's phase loop; key = `worker << 32 | phase`).
+pub static POOL_PHASE: FaultSite = FaultSite::new("pool/phase");
+
+/// Simulated allocation failure while growing a per-worker scratch buffer.
+pub static SCRATCH_GROW: FaultSite = FaultSite::new("scratch/grow");
+
+/// Poisoned calibration sample set (probed at calibration entry; the conv
+/// crate converts a trigger into `ConvError::Calibration`).
+pub static CALIBRATE_SAMPLES: FaultSite = FaultSite::new("calibrate/samples");
+
+/// CPU-feature detection failure (probed in `SimdTier::detect`; a trigger
+/// degrades detection to the scalar tier).
+pub static TIER_DETECT: FaultSite = FaultSite::new("tier/detect");
+
+/// Every registered site (closed set — `LOWINO_FAULT` typos fail loudly).
+pub fn all() -> [&'static FaultSite; 5] {
+    [
+        &WISDOM_SAVE,
+        &POOL_PHASE,
+        &SCRATCH_GROW,
+        &CALIBRATE_SAMPLES,
+        &TIER_DETECT,
+    ]
+}
+
+/// Look a site up by its registry name.
+pub fn by_name(name: &str) -> Option<&'static FaultSite> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// Disarm every site (test hygiene between cases).
+pub fn disarm_all() {
+    for site in all() {
+        site.disarm();
+    }
+}
+
+/// Arm sites from a `LOWINO_FAULT`-style spec:
+/// `<site>[:<nth>][,<site>[:<nth>]…]`.
+///
+/// Returns an error for unknown sites or unparseable counts — a fault run
+/// whose fault never armed would silently test nothing.
+pub fn arm_from_spec(spec: &str) -> Result<(), String> {
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, nth) = match part.split_once(':') {
+            Some((name, nth)) => {
+                let nth: u64 = nth
+                    .parse()
+                    .map_err(|e| format!("LOWINO_FAULT {part:?}: bad count: {e}"))?;
+                (name, nth)
+            }
+            None => (part, 1),
+        };
+        let site = by_name(name).ok_or_else(|| {
+            let names: Vec<&str> = all().iter().map(|s| s.name).collect();
+            format!("LOWINO_FAULT {part:?}: unknown site (expected one of {names:?})")
+        })?;
+        site.arm_nth(nth);
+    }
+    Ok(())
+}
+
+/// One-time arming from the `LOWINO_FAULT` environment variable. Idempotent
+/// and cheap to call from every entry point (pool construction, bench
+/// mains). A malformed spec panics — silently ignoring it would run a
+/// "fault" smoke with no fault armed.
+pub fn init_from_env() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("LOWINO_FAULT") {
+            if !spec.is_empty() {
+                if let Err(e) = arm_from_spec(&spec) {
+                    panic!("{e}");
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A private site so tests don't race the shared registry statics.
+    static T: FaultSite = FaultSite::new("test/site");
+
+    #[test]
+    fn disarmed_never_fires() {
+        T.disarm();
+        for _ in 0..100 {
+            assert!(!T.fire());
+        }
+        assert_eq!(T.hits(), 0);
+    }
+
+    #[test]
+    fn registry_is_closed_and_named() {
+        for site in all() {
+            assert!(!site.is_armed(), "{} armed at startup", site.name());
+            assert!(by_name(site.name()).is_some());
+        }
+        assert!(by_name("nope/nope").is_none());
+        assert_eq!(POOL_PHASE.name(), "pool/phase");
+    }
+
+    #[test]
+    fn nth_counts_matching_calls_and_one_shots() {
+        static S: FaultSite = FaultSite::new("test/nth");
+        S.arm_nth(3);
+        assert!(!S.fire());
+        assert!(!S.fire());
+        assert!(S.fire(), "third call must trigger");
+        assert!(!S.is_armed(), "trigger must disarm");
+        assert!(!S.fire(), "one-shot: no re-trigger");
+        assert_eq!(S.hits(), 1);
+    }
+
+    #[test]
+    fn keyed_arming_ignores_other_keys() {
+        static S: FaultSite = FaultSite::new("test/key");
+        S.arm_keyed(42);
+        assert!(!S.fire_keyed(7));
+        assert!(!S.fire_keyed(41));
+        assert!(S.fire_keyed(42));
+        assert!(!S.fire_keyed(42), "one-shot");
+        assert_eq!(S.hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_fires_elect_exactly_one_winner() {
+        static S: FaultSite = FaultSite::new("test/race");
+        for round in 0..50 {
+            S.arm_nth(8);
+            let triggers: u64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        scope.spawn(|| (0..16).filter(|_| S.fire()).count() as u64)
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(triggers, 1, "round {round}: exactly one thread wins");
+            S.disarm();
+        }
+    }
+
+    #[test]
+    fn spec_parsing() {
+        // Use real registry sites but leave them disarmed on exit.
+        assert!(arm_from_spec("wisdom/save").is_ok());
+        assert!(WISDOM_SAVE.is_armed());
+        WISDOM_SAVE.disarm();
+        assert!(arm_from_spec("pool/phase:5,tier/detect").is_ok());
+        assert!(POOL_PHASE.is_armed() && TIER_DETECT.is_armed());
+        POOL_PHASE.disarm();
+        TIER_DETECT.disarm();
+        assert!(arm_from_spec("bogus/site").is_err());
+        assert!(arm_from_spec("pool/phase:x").is_err());
+        assert!(arm_from_spec("").is_ok());
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`bench`] — a warmup + median-of-samples micro-bench timer with
 //!   JSON-line output (replaces `criterion`);
 //! * [`json`] — a strict JSON validity checker (replaces `serde_json` for
-//!   the "is this emitted artifact well-formed?" assertions).
+//!   the "is this emitted artifact well-formed?" assertions);
+//! * [`faults`] — the fault-injection registry: named sites compiled into
+//!   the production crates (zero-cost while disarmed), armed by tests or
+//!   `LOWINO_FAULT` to prove the graceful-degradation paths.
 //!
 //! Correctness of the numeric kernels is LoWino's whole claim (bit-exact
 //! integer semantics across SIMD tiers, bounded Winograd-domain
@@ -22,6 +25,7 @@
 //! dependency-free.
 
 pub mod bench;
+pub mod faults;
 pub mod json;
 pub mod prop;
 pub mod rng;

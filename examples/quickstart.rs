@@ -34,7 +34,7 @@ fn main() {
         .build(&engine)
         .expect("plan fp32");
     let mut out_ref = engine.alloc_output(&spec);
-    let t_ref = engine.execute(&mut reference, &img, &mut out_ref);
+    let t_ref = engine.execute(&mut reference, &img, &mut out_ref).expect("reference");
 
     // --- 3. LoWino F(4x4, 3x3), calibrated on the input ------------------
     let mut lowino = LayerBuilder::new(spec, &weights)
@@ -44,7 +44,7 @@ fn main() {
         .build(&engine)
         .expect("plan lowino");
     let mut out = engine.alloc_output(&spec);
-    let t = engine.execute(&mut lowino, &img, &mut out);
+    let t = engine.execute(&mut lowino, &img, &mut out).expect("lowino");
 
     let err = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
     println!("layer: {spec:?}");

@@ -43,7 +43,7 @@ fn main() {
             .build(&engine)
             .expect("plan fp32");
         let mut out_ref = engine.alloc_output(&spec);
-        let t_ref = engine.execute(&mut reference, &img, &mut out_ref);
+        let t_ref = engine.execute(&mut reference, &img, &mut out_ref).expect("reference");
 
         let mut layer = LayerBuilder::new(spec, &weights)
             .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
@@ -52,8 +52,8 @@ fn main() {
             .build(&engine)
             .expect("plan lowino");
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out); // warm-up
-        let t = engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).expect("warm-up");
+        let t = engine.execute(&mut layer, &img, &mut out).expect("layer");
 
         let err = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
         println!(

@@ -42,8 +42,8 @@ fn main() {
                 .build(&engine)
                 .expect("plan");
             let mut out = engine.alloc_output(&spec);
-            engine.execute(&mut layer, &img, &mut out); // warm-up
-            let t = engine.execute(&mut layer, &img, &mut out);
+            engine.execute(&mut layer, &img, &mut out).expect("warm-up");
+            let t = engine.execute(&mut layer, &img, &mut out).expect("layer");
             println!(
                 "{:<10} {:<16} {:>12.2?} {:>12.2?} {:>12.2?}",
                 name,

@@ -27,7 +27,7 @@ fn layer_error(spec: ConvShape, algo: Algorithm, per_position: bool) -> f64 {
         .unwrap_or_else(|e| panic!("{algo}: {e}"));
     let mut engine = engine;
     let mut out = engine.alloc_output(&spec);
-    engine.execute(&mut layer, &img, &mut out);
+    engine.execute(&mut layer, &img, &mut out).unwrap();
     out.to_nchw().rel_l2_error(&want)
 }
 
@@ -95,7 +95,7 @@ fn winograd_domain_calibration_matters() {
             .build(engine)
             .unwrap();
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         out.to_nchw().rel_l2_error(&want)
     };
 

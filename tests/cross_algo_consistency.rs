@@ -42,14 +42,14 @@ fn layer_workspaces_are_reusable_across_inputs() {
             .build(&engine2)
             .unwrap();
         let mut out = engine2.alloc_output(&spec);
-        engine2.execute(&mut l, img, &mut out);
+        engine2.execute(&mut l, img, &mut out).unwrap();
         out.to_nchw()
     };
 
     for seed in [1usize, 2, 3, 1] {
         let img = image(&spec, seed);
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         assert_eq!(
             out.to_nchw().max_abs_diff(&fresh(&img)),
             0.0,
@@ -79,7 +79,7 @@ fn repeated_execution_is_bit_stable() {
         let mut prev: Option<Tensor4> = None;
         for _ in 0..3 {
             let mut out = engine.alloc_output(&spec);
-            engine.execute(&mut layer, &img, &mut out);
+            engine.execute(&mut layer, &img, &mut out).unwrap();
             let now = out.to_nchw();
             if let Some(p) = &prev {
                 assert_eq!(p.max_abs_diff(&now), 0.0, "{algo} not deterministic");
@@ -110,7 +110,7 @@ fn quantized_algorithms_agree_with_each_other() {
             .build(&engine)
             .unwrap();
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         outputs.push((algo, out.to_nchw()));
     }
     for i in 0..outputs.len() {
@@ -144,7 +144,7 @@ fn large_batch_matches_per_image_execution() {
         .build(&engine)
         .unwrap();
     let mut out = engine.alloc_output(&spec_batch);
-    engine.execute(&mut layer, &img_full, &mut out);
+    engine.execute(&mut layer, &img_full, &mut out).unwrap();
     let batched = out.to_nchw();
 
     let mut single_layer = LayerBuilder::new(spec_one, &w)
@@ -156,7 +156,7 @@ fn large_batch_matches_per_image_execution() {
         let one = Tensor4::from_fn(1, 16, 8, 8, |_, c, y, x| full.at(b, c, y, x));
         let img = BlockedImage::from_nchw(&one);
         let mut out1 = engine.alloc_output(&spec_one);
-        engine.execute(&mut single_layer, &img, &mut out1);
+        engine.execute(&mut single_layer, &img, &mut out1).unwrap();
         let got = out1.to_nchw();
         for k in 0..16 {
             for y in 0..8 {

@@ -86,7 +86,7 @@ fn lowino_is_bitwise_identical_across_tiers() {
         let mut conv = LoWinoConv::new(spec, 2, &w, cal).unwrap();
         assert_tier_identity("LoWino", &spec, |ctx| {
             let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
-            conv.execute(&img, &mut out, ctx);
+            conv.execute(&img, &mut out, ctx).unwrap();
             out.to_nchw()
         });
     }
@@ -100,7 +100,7 @@ fn winograd_f32_is_bitwise_identical_across_tiers() {
         let mut conv = WinogradF32Conv::new(spec, 4, &w).unwrap();
         assert_tier_identity("WinogradF32", &spec, |ctx| {
             let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
-            conv.execute(&img, &mut out, ctx);
+            conv.execute(&img, &mut out, ctx).unwrap();
             out.to_nchw()
         });
     }
@@ -115,7 +115,7 @@ fn downscale_is_bitwise_identical_across_tiers() {
         let mut conv = DownScaleConv::new(spec, 2, &w, cal).unwrap();
         assert_tier_identity("DownScale", &spec, |ctx| {
             let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
-            conv.execute(&img, &mut out, ctx);
+            conv.execute(&img, &mut out, ctx).unwrap();
             out.to_nchw()
         });
     }
@@ -130,7 +130,7 @@ fn upcast_is_bitwise_identical_across_tiers() {
         let mut conv = UpCastConv::new(spec, 2, &w, cal).unwrap();
         assert_tier_identity("UpCast", &spec, |ctx| {
             let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
-            conv.execute(&img, &mut out, ctx);
+            conv.execute(&img, &mut out, ctx).unwrap();
             out.to_nchw()
         });
     }
@@ -145,7 +145,7 @@ fn direct_i8_is_bitwise_identical_across_tiers() {
         let mut conv = DirectInt8Conv::new(spec, &w, cal).unwrap();
         assert_tier_identity("DirectInt8", &spec, |ctx| {
             let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
-            conv.execute(&img, &mut out, ctx);
+            conv.execute(&img, &mut out, ctx).unwrap();
             out.to_nchw()
         });
     }

@@ -48,8 +48,8 @@ fn auto_built_layer_runs_correctly() {
         .unwrap();
     let mut out = engine.alloc_output(&spec);
     let mut out_ref = engine.alloc_output(&spec);
-    engine.execute(&mut auto_layer, &img, &mut out);
-    engine.execute(&mut ref_layer, &img, &mut out_ref);
+    engine.execute(&mut auto_layer, &img, &mut out).unwrap();
+    engine.execute(&mut ref_layer, &img, &mut out_ref).unwrap();
     let err = out.to_nchw().rel_l2_error(&out_ref.to_nchw());
     assert!(err < 0.1, "auto-selected {} err {err}", auto_layer.algorithm());
 }
@@ -86,7 +86,7 @@ fn wisdom_blocking_is_consumed_by_the_engine() {
         .build(&engine)
         .unwrap();
     let mut out_wisdom = engine.alloc_output(&spec);
-    engine.execute(&mut layer, &img, &mut out_wisdom);
+    engine.execute(&mut layer, &img, &mut out_wisdom).unwrap();
 
     let mut engine2 = Engine::new(1);
     let mut layer2 = LayerBuilder::new(spec, &weights)
@@ -95,7 +95,7 @@ fn wisdom_blocking_is_consumed_by_the_engine() {
         .build(&engine2)
         .unwrap();
     let mut out_default = engine2.alloc_output(&spec);
-    engine2.execute(&mut layer2, &img, &mut out_default);
+    engine2.execute(&mut layer2, &img, &mut out_default).unwrap();
 
     // Blocking changes scheduling, never results.
     assert_eq!(
@@ -117,7 +117,7 @@ fn all_simd_tiers_produce_identical_quantized_results() {
             .build(&engine)
             .unwrap();
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         outputs.push(out.to_nchw());
     }
     for pair in outputs.windows(2) {
@@ -140,7 +140,7 @@ fn thread_count_does_not_change_results() {
             .build(&engine)
             .unwrap();
         let mut out = engine.alloc_output(&spec);
-        engine.execute(&mut layer, &img, &mut out);
+        engine.execute(&mut layer, &img, &mut out).unwrap();
         outputs.push(out.to_nchw());
     }
     for pair in outputs.windows(2) {
@@ -159,7 +159,7 @@ fn stage_timings_are_reported_per_stage() {
         .build(&engine)
         .unwrap();
     let mut out = engine.alloc_output(&spec);
-    let t = engine.execute(&mut layer, &img, &mut out);
+    let t = engine.execute(&mut layer, &img, &mut out).unwrap();
     assert!(t.input_transform > std::time::Duration::ZERO);
     assert!(t.gemm > std::time::Duration::ZERO);
     assert!(t.output_transform > std::time::Duration::ZERO);

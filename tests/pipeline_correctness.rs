@@ -38,7 +38,7 @@ fn run_algo(
         .build(&engine)
         .unwrap_or_else(|e| panic!("{algo}: {e}"));
     let mut out = engine.alloc_output(&spec);
-    engine.execute(&mut layer, &img, &mut out);
+    engine.execute(&mut layer, &img, &mut out).unwrap();
     out.to_nchw()
 }
 

@@ -1,0 +1,149 @@
+//! End-to-end resilience: each injectable fault site, armed in turn, must
+//! leave [`ResilientConv`] serving finite output within direct-f32
+//! tolerance — and reporting which (demoted) algorithm served it.
+//!
+//! The fault sites are process-global, so every test here takes
+//! `FAULT_LOCK`: an armed site is then always consumed by the test that
+//! armed it, never by a concurrently-running pool job from another test.
+
+use std::sync::Mutex;
+
+use lowino::prelude::*;
+use lowino::resilient::DemotionReason;
+use lowino::{ConvContext, DirectF32Conv, ResilientConv};
+use lowino_testkit::faults::{self, CALIBRATE_SAMPLES, POOL_PHASE, SCRATCH_GROW};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> (ConvShape, Tensor4, BlockedImage) {
+    let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+    let w = Tensor4::from_fn(8, 8, 3, 3, |k, c, y, x| {
+        ((k + c + y + x) as f32 * 0.3).sin() * 0.2
+    });
+    let input = Tensor4::from_fn(1, 8, 10, 10, |_, c, y, x| {
+        ((c * 5 + y * 3 + x) as f32 * 0.17).cos()
+    });
+    (spec, w, BlockedImage::from_nchw(&input))
+}
+
+/// Direct-f32 reference output for the layer.
+fn reference(spec: ConvShape, w: &Tensor4, img: &BlockedImage) -> BlockedImage {
+    let mut conv = DirectF32Conv::new(spec, w).unwrap();
+    let mut ctx = ConvContext::new(1);
+    let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
+    conv.execute(img, &mut out, &mut ctx).unwrap();
+    out
+}
+
+/// Quantized-rung tolerance against the direct-f32 reference: loose
+/// enough for INT8 on a toy 8-channel layer, tight enough to catch a
+/// wrong or garbage output.
+const TOL: f64 = 0.30;
+
+#[test]
+fn pool_phase_fault_demotes_and_serves_within_tolerance() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let (spec, w, img) = setup();
+    let want = reference(spec, &w, &img);
+    let mut conv = ResilientConv::new(spec, 4, &w, vec![img.clone()]).unwrap();
+    assert_eq!(conv.algorithm(), Algorithm::LoWino { m: 4 });
+    let mut ctx = ConvContext::new(2);
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+
+    POOL_PHASE.arm();
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+    assert!(!POOL_PHASE.is_armed(), "fault is one-shot");
+    assert_eq!(
+        conv.algorithm(),
+        Algorithm::UpCast { m: 4 },
+        "the worker panic must demote LoWino one rung"
+    );
+    assert_eq!(conv.demotions().len(), 1);
+    assert!(matches!(
+        conv.demotions()[0].reason,
+        DemotionReason::ExecFailed(ExecError::WorkerPanic { .. })
+    ));
+    assert!(out.to_nchw().data().iter().all(|v| v.is_finite()));
+    let err = out.to_nchw().rel_l2_error(&want.to_nchw());
+    assert!(err < TOL, "rel error {err}");
+}
+
+#[test]
+fn scratch_grow_fault_demotes_and_serves_within_tolerance() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let (spec, w, img) = setup();
+    let want = reference(spec, &w, &img);
+    let mut conv = ResilientConv::new(spec, 4, &w, vec![img.clone()]).unwrap();
+    // Fresh context: the first execute must grow the scratch arena, which
+    // is where the armed fault panics.
+    let mut ctx = ConvContext::new(2);
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+
+    SCRATCH_GROW.arm();
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+    assert!(!SCRATCH_GROW.is_armed(), "fault is one-shot");
+    assert_eq!(conv.algorithm(), Algorithm::UpCast { m: 4 });
+    assert!(matches!(
+        conv.demotions()[0].reason,
+        DemotionReason::ExecFailed(ExecError::WorkerPanic { .. })
+    ));
+    assert!(out.to_nchw().data().iter().all(|v| v.is_finite()));
+    let err = out.to_nchw().rel_l2_error(&want.to_nchw());
+    assert!(err < TOL, "rel error {err}");
+}
+
+#[test]
+fn calibrate_fault_demotes_at_construction_and_serves() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let (spec, w, img) = setup();
+    let want = reference(spec, &w, &img);
+
+    // LoWino's Winograd-domain calibration consumes the armed fault, so
+    // construction demotes; up-cast's spatial calibration then succeeds.
+    CALIBRATE_SAMPLES.arm();
+    let mut conv = ResilientConv::new(spec, 4, &w, vec![img.clone()]).unwrap();
+    assert!(!CALIBRATE_SAMPLES.is_armed(), "fault is one-shot");
+    assert_eq!(conv.algorithm(), Algorithm::UpCast { m: 4 });
+    assert_eq!(conv.demotions().len(), 1);
+    assert!(matches!(
+        conv.demotions()[0].reason,
+        DemotionReason::BuildFailed(ConvError::Calibration(_))
+    ));
+
+    let mut ctx = ConvContext::new(2);
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+    assert!(out.to_nchw().data().iter().all(|v| v.is_finite()));
+    let err = out.to_nchw().rel_l2_error(&want.to_nchw());
+    assert!(err < TOL, "rel error {err}");
+}
+
+#[test]
+fn wisdom_save_fault_leaves_engine_serving() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let (spec, w, img) = setup();
+    let want = reference(spec, &w, &img);
+
+    // A failed wisdom save is an I/O error, not an execution failure: the
+    // in-memory wisdom keeps serving and the layer still executes.
+    let dir = std::env::temp_dir().join("lowino_resilience_wisdom_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wisdom.txt");
+    let mut ctx = ConvContext::new(1);
+    faults::WISDOM_SAVE.arm();
+    let err = ctx.wisdom.save(&path).unwrap_err();
+    assert!(err.contains("injected fault: wisdom/save"), "{err}");
+    assert!(!faults::WISDOM_SAVE.is_armed(), "fault is one-shot");
+
+    let mut conv = ResilientConv::new(spec, 4, &w, vec![img.clone()]).unwrap();
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+    assert_eq!(conv.algorithm(), Algorithm::LoWino { m: 4 });
+    let err = out.to_nchw().rel_l2_error(&want.to_nchw());
+    assert!(err < TOL, "rel error {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,43 @@
+//! The `tier/detect` fault site, exercised end-to-end.
+//!
+//! This lives in its own integration binary with a single test: the fault
+//! must be armed before *any* `SimdTier::detect()` call in the process, so
+//! the degraded Scalar result is what gets cached — sharing a binary with
+//! other tests would race the cache.
+
+use lowino::prelude::*;
+use lowino::{ConvContext, DirectF32Conv, ResilientConv, SimdTier};
+use lowino_testkit::faults::TIER_DETECT;
+
+#[test]
+fn tier_detect_fault_degrades_to_scalar_and_still_serves() {
+    // Arm before the first detect: the failed feature probe degrades the
+    // cached tier to Scalar — always executable, bit-identical results.
+    TIER_DETECT.arm();
+    let mut ctx = ConvContext::new(2);
+    assert_eq!(ctx.tier, SimdTier::Scalar, "failed probe must degrade to scalar");
+    assert!(!TIER_DETECT.is_armed(), "fault is one-shot");
+
+    let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();
+    let w = Tensor4::from_fn(8, 8, 3, 3, |k, c, y, x| {
+        ((k + c + y + x) as f32 * 0.3).sin() * 0.2
+    });
+    let input = Tensor4::from_fn(1, 8, 10, 10, |_, c, y, x| {
+        ((c * 5 + y * 3 + x) as f32 * 0.17).cos()
+    });
+    let img = BlockedImage::from_nchw(&input);
+
+    let mut reference = DirectF32Conv::new(spec, &w).unwrap();
+    let mut want = BlockedImage::zeros(1, 8, 10, 10);
+    reference.execute(&img, &mut want, &mut ctx).unwrap();
+
+    // No demotion: the scalar tier runs every algorithm correctly, so
+    // LoWino itself keeps serving.
+    let mut conv = ResilientConv::new(spec, 4, &w, vec![img.clone()]).unwrap();
+    let mut out = BlockedImage::zeros(1, 8, 10, 10);
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+    assert_eq!(conv.algorithm(), Algorithm::LoWino { m: 4 });
+    assert!(conv.demotions().is_empty());
+    let err = out.to_nchw().rel_l2_error(&want.to_nchw());
+    assert!(err < 0.30, "rel error {err}");
+}
