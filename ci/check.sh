@@ -32,6 +32,12 @@ for forced in scalar avx2 avx512vnni; do
     if LOWINO_FORCE_TIER="$forced" cargo run -q --release --offline -p lowino --example print_tier >/dev/null 2>&1; then
         echo "==> cargo test --offline (LOWINO_FORCE_TIER=$forced)"
         LOWINO_FORCE_TIER="$forced" cargo test -q --offline --workspace
+        # Re-assert the whole-model differential battery by name: the graph
+        # engine must stay bitwise identical to the per-layer path on every
+        # tier (the workspace pass above runs it too; the explicit run makes
+        # a tier-specific regression name itself in the log).
+        echo "==> graph identity (LOWINO_FORCE_TIER=$forced)"
+        LOWINO_FORCE_TIER="$forced" cargo test -q --offline -p lowino --test graph_identity
     else
         echo "==> tier $forced not supported on this host; skipping forced-tier pass"
     fi
@@ -69,6 +75,20 @@ trap 'rm -f "$trace_tmp"' EXIT
 LOWINO_BENCH_SMOKE=1 LOWINO_TRACE="$trace_tmp" \
     cargo bench -q --offline -p lowino-bench --bench forkjoin
 cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$trace_tmp"
+
+# Whole-model smoke: compile MiniResNet into the graph engine and run it
+# end to end (one smoke bench cell), traced, and validate the trace — it
+# must carry the graph/compile + graph/execute + graph/layer spans and
+# the graph/plan_bytes counter alongside the kernel-level spans.
+echo "==> models bench smoke (graph engine, LOWINO_TRACE set)"
+models_trace="$(mktemp -t lowino-models-trace-XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$models_trace"' EXIT
+LOWINO_BENCH_SMOKE=1 LOWINO_TRACE="$models_trace" \
+    cargo bench -q --offline -p lowino-bench --bench models
+cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$models_trace"
+grep -q '"graph/execute"' "$models_trace"
+grep -q '"graph/layer"' "$models_trace"
+grep -q '"graph/plan_bytes"' "$models_trace"
 
 if [[ "$run_lint" == 1 ]]; then
     if cargo clippy --version >/dev/null 2>&1; then

@@ -1,0 +1,109 @@
+//! Whole-model bench for the graph engine: MiniResNet and MiniVGG driven
+//! end-to-end through [`lowino_nn::CompiledGraph::execute`] (liveness-
+//! planned arena, fused conv epilogues) against the per-layer
+//! [`lowino_nn::QuantizedModel`] interpreter. `throughput_elements` is the
+//! batch size, so the reported element rate **is imgs/s**.
+//!
+//! Run with `cargo bench --bench models`; set
+//! `LOWINO_BENCH_JSON=BENCH_PR6.json` to accumulate the JSON-line log and
+//! `LOWINO_BENCH_SMOKE=1` for a seconds-long CI smoke configuration (one
+//! MiniResNet cell). With `LOWINO_TRACE=<path>` the smoke run also emits
+//! whole-model `graph/execute` + `graph/layer` spans for `trace_check`.
+
+use lowino::{Algorithm, Tensor4};
+use lowino_nn::{
+    mini_resnet, mini_vgg, CompiledGraph, GraphSpec, Model, QuantizedModel, QuantizedSpec,
+};
+use lowino_testkit::{black_box, BenchGroup, Rng};
+use std::time::Duration;
+
+struct Config {
+    smoke: bool,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        Self {
+            smoke: std::env::var("LOWINO_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
+        }
+    }
+}
+
+fn input(batch: usize, seed: u64) -> Tensor4 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut t = Tensor4::zeros(batch, 3, 8, 8);
+    rng.fill_f32(t.data_mut(), -1.0, 1.0);
+    t
+}
+
+fn bench_model(
+    name: &str,
+    build: fn(usize, usize, usize, u64) -> Model,
+    batch: usize,
+    threads: usize,
+    cfg: &Config,
+) {
+    let x = input(batch, 11);
+    let calib = input(batch, 5);
+    let spec = GraphSpec { m: 2, batch, threads };
+
+    let mut model = build(3, 8, 3, 31);
+    let mut graph = CompiledGraph::compile(&mut model, &calib, &spec).expect("compile graph");
+    let mut logits = Tensor4::zeros(batch, 3, 1, 1);
+    // Warm-up outside the timed region: the first execute grows the
+    // per-worker scratch arenas; afterwards execute is allocation-free.
+    graph.execute(&x, &mut logits).expect("warm-up");
+
+    let mut model = build(3, 8, 3, 31);
+    let mut per_layer = QuantizedModel::from_model(
+        &mut model,
+        &calib,
+        &QuantizedSpec {
+            algorithm: Algorithm::LoWino { m: 2 },
+            per_position: false,
+            batch,
+            threads,
+        },
+    )
+    .expect("convert per-layer model");
+
+    let mut group = BenchGroup::new(format!("models/{name}/b{batch}/t{threads}"));
+    if cfg.smoke {
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(60))
+            .warm_up_time(Duration::from_millis(20));
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+    }
+    // One element = one image: the element rate is imgs/s.
+    group.throughput_elements(batch as u64);
+
+    group.bench_function("graph", || {
+        graph.execute(&x, &mut logits).expect("bench rep");
+        black_box(logits.data()[0]);
+    });
+    group.bench_function("per_layer", || {
+        let out = per_layer.logits(&x);
+        black_box(out.data()[0]);
+    });
+}
+
+fn main() {
+    lowino_trace::init_from_env();
+    let cfg = Config::from_env();
+    if cfg.smoke {
+        // One MiniResNet cell: proves compile + arena execute + trace spans.
+        bench_model("miniresnet", mini_resnet, 2, 2, &cfg);
+        lowino_trace::flush_to_env();
+        return;
+    }
+    for &(batch, threads) in &[(4usize, 1usize), (4, 2), (8, 4)] {
+        bench_model("miniresnet", mini_resnet, batch, threads, &cfg);
+        bench_model("minivgg", mini_vgg, batch, threads, &cfg);
+    }
+    lowino_trace::flush_to_env();
+}

@@ -29,7 +29,7 @@ use lowino_simd::{quantize_f32_lanes_i8, store::stream_fence, stream_store_u8_64
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 use lowino_winograd::TileTransformer;
 
-use crate::algo::{check_io, Algorithm, ConvExecutor};
+use crate::algo::{check_io, Algorithm, ConvExecutor, ConvPostOps};
 use crate::context::{ConvContext, NonFinitePolicy};
 use crate::error::{ConvError, ExecError};
 use crate::filter::{pack_filters_lowino, pack_filters_lowino_per_position};
@@ -280,36 +280,30 @@ impl LoWinoConv {
         timings.output_transform = start.elapsed();
         timings
     }
-}
 
-impl ConvExecutor for LoWinoConv {
-    fn spec(&self) -> &ConvShape {
-        &self.spec
-    }
-
-    fn algorithm(&self) -> Algorithm {
-        Algorithm::LoWino { m: self.geom.m }
-    }
-
-    /// The fused single-fork-join schedule (paper §4.4): all three pipeline
-    /// stages run inside **one** pool job, separated by in-pool barriers,
-    /// with working buffers drawn from the context's persistent per-worker
-    /// [`ScratchArena`]. Transforms run on the **compiled codelet tapes**
-    /// with fused epilogues: phase ① quantizes `V` in-register during the
-    /// row pass (the f32 `V` tile is never materialized) and phase ③ folds
-    /// the `1/(α_V·α_U)` dequantization into the column-pass loads of the
-    /// raw i32 `Z` block. Task decomposition and per-lane arithmetic are
-    /// identical to the interpreted
-    /// [`LoWinoConv::execute_three_fork_join`], so outputs are bitwise
-    /// identical (the equivalence test below is the end-to-end
-    /// compiled-vs-interpreted oracle check).
-    fn execute(
+    /// The fused single-fork-join body shared by [`ConvExecutor::execute`]
+    /// (`post` empty) and [`ConvExecutor::execute_post`]: phase ③ threads
+    /// the per-destination post-ops into the output-transform tape's row
+    /// pass, so bias/residual/ReLU happen in-register between the inverse
+    /// transform and the one store of each output element.
+    fn execute_impl(
         &mut self,
         input: &BlockedImage,
         output: &mut BlockedImage,
+        post: &ConvPostOps<'_>,
         ctx: &mut ConvContext,
     ) -> Result<StageTimings, ExecError> {
         check_io(&self.spec, input, output, ctx.non_finite)?;
+        if let Some(bias) = post.bias {
+            assert!(
+                bias.len() >= output.c_blocks() * LANES,
+                "blocked bias too short for {} channel groups",
+                output.c_blocks()
+            );
+        }
+        if let Some(res) = post.residual {
+            assert_eq!(res.dims(), output.dims(), "residual dims mismatch");
+        }
         let spec = self.spec;
         let geom = self.geom;
         let (n, m, t_count) = (geom.n, geom.m, geom.t());
@@ -417,22 +411,42 @@ impl ConvExecutor for LoWinoConv {
                 gemm.run_range(range);
             }
             // -- Phase ③: compiled output transform consuming the raw i32
-            // Z block, with the per-element dequantization fused into the
-            // column-pass loads.
+            // Z block, dequantization fused into the column-pass loads and
+            // the post-op epilogue (bias / residual tile / ReLU) fused
+            // into the row-pass stores.
             _ => {
                 let _span = lowino_trace::span("lowino/output_transform");
                 let mut ws = scratch.worker(worker);
                 let WorkerScratch {
-                    transform, tile_f, ..
+                    transform,
+                    tile_f,
+                    patch_f,
+                    ..
                 } = &mut *ws;
                 tt.ensure_scratch(transform, LANES);
                 let y = ensure_f32(tile_f, m * m * LANES);
+                // `patch_f` is free in phase ③ — it becomes the gathered
+                // residual tile (clipped slots read zeros and are never
+                // scattered, so their epilogue results are discarded).
+                let mut res_tile = post
+                    .residual
+                    .map(|_| ensure_f32(patch_f, m * m * LANES));
                 for task in range {
                     let kg = task / geom.total;
                     let tile = task % geom.total;
                     let (b, ty, tx) = tile_coords(&geom, tile);
                     let block = gemm.z().tile_block(kg, tile);
-                    tt.output_tile_dequantized(vt, block, inv_alpha, 1, y, transform);
+                    if let (Some(res), Some(rt)) = (post.residual, res_tile.as_deref_mut()) {
+                        gather_patch(res, b, kg, (ty * m) as isize, (tx * m) as isize, m, rt);
+                    }
+                    let tape_post = lowino_winograd::TapePostOps {
+                        bias: post.bias.map(|bb| &bb[kg * LANES..(kg + 1) * LANES]),
+                        residual: res_tile.as_deref().map(|rt| (rt, 0, LANES)),
+                        relu: post.relu,
+                    };
+                    tt.output_tile_dequantized_post(
+                        vt, block, inv_alpha, 1, tape_post, y, transform,
+                    );
                     // SAFETY: output tiles never overlap; one task per tile.
                     unsafe {
                         scatter_output_tile(out_ref, b, kg, ty * m, tx * m, m, y);
@@ -445,6 +459,53 @@ impl ConvExecutor for LoWinoConv {
             gemm: times[1],
             output_transform: times[2],
         })
+    }
+}
+
+impl ConvExecutor for LoWinoConv {
+    fn spec(&self) -> &ConvShape {
+        &self.spec
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::LoWino { m: self.geom.m }
+    }
+
+    /// The fused single-fork-join schedule (paper §4.4): all three pipeline
+    /// stages run inside **one** pool job, separated by in-pool barriers,
+    /// with working buffers drawn from the context's persistent per-worker
+    /// [`ScratchArena`]. Transforms run on the **compiled codelet tapes**
+    /// with fused epilogues: phase ① quantizes `V` in-register during the
+    /// row pass (the f32 `V` tile is never materialized) and phase ③ folds
+    /// the `1/(α_V·α_U)` dequantization into the column-pass loads of the
+    /// raw i32 `Z` block. Task decomposition and per-lane arithmetic are
+    /// identical to the interpreted
+    /// [`LoWinoConv::execute_three_fork_join`], so outputs are bitwise
+    /// identical (the equivalence test below is the end-to-end
+    /// compiled-vs-interpreted oracle check).
+    fn execute(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        ctx: &mut ConvContext,
+    ) -> Result<StageTimings, ExecError> {
+        self.execute_impl(input, output, &ConvPostOps::default(), ctx)
+    }
+
+    /// Fused override of the default execute-then-apply path: the post-ops
+    /// ride the phase-③ tape epilogue (see [`Self::execute_impl`]), so the
+    /// activations are touched exactly once. Bitwise identical to the
+    /// default implementation ([`crate::algo::apply_post_ops`]) because
+    /// `((y + bias) + res).max(0.0)` is evaluated in the same order with
+    /// the same IEEE ops.
+    fn execute_post(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        post: &ConvPostOps<'_>,
+        ctx: &mut ConvContext,
+    ) -> Result<StageTimings, ExecError> {
+        self.execute_impl(input, output, post, ctx)
     }
 
     /// Saturation of the last execute's Winograd-domain quantized `V`
@@ -645,6 +706,59 @@ mod tests {
                 out_fused.to_nchw().max_abs_diff(&out_legacy.to_nchw()),
                 0.0,
                 "fused and three-fork-join outputs must be bitwise identical (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_post_ops_match_unfused_oracle_bitwise() {
+        // Fused phase-③ epilogue vs execute-then-apply_post_ops (the
+        // default trait path) — must agree bitwise for every post-op
+        // combination, including ragged tiles (H' = 11, m = 4).
+        use crate::algo::apply_post_ops;
+        let spec = ConvShape::same(2, 8, 16, 11, 3).validate().unwrap();
+        let input = Tensor4::from_fn(2, 8, 11, 11, |b, c, y, x| {
+            ((b * 3 + c * 7 + y * 11 + x * 13) as f32 * 0.31).sin()
+        });
+        let weights = Tensor4::from_fn(16, 8, 3, 3, |k, c, y, x| {
+            ((k + c * 2 + y + x) as f32 * 0.43).cos() * 0.3
+        });
+        let img = BlockedImage::from_nchw(&input);
+        let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
+        let k_blocks = 1usize; // 16 channels
+        let mut bias = vec![0.0f32; k_blocks * lowino_tensor::LANES];
+        for (k, b) in bias.iter_mut().enumerate().take(16) {
+            *b = (k as f32 * 0.37).sin() - 0.2;
+        }
+        let res_t = Tensor4::from_fn(2, 16, 11, 11, |b, c, y, x| {
+            ((b + c * 5 + y * 3 + x * 2) as f32 * 0.19).cos() * 0.8
+        });
+        let res = BlockedImage::from_nchw(&res_t);
+        for (use_bias, use_res, relu) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, true),
+        ] {
+            let post = ConvPostOps {
+                bias: use_bias.then_some(bias.as_slice()),
+                residual: use_res.then_some(&res),
+                relu,
+            };
+            let mut ctx = ConvContext::new(2);
+            let mut fused = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+            let mut out_fused = BlockedImage::zeros(2, 16, 11, 11);
+            fused.execute_post(&img, &mut out_fused, &post, &mut ctx).unwrap();
+            // Oracle: plain execute, then the reference elementwise pass.
+            let mut plain = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+            let mut out_plain = BlockedImage::zeros(2, 16, 11, 11);
+            plain.execute(&img, &mut out_plain, &mut ctx).unwrap();
+            apply_post_ops(&mut out_plain, &post);
+            let got: Vec<u32> = out_fused.data().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = out_plain.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got, want,
+                "bias={use_bias} res={use_res} relu={relu}"
             );
         }
     }

@@ -7,11 +7,93 @@ pub mod lowino;
 pub mod upcast;
 pub mod wino_f32;
 
-use lowino_tensor::{BlockedImage, ConvShape};
+use lowino_tensor::{BlockedImage, ConvShape, LANES};
 
 use crate::context::{ConvContext, NonFinitePolicy};
 use crate::error::ExecError;
 use crate::stats::StageTimings;
+
+/// Per-destination post-ops applied to a convolution's output — the graph
+/// engine's bias / skip-connection add / ReLU, folded into the layer so no
+/// separate elementwise pass over the activations is needed.
+///
+/// The contract, per output element (in this exact order and spelling, the
+/// bitwise bar every implementation — fused or not — must meet):
+///
+/// ```text
+/// v = conv_output
+/// v = v + bias[k]        (when bias is set; k = output channel)
+/// v = v + residual[...]  (when residual is set; same position)
+/// v = max(v, 0.0)        (when relu; maxps semantics: v > 0.0 ? v : 0.0)
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvPostOps<'a> {
+    /// Per-output-channel bias in the blocked layout: at least
+    /// `k_blocks·64` values, zero-padded past `out_c` so padding lanes stay
+    /// zero. Lane `l` of channel group `kg` gains `bias[kg·64 + l]`.
+    pub bias: Option<&'a [f32]>,
+    /// Skip-connection image added element-wise; must have exactly the
+    /// output's dims (padding lanes must be zero, as every producer in the
+    /// blocked pipeline guarantees).
+    pub residual: Option<&'a BlockedImage>,
+    /// Apply `max(·, 0.0)` last.
+    pub relu: bool,
+}
+
+impl ConvPostOps<'_> {
+    /// True when no post-op is requested (`execute_post` ≡ `execute`).
+    pub fn is_empty(&self) -> bool {
+        self.bias.is_none() && self.residual.is_none() && !self.relu
+    }
+}
+
+/// Reference application of [`ConvPostOps`] as a separate elementwise pass
+/// — the oracle the fused epilogues are tested against, and the default
+/// path for executors that don't fuse.
+///
+/// # Panics
+///
+/// Panics when `bias` is shorter than `k_blocks·64` or `residual` dims
+/// don't match the output.
+pub fn apply_post_ops(output: &mut BlockedImage, post: &ConvPostOps<'_>) {
+    if post.is_empty() {
+        return;
+    }
+    let (batch, _, h, w) = output.dims();
+    let k_blocks = output.c_blocks();
+    if let Some(bias) = post.bias {
+        assert!(
+            bias.len() >= k_blocks * LANES,
+            "blocked bias too short: {} < {}",
+            bias.len(),
+            k_blocks * LANES
+        );
+    }
+    if let Some(res) = post.residual {
+        assert_eq!(res.dims(), output.dims(), "residual dims mismatch");
+    }
+    for b in 0..batch {
+        for kg in 0..k_blocks {
+            for y in 0..h {
+                for x in 0..w {
+                    for l in 0..LANES {
+                        let mut v = output.lanes(b, kg, y, x)[l];
+                        if let Some(bias) = post.bias {
+                            v += bias[kg * LANES + l];
+                        }
+                        if let Some(res) = post.residual {
+                            v += res.lanes(b, kg, y, x)[l];
+                        }
+                        if post.relu {
+                            v = if v > 0.0 { v } else { 0.0 };
+                        }
+                        output.lanes_mut(b, kg, y, x)[l] = v;
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Algorithm identifiers (the paper's comparison set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +192,26 @@ pub trait ConvExecutor {
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
     ) -> Result<StageTimings, ExecError>;
+
+    /// [`Self::execute`] with [`ConvPostOps`] applied to the output.
+    ///
+    /// The default implementation runs the plain convolution and then
+    /// [`apply_post_ops`] as a separate pass; executors with fused
+    /// epilogues (LoWino's output-transform tape) override this to apply
+    /// the post-ops in-register before the output store. Both must meet
+    /// the bitwise contract documented on [`ConvPostOps`], so the
+    /// `ResilientConv` demotion ladder can swap implementations freely.
+    fn execute_post(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        post: &ConvPostOps<'_>,
+        ctx: &mut ConvContext,
+    ) -> Result<StageTimings, ExecError> {
+        let timings = self.execute(input, output, ctx)?;
+        apply_post_ops(output, post);
+        Ok(timings)
+    }
 
     /// Post-execute numeric-health signal: `(saturated, total)` counts of
     /// quantized intermediate values from the last `execute`, if this

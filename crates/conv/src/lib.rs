@@ -37,7 +37,7 @@ pub use algo::downscale::DownScaleConv;
 pub use algo::lowino::LoWinoConv;
 pub use algo::upcast::UpCastConv;
 pub use algo::wino_f32::WinogradF32Conv;
-pub use algo::{Algorithm, ConvExecutor};
+pub use algo::{apply_post_ops, Algorithm, ConvExecutor, ConvPostOps};
 pub use calibrate::{calibrate_spatial, calibrate_winograd_domain};
 pub use context::{ConvContext, NonFinitePolicy};
 pub use error::{ConvError, ExecError};

@@ -56,14 +56,14 @@ pub use resilient::{Demotion, DemotionReason, HealthPolicy, ResilientConv};
 pub use select::{estimate_cost, select_algorithm, CostModel};
 
 pub use lowino_conv::{
-    calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext, ConvError,
-    ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, ExecError, LoWinoConv,
-    NonFinitePolicy, StageTimings, UpCastConv, WinogradF32Conv,
+    apply_post_ops, calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext,
+    ConvError, ConvExecutor, ConvPostOps, DirectF32Conv, DirectInt8Conv, DownScaleConv,
+    ExecError, LoWinoConv, NonFinitePolicy, StageTimings, UpCastConv, WinogradF32Conv,
 };
 pub use lowino_gemm::{Blocking, GemmShape, Wisdom};
 pub use lowino_quant::QParams;
 pub use lowino_simd::{dpbusd, SimdTier};
-pub use lowino_tensor::{BlockedImage, ConvShape, Tensor4, TileGeometry};
+pub use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};
 
 /// Everything a typical user needs.
 pub mod prelude {

@@ -26,7 +26,7 @@
 
 use lowino_conv::{
     calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext, ConvError,
-    ConvExecutor, DirectF32Conv, ExecError, LoWinoConv, StageTimings, UpCastConv,
+    ConvExecutor, ConvPostOps, DirectF32Conv, ExecError, LoWinoConv, StageTimings, UpCastConv,
     WinogradF32Conv,
 };
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4};
@@ -210,8 +210,24 @@ impl ResilientConv {
         output: &mut BlockedImage,
         ctx: &mut ConvContext,
     ) -> Result<StageTimings, ConvError> {
+        self.execute_post(input, output, &ConvPostOps::default(), ctx)
+    }
+
+    /// [`Self::execute`] with [`ConvPostOps`] (bias / residual-add / ReLU)
+    /// applied to the output — the graph engine's entry point. The post-op
+    /// contract is part of [`ConvExecutor`], so every rung of the ladder
+    /// honours it: a demoted layer produces the same post-processed output
+    /// (modulo the rung's own numerics) and the demotion logic is shared
+    /// unchanged.
+    pub fn execute_post(
+        &mut self,
+        input: &BlockedImage,
+        output: &mut BlockedImage,
+        post: &ConvPostOps<'_>,
+        ctx: &mut ConvContext,
+    ) -> Result<StageTimings, ConvError> {
         loop {
-            match self.exec.execute(input, output, ctx) {
+            match self.exec.execute_post(input, output, post, ctx) {
                 Ok(times) => {
                     let Some(reason) = self.health_breach(output) else {
                         return Ok(times);

@@ -17,7 +17,13 @@
 //! * [`train()`] — SGD with momentum + cross-entropy;
 //! * [`quantized`] — the PTQ pipeline: capture per-layer calibration
 //!   activations with the FP32 model, plan a `lowino` executor per conv
-//!   layer (any [`lowino::Algorithm`]), and evaluate INT8 top-1 accuracy.
+//!   layer (any [`lowino::Algorithm`]), and evaluate INT8 top-1 accuracy;
+//! * [`plan`]/[`graph`] — the whole-model graph engine: compile a model
+//!   into a topologically scheduled [`CompiledGraph`] whose activations
+//!   live in one liveness-planned arena, with persistent pre-transformed
+//!   filter panels and bias/ReLU/residual-add folded into the conv tape
+//!   epilogues — bitwise identical to the per-layer path and
+//!   allocation-free in steady state.
 //!
 //! The Table 3 phenomenon — LoWino ≈ FP32 at `F(2,3)` *and* `F(4,3)`,
 //! down-scaling fine at `F(2,3)` but collapsing to chance at `F(4,3)` — is
@@ -25,14 +31,18 @@
 //! reproduces on this substrate (`table3_accuracy` harness).
 
 pub mod data;
+pub mod graph;
 pub mod layers;
 pub mod model;
+pub mod plan;
 pub mod quantized;
 pub mod train;
 
 pub use data::{Dataset, SyntheticSpec};
+pub use graph::{CompiledGraph, GraphSpec};
 pub use layers::{Conv2dLayer, Layer};
 pub use model::{mini_resnet, mini_vgg, Model};
+pub use plan::{plan_slots, ArenaPlan, SlotReq, PLAN_ALIGN};
 pub use quantized::{QuantizedModel, QuantizedSpec};
 pub use train::{evaluate_top1, train, TrainConfig};
 

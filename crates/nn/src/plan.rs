@@ -1,0 +1,201 @@
+//! Liveness-planned arena layout for graph activations.
+//!
+//! The graph engine ([`crate::graph`]) runs a whole model out of **one**
+//! activation arena: every intermediate tensor is a window of a single
+//! allocation, and windows are re-used as soon as their tensor dies. This
+//! module computes that layout. Inputs are [`SlotReq`]s — one per tensor,
+//! carrying its size in `f32` elements and its *inclusive* live range in
+//! op indices (`first` = the op that defines it, `last` = the last op that
+//! reads it). Output is an [`ArenaPlan`]: per-tensor offsets plus the total
+//! arena length.
+//!
+//! The planner is **first-fit over live intervals**: slots are placed in
+//! request order (which the graph builder emits topologically, so earlier
+//! slots are the longer-lived ones); each slot takes the lowest aligned
+//! offset that does not overlap any already-placed slot whose live range
+//! intersects its own. Two invariants hold by construction and are
+//! property-tested in `tests/plan_prop.rs`:
+//!
+//! * **soundness** — while two tensors are simultaneously live, their
+//!   `[offset, offset + len)` windows never intersect;
+//! * **boundedness** — the arena never exceeds the sum of all (aligned)
+//!   tensor sizes, i.e. planning is never worse than disjoint allocation.
+//!
+//! Planning is a pure function of its inputs, so re-planning the same
+//! graph is deterministic — the `graph/plan` fault site is the one
+//! exception: an armed [`lowino_testkit::faults::GRAPH_PLAN`] degrades the
+//! plan to the no-reuse disjoint layout (offsets by prefix sum) instead of
+//! failing the compile, and marks the plan [`ArenaPlan::degraded`].
+
+use lowino_testkit::faults::GRAPH_PLAN;
+
+/// Arena alignment in `f32` elements: 16 floats = 64 bytes, one cache
+/// line, so every slot starts on the same boundary [`lowino::AlignedBuf`]
+/// guarantees for the arena base.
+pub const PLAN_ALIGN: usize = 16;
+
+/// One tensor's demand on the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotReq {
+    /// Size in `f32` elements (`BlockedImage::storage_len`).
+    pub len: usize,
+    /// First op index at which the tensor is live (its definition).
+    pub first: usize,
+    /// Last op index at which the tensor is live (inclusive).
+    pub last: usize,
+}
+
+impl SlotReq {
+    /// Do two requests' live ranges intersect?
+    fn conflicts(&self, other: &SlotReq) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+}
+
+/// A computed arena layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaPlan {
+    /// Per-slot offset into the arena, in `f32` elements (aligned to
+    /// [`PLAN_ALIGN`]), index-parallel with the request list.
+    pub offsets: Vec<usize>,
+    /// Total arena length in `f32` elements.
+    pub total_len: usize,
+    /// `true` when the `graph/plan` fault degraded this plan to the
+    /// disjoint (no-reuse) layout.
+    pub degraded: bool,
+}
+
+impl ArenaPlan {
+    /// Arena size in bytes (the `graph/plan_bytes` trace counter value).
+    pub fn bytes(&self) -> usize {
+        self.total_len * core::mem::size_of::<f32>()
+    }
+}
+
+/// Round `x` up to a multiple of `to`.
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// The degraded fallback: every slot disjoint, offsets by prefix sum.
+fn plan_disjoint(reqs: &[SlotReq], align: usize) -> ArenaPlan {
+    let mut offsets = Vec::with_capacity(reqs.len());
+    let mut total = 0usize;
+    for r in reqs {
+        offsets.push(total);
+        total += round_up(r.len, align);
+    }
+    ArenaPlan {
+        offsets,
+        total_len: total,
+        degraded: true,
+    }
+}
+
+/// Compute an arena layout for `reqs` with slot starts aligned to `align`
+/// `f32` elements (use [`PLAN_ALIGN`]; other values serve the property
+/// tests).
+pub fn plan_slots(reqs: &[SlotReq], align: usize) -> ArenaPlan {
+    let align = align.max(1);
+    if GRAPH_PLAN.fire() {
+        lowino_trace::instant("graph/plan_degraded", reqs.len() as u64);
+        return plan_disjoint(reqs, align);
+    }
+    // (offset, aligned_len, request) of every placed slot.
+    let mut placed: Vec<(usize, usize, SlotReq)> = Vec::with_capacity(reqs.len());
+    let mut offsets = Vec::with_capacity(reqs.len());
+    let mut total = 0usize;
+    for r in reqs {
+        let len = round_up(r.len, align).max(align);
+        // Only live-range conflicts constrain the placement.
+        let conflicts: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|(_, _, p)| p.conflicts(r))
+            .map(|&(off, l, _)| (off, l))
+            .collect();
+        // First fit: the candidate starts are 0 and the end of each
+        // conflicting slot; the lowest candidate clear of every conflict
+        // wins. One of the candidates (max end) is always feasible.
+        let mut candidates: Vec<usize> = std::iter::once(0)
+            .chain(conflicts.iter().map(|&(off, l)| off + l))
+            .collect();
+        candidates.sort_unstable();
+        let offset = candidates
+            .into_iter()
+            .find(|&cand| {
+                conflicts
+                    .iter()
+                    .all(|&(off, l)| cand + len <= off || off + l <= cand)
+            })
+            .expect("the past-all-conflicts candidate is always feasible");
+        offsets.push(offset);
+        total = total.max(offset + len);
+        placed.push((offset, len, *r));
+    }
+    ArenaPlan {
+        offsets,
+        total_len: total,
+        degraded: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_chain_uses_two_buffers() {
+        // A straight-line chain v0 → v1 → v2 → v3 (each op reads the
+        // previous tensor and defines the next) needs exactly two equal
+        // slots: the classic ping-pong.
+        let reqs: Vec<SlotReq> = (0..4)
+            .map(|i| SlotReq {
+                len: 100,
+                first: i,
+                last: (i + 1).min(3),
+            })
+            .collect();
+        let plan = plan_slots(&reqs, 16);
+        assert!(!plan.degraded);
+        assert_eq!(plan.total_len, 2 * round_up(100, 16));
+        assert_eq!(plan.offsets[0], plan.offsets[2]);
+        assert_eq!(plan.offsets[1], plan.offsets[3]);
+        assert_ne!(plan.offsets[0], plan.offsets[1]);
+    }
+
+    #[test]
+    fn skip_connection_keeps_three_slots_apart() {
+        // v0 stays live across the body (a residual skip): v0, v1, v2 all
+        // overlap pairwise, so all three need distinct space.
+        let reqs = [
+            SlotReq { len: 64, first: 0, last: 2 },
+            SlotReq { len: 64, first: 0, last: 1 },
+            SlotReq { len: 64, first: 1, last: 2 },
+        ];
+        let plan = plan_slots(&reqs, 16);
+        assert_eq!(plan.total_len, 3 * 64);
+        let mut offs = plan.offsets.clone();
+        offs.sort_unstable();
+        offs.dedup();
+        assert_eq!(offs.len(), 3);
+    }
+
+    #[test]
+    fn degraded_plan_is_disjoint_and_flagged() {
+        GRAPH_PLAN.arm();
+        let reqs: Vec<SlotReq> = (0..4)
+            .map(|i| SlotReq { len: 50, first: i, last: (i + 1).min(3) })
+            .collect();
+        let plan = plan_slots(&reqs, 16);
+        assert!(!GRAPH_PLAN.is_armed(), "fault is one-shot");
+        assert!(plan.degraded);
+        assert_eq!(plan.total_len, 4 * round_up(50, 16));
+        for w in plan.offsets.windows(2) {
+            assert!(w[0] < w[1], "disjoint layout is a strict prefix sum");
+        }
+        // Re-planning with the fault consumed yields the compact layout.
+        let replan = plan_slots(&reqs, 16);
+        assert!(!replan.degraded);
+        assert!(replan.total_len < plan.total_len);
+    }
+}

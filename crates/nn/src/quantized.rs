@@ -115,6 +115,17 @@ impl QuantizedModel {
         preds
     }
 
+    /// Raw logits `(batch, classes, 1, 1)` for one planning-sized batch —
+    /// the per-layer reference the graph engine's differential tests
+    /// compare against bitwise, so unlike [`Self::predict`] it does no
+    /// chunking or padding.
+    pub fn logits(&mut self, x: &Tensor4) -> Tensor4 {
+        let (b, c, h, w) = x.dims();
+        assert_eq!((c, h, w), self.in_dims, "input dims");
+        assert_eq!(b, self.batch, "logits() takes exactly the planned batch");
+        forward_stages(&mut self.stages, x, &mut self.engine)
+    }
+
     /// Top-1 accuracy on a labelled set.
     pub fn evaluate_top1(&mut self, x: &Tensor4, y: &[usize]) -> f64 {
         let preds = self.predict(x);
@@ -205,8 +216,9 @@ fn convert_conv(
 }
 
 /// Split a calibration activation batch into `BlockedImage`s whose batch
-/// dimension matches the planned spec.
-fn rebatch_for_calibration(act: &Tensor4, batch: usize) -> Vec<BlockedImage> {
+/// dimension matches the planned spec (shared with the graph compiler,
+/// which must calibrate identically for the bitwise-identity guarantee).
+pub(crate) fn rebatch_for_calibration(act: &Tensor4, batch: usize) -> Vec<BlockedImage> {
     let (n, c, h, w) = act.dims();
     let mut out = Vec::new();
     let mut i = 0;

@@ -1,0 +1,93 @@
+//! Steady-state audit for the graph engine: once one warm-up execute has
+//! grown the executors' per-worker scratch arenas, running a whole model
+//! through [`CompiledGraph::execute`] performs **zero heap allocations**
+//! — every activation lives in the compile-time liveness-planned arena,
+//! and the per-op `BlockedImage` windows are raw views into it.
+//!
+//! Same counting-`#[global_allocator]` technique as the conv crate's
+//! `steady_state_alloc` test: the counter is armed only around the audited
+//! region so harness allocations don't pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lowino::Tensor4;
+use lowino_nn::{mini_resnet, mini_vgg, CompiledGraph, GraphSpec};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Count heap allocations (on any thread) during `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn input(batch: usize) -> Tensor4 {
+    Tensor4::from_fn(batch, 3, 8, 8, |b, c, y, x| {
+        ((b * 29 + c * 13 + y * 5 + x * 3) as f32 * 0.31).sin()
+    })
+}
+
+#[test]
+fn miniresnet_graph_execute_is_allocation_free_in_steady_state() {
+    let mut model = mini_resnet(3, 8, 3, 17);
+    let x = input(2);
+    let spec = GraphSpec { m: 2, batch: 2, threads: 2 };
+    let mut g = CompiledGraph::compile(&mut model, &x, &spec).unwrap();
+    let mut logits = Tensor4::zeros(2, 3, 1, 1);
+    // Warm-up: the first execute grows the per-worker scratch arenas.
+    g.execute(&x, &mut logits).unwrap();
+    let warm = logits.clone();
+
+    let allocs = count_allocs(|| {
+        for _ in 0..3 {
+            g.execute(&x, &mut logits).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state graph execute must not allocate");
+    assert_eq!(g.demotion_count(), 0);
+    // And the steady-state runs reproduce the warm-up output bitwise.
+    let same = warm
+        .data()
+        .iter()
+        .zip(logits.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "steady-state output drifted from warm-up");
+}
+
+#[test]
+fn minivgg_graph_execute_is_allocation_free_in_steady_state() {
+    let mut model = mini_vgg(3, 8, 3, 23);
+    let x = input(2);
+    let spec = GraphSpec { m: 2, batch: 2, threads: 1 };
+    let mut g = CompiledGraph::compile(&mut model, &x, &spec).unwrap();
+    let mut logits = Tensor4::zeros(2, 3, 1, 1);
+    g.execute(&x, &mut logits).unwrap();
+
+    let allocs = count_allocs(|| {
+        g.execute(&x, &mut logits).unwrap();
+    });
+    assert_eq!(allocs, 0, "steady-state graph execute must not allocate");
+}

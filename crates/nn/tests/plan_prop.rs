@@ -1,0 +1,109 @@
+//! Property tests for the arena liveness planner ([`lowino_nn::plan`]):
+//! on random graph-shaped live-range sets,
+//!
+//! * offsets of two slots never overlap while both are live;
+//! * the planned arena never exceeds the sum of all (aligned) slot sizes
+//!   (planning is never worse than disjoint allocation);
+//! * re-planning the same request set is deterministic.
+
+use lowino_nn::plan::{plan_slots, SlotReq, PLAN_ALIGN};
+use lowino_testkit::{prop_assert, property, Rng};
+
+/// A random "DAG-like" request set: a topological walk where each new
+/// tensor is defined at an increasing op index and read some ops later,
+/// plus occasional long-lived skip tensors (residual-style).
+fn random_reqs(rng: &mut Rng, n_slots: usize) -> Vec<SlotReq> {
+    let mut reqs = Vec::with_capacity(n_slots);
+    let mut op = 0usize;
+    for i in 0..n_slots {
+        // Each slot is defined at (or shortly after) the previous one.
+        op += rng.range_i32(0, 3) as usize;
+        let first = op;
+        // Most tensors die quickly; ~1 in 4 is a long-lived skip.
+        let span = if rng.range_i32(0, 4) == 0 {
+            rng.range_i32(4, 16) as usize
+        } else {
+            rng.range_i32(0, 3) as usize
+        };
+        let last = first + span;
+        let len = rng.range_i32(1, 4000) as usize;
+        reqs.push(SlotReq { len, first, last });
+        // Keep indices deterministic but varied.
+        if i % 7 == 3 {
+            op += 1;
+        }
+    }
+    reqs
+}
+
+fn live_overlap(a: &SlotReq, b: &SlotReq) -> bool {
+    a.first <= b.last && b.first <= a.last
+}
+
+property! {
+    /// Soundness: simultaneously-live slots get disjoint arena windows.
+    #[cases(64)]
+    fn live_slots_never_share_memory(
+        n_slots in 2usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x91A2);
+        let reqs = random_reqs(&mut rng, n_slots);
+        let plan = plan_slots(&reqs, PLAN_ALIGN);
+        prop_assert!(!plan.degraded, "no fault armed");
+        for i in 0..reqs.len() {
+            for j in i + 1..reqs.len() {
+                if !live_overlap(&reqs[i], &reqs[j]) {
+                    continue;
+                }
+                let (oi, oj) = (plan.offsets[i], plan.offsets[j]);
+                let disjoint =
+                    oi + reqs[i].len <= oj || oj + reqs[j].len <= oi;
+                prop_assert!(
+                    disjoint,
+                    "slots {i} ({:?}@{oi}) and {j} ({:?}@{oj}) overlap while live",
+                    reqs[i],
+                    reqs[j]
+                );
+            }
+        }
+    }
+
+    /// Boundedness: the plan never exceeds the disjoint layout, and every
+    /// offset is aligned.
+    #[cases(64)]
+    fn plan_is_bounded_and_aligned(
+        n_slots in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xB0);
+        let reqs = random_reqs(&mut rng, n_slots);
+        let plan = plan_slots(&reqs, PLAN_ALIGN);
+        let disjoint: usize = reqs
+            .iter()
+            .map(|r| r.len.div_ceil(PLAN_ALIGN) * PLAN_ALIGN)
+            .sum();
+        prop_assert!(
+            plan.total_len <= disjoint,
+            "planned {} > disjoint bound {disjoint}",
+            plan.total_len
+        );
+        for (i, &off) in plan.offsets.iter().enumerate() {
+            prop_assert!(off % PLAN_ALIGN == 0, "slot {i} offset {off} unaligned");
+            prop_assert!(off + reqs[i].len <= plan.total_len, "slot {i} out of arena");
+        }
+    }
+
+    /// Determinism: planning is a pure function of the request set.
+    #[cases(32)]
+    fn replanning_is_deterministic(
+        n_slots in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xDE7);
+        let reqs = random_reqs(&mut rng, n_slots);
+        let a = plan_slots(&reqs, PLAN_ALIGN);
+        let b = plan_slots(&reqs, PLAN_ALIGN);
+        prop_assert!(a == b, "replan differs: {a:?} vs {b:?}");
+    }
+}

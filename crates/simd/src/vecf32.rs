@@ -175,6 +175,18 @@ pub trait F32Vector: Copy {
     /// Tier features required.
     unsafe fn add(self, rhs: Self) -> Self;
 
+    /// Lanewise maximum with x86 `maxps` semantics: `self > rhs ? self :
+    /// rhs` per lane. With `rhs = zero()` this is exactly the ReLU the
+    /// scalar model spells `if x > 0.0 { x } else { 0.0 }` — `-0.0` maps
+    /// to `+0.0` and `NaN` maps to `rhs`, on every tier, which is what
+    /// keeps the fused ReLU epilogue bitwise identical to the f32
+    /// reference path's `v.max(0.0)`.
+    ///
+    /// # Safety
+    ///
+    /// Tier features required.
+    unsafe fn max(self, rhs: Self) -> Self;
+
     /// Fused quantize epilogue (paper Eq. 4 + the §4.2.1 +128
     /// compensation): per lane `x`, compute
     /// `clamp(round_ties_even(x·alpha), ±127) + offset` and store the low
@@ -229,6 +241,13 @@ impl F32Vector for F32x1 {
     #[inline(always)]
     unsafe fn add(self, rhs: Self) -> Self {
         F32x1(self.0 + rhs.0)
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, rhs: Self) -> Self {
+        // `maxps` semantics, not `f32::max`: second operand wins on NaN,
+        // and `max(-0.0, +0.0)` is `+0.0` because `-0.0 > 0.0` is false.
+        F32x1(if self.0 > rhs.0 { self.0 } else { rhs.0 })
     }
 
     #[inline(always)]
@@ -288,6 +307,13 @@ mod x86 {
         #[inline(always)]
         unsafe fn add(self, rhs: Self) -> Self {
             F32x8(_mm256_add_ps(self.0, rhs.0))
+        }
+
+        #[inline(always)]
+        unsafe fn max(self, rhs: Self) -> Self {
+            // Operand order matters: `maxps(a, b)` returns `b` when either
+            // operand is NaN or when `a == b` (so `max(-0.0, +0.0) = +0.0`).
+            F32x8(_mm256_max_ps(self.0, rhs.0))
         }
 
         #[inline(always)]
@@ -355,6 +381,11 @@ mod x86 {
         #[inline(always)]
         unsafe fn add(self, rhs: Self) -> Self {
             F32x16(_mm512_add_ps(self.0, rhs.0))
+        }
+
+        #[inline(always)]
+        unsafe fn max(self, rhs: Self) -> Self {
+            F32x16(_mm512_max_ps(self.0, rhs.0))
         }
 
         #[inline(always)]
@@ -622,6 +653,62 @@ mod tests {
                     want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                     "vt={vt} len={len}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn max_with_zero_matches_relu_spec_all_tiers() {
+        // The fused ReLU epilogue is `v.max(zero())`; its contract is the
+        // scalar `if v > 0.0 { v } else { 0.0 }` — including the signed-zero
+        // case (`-0.0` → `+0.0`, bitwise).
+        let src = [1.5f32, -2.0, 0.0, -0.0, 3.25e-20, -3.25e-20, 127.0, -127.0];
+        let want: Vec<u32> = src
+            .iter()
+            .map(|&x| (if x > 0.0 { x } else { 0.0 }).to_bits())
+            .collect();
+        // Scalar model.
+        let got: Vec<u32> = src
+            .iter()
+            .map(|&x| unsafe { F32x1(x).max(F32x1::zero()) }.0.to_bits())
+            .collect();
+        assert_eq!(got, want, "scalar");
+        // Vector tiers, checked through the generic relu-ing copy below.
+        unsafe fn relu_copy<V: F32Vector>(src: &[f32], dst: &mut [f32]) {
+            let mut i = 0;
+            while i + V::WIDTH <= src.len() {
+                V::load(src.as_ptr().add(i))
+                    .max(V::zero())
+                    .store(dst.as_mut_ptr().add(i));
+                i += V::WIDTH;
+            }
+            while i < src.len() {
+                F32x1::load(src.as_ptr().add(i))
+                    .max(F32x1::zero())
+                    .store(dst.as_mut_ptr().add(i));
+                i += 1;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            #[target_feature(enable = "avx2")]
+            unsafe fn relu_avx2(src: &[f32], dst: &mut [f32]) {
+                relu_copy::<F32x8>(src, dst);
+            }
+            #[target_feature(enable = "avx512f")]
+            unsafe fn relu_avx512(src: &[f32], dst: &mut [f32]) {
+                relu_copy::<F32x16>(src, dst);
+            }
+            for vt in VecTier::available() {
+                let mut got = vec![0f32; src.len()];
+                // SAFETY: tier reported available by `VecTier::available`.
+                match vt {
+                    VecTier::F32x16 => unsafe { relu_avx512(&src, &mut got) },
+                    VecTier::F32x8 => unsafe { relu_avx2(&src, &mut got) },
+                    VecTier::Scalar => unsafe { relu_copy::<F32x1>(&src, &mut got) },
+                }
+                let got: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want, "vt={vt}");
             }
         }
     }

@@ -17,10 +17,57 @@ use crate::align::AlignedBuf;
 use crate::tensor4::Tensor4;
 use crate::{round_up, LANES};
 
+/// Backing storage of a [`BlockedImage`]: either an owned allocation or a
+/// borrowed window of a caller-managed arena (the graph engine's
+/// liveness-planned activation arena — see `lowino-nn`).
+#[derive(Debug)]
+enum Storage {
+    /// The image owns its buffer (the default; every public constructor).
+    Owned(AlignedBuf<f32>),
+    /// A raw window into an external arena. The creator
+    /// ([`BlockedImage::from_arena_ptr`]) guarantees validity, alignment
+    /// and exclusivity for the image's lifetime.
+    Arena {
+        ptr: *mut f32,
+        len: usize,
+    },
+}
+
+impl Storage {
+    #[inline]
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(buf) => buf.as_slice(),
+            // SAFETY: `from_arena_ptr`'s contract — valid for `len` reads,
+            // initialised, exclusive to this image.
+            Storage::Arena { ptr, len } => unsafe { core::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        match self {
+            Storage::Owned(buf) => buf.as_mut_slice(),
+            // SAFETY: as above, plus `&mut self` makes the access unique.
+            Storage::Arena { ptr, len } => unsafe {
+                core::slice::from_raw_parts_mut(*ptr, *len)
+            },
+        }
+    }
+
+    #[inline]
+    fn as_ptr(&self) -> *const f32 {
+        match self {
+            Storage::Owned(buf) => buf.as_ptr(),
+            Storage::Arena { ptr, .. } => *ptr,
+        }
+    }
+}
+
 /// A batch of images in the blocked `B × [C/64] × H × W × 64` `f32` layout.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BlockedImage {
-    buf: AlignedBuf<f32>,
+    buf: Storage,
     batch: usize,
     /// Logical (unpadded) channel count.
     channels: usize,
@@ -30,18 +77,90 @@ pub struct BlockedImage {
     w: usize,
 }
 
+// SAFETY: the owned variant is Send + Sync via `AlignedBuf`; the arena
+// variant's window is exclusive to this image by `from_arena_ptr`'s
+// contract, so sharing the image shares an exclusively-owned region —
+// exactly the `AlignedBuf` situation with the allocation held elsewhere.
+unsafe impl Send for BlockedImage {}
+unsafe impl Sync for BlockedImage {}
+
+/// Deep copy: cloning an arena-backed image detaches it into an owned
+/// buffer (clones never alias the arena).
+impl Clone for BlockedImage {
+    fn clone(&self) -> Self {
+        Self {
+            buf: Storage::Owned(AlignedBuf::from_slice(self.buf.as_slice())),
+            batch: self.batch,
+            channels: self.channels,
+            c_blocks: self.c_blocks,
+            h: self.h,
+            w: self.w,
+        }
+    }
+}
+
 impl BlockedImage {
     /// Allocate a zero-filled blocked image.
     pub fn zeros(batch: usize, channels: usize, h: usize, w: usize) -> Self {
         let c_blocks = round_up(channels, LANES) / LANES;
         Self {
-            buf: AlignedBuf::zeroed(batch * c_blocks * h * w * LANES),
+            buf: Storage::Owned(AlignedBuf::zeroed(batch * c_blocks * h * w * LANES)),
             batch,
             channels,
             c_blocks,
             h,
             w,
         }
+    }
+
+    /// Number of `f32` elements a blocked image of this shape occupies
+    /// (the planner's slot-size unit): `batch · ⌈C/64⌉ · H · W · 64`.
+    pub fn storage_len(batch: usize, channels: usize, h: usize, w: usize) -> usize {
+        let c_blocks = round_up(channels, LANES) / LANES;
+        batch * c_blocks * h * w * LANES
+    }
+
+    /// Wrap a window of a caller-managed arena as a blocked image —
+    /// **no allocation**, the graph engine's activation-slot constructor.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must be valid for reads and writes of
+    ///   [`Self::storage_len`]`(batch, channels, h, w)` `f32`s for the
+    ///   whole lifetime of the returned image, 64-byte aligned, and
+    ///   initialised (e.g. a window of a zeroed [`AlignedBuf`]);
+    /// * the window must not be accessed through any other pointer while
+    ///   the image (or anything borrowed from it) is alive, except via the
+    ///   image's own `unsafe` shared-writer escapes
+    ///   ([`Self::lanes_ptr_shared`]) under their documented schedules;
+    /// * channel-padding lanes must be zero (or be zeroed by the first
+    ///   writer) — every consumer assumes padding reads as `0.0`.
+    pub unsafe fn from_arena_ptr(
+        ptr: *mut f32,
+        batch: usize,
+        channels: usize,
+        h: usize,
+        w: usize,
+    ) -> Self {
+        let c_blocks = round_up(channels, LANES) / LANES;
+        debug_assert!(ptr.addr().is_multiple_of(crate::CACHE_LINE));
+        Self {
+            buf: Storage::Arena {
+                ptr,
+                len: batch * c_blocks * h * w * LANES,
+            },
+            batch,
+            channels,
+            c_blocks,
+            h,
+            w,
+        }
+    }
+
+    /// Whether this image borrows an external arena window (planner
+    /// introspection for tests).
+    pub fn is_arena_backed(&self) -> bool {
+        matches!(self.buf, Storage::Arena { .. })
     }
 
     /// Pack an NCHW tensor into the blocked layout (padding channels with 0).
@@ -222,5 +341,28 @@ mod tests {
         let img = BlockedImage::zeros(1, 64, 4, 4);
         assert_eq!(img.offset(0, 0, 0, 1) - img.offset(0, 0, 0, 0), 64);
         assert_eq!(img.offset(0, 0, 1, 0) - img.offset(0, 0, 0, 0), 4 * 64);
+    }
+
+    #[test]
+    fn arena_backed_image_round_trips_and_clones_deeply() {
+        let t = sample(1, 3, 2, 2);
+        let owned = BlockedImage::from_nchw(&t);
+        let len = BlockedImage::storage_len(1, 3, 2, 2);
+        assert_eq!(owned.data().len(), len);
+
+        let mut arena = crate::AlignedBuf::<f32>::zeroed(len);
+        // SAFETY: window covers exactly one image and is used only through
+        // `img` below.
+        let mut img = unsafe { BlockedImage::from_arena_ptr(arena.as_mut_ptr(), 1, 3, 2, 2) };
+        assert!(img.is_arena_backed());
+        img.data_mut().copy_from_slice(owned.data());
+        assert_eq!(img.to_nchw().data(), t.data());
+
+        // Cloning detaches from the arena: mutating the clone must not be
+        // visible through the arena window.
+        let mut clone = img.clone();
+        assert!(!clone.is_arena_backed());
+        clone.data_mut()[0] += 5.0;
+        assert_eq!(img.data()[0], owned.data()[0]);
     }
 }

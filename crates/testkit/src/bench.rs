@@ -43,6 +43,13 @@ impl Stats {
             .map(|e| e as f64 / self.median_ns.max(f64::MIN_POSITIVE))
     }
 
+    /// Elements per second at the median, if a throughput was declared.
+    /// The readable unit for whole-model benches where one element is one
+    /// image: this **is** imgs/s.
+    pub fn elems_per_s(&self) -> Option<f64> {
+        self.gelems_per_s().map(|g| g * 1e9)
+    }
+
     /// The JSON object line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = format!(
@@ -59,6 +66,9 @@ impl Stats {
             s.push_str(&format!(",\"elements\":{e}"));
             if let Some(g) = self.gelems_per_s() {
                 s.push_str(&format!(",\"gelems_per_s\":{g:.4}"));
+            }
+            if let Some(r) = self.elems_per_s() {
+                s.push_str(&format!(",\"elems_per_s\":{r:.1}"));
             }
         }
         s.push('}');
@@ -181,10 +191,15 @@ impl BenchGroup {
 fn report(s: &Stats) {
     let mut line = format!("{:<44} median {}", s.id, fmt_ns(s.median_ns));
     if let Some(g) = s.gelems_per_s() {
-        line.push_str(&format!(
-            "  ({} elems, {g:.2} Gelem/s)",
-            s.elements.expect("throughput set")
-        ));
+        let elems = s.elements.expect("throughput set");
+        // Pick the unit that carries digits: kernel benches read in
+        // Gelem/s, whole-model benches in elem/s (= imgs/s).
+        if g >= 0.01 {
+            line.push_str(&format!("  ({elems} elems, {g:.2} Gelem/s)"));
+        } else {
+            let r = s.elems_per_s().expect("throughput set");
+            line.push_str(&format!("  ({elems} elems, {r:.0} elem/s)"));
+        }
     }
     println!("{line}");
     let json = s.to_json();
@@ -256,8 +271,11 @@ mod tests {
         assert!(json.starts_with("{\"bench\":\"t/spin\""), "{json}");
         assert!(json.contains("\"elements\":64"), "{json}");
         assert!(json.contains("gelems_per_s"), "{json}");
+        assert!(json.contains("elems_per_s"), "{json}");
         assert!(json.ends_with('}'), "{json}");
         assert!(s.gelems_per_s().expect("throughput") > 0.0);
+        let rate = s.elems_per_s().expect("throughput");
+        assert!((rate - s.gelems_per_s().expect("throughput") * 1e9).abs() < 1e-3);
     }
 
     #[test]

@@ -166,14 +166,20 @@ pub static CALIBRATE_SAMPLES: FaultSite = FaultSite::new("calibrate/samples");
 /// degrades detection to the scalar tier).
 pub static TIER_DETECT: FaultSite = FaultSite::new("tier/detect");
 
+/// Liveness-planner failure during graph compilation (probed in the nn
+/// crate's arena planner; a trigger degrades the plan to the
+/// no-offset-reuse disjoint layout instead of failing the compile).
+pub static GRAPH_PLAN: FaultSite = FaultSite::new("graph/plan");
+
 /// Every registered site (closed set — `LOWINO_FAULT` typos fail loudly).
-pub fn all() -> [&'static FaultSite; 5] {
+pub fn all() -> [&'static FaultSite; 6] {
     [
         &WISDOM_SAVE,
         &POOL_PHASE,
         &SCRATCH_GROW,
         &CALIBRATE_SAMPLES,
         &TIER_DETECT,
+        &GRAPH_PLAN,
     ]
 }
 

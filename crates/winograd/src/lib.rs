@@ -42,7 +42,7 @@ pub mod transform;
 pub use analysis::{range_growth_1d, range_growth_2d};
 pub use matrices::{WinogradMatrices, F2_3, F4_3, F6_3};
 pub use rational::Rational;
-pub use tape::{Tape, TapeInstr};
+pub use tape::{Tape, TapeInstr, TapePostOps};
 pub use transform::{
     filter_transform_f32, input_transform_f32, input_transform_i32, output_transform_f32,
     TileTransformer, TransformScratch,

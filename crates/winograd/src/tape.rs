@@ -48,6 +48,51 @@ pub struct TapeInstr {
     pub coeff: f32,
 }
 
+/// Per-destination post-ops fused into a tape's output stores (the graph
+/// engine's bias / residual-add / ReLU, PR-3-style: applied while the
+/// finished output vector is still in a register, before its one store).
+///
+/// `None` everywhere (`TapePostOps::default()`) makes
+/// [`Tape::execute_f32_post`] behave exactly like [`Tape::execute_f32`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TapePostOps<'a> {
+    /// Per-lane addend shared by all output slots (lanes are channels in
+    /// the blocked layout): lane `l` of every slot gains `bias[l]`. Must
+    /// hold at least `lanes` values.
+    pub bias: Option<&'a [f32]>,
+    /// Per-slot addend laid out like the output: `(buf, base, stride)` —
+    /// slot `i`, lane `l` gains `buf[base + i·stride + l]`. The
+    /// skip-connection tile of a residual block.
+    pub residual: Option<(&'a [f32], usize, usize)>,
+    /// Apply `max(·, 0.0)` last ([`F32Vector::max`] semantics).
+    pub relu: bool,
+}
+
+/// [`TapePostOps`] lowered to raw pointers (null ⇒ absent) so the
+/// per-tier `#[target_feature]` wrappers keep plain-data signatures.
+#[derive(Clone, Copy)]
+struct RawPost {
+    bias: *const f32,
+    res: *const f32,
+    res_stride: usize,
+    relu: bool,
+}
+
+impl RawPost {
+    fn from_post(post: &TapePostOps<'_>) -> Self {
+        let (res, res_stride) = match post.residual {
+            Some((buf, base, stride)) => (unsafe { buf.as_ptr().add(base) }, stride),
+            None => (core::ptr::null(), 0),
+        };
+        RawPost {
+            bias: post.bias.map_or(core::ptr::null(), |b| b.as_ptr()),
+            res,
+            res_stride,
+            relu: post.relu,
+        }
+    }
+}
+
 /// A lowered codelet: a flat multiply-accumulate tape over a register
 /// file laid out `[inputs | temps | outputs]`.
 #[derive(Debug, Clone)]
@@ -166,6 +211,61 @@ impl Tape {
             VecTier::F32x8 => unsafe { x86::f32_avx2(self, lanes, ip, in_stride, op, out_stride) },
             // SAFETY: scalar model has no feature requirement.
             _ => unsafe { drive_f32::<F32x1>(self, lanes, ip, in_stride, op, out_stride) },
+        }
+    }
+
+    /// [`Self::execute_f32`] with a fused **post-op epilogue** applied to
+    /// every output slot before its store, in this fixed order:
+    ///
+    /// 1. `bias` — per-lane addend (lanes are channels in the blocked
+    ///    layout), the same `bias[l..l+W]` vector added to every slot;
+    /// 2. `residual` — per-slot addend laid out like the output (slot `i`
+    ///    at `res[res_base + i·res_stride]`), the skip-connection tile;
+    /// 3. `relu` — `max(·, 0.0)` with `maxps` semantics (see
+    ///    [`F32Vector::max`]).
+    ///
+    /// Bitwise identical to [`Self::execute_f32`] followed by the scalar
+    /// spelling `((y + bias) + res).max(0.0)` per element, on every tier —
+    /// `add` is plain IEEE and never contracted, `max` matches
+    /// `f32::max(v, 0.0)` for all finite-or-NaN inputs.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_f32_post(
+        &self,
+        vt: VecTier,
+        lanes: usize,
+        input: &[f32],
+        in_base: usize,
+        in_stride: usize,
+        post: TapePostOps<'_>,
+        output: &mut [f32],
+        out_base: usize,
+        out_stride: usize,
+    ) {
+        self.check_spans(vt, lanes, input.len(), in_base, in_stride, output.len(), out_base, out_stride);
+        if let Some(bias) = post.bias {
+            assert!(bias.len() >= lanes, "bias shorter than the lane group");
+        }
+        if let Some((res, res_base, res_stride)) = post.residual {
+            assert!(res.len() >= res_base + (self.n_out - 1) * res_stride + lanes);
+        }
+        let raw = RawPost::from_post(&post);
+        let ip = unsafe { input.as_ptr().add(in_base) };
+        let op = unsafe { output.as_mut_ptr().add(out_base) };
+        match vt {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: spans checked above; tier availability asserted in
+            // `check_spans`.
+            VecTier::F32x16 => unsafe {
+                x86::f32_post_avx512(self, lanes, ip, in_stride, raw, op, out_stride)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            VecTier::F32x8 => unsafe {
+                x86::f32_post_avx2(self, lanes, ip, in_stride, raw, op, out_stride)
+            },
+            // SAFETY: scalar model has no feature requirement.
+            _ => unsafe { drive_post::<F32x1>(self, lanes, ip, in_stride, raw, op, out_stride) },
         }
     }
 
@@ -430,6 +530,72 @@ unsafe fn drive_f32<V: F32Vector>(
     }
 }
 
+/// One output vector through the post-op epilogue: bias, then residual
+/// slot tile, then ReLU — the register-resident fusion point.
+#[inline(always)]
+unsafe fn apply_post<V: F32Vector>(mut v: V, post: RawPost, i: usize, l: usize) -> V {
+    if !post.bias.is_null() {
+        v = v.add(V::load(post.bias.add(l)));
+    }
+    if !post.res.is_null() {
+        v = v.add(V::load(post.res.add(i * post.res_stride + l)));
+    }
+    if post.relu {
+        v = v.max(V::zero());
+    }
+    v
+}
+
+#[inline(always)]
+unsafe fn drive_post_sized<V: F32Vector, const N: usize>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const f32,
+    in_stride: usize,
+    post: RawPost,
+    op: *mut f32,
+    out_stride: usize,
+) {
+    let main = lanes - lanes % V::WIDTH;
+    let mut l = 0;
+    while l < main {
+        let (file, mut k) = load_and_eval::<V, N>(tape, ip.add(l), in_stride);
+        for i in 0..tape.n_out {
+            let v = eval_output(tape, &file, &mut k, i);
+            apply_post(v, post, i, l).store(op.add(i * out_stride + l));
+        }
+        l += V::WIDTH;
+    }
+    while l < lanes {
+        let (file, mut k) = load_and_eval::<F32x1, N>(tape, ip.add(l), in_stride);
+        for i in 0..tape.n_out {
+            let v = eval_output(tape, &file, &mut k, i);
+            apply_post(v, post, i, l).store(op.add(i * out_stride + l));
+        }
+        l += 1;
+    }
+}
+
+#[inline(always)]
+unsafe fn drive_post<V: F32Vector>(
+    tape: &Tape,
+    lanes: usize,
+    ip: *const f32,
+    in_stride: usize,
+    post: RawPost,
+    op: *mut f32,
+    out_stride: usize,
+) {
+    let file_regs = tape.n_in + tape.n_temps;
+    if file_regs <= TINY_REGS {
+        drive_post_sized::<V, TINY_REGS>(tape, lanes, ip, in_stride, post, op, out_stride);
+    } else if file_regs <= SMALL_REGS {
+        drive_post_sized::<V, SMALL_REGS>(tape, lanes, ip, in_stride, post, op, out_stride);
+    } else {
+        drive_post_sized::<V, MAX_REGS>(tape, lanes, ip, in_stride, post, op, out_stride);
+    }
+}
+
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 unsafe fn drive_quant_sized<V: F32Vector, const N: usize>(
@@ -588,6 +754,32 @@ mod x86 {
     }
 
     #[target_feature(enable = "avx512f")]
+    pub unsafe fn f32_post_avx512(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const f32,
+        in_stride: usize,
+        post: RawPost,
+        op: *mut f32,
+        out_stride: usize,
+    ) {
+        drive_post::<F32x16>(tape, lanes, ip, in_stride, post, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn f32_post_avx2(
+        tape: &Tape,
+        lanes: usize,
+        ip: *const f32,
+        in_stride: usize,
+        post: RawPost,
+        op: *mut f32,
+        out_stride: usize,
+    ) {
+        drive_post::<F32x8>(tape, lanes, ip, in_stride, post, op, out_stride);
+    }
+
+    #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     pub unsafe fn quant_avx512(
         tape: &Tape,
@@ -666,6 +858,44 @@ mod tests {
                 assert_eq!(tape.len(), code.op_count());
             }
         }
+    }
+
+    #[test]
+    fn post_epilogue_matches_unfused_scalar_smoke() {
+        // Full per-tier coverage lives in tests/post_epilogue.rs; this is
+        // the in-crate smoke check of the fused bias/residual/ReLU order.
+        let w = WinogradMatrices::lavin_f4_3();
+        let code = Codelet::generate(&w.at);
+        let tape = Tape::lower(&code);
+        let (n_out, lanes) = (tape.n_out(), 5);
+        let input: Vec<f32> = (0..tape.n_in() * lanes)
+            .map(|i| (i as f32 * 0.31).cos() * 2.0)
+            .collect();
+        let bias: Vec<f32> = (0..lanes).map(|l| l as f32 * 0.25 - 0.5).collect();
+        let res: Vec<f32> = (0..n_out * lanes).map(|i| (i as f32 * 0.11).sin()).collect();
+        let mut plain = vec![0.0f32; n_out * lanes];
+        tape.execute_f32(VecTier::Scalar, lanes, &input, 0, lanes, &mut plain, 0, lanes);
+        let want: Vec<u32> = (0..n_out * lanes)
+            .map(|i| ((plain[i] + bias[i % lanes] + res[i]).max(0.0)).to_bits())
+            .collect();
+        let mut got = vec![0.0f32; n_out * lanes];
+        let post = TapePostOps {
+            bias: Some(&bias),
+            residual: Some((&res, 0, lanes)),
+            relu: true,
+        };
+        tape.execute_f32_post(VecTier::Scalar, lanes, &input, 0, lanes, post, &mut got, 0, lanes);
+        assert_eq!(got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(), want);
+        // Default post-ops degenerate to the plain executor.
+        let mut ident = vec![0.0f32; n_out * lanes];
+        tape.execute_f32_post(
+            VecTier::Scalar, lanes, &input, 0, lanes,
+            TapePostOps::default(), &mut ident, 0, lanes,
+        );
+        assert_eq!(
+            ident.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            plain.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -442,6 +442,68 @@ impl TileTransformer {
                 .execute_f32(vt, lanes, &s.tmp, i * n * lanes, lanes, y, i * m * lanes, lanes);
         }
     }
+
+    /// [`Self::output_tile_dequantized`] with the graph engine's fused
+    /// **post-op epilogue** on the row pass: per output element, add the
+    /// per-lane `bias`, add the matching element of the `m×m` lane-group
+    /// `residual` tile, then ReLU — all in-register before the single
+    /// store into `y` (see [`crate::tape::TapePostOps`] for the exact
+    /// order and bitwise contract).
+    ///
+    /// Bitwise identical to [`Self::output_tile_dequantized`] followed by
+    /// the scalar `((y + bias) + res).max(0.0)` per element.
+    #[allow(clippy::too_many_arguments)]
+    pub fn output_tile_dequantized_post(
+        &self,
+        vt: VecTier,
+        z: &[i32],
+        inv_alphas: &[f32],
+        stride: usize,
+        post: crate::tape::TapePostOps<'_>,
+        y: &mut [f32],
+        s: &mut TransformScratch,
+    ) {
+        let (n, m) = (self.n(), self.m());
+        let lanes = s.lanes;
+        debug_assert!(stride == 0 || inv_alphas.len() >= n * n);
+        for j in 0..n {
+            self.at_tape.execute_dequant_f32(
+                vt,
+                lanes,
+                z,
+                j * lanes,
+                n * lanes,
+                inv_alphas,
+                j * stride,
+                n * stride,
+                &mut s.tmp,
+                j * lanes,
+                n * lanes,
+            );
+        }
+        for i in 0..m {
+            // Row `i` of the `m×m` residual tile lines up with row `i` of
+            // `y`: slot `j` at `base + (i·m + j)·stride`.
+            let row_post = crate::tape::TapePostOps {
+                bias: post.bias,
+                residual: post
+                    .residual
+                    .map(|(buf, base, stride)| (buf, base + i * m * stride, stride)),
+                relu: post.relu,
+            };
+            self.at_tape.execute_f32_post(
+                vt,
+                lanes,
+                &s.tmp,
+                i * n * lanes,
+                lanes,
+                row_post,
+                y,
+                i * m * lanes,
+                lanes,
+            );
+        }
+    }
 }
 
 /// One-shot input transform of a scalar (`lanes = 1`) tile — reference use.

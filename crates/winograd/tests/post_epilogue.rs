@@ -1,0 +1,188 @@
+//! Property tests for the fused post-op epilogue
+//! ([`Tape::execute_f32_post`]): on every available vector tier and for
+//! every combination of bias / residual-add / ReLU, the fused store must be
+//! **bitwise identical** to the two-pass oracle — the *interpreted* codelet
+//! executor followed by the scalar spelling `((y + bias) + res).max(0.0)`
+//! per element.
+//!
+//! The residual cases deliberately mimic the graph engine's arena reuse:
+//! the skip tensor lives at a **nonzero base inside a larger buffer whose
+//! other bytes hold stale garbage** (a previously-dead slot's window), with
+//! a stride wider than the lane group — exactly the addressing the planner
+//! produces when a residual block's skip slot is packed next to reused
+//! memory.
+
+use lowino_simd::vecf32::VecTier;
+use lowino_testkit::{one_of, prop_assert, property, Rng};
+use lowino_winograd::codelet::Codelet;
+use lowino_winograd::tape::{Tape, TapePostOps};
+use lowino_winograd::WinogradMatrices;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The scalar oracle for one element: the fixed epilogue order
+/// bias → residual → ReLU, with `f32::max(v, 0.0)` (`maxps` semantics for
+/// finite inputs).
+fn post_scalar(y: f32, bias: Option<f32>, res: Option<f32>, relu: bool) -> f32 {
+    let mut v = y;
+    if let Some(b) = bias {
+        v += b;
+    }
+    if let Some(r) = res {
+        v += r;
+    }
+    if relu {
+        v = v.max(0.0);
+    }
+    v
+}
+
+property! {
+    /// Fused epilogue == interpreted codelet + scalar post-ops, for all
+    /// eight bias/residual/relu combinations, on every tier, with lane
+    /// counts straddling every SIMD chunk boundary.
+    #[cases(48)]
+    fn fused_post_ops_match_two_pass_oracle(
+        m in one_of(&[2usize, 4]),
+        lanes in 1usize..70,
+        seed in 0u64..1_000_000,
+        with_bias in one_of(&[true, false]),
+        with_res in one_of(&[true, false]),
+        relu in one_of(&[true, false]),
+    ) {
+        let w = WinogradMatrices::for_tile(m, 3).unwrap();
+        let code = Codelet::generate(&w.at);
+        let tape = Tape::lower(&code);
+        let (n_in, n_out) = (code.n_in(), code.n_out());
+        let mut rng = Rng::seed_from_u64(seed ^ 0xE91);
+
+        let mut input = vec![0.0f32; n_in * lanes];
+        rng.fill_f32(&mut input, -20.0, 20.0);
+        let mut bias = vec![0.0f32; lanes];
+        rng.fill_f32(&mut bias, -3.0, 3.0);
+
+        // Residual at a reused offset: a larger arena-like buffer full of
+        // stale garbage, the live skip window starting at a nonzero base
+        // with a stride wider than the lane group.
+        let res_stride = lanes + rng.range_i32(0, 5) as usize;
+        let res_base = 3 * lanes + 1;
+        let mut res_buf =
+            vec![0.0f32; res_base + (n_out - 1) * res_stride + lanes + 7];
+        rng.fill_f32(&mut res_buf, -1e30, 1e30); // stale bytes
+        for i in 0..n_out {
+            rng.fill_f32(
+                &mut res_buf[res_base + i * res_stride..res_base + i * res_stride + lanes],
+                -10.0,
+                10.0,
+            );
+        }
+
+        // Two-pass oracle: interpreted executor, then scalar post-ops.
+        let mut want = vec![0.0f32; n_out * lanes];
+        let mut cse = vec![0.0f32; code.n_temps().max(1) * lanes];
+        code.execute_f32(lanes, &input, 0, lanes, &mut want, 0, lanes, &mut cse);
+        for i in 0..n_out {
+            for l in 0..lanes {
+                want[i * lanes + l] = post_scalar(
+                    want[i * lanes + l],
+                    with_bias.then(|| bias[l]),
+                    with_res.then(|| res_buf[res_base + i * res_stride + l]),
+                    relu,
+                );
+            }
+        }
+
+        let post = TapePostOps {
+            bias: with_bias.then_some(&bias[..]),
+            residual: with_res.then_some((&res_buf[..], res_base, res_stride)),
+            relu,
+        };
+        for vt in VecTier::available() {
+            let mut got = vec![f32::NAN; n_out * lanes];
+            tape.execute_f32_post(vt, lanes, &input, 0, lanes, post, &mut got, 0, lanes);
+            prop_assert!(
+                bits(&got) == bits(&want),
+                "F({m},3) tier={vt} lanes={lanes} bias={with_bias} \
+                 res={with_res} relu={relu}: {got:?} != {want:?}"
+            );
+        }
+    }
+
+    /// With no post-ops at all, `execute_f32_post` degenerates to
+    /// `execute_f32` bit for bit (the epilogue is pay-for-what-you-use).
+    #[cases(24)]
+    fn empty_post_ops_are_the_identity(
+        m in one_of(&[2usize, 4, 6]),
+        lanes in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let w = WinogradMatrices::for_tile(m, 3).unwrap();
+        let code = Codelet::generate(&w.at);
+        let tape = Tape::lower(&code);
+        let (n_in, n_out) = (code.n_in(), code.n_out());
+        let mut rng = Rng::seed_from_u64(seed ^ 0x1D1E);
+        let mut input = vec![0.0f32; n_in * lanes];
+        rng.fill_f32(&mut input, -9.0, 9.0);
+
+        let mut plain = vec![f32::NAN; n_out * lanes];
+        let mut posted = vec![f32::NAN; n_out * lanes];
+        for vt in VecTier::available() {
+            tape.execute_f32(vt, lanes, &input, 0, lanes, &mut plain, 0, lanes);
+            tape.execute_f32_post(
+                vt, lanes, &input, 0, lanes,
+                TapePostOps::default(),
+                &mut posted, 0, lanes,
+            );
+            prop_assert!(
+                bits(&posted) == bits(&plain),
+                "F({m},3) tier={vt} lanes={lanes}"
+            );
+        }
+    }
+
+    /// Signed-zero and ReLU edge: when `conv + bias` lands exactly on
+    /// `-0.0`, the fused ReLU must produce `+0.0` — the same bit the
+    /// scalar `f32::max(-0.0, 0.0)` produces — so downstream bitwise
+    /// comparisons can't be tripped by zero signs.
+    #[cases(16)]
+    fn relu_normalises_negative_zero(
+        lanes in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let w = WinogradMatrices::for_tile(2, 3).unwrap();
+        let code = Codelet::generate(&w.at);
+        let tape = Tape::lower(&code);
+        let (n_in, n_out) = (code.n_in(), code.n_out());
+        let mut rng = Rng::seed_from_u64(seed ^ 0x0520);
+        let mut input = vec![0.0f32; n_in * lanes];
+        rng.fill_f32(&mut input, -5.0, 5.0);
+
+        // Bias chosen so every element becomes exactly -y: y + (-y) = ±0.0
+        // (sign depends on y's sign; y - y is +0.0, but -0.0 appears when
+        // y == +0.0 and bias == -0.0). Cancel per-slot via residual, which
+        // is per-slot addressed.
+        let mut y = vec![0.0f32; n_out * lanes];
+        let mut cse = vec![0.0f32; code.n_temps().max(1) * lanes];
+        code.execute_f32(lanes, &input, 0, lanes, &mut y, 0, lanes, &mut cse);
+        let neg: Vec<f32> = y.iter().map(|v| -v).collect();
+
+        let post = TapePostOps {
+            bias: None,
+            residual: Some((&neg[..], 0, lanes)),
+            relu: true,
+        };
+        for vt in VecTier::available() {
+            let mut got = vec![f32::NAN; n_out * lanes];
+            tape.execute_f32_post(vt, lanes, &input, 0, lanes, post, &mut got, 0, lanes);
+            for (i, g) in got.iter().enumerate() {
+                prop_assert!(
+                    g.to_bits() == 0.0f32.to_bits(),
+                    "tier={vt} elem {i}: {g} (bits {:#x}) != +0.0",
+                    g.to_bits()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential battery: the whole-model graph engine
+//! ([`lowino_nn::CompiledGraph`]) must be **bitwise identical** to the
+//! per-layer PTQ path ([`lowino_nn::QuantizedModel`]) — for MiniResNet
+//! and MiniVGG, at thread counts 1 and 4, on whatever SIMD tier the
+//! process runs under (`ci/check.sh` re-runs this binary with
+//! `LOWINO_FORCE_TIER` pinned to every tier the host supports).
+//!
+//! This is the strongest correctness statement the graph engine makes:
+//! folding bias/ReLU/residual-add into the conv tape epilogues, replacing
+//! per-layer allocations with liveness-planned arena windows, and
+//! re-blocking the glue ops must change **no bit** of the logits. The
+//! per-element arithmetic order is a contract, not an accident.
+
+use lowino::Tensor4;
+use lowino::Algorithm;
+use lowino_nn::{
+    mini_resnet, mini_vgg, CompiledGraph, GraphSpec, Layer, Model, QuantizedModel,
+    QuantizedSpec,
+};
+use lowino_testkit::Rng;
+
+/// Give every conv/linear a non-trivial bias (fresh layers initialise
+/// biases to zero, which would let a broken bias epilogue pass).
+fn inject_biases(layers: &mut [Layer], rng: &mut Rng) {
+    for l in layers {
+        match l {
+            Layer::Conv(c) => {
+                for b in &mut c.bias {
+                    *b = rng.f32_range(-0.3, 0.3);
+                }
+            }
+            Layer::Linear(lin) => {
+                for b in &mut lin.bias {
+                    *b = rng.f32_range(-0.3, 0.3);
+                }
+            }
+            Layer::Residual(r) => inject_biases(&mut r.body, rng),
+            _ => {}
+        }
+    }
+}
+
+fn build_model(resnet: bool, seed: u64) -> Model {
+    let mut model = if resnet {
+        mini_resnet(3, 8, 3, seed)
+    } else {
+        mini_vgg(3, 8, 3, seed)
+    };
+    inject_biases(&mut model.layers, &mut Rng::seed_from_u64(seed ^ 0xB1A5));
+    model
+}
+
+fn batch(n: usize, seed: u64) -> Tensor4 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut t = Tensor4::zeros(n, 3, 8, 8);
+    rng.fill_f32(t.data_mut(), -1.5, 1.5);
+    t
+}
+
+fn bits(t: &Tensor4) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// One (model, m, threads) cell: logits from the graph engine vs the
+/// per-layer interpreter, compared bit for bit.
+fn check_identity(resnet: bool, m: usize, threads: usize) {
+    let calib = batch(4, 0xCA11B ^ m as u64);
+    let x = batch(2, 0x1D ^ threads as u64);
+
+    let mut model = build_model(resnet, 31);
+    let mut q = QuantizedModel::from_model(
+        &mut model,
+        &calib,
+        &QuantizedSpec {
+            algorithm: Algorithm::LoWino { m },
+            per_position: false,
+            batch: 2,
+            threads,
+        },
+    )
+    .unwrap();
+    let want = q.logits(&x);
+
+    // Fresh identically-seeded model: compilation mutates layer caches.
+    let mut model = build_model(resnet, 31);
+    let spec = GraphSpec { m, batch: 2, threads };
+    let mut g = CompiledGraph::compile(&mut model, &calib, &spec).unwrap();
+    let got = g.logits(&x);
+
+    assert_eq!(g.demotion_count(), 0, "healthy model must not demote");
+    assert!(!g.plan_degraded());
+    assert_eq!(
+        bits(&got),
+        bits(&want),
+        "graph logits differ from per-layer path \
+         (resnet={resnet} m={m} threads={threads}):\n {got:?}\n vs {want:?}",
+    );
+}
+
+#[test]
+fn miniresnet_graph_matches_per_layer_bitwise_1_thread() {
+    check_identity(true, 2, 1);
+}
+
+#[test]
+fn miniresnet_graph_matches_per_layer_bitwise_4_threads() {
+    check_identity(true, 2, 4);
+}
+
+#[test]
+fn minivgg_graph_matches_per_layer_bitwise_1_thread() {
+    check_identity(false, 2, 1);
+}
+
+#[test]
+fn minivgg_graph_matches_per_layer_bitwise_4_threads() {
+    check_identity(false, 2, 4);
+}
+
+#[test]
+fn f4_tile_also_matches_bitwise() {
+    // The F(4,3) tapes take a different codelet path than F(2,3); the
+    // identity must hold there too.
+    check_identity(true, 4, 2);
+    check_identity(false, 4, 2);
+}
+
+#[test]
+fn thread_count_does_not_change_graph_output() {
+    // The work partition is static and each output element is computed by
+    // exactly one task, so the logits are thread-count-invariant.
+    let calib = batch(4, 7);
+    let x = batch(2, 9);
+    let mut logits = Vec::new();
+    for threads in [1, 4] {
+        let mut model = build_model(true, 13);
+        let spec = GraphSpec { m: 2, batch: 2, threads };
+        let mut g = CompiledGraph::compile(&mut model, &calib, &spec).unwrap();
+        logits.push(bits(&g.logits(&x)));
+    }
+    assert_eq!(logits[0], logits[1], "graph output varies with threads");
+}

@@ -11,7 +11,8 @@ use std::sync::Mutex;
 use lowino::prelude::*;
 use lowino::resilient::DemotionReason;
 use lowino::{ConvContext, DirectF32Conv, ResilientConv};
-use lowino_testkit::faults::{self, CALIBRATE_SAMPLES, POOL_PHASE, SCRATCH_GROW};
+use lowino_nn::{mini_resnet, CompiledGraph, GraphSpec};
+use lowino_testkit::faults::{self, CALIBRATE_SAMPLES, GRAPH_PLAN, POOL_PHASE, SCRATCH_GROW};
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -146,4 +147,98 @@ fn wisdom_save_fault_leaves_engine_serving() {
     let err = out.to_nchw().rel_l2_error(&want.to_nchw());
     assert!(err < TOL, "rel error {err}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-model graph engine under fault injection
+// ---------------------------------------------------------------------------
+
+fn graph_input(batch: usize, seed: u64) -> Tensor4 {
+    let mut rng = lowino_testkit::Rng::seed_from_u64(seed);
+    let mut t = Tensor4::zeros(batch, 3, 8, 8);
+    rng.fill_f32(t.data_mut(), -1.0, 1.0);
+    t
+}
+
+#[test]
+fn graph_plan_fault_degrades_plan_but_not_output() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let x = graph_input(2, 41);
+    let spec = GraphSpec { m: 2, batch: 2, threads: 2 };
+
+    // Healthy compile for the reference logits.
+    let mut model = mini_resnet(3, 8, 3, 41);
+    let mut healthy = CompiledGraph::compile(&mut model, &x, &spec).unwrap();
+    assert!(!healthy.plan_degraded());
+    let want = healthy.logits(&x);
+
+    // Armed GRAPH_PLAN: the planner falls back to the disjoint layout.
+    // The arena gets bigger, but slot contents — and therefore the
+    // logits — must be bitwise unchanged.
+    GRAPH_PLAN.arm();
+    let mut model = mini_resnet(3, 8, 3, 41);
+    let mut degraded = CompiledGraph::compile(&mut model, &x, &spec).unwrap();
+    assert!(!GRAPH_PLAN.is_armed(), "fault is one-shot");
+    assert!(degraded.plan_degraded(), "armed fault must degrade the plan");
+    assert!(
+        degraded.plan_bytes() >= healthy.plan_bytes(),
+        "disjoint fallback cannot be smaller than the packed plan"
+    );
+    let got = degraded.logits(&x);
+    let same = want
+        .data()
+        .iter()
+        .zip(got.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "degraded plan changed the logits");
+}
+
+#[test]
+fn calibrate_fault_during_graph_compile_demotes_one_conv() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let x = graph_input(2, 43);
+    let spec = GraphSpec { m: 2, batch: 2, threads: 2 };
+
+    // The armed fault fires inside the first conv's Winograd-domain
+    // calibration; ResilientConv demotes that rung at build time and the
+    // rest of the model compiles on the healthy path.
+    CALIBRATE_SAMPLES.arm();
+    let mut model = mini_resnet(3, 8, 3, 43);
+    let mut g = CompiledGraph::compile(&mut model, &x, &spec).unwrap();
+    assert!(!CALIBRATE_SAMPLES.is_armed(), "fault is one-shot");
+    assert!(
+        g.demotion_count() >= 1,
+        "compile-time calibration fault must be recorded as a demotion"
+    );
+    let logits = g.logits(&x);
+    assert!(logits.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn pool_phase_fault_mid_model_demotes_and_finishes() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    faults::disarm_all();
+    let x = graph_input(2, 47);
+    let spec = GraphSpec { m: 2, batch: 2, threads: 2 };
+    let mut model = mini_resnet(3, 8, 3, 47);
+    let mut g = CompiledGraph::compile(&mut model, &x, &spec).unwrap();
+    // Warm-up: all executors healthy.
+    let mut logits = Tensor4::zeros(2, 3, 1, 1);
+    g.execute(&x, &mut logits).unwrap();
+    assert_eq!(g.demotion_count(), 0);
+
+    // A worker panic mid-model must be absorbed by that conv's demotion
+    // ladder; the rest of the graph keeps running and the output stays
+    // finite.
+    POOL_PHASE.arm();
+    g.execute(&x, &mut logits).unwrap();
+    assert!(!POOL_PHASE.is_armed(), "fault is one-shot");
+    assert_eq!(g.demotion_count(), 1, "exactly one conv demotes");
+    assert!(logits.data().iter().all(|v| v.is_finite()));
+
+    // And the demoted graph keeps serving finite output afterwards.
+    g.execute(&x, &mut logits).unwrap();
+    assert!(logits.data().iter().all(|v| v.is_finite()));
 }
