@@ -38,6 +38,12 @@ for forced in scalar avx2 avx512vnni; do
         # a tier-specific regression name itself in the log).
         echo "==> graph identity (LOWINO_FORCE_TIER=$forced)"
         LOWINO_FORCE_TIER="$forced" cargo test -q --offline -p lowino --test graph_identity
+        # The pipelined GEMM driver (double-buffered packing + prefetch)
+        # must stay exactly equal to the unpacked reference on every tier:
+        # the packed-block walk, ragged tails, single-block degenerate
+        # shapes and scratch reuse are all asserted by name per tier.
+        echo "==> gemm pipeline identity (LOWINO_FORCE_TIER=$forced)"
+        LOWINO_FORCE_TIER="$forced" cargo test -q --offline -p lowino-gemm --test pipeline
     else
         echo "==> tier $forced not supported on this host; skipping forced-tier pass"
     fi
@@ -68,13 +74,20 @@ cargo run -q --release --offline -p lowino-bench --bin resilient_smoke
 
 # Trace smoke: re-run the forkjoin smoke with the recorder enabled and
 # validate the emitted chrome trace (must exist, be non-empty, be valid
-# JSON per the in-tree validator, and contain pool phase spans).
+# JSON per the in-tree validator, and contain pool phase spans). The
+# pipelined GEMM scheduler must show up too: gemm/pack_ns (packing time
+# counter) and gemm/steal (per-worker stolen-chunk instant — an instant
+# precisely so it records even on steal-free runs) are load-bearing
+# observability and their absence means the pipeline silently fell back.
 echo "==> trace smoke (forkjoin, LOWINO_TRACE set)"
 trace_tmp="$(mktemp -t lowino-trace-XXXXXX.json)"
 trap 'rm -f "$trace_tmp"' EXIT
 LOWINO_BENCH_SMOKE=1 LOWINO_TRACE="$trace_tmp" \
     cargo bench -q --offline -p lowino-bench --bench forkjoin
 cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$trace_tmp"
+grep -q '"gemm/pack_ns"' "$trace_tmp"
+grep -q '"gemm/steal"' "$trace_tmp"
+grep -q '"pool/steal"' "$trace_tmp"
 
 # Whole-model smoke: compile MiniResNet into the graph engine and run it
 # end to end (one smoke bench cell), traced, and validate the trace — it

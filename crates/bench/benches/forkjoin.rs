@@ -37,13 +37,17 @@ impl Config {
 fn bench_layer(name: &str, batch_div: usize, hw_div: usize, m: usize, cfg: &Config) {
     let layer = layer_by_name(name).expect("Table 2 layer");
     let spec = layer.shape(batch_div, hw_div);
+    let threads: &[usize] = if cfg.smoke { &[1, 2] } else { &[1, 2, 4] };
+    bench_spec(name, spec, m, threads, cfg);
+}
+
+fn bench_spec(name: &str, spec: lowino_tensor::ConvShape, m: usize, threads: &[usize], cfg: &Config) {
     let weights = synth_weights(&spec, 42);
     let input = BlockedImage::from_nchw(&synth_input(&spec, 7));
     let cal = calibrate_winograd_domain(&spec, m, std::slice::from_ref(&input))
         .expect("winograd-domain calibration");
     let mut out = BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w());
 
-    let threads: &[usize] = if cfg.smoke { &[1, 2] } else { &[1, 2, 4] };
     for &t in threads {
         let mut ctx = ConvContext::new(t);
         let mut conv = LoWinoConv::new(spec, m, &weights, cal).expect("plan LoWino layer");
@@ -88,5 +92,14 @@ fn main() {
     bench_layer("GoogLeNet_c", 16, 1, 4, &cfg); // 7×7, K=384
     bench_layer("ResNet-50_b", 16, 1, 4, &cfg); // 14×14, K=256
     bench_layer("VGG16_c", 32, 1, 4, &cfg); // 16×16, K=512 (control)
+    // Scheduler-skew case: 27×27 with m=4 gives a 7×7 = 49-tile grid, so
+    // at t8 the static partition is maximally ragged (49 = 8·6 + 1) and
+    // the bounded work-stealing pop path is what evens it out. t8 also
+    // oversubscribes small CI hosts — the case doubles as a measurement of
+    // how the dynamic schedule degrades when threads > cores.
+    let skew = lowino_tensor::ConvShape::same(1, 64, 96, 27, 3)
+        .validate()
+        .expect("skewed shape");
+    bench_spec("skew27", skew, 4, &[1, 8], &cfg);
     lowino_trace::flush_to_env();
 }

@@ -2,17 +2,21 @@
 //! end-to-end through [`lowino_nn::CompiledGraph::execute`] (liveness-
 //! planned arena, fused conv epilogues) against the per-layer
 //! [`lowino_nn::QuantizedModel`] interpreter. `throughput_elements` is the
-//! batch size, so the reported element rate **is imgs/s**.
+//! multiply-accumulate count of one forward pass (computed by walking the
+//! layer list with a shape tracker), so `gelems_per_s` reads as GMAC/s —
+//! comparable across batch sizes and architectures. The old report used
+//! `elements = batch`, which rounded every model's rate down to
+//! `"gelems_per_s":0.0000`.
 //!
 //! Run with `cargo bench --bench models`; set
-//! `LOWINO_BENCH_JSON=BENCH_PR6.json` to accumulate the JSON-line log and
+//! `LOWINO_BENCH_JSON=BENCH_PR7.json` to accumulate the JSON-line log and
 //! `LOWINO_BENCH_SMOKE=1` for a seconds-long CI smoke configuration (one
 //! MiniResNet cell). With `LOWINO_TRACE=<path>` the smoke run also emits
 //! whole-model `graph/execute` + `graph/layer` spans for `trace_check`.
 
 use lowino::{Algorithm, Tensor4};
 use lowino_nn::{
-    mini_resnet, mini_vgg, CompiledGraph, GraphSpec, Model, QuantizedModel, QuantizedSpec,
+    mini_resnet, mini_vgg, CompiledGraph, GraphSpec, Layer, Model, QuantizedModel, QuantizedSpec,
 };
 use lowino_testkit::{black_box, BenchGroup, Rng};
 use std::time::Duration;
@@ -27,6 +31,35 @@ impl Config {
             smoke: std::env::var("LOWINO_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
         }
     }
+}
+
+/// Multiply-accumulate count of one forward pass at an `(batch, ·, h, w)`
+/// input. The shape tracker mirrors each layer's forward: same-padding
+/// stride-1 convs preserve `H×W`, max-pool halves it, GAP collapses it to
+/// `1×1`, and a residual body preserves shape. Element-wise layers (ReLU,
+/// the residual add) contribute no MACs.
+fn model_macs(layers: &[Layer], batch: usize, mut h: usize, mut w: usize) -> u64 {
+    let mut macs = 0u64;
+    for l in layers {
+        match l {
+            Layer::Conv(c) => {
+                macs += (batch * c.out_channels() * c.in_channels() * h * w) as u64
+                    * (c.filter() * c.filter()) as u64;
+            }
+            Layer::MaxPool(_) => {
+                h /= 2;
+                w /= 2;
+            }
+            Layer::Gap(_) => {
+                h = 1;
+                w = 1;
+            }
+            Layer::Linear(lin) => macs += (batch * lin.weights.len()) as u64,
+            Layer::Residual(r) => macs += model_macs(&r.body, batch, h, w),
+            Layer::ReLU(_) => {}
+        }
+    }
+    macs
 }
 
 fn input(batch: usize, seed: u64) -> Tensor4 {
@@ -79,8 +112,10 @@ fn bench_model(
             .measurement_time(Duration::from_secs(2))
             .warm_up_time(Duration::from_millis(300));
     }
-    // One element = one image: the element rate is imgs/s.
-    group.throughput_elements(batch as u64);
+    // One element = one multiply-accumulate: `gelems_per_s` is GMAC/s.
+    // (Both the graph engine and the per-layer interpreter run the same
+    // layer list, so one MAC count serves both bench functions.)
+    group.throughput_elements(model_macs(&model.layers, batch, 8, 8));
 
     group.bench_function("graph", || {
         graph.execute(&x, &mut logits).expect("bench rep");

@@ -300,10 +300,12 @@ impl ConvExecutor for DownScaleConv {
                 // Drain the non-temporal stores before the phase barrier.
                 stream_fence();
             }
-            // -- Phase ②: the GEMM.
+            // -- Phase ②: the GEMM, pipelined through the worker's
+            // double-buffered packing scratch.
             2 => {
                 let _span = lowino_trace::span("downscale/gemm");
-                gemm.run_range(range);
+                let mut ws = scratch.worker(worker);
+                gemm.run_range(range, &mut ws.gemm_pack);
             }
             // -- Phase ③: fused de-quantize + output transform (the inverse
             // scale 1/(α_in·α_ds·α_U) is folded into the compiled tape's

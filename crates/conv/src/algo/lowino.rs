@@ -405,10 +405,12 @@ impl LoWinoConv {
                 // the GEMM phase reads V from other threads.
                 stream_fence();
             }
-            // -- Phase ②: batched low-precision GEMM.
+            // -- Phase ②: batched low-precision GEMM, pipelined through
+            // the worker's double-buffered packing scratch.
             1 => {
                 let _span = lowino_trace::span("lowino/gemm");
-                gemm.run_range(range);
+                let mut ws = scratch.worker(worker);
+                gemm.run_range(range, &mut ws.gemm_pack);
             }
             // -- Phase ③: compiled output transform consuming the raw i32
             // Z block, dequantization fused into the column-pass loads and

@@ -19,6 +19,7 @@
 
 use std::sync::{Mutex, MutexGuard};
 
+use lowino_gemm::PanelScratch;
 use lowino_tensor::AlignedBuf;
 use lowino_winograd::TransformScratch;
 
@@ -51,6 +52,9 @@ pub struct WorkerScratch {
     /// u8 tile-sized buffer (quantized transform output; 64-byte aligned
     /// so each 64-lane group can be stream-stored as one cache line).
     pub tile_u8: AlignedBuf<u8>,
+    /// Double-buffered `U` packing slots for the pipelined GEMM driver
+    /// (grown by `GemmTasks::run_range` on first use, then reused).
+    pub gemm_pack: PanelScratch,
 }
 
 /// Record an arena growth in the trace. Buffers never shrink, so the

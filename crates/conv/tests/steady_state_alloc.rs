@@ -94,6 +94,51 @@ fn lowino_steady_state_allocates_nothing_and_is_one_fork_join() {
     }
 }
 
+/// The pipelined GEMM under dynamic scheduling: a blocking override small
+/// enough to force several `(K_blk, C_blk)` cache blocks per task makes the
+/// two `PanelScratch` packing slots actually cycle, and multiple threads
+/// engage the bounded work-stealing pop path — both must stay allocation-
+/// free once the warm-up execute has grown the arenas (steal queues are
+/// re-seeded in place, packs are straight copies into the resident slots).
+#[test]
+fn pipelined_multi_block_steady_state_allocates_nothing() {
+    use lowino_gemm::Blocking;
+    let spec = ConvShape::same(1, 70, 130, 11, 3).validate().unwrap();
+    let img = test_image(&spec);
+    let weights = test_weights(&spec);
+    let wino = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
+    let spatial = calibrate_spatial(std::slice::from_ref(&img)).unwrap();
+    // C_p = 128, K_p = 192 → 2 C-blocks × 3 K-blocks = 6 packed blocks per
+    // task: the double-buffer alternates through five hand-offs.
+    let blocking = Blocking { n_blk: 8, c_blk: 64, k_blk: 64, row_blk: 4, col_blk: 2 };
+
+    let mut lowino = LoWinoConv::new(spec, 4, &weights, wino).unwrap();
+    lowino.set_blocking(blocking);
+    let mut downscale = DownScaleConv::new(spec, 4, &weights, spatial).unwrap();
+    downscale.set_blocking(blocking);
+    let mut executors: Vec<(&str, Box<dyn ConvExecutor>)> = vec![
+        ("lowino", Box::new(lowino)),
+        ("downscale", Box::new(downscale)),
+    ];
+
+    let mut out = BlockedImage::zeros(1, 130, 11, 11);
+    for threads in [1, 3] {
+        let mut ctx = ConvContext::new(threads);
+        for (name, exec) in &mut executors {
+            exec.execute(&img, &mut out, &mut ctx).unwrap();
+            let allocs = count_allocs(|| {
+                for _ in 0..2 {
+                    exec.execute(&img, &mut out, &mut ctx).unwrap();
+                }
+            });
+            assert_eq!(
+                allocs, 0,
+                "{name}: pipelined steady state must not touch the heap (threads={threads})"
+            );
+        }
+    }
+}
+
 #[test]
 fn every_executor_is_one_fork_join_per_execute() {
     let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();

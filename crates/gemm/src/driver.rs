@@ -15,16 +15,29 @@
 //! `Z̄[t]` (Eq. 9); subsequent chunks accumulate into `Z` — the in-cache
 //! partial-sum buffer of §4.3.1.
 //!
+//! The `(k0, c0)` cache-block walk is *software-pipelined*: each executing
+//! worker owns a [`PanelScratch`] of two packing slots, and while the
+//! micro-kernel consumes the packed copy of cache block `i` from one slot,
+//! the driver prefetches and then packs block `i+1` of the `UPanel` into
+//! the other. Packing is a straight per-4-channel-group copy into a
+//! contiguous buffer — the kernel reads exactly the bytes it would have
+//! read in place, in the same order, so `Z` is bitwise identical to the
+//! unpipelined walk (including the `Z̄` seed and partial-sum behaviour).
+//!
 //! Parallelisation follows §4.4: the `T × ⌈N/N_blk⌉` task grid is statically
-//! pre-partitioned across the pool's threads; tasks touch disjoint
-//! `(t, n-range)` regions of `Z`, so the threads never write the same cache
-//! line.
+//! pre-partitioned across the pool's threads (with bounded intra-phase
+//! stealing re-balancing the tail — see `lowino_parallel::StealQueues`);
+//! tasks touch disjoint `(t, n-range)` regions of `Z`, so the threads never
+//! write the same cache line.
 
 use lowino_parallel::StaticPool;
+use lowino_simd::store::prefetch_panel_rows;
 use lowino_simd::SimdTier;
-use lowino_tensor::round_up;
+use lowino_tensor::{round_up, AlignedBuf};
 
 use core::ops::Range;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::kernel::{microkernel, Blocking, Seed, MAX_COL_BLK, MAX_ROW_BLK};
 use crate::panels::{UPanel, VPanel, ZPanel};
@@ -65,6 +78,47 @@ pub fn normalize_blocking(b: &Blocking, shape: &GemmShape) -> Blocking {
     out.col_blk = out.col_blk.clamp(1, col_cap);
     out.col_blk = 1 << out.col_blk.ilog2();
     out
+}
+
+/// Per-worker double-buffered packing scratch for the pipelined driver.
+///
+/// Two 64-byte-aligned byte slots: while the micro-kernel consumes the
+/// packed copy of `U` cache block `i` from slot `i % 2`, the driver packs
+/// block `i+1` into the other slot. The slots grow on first use (to the
+/// next power of two, so mixed layer shapes settle quickly) and are reused
+/// across tasks, layers and executes — on the executor path they live in
+/// the conv crate's per-worker scratch arena, so the steady state performs
+/// zero heap allocations (asserted by its counting-allocator test).
+#[derive(Default)]
+pub struct PanelScratch {
+    slots: [AlignedBuf<i8>; 2],
+}
+
+impl PanelScratch {
+    /// An empty scratch; the slots grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow both slots to hold at least `bytes` each.
+    fn ensure(&mut self, bytes: usize) {
+        if self.slots[0].len() < bytes {
+            let new_len = bytes.next_power_of_two();
+            self.slots = [AlignedBuf::zeroed(new_len), AlignedBuf::zeroed(new_len)];
+        }
+    }
+
+    /// Read pointer to slot `i % 2` (the block being consumed).
+    #[inline]
+    fn slot_ptr(&self, i: usize) -> *const i8 {
+        self.slots[i % 2].as_ptr()
+    }
+
+    /// Mutable view of slot `i % 2` (the block being packed).
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut [i8] {
+        self.slots[i % 2].as_mut_slice()
+    }
 }
 
 /// A planned batched u8×i8 GEMM whose task ranges can be executed from any
@@ -144,16 +198,28 @@ impl<'a> GemmTasks<'a> {
         self.z
     }
 
-    /// Execute a contiguous task range. Ends with a store fence so the
-    /// non-temporal scatter stores are globally visible before the caller
-    /// crosses the next phase barrier.
-    pub fn run_range(&self, range: Range<usize>) {
+    /// The packed size (bytes) of the largest `(K_blk, C_blk)` cache block
+    /// a task will route through one [`PanelScratch`] slot.
+    fn max_block_bytes(&self) -> usize {
+        // c4 groups × 4 bytes × k width = c_blk·k_blk clamped to the panel.
+        self.b.c_blk.min(self.cp) * self.b.k_blk.min(self.kp)
+    }
+
+    /// Execute a contiguous task range through the worker's packing
+    /// scratch (grown here on first use, then allocation-free). Ends with
+    /// a store fence so the non-temporal scatter stores are globally
+    /// visible before the caller crosses the next phase barrier.
+    pub fn run_range(&self, range: Range<usize>, pack: &mut PanelScratch) {
         // One gate check per range, not per task: when tracing is off this
-        // is a single relaxed load; when on, the panel-byte and dpbusd
-        // MAC-equivalent totals are accumulated locally and emitted once.
+        // is a single relaxed load; when on, the panel-byte, dpbusd
+        // MAC-equivalent and pack-time totals are accumulated locally and
+        // emitted once (zeros included, so traced runs always carry the
+        // full counter set).
         let tracing = lowino_trace::enabled();
         let mut panel_bytes = 0u64;
         let mut macs = 0u64;
+        let mut pack_ns = 0u64;
+        pack.ensure(self.max_block_bytes());
         for task in range {
             let t = task / self.n_chunks;
             let n0 = (task % self.n_chunks) * self.b.n_blk;
@@ -178,11 +244,23 @@ impl<'a> GemmTasks<'a> {
                 self.v,
                 self.u,
                 self.z,
+                pack,
+                tracing,
+                &mut pack_ns,
             );
         }
         if tracing {
             lowino_trace::counter("gemm/panel_bytes", panel_bytes);
             lowino_trace::counter("gemm/dpbusd_macs", macs);
+            lowino_trace::counter("gemm/pack_ns", pack_ns);
+            // Whether the chunk this range came from was claimed by a
+            // thief rather than its seeded owner (0 for static schedules).
+            // An instant, not a counter: counters drop zero deltas, and CI
+            // greps need the marker present even on steal-free runs.
+            lowino_trace::instant(
+                "gemm/steal",
+                u64::from(lowino_parallel::chunk_was_stolen()),
+            );
         }
         lowino_simd::store::stream_fence();
     }
@@ -210,10 +288,32 @@ pub fn batched_gemm_u8i8(
     pool: &mut StaticPool,
 ) {
     let tasks = GemmTasks::plan(tier, shape, blocking, v, u, z);
-    pool.run(tasks.total(), |_worker, range| tasks.run_range(range));
+    // One packing scratch per pool worker (index-addressed, Mutex only to
+    // make the shared capture safe — each slot is driven by one thread per
+    // fork-join, so the lock is never contended). Letting the standalone
+    // wrapper pipeline too means the tuner's blocking search ranks exactly
+    // the configurations the executors will run.
+    let scratch: Vec<Mutex<PanelScratch>> =
+        (0..pool.threads().max(1)).map(|_| Mutex::new(PanelScratch::new())).collect();
+    pool.run(tasks.total(), |worker, range| {
+        let mut pack = match scratch[worker].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        tasks.run_range(range, &mut pack);
+    });
 }
 
 /// One (t, N-chunk) task — everything below here is single-threaded.
+///
+/// The cache-block walk is software-pipelined through the two
+/// [`PanelScratch`] slots: block `i`'s packed `U` copy is consumed from
+/// slot `i % 2` while block `i+1`'s source stream is prefetch-hinted up
+/// front and packed into the other slot once the compute for `i` retires.
+/// The packed copy holds byte-for-byte what the in-place walk would have
+/// read (same values, same loop and store order), so `Z` — including the
+/// `Z̄` compensation seed of the first `C` chunk and the partial-sum
+/// accumulate walk of the later ones — is bitwise identical.
 #[allow(clippy::too_many_arguments)]
 fn gemm_block(
     tier: SimdTier,
@@ -227,58 +327,121 @@ fn gemm_block(
     v: &VPanel,
     u: &UPanel,
     z: &ZPanel,
+    pack: &mut PanelScratch,
+    tracing: bool,
+    pack_ns: &mut u64,
 ) {
     let _ = shape;
     let zbar = u.zbar(t);
     let z_stride = z.n_stride();
-    let mut k0 = 0;
-    while k0 < kp {
-        let k_end = (k0 + b.k_blk).min(kp);
-        let mut c0 = 0;
-        while c0 < cp {
-            let c_end = (c0 + b.c_blk).min(cp);
-            let c4_count = (c_end - c0) / 4;
-            let first_chunk = c0 == 0;
-            let mut n1 = n0;
-            while n1 < n_end {
-                let rb = (n_end - n1).min(b.row_blk);
-                let mut k1 = k0;
-                while k1 < k_end {
-                    let cb = ((k_end - k1) / 16).min(b.col_blk);
-                    debug_assert!(cb > 0);
-                    let seed = if first_chunk {
-                        Seed::Zbar(unsafe { zbar.as_ptr().add(k1) })
-                    } else {
-                        Seed::Accumulate
-                    };
-                    // SAFETY: all offsets are within the panels by the loop
-                    // bounds; `store_ptr_shared` regions are disjoint per
-                    // task (distinct (t, n) ranges).
-                    unsafe {
-                        let v_ptr = v.row_ptr(t, n1).add(c0);
-                        let u_ptr = u.block_ptr(t, k1).add((c0 / 4) * u.c4_stride());
-                        let z_ptr = z.store_ptr_shared(t, n1, k1);
-                        microkernel(
-                            tier,
-                            rb,
-                            cb,
-                            v_ptr,
-                            v.cp(),
-                            u_ptr,
-                            u.c4_stride(),
-                            c4_count,
-                            seed,
-                            z_ptr,
-                            z_stride,
-                        );
-                    }
-                    k1 += cb * 16;
-                }
-                n1 += rb;
-            }
-            c0 = c_end;
+    // The (k0, c0) cache blocks in walk order: k outer, c inner.
+    let c_chunks = cp.div_ceil(b.c_blk);
+    let blocks = kp.div_ceil(b.k_blk) * c_chunks;
+    let bounds = |i: usize| {
+        let k0 = (i / c_chunks) * b.k_blk;
+        let c0 = (i % c_chunks) * b.c_blk;
+        (k0, (k0 + b.k_blk).min(kp), c0, (c0 + b.c_blk).min(cp))
+    };
+    // Pipeline prologue: block 0 has no compute to hide behind.
+    pack_block(u, t, bounds(0), pack.slot_mut(0), tracing, pack_ns);
+    for i in 0..blocks {
+        let (k0, k_end, c0, c_end) = bounds(i);
+        let c4_count = (c_end - c0) / 4;
+        let first_chunk = c0 == 0;
+        // The packed block is contiguous: c4 groups (k_end-k0)·4 bytes
+        // apart, exactly the stride the micro-kernel parameterises over.
+        let packed_stride = (k_end - k0) * 4;
+        let packed = pack.slot_ptr(i);
+        if i + 1 < blocks {
+            // Prime the next block's U source stream (one line per
+            // 4-channel group) so the pack after this block's compute
+            // copies out of cache instead of stalling on DRAM.
+            let (nk0, _, nc0, nc_end) = bounds(i + 1);
+            // SAFETY: offsets in bounds (see the microkernel SAFETY note).
+            let src = unsafe { u.block_ptr(t, nk0).add((nc0 / 4) * u.c4_stride()) };
+            prefetch_panel_rows(tier, src as *const u8, u.c4_stride(), (nc_end - nc0) / 4);
         }
-        k0 = k_end;
+        // And this block's V rows at the current channel offset (the
+        // kernel itself only reaches one register-row block ahead).
+        // SAFETY: (t, n0) is a valid row and c0 < cp.
+        prefetch_panel_rows(tier, unsafe { v.row_ptr(t, n0).add(c0) }, v.cp(), n_end - n0);
+        let mut n1 = n0;
+        while n1 < n_end {
+            let rb = (n_end - n1).min(b.row_blk);
+            let mut k1 = k0;
+            while k1 < k_end {
+                let cb = ((k_end - k1) / 16).min(b.col_blk);
+                debug_assert!(cb > 0);
+                let seed = if first_chunk {
+                    Seed::Zbar(unsafe { zbar.as_ptr().add(k1) })
+                } else {
+                    Seed::Accumulate
+                };
+                // SAFETY: all offsets are within the panels by the loop
+                // bounds; the packed slot holds the full cache block
+                // (`ensure` sized it); `store_ptr_shared` regions are
+                // disjoint per task (distinct (t, n) ranges).
+                unsafe {
+                    let v_ptr = v.row_ptr(t, n1).add(c0);
+                    let u_ptr = packed.add((k1 - k0) * 4);
+                    let z_ptr = z.store_ptr_shared(t, n1, k1);
+                    microkernel(
+                        tier,
+                        rb,
+                        cb,
+                        v_ptr,
+                        v.cp(),
+                        u_ptr,
+                        packed_stride,
+                        c4_count,
+                        seed,
+                        z_ptr,
+                        z_stride,
+                    );
+                }
+                k1 += cb * 16;
+            }
+            n1 += rb;
+        }
+        if i + 1 < blocks {
+            // Produce block i+1 into the other slot while its consumer
+            // (the next loop iteration) is still a branch away — the copy
+            // overlaps with the retiring non-temporal stores above.
+            pack_block(u, t, bounds(i + 1), pack.slot_mut(i + 1), tracing, pack_ns);
+        }
+    }
+}
+
+/// Pack one `(k0..k_end, c0..c_end)` cache block of `U[t]` contiguously
+/// into `dst`: group `c4`'s interleaved K run — `(k_end-k0)·4` bytes,
+/// contiguous in the source because K is the fastest dimension within a
+/// group — lands at offset `c4·(k_end-k0)·4`. One straight copy per group.
+fn pack_block(
+    u: &UPanel,
+    t: usize,
+    (k0, k_end, c0, c_end): (usize, usize, usize, usize),
+    dst: &mut [i8],
+    tracing: bool,
+    pack_ns: &mut u64,
+) {
+    let t0 = if tracing { Some(Instant::now()) } else { None };
+    let kw4 = (k_end - k0) * 4;
+    let c4_count = (c_end - c0) / 4;
+    debug_assert!(dst.len() >= c4_count * kw4);
+    for c4 in 0..c4_count {
+        // SAFETY: the source run `(c0/4 + c4)·kp·4 + k0·4 .. + kw4` lies
+        // inside tile `t`'s interleave (c_end ≤ cp, k_end ≤ kp); `dst` is
+        // sized by `PanelScratch::ensure`.
+        unsafe {
+            core::ptr::copy_nonoverlapping(
+                u.block_ptr(t, k0).add((c0 / 4 + c4) * u.c4_stride()),
+                dst.as_mut_ptr().add(c4 * kw4),
+                kw4,
+            );
+        }
+    }
+    if let Some(t0) = t0 {
+        *pack_ns += t0.elapsed().as_nanos() as u64;
     }
 }
 
@@ -377,13 +540,14 @@ mod tests {
         let tasks = GemmTasks::plan(tier, &shape, &blocking, &v, &u, &mut z_split);
         let total = tasks.total();
         assert_eq!(total, shape.t * shape.n.div_ceil(blocking.n_blk));
+        let mut pack = PanelScratch::new();
         let mut at = 0;
         for step in [1usize, 3, 2, 5] {
             let end = (at + step).min(total);
-            tasks.run_range(at..end);
+            tasks.run_range(at..end, &mut pack);
             at = end;
         }
-        tasks.run_range(at..total);
+        tasks.run_range(at..total, &mut pack);
         for t in 0..shape.t {
             for n in 0..shape.n {
                 for k in 0..shape.k {

@@ -94,6 +94,13 @@ impl<'a> GemmTasksF32<'a> {
             acc.fill(0.0);
             for c in 0..self.shape.c {
                 let urow = self.u.row(t, c);
+                if c + 1 < self.shape.c {
+                    // Software-pipeline the U stream like the INT8 driver:
+                    // hint the next filter row's head while the axpy over
+                    // this one retires (the hardware prefetcher streams the
+                    // rest of the row once the line is touched).
+                    lowino_simd::store::prefetch_read(self.u.row(t, c + 1).as_ptr());
+                }
                 for rb in 0..nb {
                     let vv = self.v.row(t, n0 + rb)[c];
                     if vv != 0.0 {

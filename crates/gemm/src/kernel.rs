@@ -226,6 +226,11 @@ unsafe fn mk_avx512<const RB: usize, const CB: usize>(
 
     for c4 in 0..c4_count {
         let u_base = u.add(c4 * u_c4_stride);
+        // Prefetch the head of the next 4-channel group's filter row —
+        // with the pipelined driver's packed blocks that is the next
+        // contiguous cache lines of the scratch slot. A hint only: past
+        // the last group it touches nothing that faults.
+        _mm_prefetch::<_MM_HINT_T0>(u_base.wrapping_add(u_c4_stride));
         for r in 0..RB {
             let vp = v.add(r * v_stride + c4 * 4);
             // Broadcast one packed 32-bit word (4 input-channel bytes).

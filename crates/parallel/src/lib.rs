@@ -4,33 +4,40 @@
 //!
 //! LoWino parallelises each pipeline stage with a *static* schedule: the task
 //! space is pre-partitioned into `ω` equal contiguous ranges at plan time —
-//! one per thread — and the whole job executes as a single fork-join. This
-//! differs from work-stealing (rayon-style) schedulers: because every thread
-//! gets the same amount of work with the same memory-access pattern, threads
-//! start and finish together and no runtime load-balancing machinery sits in
-//! the hot path.
+//! one per thread — and the whole job executes as a single fork-join, so
+//! memory-access patterns are stable across invocations. On top of that seed
+//! schedule, [`StealQueues`] adds *bounded* intra-phase work-stealing: a
+//! worker that drains its own partition early steals half of the richest
+//! victim's remainder instead of idling at the inter-phase barrier. Unlike a
+//! rayon-style deque-per-spawn scheduler there is no task heap and no
+//! allocation in the hot path — one packed atomic cursor per worker.
 //!
-//! Three layers are provided:
+//! Four layers are provided:
 //!
 //! * [`partition()`] / [`partition_2d()`] — the pure scheduling maths (tested
 //!   exhaustively);
 //! * [`Barrier`] — a sense-reversing spin barrier used to hand off between
 //!   the phases of a multi-stage job without parking the workers;
+//! * [`StealQueues`] — per-worker chunked deques (one packed `(next, end)`
+//!   atomic cursor each) that re-balance a phase's tail without disturbing
+//!   the static seed assignment;
 //! * [`StaticPool`] — a persistent fork-join worker pool built from parked
 //!   OS threads whose [`StaticPool::run_phases`] executes an entire layer
-//!   (transform → GEMM → transform) as **one** fork-join, plus
-//!   [`run_static`] / [`run_static_phases`], scoped one-shot variants for
-//!   borrowed data.
+//!   (transform → GEMM → transform) as **one** fork-join with stealing
+//!   inside each phase, plus [`run_static`] / [`run_static_phases`], scoped
+//!   one-shot variants for borrowed data (static schedule only).
 
 pub mod barrier;
 pub mod partition;
 pub mod pool;
+pub mod steal;
 
 pub use barrier::{Barrier, SenseToken};
 pub use partition::{partition, partition_2d, partition_into, Partition2d};
 pub use pool::{
     phase_fault_key, run_static, run_static_phases, JobPanic, PhaseTimes, StaticPool, MAX_PHASES,
 };
+pub use steal::{chunk_was_stolen, Chunk, StealQueues};
 
 #[cfg(test)]
 mod tests {

@@ -50,37 +50,73 @@ pub struct Partition2d {
     pub cols: Range<usize>,
 }
 
-/// Recursively bisect a `rows × cols` task rectangle into `parts` contiguous
-/// sub-rectangles (paper §4.4: *"we recursively divide the task dimensions so
-/// that the tiles to be operated are contiguous for each thread"*).
+/// Recursively bisect a `rows × cols` task rectangle into `min(parts, area)`
+/// contiguous sub-rectangles (paper §4.4: *"we recursively divide the task
+/// dimensions so that the tiles to be operated are contiguous for each
+/// thread"*).
 ///
 /// The longer dimension is split first, keeping sub-domains close to square
-/// so each thread's tiles stay spatially contiguous (cache reuse).
+/// so each thread's tiles stay spatially contiguous (cache reuse). The split
+/// point is the *nearest* cell boundary to the proportional share, clamped
+/// so both halves stay non-empty — a floor division here used to produce
+/// degenerate zero-width halves for non-power-of-two `parts` (e.g. `2×2`
+/// into 3 silently lost a part), starving the threads assigned to them.
+/// Every emitted rectangle now holds at least one task, and the areas stay
+/// within a small constant factor of each other (see the balance-bound
+/// property test in `crates/parallel/tests/partition_prop.rs`).
 pub fn partition_2d(rows: usize, cols: usize, parts: usize) -> Vec<Partition2d> {
     assert!(parts > 0, "parts must be non-zero");
     let mut out = Vec::with_capacity(parts);
+    // More parts than tasks can never be honoured; trimming up front keeps
+    // the recursion's proportional shares meaningful.
+    let parts = parts.min((rows * cols).max(1));
     split_rect(0..rows, 0..cols, parts, &mut out);
+    debug_assert!(out.iter().all(|p| !p.rows.is_empty() && !p.cols.is_empty()) || rows * cols == 0);
     out.retain(|p| !p.rows.is_empty() && !p.cols.is_empty());
     out
 }
 
 fn split_rect(rows: Range<usize>, cols: Range<usize>, parts: usize, out: &mut Vec<Partition2d>) {
-    if parts == 1 || rows.len() * cols.len() <= 1 {
+    let area = rows.len() * cols.len();
+    if parts <= 1 || area <= 1 {
         out.push(Partition2d { rows, cols });
         return;
     }
-    // Give each half a share of `parts` proportional to its task count.
-    let left_parts = parts / 2;
-    let right_parts = parts - left_parts;
-    if rows.len() >= cols.len() {
-        let mid = rows.start + rows.len() * left_parts / parts;
-        split_rect(rows.start..mid, cols.clone(), left_parts.max(1), out);
-        split_rect(mid..rows.end, cols, right_parts, out);
+    let parts = parts.min(area);
+    // Bisect the longer dimension at the cell boundary nearest the
+    // `⌊parts/2⌋ : ⌈parts/2⌉` proportional point; the clamp keeps both
+    // halves non-empty (the longer dimension has length ≥ 2 here, since
+    // area ≥ 2 and this is its larger factor).
+    let split = |len: usize| ((len * (parts / 2) + parts / 2) / parts).clamp(1, len - 1);
+    let (left, right) = if rows.len() >= cols.len() {
+        let mid = rows.start + split(rows.len());
+        (
+            (rows.start..mid, cols.clone()),
+            (mid..rows.end, cols.clone()),
+        )
     } else {
-        let mid = cols.start + cols.len() * left_parts / parts;
-        split_rect(rows.clone(), cols.start..mid, left_parts.max(1), out);
-        split_rect(rows, mid..cols.end, right_parts, out);
-    }
+        let mid = cols.start + split(cols.len());
+        (
+            (rows.clone(), cols.start..mid),
+            (rows.clone(), mid..cols.end),
+        )
+    };
+    // Share `parts` proportionally to the *achieved* areas (cell boundaries
+    // rarely land exactly on parts/2), clamped so each half can honour its
+    // share with non-empty rectangles: at least 1, at most its area, and
+    // never so greedy the other half is left short. `parts ≤ area`
+    // guarantees the clamp interval is non-empty, which is what makes the
+    // emitted count exactly `min(parts, area)` — the old floor-division
+    // split could strand a share on a zero-width half and silently lose it.
+    let (left_area, right_area) = (
+        left.0.len() * left.1.len(),
+        right.0.len() * right.1.len(),
+    );
+    let ideal = (parts * left_area + area / 2) / area;
+    let left_parts = ideal.clamp(parts.saturating_sub(right_area).max(1), (parts - 1).min(left_area));
+    let right_parts = parts - left_parts;
+    split_rect(left.0, left.1, left_parts, out);
+    split_rect(right.0, right.1, right_parts, out);
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use crate::barrier::Barrier;
 use crate::partition::{partition, partition_into};
+use crate::steal::{set_chunk_stolen, StealQueues};
 
 /// Key for the `pool/phase` fault site: which `(worker, phase)` visit of the
 /// phase loop an armed fault should hit (see
@@ -174,6 +175,15 @@ impl PanicSlot {
 /// waits at the barrier after every phase, whether or not it had a range (a
 /// phase may have fewer tasks than workers).
 ///
+/// `queues` enables bounded intra-phase work-stealing on the fan-out path:
+/// instead of executing its static range in one call, each participant pops
+/// guided chunks off its own deque and then steals from stragglers, so the
+/// phase body is invoked once per *chunk*. The one-shot scoped variants pass
+/// `None` and keep the pure static schedule. Exactly-once execution is the
+/// [`StealQueues`] invariant; the stolen-ness of the running chunk is
+/// published through [`crate::steal::chunk_was_stolen`] for leaf-level trace
+/// attribution.
+///
 /// `after_phase(p)` runs after the phase-`p` barrier — all participants are
 /// guaranteed done with phase `p` at that point, which is where the caller
 /// hangs its timestamps.
@@ -181,6 +191,7 @@ fn phase_loop<F, A>(
     worker: usize,
     plan: &[Vec<Range<usize>>],
     sync: Option<(&Barrier, &PanicSlot)>,
+    queues: Option<&[StealQueues]>,
     f: &F,
     mut after_phase: A,
 ) where
@@ -199,6 +210,7 @@ fn phase_loop<F, A>(
             }
         }
         Some((barrier, panics)) => {
+            let tracing = lowino_trace::enabled();
             let mut token = barrier.sense_token();
             for (phase, ranges) in plan.iter().enumerate() {
                 // The span covers the phase body *and* the barrier wait, so
@@ -207,17 +219,41 @@ fn phase_loop<F, A>(
                 // worker instead of caller-only.
                 let span = lowino_trace::span_arg("pool/phase", phase as u64);
                 if !panics.tripped() {
-                    let r = ranges.get(worker).cloned();
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
-                        phase_fault_probe(worker, phase);
-                        if let Some(r) = r {
-                            f(worker, phase, r);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| match queues {
+                        Some(queues) => {
+                            // Probed even when this worker ends up with no
+                            // chunks, mirroring the static path.
+                            phase_fault_probe(worker, phase);
+                            let q = &queues[phase];
+                            while !panics.tripped() {
+                                let Some(chunk) = q.pop(worker) else { break };
+                                // Probed per chunk (one-shot, so at most one
+                                // fires): an armed `pool/phase` fault can land
+                                // mid-steal, while other workers are actively
+                                // draining the same phase.
+                                phase_fault_probe(worker, phase);
+                                set_chunk_stolen(chunk.stolen);
+                                f(worker, phase, chunk.range);
+                            }
+                        }
+                        None => {
+                            phase_fault_probe(worker, phase);
+                            if let Some(r) = ranges.get(worker) {
+                                f(worker, phase, r.clone());
+                            }
                         }
                     })) {
                         panics.store(payload);
                     }
+                    set_chunk_stolen(false);
                 }
+                // Time spent waiting for stragglers at the barrier is the
+                // scheduler's residual imbalance; only measured when tracing.
+                let idle_from = if tracing { Some(Instant::now()) } else { None };
                 barrier.wait(&mut token);
+                if let Some(t0) = idle_from {
+                    lowino_trace::counter("pool/idle_ns", t0.elapsed().as_nanos() as u64);
+                }
                 drop(span);
                 after_phase(phase);
             }
@@ -250,7 +286,7 @@ where
     let plan: Vec<Vec<Range<usize>>> = totals.iter().map(|&t| partition(t, threads)).collect();
     let fan_out = threads > 1 && plan.iter().any(|ranges| ranges.len() > 1);
     if !fan_out {
-        phase_loop(0, &plan, None, &f, |_| {});
+        phase_loop(0, &plan, None, None, &f, |_| {});
         return;
     }
     let barrier = Barrier::new(threads);
@@ -260,9 +296,9 @@ where
         for worker in 1..threads {
             let fref = &f;
             let plan_ref = &plan;
-            scope.spawn(move || phase_loop(worker, plan_ref, Some(sync), fref, |_| {}));
+            scope.spawn(move || phase_loop(worker, plan_ref, Some(sync), None, fref, |_| {}));
         }
-        phase_loop(0, &plan, Some(sync), &f, |_| {});
+        phase_loop(0, &plan, Some(sync), None, &f, |_| {});
     });
     if let Some(payload) = panics.take() {
         resume_unwind(payload);
@@ -327,17 +363,24 @@ fn wait_on<'a>(
 /// threads plus the calling thread).
 ///
 /// Each job pre-partitions the task space statically and executes it as a
-/// single fork-join; worker `i` always receives partition `i`, so
-/// memory-access patterns are stable across invocations (paper §4.4). A
-/// multi-phase job ([`run_phases`](StaticPool::run_phases)) wakes and parks
-/// the workers **once** for the whole layer; phases hand off at an in-pool
-/// [`Barrier`] instead.
+/// single fork-join; worker `i` always *starts* on partition `i`, so
+/// memory-access patterns are stable across invocations (paper §4.4). Within
+/// a phase, workers that drain their partition early re-balance the tail via
+/// bounded [`StealQueues`] stealing — half the richest straggler's
+/// remainder, never a victim's last task — so skewed phases no longer
+/// serialise on the slowest static partition. A multi-phase job
+/// ([`run_phases`](StaticPool::run_phases)) wakes and parks the workers
+/// **once** for the whole layer; phases hand off at an in-pool [`Barrier`]
+/// instead.
 pub struct StaticPool {
     inner: Arc<Inner>,
     handles: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
     /// Reusable per-phase partition buffers: zero steady-state allocation.
     plan: [Vec<Range<usize>>; MAX_PHASES],
+    /// Reusable per-phase stealing deques, re-seeded from `plan` before each
+    /// fan-out job: zero steady-state allocation.
+    queues: [StealQueues; MAX_PHASES],
     /// Fork-joins issued so far (inline fast-path jobs included).
     jobs: u64,
 }
@@ -378,6 +421,7 @@ impl StaticPool {
             handles,
             threads,
             plan: core::array::from_fn(|_| Vec::new()),
+            queues: core::array::from_fn(|_| StealQueues::new(threads)),
             jobs: 0,
         }
     }
@@ -499,7 +543,7 @@ impl StaticPool {
             // the caller without waking anyone.
             let mut mark = Instant::now();
             let mut run = |times: &mut PhaseTimes| {
-                phase_loop(0, plan, None, f, |p| {
+                phase_loop(0, plan, None, None, f, |p| {
                     let now = Instant::now();
                     times.times[p] = now - mark;
                     mark = now;
@@ -514,11 +558,18 @@ impl StaticPool {
             }
             return (times, None);
         }
+        // Seed the per-phase stealing deques from the static plan while every
+        // worker is still parked (reset must not race with pops).
+        let queues = &self.queues[..phases];
+        for (q, ranges) in queues.iter().zip(plan) {
+            q.reset(ranges);
+        }
         let barrier = Barrier::new(self.threads);
         let panics = PanicSlot::default();
         let sync = (&barrier, &panics);
         let fref = &f;
-        let job = move |worker: usize| phase_loop(worker, plan, Some(sync), fref, |_| {});
+        let job =
+            move |worker: usize| phase_loop(worker, plan, Some(sync), Some(queues), fref, |_| {});
         let job_dyn: &(dyn Fn(usize) + Sync) = &job;
         // SAFETY of the transmute: we only erase the lifetime; the pointer is
         // never used after `run_phases` returns (join barrier below).
@@ -533,7 +584,7 @@ impl StaticPool {
         }
         // The caller is worker 0 and records the phase timestamps.
         let mut mark = Instant::now();
-        phase_loop(0, plan, Some(sync), fref, |p| {
+        phase_loop(0, plan, Some(sync), Some(queues), fref, |p| {
             let now = Instant::now();
             times.times[p] = now - mark;
             mark = now;
@@ -544,6 +595,12 @@ impl StaticPool {
         }
         st.job = None;
         drop(st);
+        if lowino_trace::enabled() {
+            // Emitted once per fan-out job as an instant (counters drop
+            // zero deltas) so traced runs always carry the marker, steals
+            // or not.
+            lowino_trace::instant("pool/steal", queues.iter().map(StealQueues::steals).sum());
+        }
         let payload = panics.take();
         (times, payload)
     }

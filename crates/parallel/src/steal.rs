@@ -1,0 +1,295 @@
+//! Bounded intra-phase work-stealing (the dynamic half of paper §4.4).
+//!
+//! The static schedule of [`partition`](crate::partition::partition) is kept
+//! as the *seed*: worker `i` still starts on partition `i`, so first-touch
+//! memory locality and the bitwise-identity guarantees of the executors are
+//! unchanged. What changes is what happens when partitions finish at
+//! different times — instead of idling at the inter-phase barrier, a worker
+//! whose deque is empty steals **half** of the richest victim's remaining
+//! range (from the back, preserving the victim's forward walk).
+//!
+//! The design is deliberately bounded, in the same discipline as
+//! `lowino_testkit::faults`:
+//!
+//! * one packed `(next, end)` cursor per worker — a single cache-padded
+//!   `AtomicU64`, claimed by CAS from either end;
+//! * owners pop *guided* chunks (half the remaining range, so a worker
+//!   issues `O(log n)` chunk calls, not `O(n)`);
+//! * thieves never steal a victim's **last** task (steal threshold ≥ 2
+//!   remaining), so jobs with one task per worker execute exactly on their
+//!   statically assigned worker — deterministic scheduling for the
+//!   single-task-per-worker jobs the tests pin;
+//! * zero steady-state allocations: the cursors are allocated once at pool
+//!   construction and re-seeded per phase;
+//! * an idle owner's disarmed path (nothing left anywhere) is one relaxed
+//!   scan over `ω` words and no waiting — it falls through to the barrier.
+//!
+//! Exactly-once execution holds because every pop/steal is a CAS on the one
+//! cursor word: a task index leaves exactly one queue exactly once, whoever
+//! claims it. `crates/parallel/tests/steal_prop.rs` property-tests this
+//! under randomized interleavings.
+
+use core::cell::Cell;
+use core::ops::Range;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// One worker's deque cursor: `(next << 32) | end` over task indices.
+/// Padded to two cache lines so owner pops and steals on different workers
+/// never false-share.
+#[repr(align(128))]
+#[derive(Default)]
+struct Cursor(AtomicU64);
+
+#[inline]
+fn pack(next: u32, end: u32) -> u64 {
+    ((next as u64) << 32) | end as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+thread_local! {
+    /// Whether the chunk currently being executed by this thread was stolen
+    /// from another worker's deque (set by the pool's phase loop before each
+    /// chunk call). Lets leaf code — e.g. the GEMM driver's `gemm/steal`
+    /// counter — attribute work to the scheduler without API churn.
+    static CHUNK_STOLEN: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True while the executing thread is running a chunk it stole from another
+/// worker's deque; false on statically owned chunks and outside pool jobs.
+pub fn chunk_was_stolen() -> bool {
+    CHUNK_STOLEN.with(|c| c.get())
+}
+
+pub(crate) fn set_chunk_stolen(stolen: bool) {
+    CHUNK_STOLEN.with(|c| c.set(stolen));
+}
+
+/// A chunk of the phase's task space claimed by [`StealQueues::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Task indices to execute.
+    pub range: Range<usize>,
+    /// True when the chunk came from another worker's deque.
+    pub stolen: bool,
+}
+
+/// Per-worker chunked deques over one phase's task space.
+///
+/// Seeded from the static partition by [`reset`](StealQueues::reset); drained
+/// by concurrent [`pop`](StealQueues::pop) calls until every task has been
+/// claimed exactly once.
+pub struct StealQueues {
+    cursors: Box<[Cursor]>,
+    /// Chunks claimed from a non-owner deque since the last `reset`.
+    steals: AtomicU64,
+}
+
+impl StealQueues {
+    /// Queues for `workers` participants (clamped to ≥ 1, like the pool).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            cursors: (0..workers.max(1)).map(|_| Cursor::default()).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of per-worker deques.
+    pub fn workers(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Seed worker `i`'s deque from `plan[i]` (missing entries are empty)
+    /// and zero the steal counter.
+    ///
+    /// Must not race with `pop` — the pool calls it before publishing a job,
+    /// while every worker is parked.
+    pub fn reset(&self, plan: &[Range<usize>]) {
+        for (w, cursor) in self.cursors.iter().enumerate() {
+            let r = plan.get(w).cloned().unwrap_or(0..0);
+            assert!(r.end <= u32::MAX as usize, "task space exceeds u32 range");
+            cursor
+                .0
+                .store(pack(r.start as u32, r.end as u32), Ordering::Relaxed);
+        }
+        self.steals.store(0, Ordering::Relaxed);
+    }
+
+    /// Claim the next chunk for `worker`: a guided chunk off the front of
+    /// its own deque, else half the back of the richest victim's deque.
+    /// `None` once every task in the phase has been claimed.
+    pub fn pop(&self, worker: usize) -> Option<Chunk> {
+        debug_assert!(worker < self.cursors.len());
+        // Own deque first: guided self-scheduling, half the remainder per
+        // pop (ceil, so a 1-task remainder is still claimed).
+        let own = &self.cursors[worker].0;
+        let mut word = own.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(word);
+            let remaining = end.saturating_sub(next);
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.div_ceil(2);
+            match own.compare_exchange_weak(
+                word,
+                pack(next + take, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Some(Chunk {
+                        range: next as usize..(next + take) as usize,
+                        stolen: false,
+                    })
+                }
+                Err(actual) => word = actual,
+            }
+        }
+        self.steal(worker)
+    }
+
+    /// Steal half of the richest victim's remaining range, from the back.
+    /// Bounded: victims with fewer than 2 remaining tasks are never robbed,
+    /// so their final task always runs on its statically assigned worker.
+    fn steal(&self, thief: usize) -> Option<Chunk> {
+        loop {
+            let mut victim = None;
+            let mut best = 1u32; // threshold: only steal when remaining ≥ 2
+            for (w, cursor) in self.cursors.iter().enumerate() {
+                if w == thief {
+                    continue;
+                }
+                let (next, end) = unpack(cursor.0.load(Ordering::Relaxed));
+                let remaining = end.saturating_sub(next);
+                if remaining > best {
+                    best = remaining;
+                    victim = Some(w);
+                }
+            }
+            let v = victim?;
+            let cursor = &self.cursors[v].0;
+            let word = cursor.load(Ordering::Acquire);
+            let (next, end) = unpack(word);
+            let remaining = end.saturating_sub(next);
+            if remaining < 2 {
+                continue; // victim drained between scan and claim: rescan
+            }
+            let take = remaining / 2;
+            if cursor
+                .compare_exchange(
+                    word,
+                    pack(next, end - take),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(Chunk {
+                    range: (end - take) as usize..end as usize,
+                    stolen: true,
+                });
+            }
+            // CAS lost ⇒ someone made progress; rescan (total work shrank,
+            // so this loop terminates).
+        }
+    }
+
+    /// Chunks claimed from a non-owner deque since the last
+    /// [`reset`](StealQueues::reset).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &StealQueues, worker: usize) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        while let Some(c) = q.pop(worker) {
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn owner_drains_own_range_in_order() {
+        let q = StealQueues::new(2);
+        q.reset(&[0..10, 10..20]);
+        let chunks = drain_all(&q, 0);
+        // Guided halving: 5, 3(ceil of 5/2... of remainder), … front-ordered
+        // and covering 0..10 before stealing the tail of worker 1.
+        let own: Vec<_> = chunks.iter().filter(|c| !c.stolen).collect();
+        assert_eq!(own.first().unwrap().range, 0..5);
+        let mut covered: Vec<usize> = Vec::new();
+        for c in &chunks {
+            covered.extend(c.range.clone());
+        }
+        // Worker 1's final task can't be stolen (threshold ≥ 2 remaining).
+        assert_eq!(covered.len(), 19);
+        let rest = drain_all(&q, 1);
+        assert_eq!(rest.len(), 1, "victim keeps exactly one task");
+        covered.extend(rest[0].range.clone());
+        covered.sort_unstable();
+        assert_eq!(covered, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_task_per_worker_is_never_stolen() {
+        let q = StealQueues::new(4);
+        q.reset(&[0..1, 1..2, 2..3, 3..4]);
+        assert!(q.pop(0).is_some_and(|c| c.range == (0..1) && !c.stolen));
+        // With only single-task victims left, thief finds nothing.
+        assert!(q.pop(0).is_none());
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn empty_seed_worker_steals_half() {
+        let q = StealQueues::new(2);
+        // Worker 0 owns the whole phase; worker 1's deque is seeded empty.
+        q.reset(std::slice::from_ref(&(0..8)));
+        let c = q.pop(1).expect("steals from worker 0");
+        assert!(c.stolen);
+        assert_eq!(c.range, 4..8, "half from the back");
+        assert_eq!(q.steals(), 1);
+    }
+
+    #[test]
+    fn exactly_once_sequential_drain() {
+        let q = StealQueues::new(3);
+        q.reset(&[0..7, 7..9, 9..40]);
+        let mut seen = vec![0u32; 40];
+        for w in [1, 0, 2, 0, 1] {
+            if let Some(c) = q.pop(w) {
+                for i in c.range {
+                    seen[i] += 1;
+                }
+            }
+        }
+        for w in 0..3 {
+            while let Some(c) = q.pop(w) {
+                for i in c.range {
+                    seen[i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn reset_reuses_without_allocation() {
+        let q = StealQueues::new(4);
+        q.reset(&[0..100, 100..200]);
+        let _ = drain_all(&q, 2);
+        q.reset(&[0..10, 10..20, 20..30, 30..41]);
+        let total: usize = (0..4).flat_map(|w| drain_all(&q, w)).map(|c| c.range.len()).sum();
+        assert_eq!(total, 41);
+    }
+}

@@ -39,7 +39,7 @@ pub use cast::{dequantize_i32_lanes, quantize_f32_lanes_i8, saturate_i32_to_i8, 
 pub use dispatch::SimdTier;
 pub use dpbusd::{dpbusd, dpbusd_scalar};
 pub use dpwssd::{dpwssd, dpwssd_scalar};
-pub use store::{prefetch_read, stream_store_i32_16, stream_store_u8_64};
+pub use store::{prefetch_panel_rows, prefetch_read, stream_store_i32_16, stream_store_u8_64};
 pub use vecf32::{dequantize_lanes, quantize_lanes, requantize_i32_lanes, F32Vector, F32x1, VecTier};
 
 #[cfg(target_arch = "x86_64")]

@@ -90,6 +90,40 @@ pub fn prefetch_read<T>(ptr: *const T) {
     let _ = ptr;
 }
 
+/// Cap on the rows hinted per [`prefetch_panel_rows`] call (64 lines =
+/// 4 KiB) so a pathological row count cannot flood the load ports.
+pub const MAX_PREFETCH_ROWS: usize = 64;
+
+/// Tier-gated prefetch of a strided panel stream: hints the first cache
+/// line of each of `rows` rows starting at `ptr`, `stride` bytes apart.
+///
+/// The pipelined GEMM driver uses this to prime the `VPanel`/`UPanel`
+/// source streams of the *next* cache block while the micro-kernel is
+/// still consuming the current one. The Scalar tier is a no-op — the
+/// portable reference path models hardware without useful software
+/// prefetch, and keeping it hint-free preserves its role as the plain
+/// semantic baseline. Like [`prefetch_read`] this is purely a hint: it
+/// never faults, even on dangling or null addresses.
+#[inline]
+pub fn prefetch_panel_rows(tier: SimdTier, ptr: *const u8, stride: usize, rows: usize) {
+    if tier == SimdTier::Scalar {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    for r in 0..rows.min(MAX_PREFETCH_ROWS) {
+        // SAFETY: prefetch is a hint; it cannot fault even on invalid
+        // addresses.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch(
+                ptr.wrapping_add(r.wrapping_mul(stride)) as *const i8,
+                std::arch::x86_64::_MM_HINT_T1,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (ptr, stride, rows);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +183,18 @@ mod tests {
         let v = [1u8; 8];
         prefetch_read(v.as_ptr());
         prefetch_read(core::ptr::null::<u8>()); // hint only, must not fault
+    }
+
+    #[test]
+    fn prefetch_panel_rows_never_faults() {
+        let v = [1u8; 256];
+        for tier in SimdTier::available() {
+            prefetch_panel_rows(tier, v.as_ptr(), 64, 4);
+            // Hints only: dangling stride-walks and absurd row counts are
+            // fine (the cap bounds the loop), as is a null base.
+            prefetch_panel_rows(tier, v.as_ptr(), usize::MAX / 2, usize::MAX);
+            prefetch_panel_rows(tier, core::ptr::null(), 64, 8);
+            prefetch_panel_rows(tier, v.as_ptr(), 0, 0);
+        }
     }
 }

@@ -10,6 +10,14 @@
 //! * **counters** — monotonic adds cumulated at export ([`counter`]);
 //! * **instants** — point-in-time markers ([`instant`]).
 //!
+//! Counters **drop zero deltas** (a zero add carries no information for a
+//! cumulating export); instants record their argument verbatim, zeros
+//! included. Emitters that must appear in every trace regardless of value —
+//! the pipelined GEMM scheduler's `gemm/steal` / `pool/steal` markers,
+//! which CI greps for on runs that may never steal — therefore use
+//! [`instant`], while genuinely cumulative quantities (`gemm/pack_ns`,
+//! `pool/idle_ns`, `gemm/panel_bytes`, …) stay counters.
+//!
 //! ## Overhead discipline
 //!
 //! Tracing is **off by default** and gated on a single process-wide relaxed
@@ -47,7 +55,16 @@ use std::time::Instant;
 pub use ring::{Event, EventKind, Ring};
 
 /// Events retained per thread before wraparound (newest win).
-pub const DEFAULT_RING_CAPACITY: usize = 16 * 1024;
+///
+/// Sized for the dynamically scheduled pool (DESIGN.md §11): work-stealing
+/// splits each phase into `O(log n)` chunks per worker and every chunk
+/// re-enters the instrumented phase body, multiplying per-phase event
+/// volume several-fold over the static schedule. 64 Ki events (2 MiB per
+/// emitting thread, allocated only while tracing) keeps a whole smoke-bench
+/// run — including the one-shot `graph/compile` events at its head — inside
+/// the retained window; CI greps for those names fail loudly if this ever
+/// regresses.
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static INIT: Once = Once::new();
