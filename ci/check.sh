@@ -103,6 +103,28 @@ grep -q '"graph/execute"' "$models_trace"
 grep -q '"graph/layer"' "$models_trace"
 grep -q '"graph/plan_bytes"' "$models_trace"
 
+# Autotuner smoke: run the tune_smoke binary traced. It proves the full
+# seed → execute → retune → swap → shutdown cycle in-process (seed-only
+# engine serves its first request with no measurement sweep; a Background
+# engine publishes a winner, joins its retune thread on stop, and leaves a
+# non-empty wisdom file). The validated trace must carry the compile-time
+# seeding instants and the atomic table swap.
+echo "==> tune smoke (seed + background retune, LOWINO_TRACE set)"
+tune_trace="$(mktemp -t lowino-tune-trace-XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$models_trace" "$tune_trace"' EXIT
+LOWINO_TRACE="$tune_trace" \
+    cargo run -q --release --offline -p lowino-bench --bin tune_smoke
+cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$tune_trace"
+grep -q '"tune/seeded"' "$tune_trace"
+grep -q '"tune/swap"' "$tune_trace"
+
+# Release-mode acceptance guard (timing-sensitive, so #[ignore]d in the
+# debug suite): measuring only the cost model's top-K candidates must
+# reach >=90% of the full-lattice sweep's best throughput on the three
+# bench GEMM shapes.
+echo "==> top-K pruning guard (release, --ignored)"
+cargo test -q --release --offline -p lowino-gemm --test retune -- --ignored
+
 if [[ "$run_lint" == 1 ]]; then
     if cargo clippy --version >/dev/null 2>&1; then
         echo "==> cargo clippy (-D warnings)"

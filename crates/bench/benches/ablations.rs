@@ -3,7 +3,14 @@
 //! * **tile size** — LoWino `F(2,3)` vs `F(4,3)` vs `F(6,3)` on one layer;
 //! * **blocking** — tuned-ish default vs deliberately poor GEMM blocking;
 //! * **SIMD tier** — the same LoWino layer on every available tier;
-//! * **scheduling** — thread scaling of the static fork-join schedule.
+//! * **scheduling** — thread scaling of the static fork-join schedule;
+//! * **tuned vs default** — Autotuner 2.0 seeding quality on one layer:
+//!   planner default vs pure cost-model seed vs measured top-K winner vs
+//!   full-lattice-sweep winner (PR 8 acceptance table in EXPERIMENTS.md);
+//! * **graph overhead** — the graph engine with its default per-conv
+//!   health policy vs health checks disabled vs the per-layer
+//!   interpreter, isolating the ~3–6% graph-vs-per_layer gap seen in
+//!   BENCH_PR7.json (diagnosis in EXPERIMENTS.md).
 //!
 //! Run with `cargo bench --bench ablations`; set
 //! `LOWINO_BENCH_JSON=BENCH_ablations.json` to accumulate a JSON-line log.
@@ -133,9 +140,113 @@ fn ablation_scheduling() {
     }
 }
 
+/// Autotuner 2.0 seeding quality: how close do the zero-cost seeds get
+/// to the measured winners? Four blockings for the same layer GEMM —
+/// planner default, pure cost-model seed (what an empty-wisdom engine
+/// installs at compile time), the measured winner among the cost model's
+/// top-K, and the measured winner of the full candidate lattice.
+fn ablation_tuned_vs_default() {
+    use lowino::{ConvExecutor, GemmCostModel, GemmShape, LoWinoConv};
+    use lowino_gemm::{tune_blocking, tune_blocking_full};
+    use lowino_parallel::StaticPool;
+
+    let mut group = common("ablation/tuned_vs_default");
+    for layer_name in ["ResNet-50_b", "ResNet-50_c", "VGG16_c"] {
+        let layer = layer_by_name(layer_name).unwrap();
+        let spec = layer.shape(16, 1);
+        let weights = synth_weights(&spec, 42);
+        let input = BlockedImage::from_nchw(&synth_input(&spec, 7));
+        let mut engine = Engine::new(1);
+        let tier = engine.context().tier;
+        let mut out = engine.alloc_output(&spec);
+
+        let geom = spec.tiles(4).unwrap();
+        let shape = GemmShape { t: geom.t(), n: geom.total, c: spec.in_c, k: spec.out_c };
+        let mut pool = StaticPool::new(1);
+        let candidates = [
+            ("default", Blocking::default_for(&shape)),
+            ("cost_seed", GemmCostModel::default().seed(tier, &shape)),
+            ("topk_measured", tune_blocking(tier, &shape, &mut pool, 2).0),
+            ("full_measured", tune_blocking_full(tier, &shape, &mut pool, 2).0),
+        ];
+
+        let cal =
+            lowino::calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&input)).unwrap();
+        let mut conv = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+        for (name, blocking) in candidates {
+            conv.set_blocking(blocking);
+            group.bench_function(format!("{layer_name}/{name}"), || {
+                let t = conv.execute(&input, &mut out, engine.context_mut()).expect("bench rep");
+                black_box(t.total());
+            });
+        }
+    }
+}
+
+/// Isolate the graph-vs-per_layer gap (BENCH_PR7.json shows graph ~3–6%
+/// behind): the graph engine wraps every conv in a `ResilientConv` whose
+/// default health policy scans the quantized intermediates for
+/// saturation and the output for non-finite values on every execute; the
+/// per-layer interpreter does neither. Benching the same compiled graph
+/// with health checks disabled attributes the gap.
+fn ablation_graph_overhead() {
+    use lowino::{Algorithm, HealthPolicy, Tensor4};
+    use lowino_nn::{
+        mini_vgg, CompiledGraph, GraphSpec, QuantizedModel, QuantizedSpec,
+    };
+    use lowino_testkit::Rng;
+
+    let (batch, threads) = (4usize, 2usize);
+    let mut rng = Rng::seed_from_u64(11);
+    let mut x = Tensor4::zeros(batch, 3, 8, 8);
+    rng.fill_f32(x.data_mut(), -1.0, 1.0);
+    let calib = x.clone();
+    let spec = GraphSpec { m: 2, batch, threads };
+
+    let mut model = mini_vgg(3, 8, 3, 31);
+    let mut graph = CompiledGraph::compile(&mut model, &calib, &spec).expect("compile");
+    let mut model = mini_vgg(3, 8, 3, 31);
+    let health_off = HealthPolicy { max_saturation_ratio: 2.0, check_output_finite: false };
+    let mut graph_no_health =
+        CompiledGraph::compile_with_health(&mut model, &calib, &spec, health_off)
+            .expect("compile health-off");
+    let mut model = mini_vgg(3, 8, 3, 31);
+    let mut per_layer = QuantizedModel::from_model(
+        &mut model,
+        &calib,
+        &QuantizedSpec {
+            algorithm: Algorithm::LoWino { m: 2 },
+            per_position: false,
+            batch,
+            threads,
+        },
+    )
+    .expect("convert per-layer model");
+
+    let mut logits = Tensor4::zeros(batch, 3, 1, 1);
+    graph.execute(&x, &mut logits).expect("warm-up");
+    graph_no_health.execute(&x, &mut logits).expect("warm-up");
+
+    let mut group = common("ablation/graph_overhead");
+    group.bench_function("graph_default_health", || {
+        graph.execute(&x, &mut logits).expect("bench rep");
+        black_box(logits.data()[0]);
+    });
+    group.bench_function("graph_health_off", || {
+        graph_no_health.execute(&x, &mut logits).expect("bench rep");
+        black_box(logits.data()[0]);
+    });
+    group.bench_function("per_layer", || {
+        let out = per_layer.logits(&x);
+        black_box(out.data()[0]);
+    });
+}
+
 fn main() {
     ablation_tile_size();
     ablation_blocking();
     ablation_simd_tier();
     ablation_scheduling();
+    ablation_tuned_vs_default();
+    ablation_graph_overhead();
 }

@@ -14,7 +14,7 @@
 //! fails loudly.
 
 use lowino::prelude::*;
-use lowino::{Blocking, ConvContext, DirectF32Conv, GemmShape, ResilientConv, Wisdom};
+use lowino::{Blocking, ConvContext, DirectF32Conv, GemmShape, ResilientConv, SimdTier, Wisdom};
 
 fn main() {
     let faulted = std::env::var("LOWINO_FAULT").map(|s| !s.is_empty()).unwrap_or(false);
@@ -42,7 +42,7 @@ fn main() {
     let path = dir.join("wisdom.txt");
     let shape = GemmShape { t: 16, n: 100, c: 64, k: 64 };
     let mut wisdom = Wisdom::new();
-    wisdom.insert(&shape, Blocking::default_for(&shape));
+    wisdom.insert(SimdTier::detect(), &shape, Blocking::default_for(&shape));
     wisdom.save(&path).expect("clean save before faults are armed");
 
     lowino_testkit::faults::init_from_env();
@@ -60,7 +60,7 @@ fn main() {
     }
     let loaded = Wisdom::load(&path).expect("wisdom file must stay loadable");
     assert!(
-        loaded.get(&shape).is_some(),
+        loaded.get(SimdTier::detect(), &shape).is_some(),
         "wisdom entry lost after {} save",
         if faulted { "crashed" } else { "clean" }
     );

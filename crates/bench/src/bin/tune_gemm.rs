@@ -3,12 +3,15 @@
 //!
 //! ```text
 //! cargo run -p lowino-bench --release --bin tune_gemm -- \
-//!     [--reps 3] [--threads 1] [--wisdom lowino_wisdom.txt] [--top 5]
+//!     [--reps 3] [--threads 1] [--wisdom lowino_wisdom.txt] [--top 5] [--full 0|1]
 //! ```
+//!
+//! By default only the cost model's top-K candidates are measured
+//! (Autotuner 2.0); `--full 1` sweeps the whole candidate lattice.
 
 use lowino_bench::runner::arg;
 use lowino_bench::Table;
-use lowino_gemm::{tune_blocking, GemmShape, Wisdom};
+use lowino_gemm::{tune_blocking, tune_blocking_full, GemmShape, Wisdom};
 use lowino_parallel::StaticPool;
 use lowino_simd::SimdTier;
 
@@ -17,6 +20,7 @@ fn main() {
     let reps: usize = arg(&args, "--reps", 3);
     let threads: usize = arg(&args, "--threads", 1);
     let top: usize = arg(&args, "--top", 5);
+    let full: usize = arg(&args, "--full", 0);
     let wisdom_path: String = arg(&args, "--wisdom", "lowino_wisdom.txt".to_string());
 
     // Representative stage-② shapes: (VGG16_b, ResNet-50_c, YOLOv3_c) under
@@ -35,7 +39,11 @@ fn main() {
     println!("== §4.3.4 auto-tuning (tier {tier}, {threads} thread(s)) ==\n");
     for (name, shape) in shapes {
         println!("{name}: T={} N={} C={} K={}", shape.t, shape.n, shape.c, shape.k);
-        let (best, mut log) = tune_blocking(tier, &shape, &mut pool, reps);
+        let (best, mut log) = if full != 0 {
+            tune_blocking_full(tier, &shape, &mut pool, reps)
+        } else {
+            tune_blocking(tier, &shape, &mut pool, reps)
+        };
         log.sort_by_key(|m| m.time);
         let mut table = Table::new(vec!["rank", "blocking", "time", "GMAC/s"]);
         for (i, m) in log.iter().take(top).enumerate() {
@@ -58,7 +66,7 @@ fn main() {
             "  best {:?}; worst candidate is {ratio:.2}x slower\n",
             best
         );
-        wisdom.insert(&shape, best);
+        wisdom.insert(tier, &shape, best);
     }
     wisdom
         .save(std::path::Path::new(&wisdom_path))

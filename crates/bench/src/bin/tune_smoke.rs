@@ -1,0 +1,107 @@
+//! CI smoke for Autotuner 2.0: prove the seed → execute → retune → swap
+//! → shutdown cycle end to end (see `ci/check.sh`).
+//!
+//! Phase 1 builds a seed-only engine and a layer: compile-time seeding
+//! must emit `tune/seeded` instants into the trace and the forward pass
+//! must work without any measurement sweep.
+//!
+//! Phase 2 builds a `Background` engine with a millisecond retune
+//! interval and a throwaway wisdom file, then keeps executing until the
+//! retuner publishes a winner (`tune/swap` in the trace, generation > 0).
+//! It asserts the retune thread shuts down cleanly (`stop_retuner()`
+//! returns true exactly once), the engine still executes afterwards, and
+//! the wisdom file on disk ends up non-empty.
+//!
+//! Run with `LOWINO_TRACE=<path>`; the CI step validates the flushed
+//! chrome JSON with `trace_check` and greps it for `tune/seeded` and
+//! `tune/swap`. Exits non-zero (via panic) on any violated expectation.
+
+use std::time::{Duration, Instant};
+
+use lowino::prelude::*;
+use lowino::{ConvShape, Tensor4, TunePolicy, Wisdom};
+
+fn test_layer(engine: &Engine, spec: ConvShape, weights: &Tensor4, img: &BlockedImage) -> Layer {
+    LayerBuilder::new(spec, weights)
+        .algorithm(AlgoChoice::Fixed(Algorithm::LoWino { m: 4 }))
+        .calibration_samples(vec![img.clone()])
+        .build(engine)
+        .expect("plan layer")
+}
+
+fn main() {
+    lowino_trace::init_from_env();
+
+    let spec = ConvShape::same(1, 32, 32, 12, 3).validate().expect("spec");
+    let weights = Tensor4::from_fn(32, 32, 3, 3, |k, c, y, x| {
+        ((k * 11 + c * 7 + y * 3 + x) as f32 * 0.37).cos() * 0.3
+    });
+    let input = Tensor4::from_fn(1, 32, 12, 12, |_, c, y, x| {
+        ((c * 17 + y * 5 + x * 3) as f32 * 0.23).sin()
+    });
+    let img = BlockedImage::from_nchw(&input);
+
+    // ── Phase 1: seed-only engine — zero-stall first request ──────────
+    let mut engine = Engine::builder(2).tune_policy(TunePolicy::SeedOnly).build();
+    let mut layer = test_layer(&engine, spec, &weights, &img);
+    let mut out = engine.alloc_output(&spec);
+    engine.execute(&mut layer, &img, &mut out).expect("seed-only execute");
+    assert!(
+        out.to_nchw().data().iter().all(|v| v.is_finite()),
+        "seed-only output contains non-finite values"
+    );
+    println!("tune_smoke: seed-only engine executed (max_abs = {:.4})", out.max_abs());
+
+    // ── Phase 2: background retune — measure, publish, shut down ──────
+    let dir = std::env::temp_dir().join(format!("lowino_tune_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let wisdom_path = dir.join("wisdom.txt");
+
+    let mut engine = Engine::builder(2)
+        .tune_policy(TunePolicy::Background)
+        .retune_interval(Duration::from_millis(2))
+        .wisdom_path(&wisdom_path)
+        .build();
+    assert!(engine.context().tune.is_retuning(), "background engine must start a retuner");
+    let mut layer = test_layer(&engine, spec, &weights, &img);
+    let mut out = engine.alloc_output(&spec);
+
+    // Keep the shape hot until the retuner publishes a winner for it.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut iterations = 0u32;
+    while engine.context().tune.shared().generation() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "retuner never published a winner (after {iterations} executes)"
+        );
+        engine.execute(&mut layer, &img, &mut out).expect("background execute");
+        iterations += 1;
+    }
+    println!(
+        "tune_smoke: retuner published generation {} after {iterations} executes",
+        engine.context().tune.shared().generation()
+    );
+
+    // Clean shutdown: the first stop joins the thread, the second is a no-op.
+    assert!(engine.context_mut().tune.stop_retuner(), "stop_retuner must join the thread");
+    assert!(!engine.context_mut().tune.stop_retuner(), "second stop must be a no-op");
+    assert!(!engine.context().tune.is_retuning());
+
+    // The engine stays usable after shutdown (published winners persist).
+    engine.execute(&mut layer, &img, &mut out).expect("post-shutdown execute");
+    assert!(
+        out.to_nchw().data().iter().all(|v| v.is_finite()),
+        "post-shutdown output contains non-finite values"
+    );
+
+    // The retuner merged its winners into the wisdom file.
+    let wisdom = Wisdom::load(&wisdom_path).expect("retuned wisdom file loads");
+    assert!(!wisdom.is_empty(), "retuned wisdom file has no entries");
+    println!("tune_smoke: wisdom file holds {} entries", wisdom.len());
+    std::fs::remove_dir_all(&dir).ok();
+
+    if let Some(path) = lowino_trace::flush_to_env() {
+        println!("tune_smoke: trace written to {}", path.display());
+    }
+    println!("tune_smoke: ok");
+}

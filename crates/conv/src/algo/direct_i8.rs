@@ -131,20 +131,13 @@ impl ConvExecutor for DirectInt8Conv {
         let cp = self.cp;
         let c_blocks = cp / LANES;
 
-        let ConvContext {
-            pool,
-            tier,
-            wisdom,
-            ..
-        } = ctx;
+        let shape = self.gemm_shape();
+        let blocking = ctx.gemm_blocking(&shape, self.blocking_override);
+        let blocking = lowino_gemm::normalize_for(&blocking, &shape);
+
+        let ConvContext { pool, tier, .. } = ctx;
         let tier = *tier;
         let vt = VecTier::for_simd(tier);
-
-        let shape = self.gemm_shape();
-        let blocking = self
-            .blocking_override
-            .unwrap_or_else(|| wisdom.blocking_or_default(&shape));
-        let blocking = lowino_gemm::normalize_for(&blocking, &shape);
         let kp = self.u_panel.kp();
         let zp: &ZPanel = &self.z_panel;
         let up: &UPanel = &self.u_panel;
@@ -311,6 +304,15 @@ impl ConvExecutor for DirectInt8Conv {
         let spec = &self.spec;
         let sat = lowino_quant::count_saturated_u8(self.qbuf.as_slice());
         Some((sat, (spec.batch * spec.in_c * spec.h * spec.w) as u64))
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        // Qualified call: the inherent method shadows the trait's.
+        Some(DirectInt8Conv::gemm_shape(self))
+    }
+
+    fn set_blocking(&mut self, b: Blocking) {
+        DirectInt8Conv::set_blocking(self, b);
     }
 }
 

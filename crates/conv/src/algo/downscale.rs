@@ -159,6 +159,17 @@ impl ConvExecutor for DownScaleConv {
         let cp = lowino_tensor::round_up(spec.in_c, LANES);
         let c_blocks = cp / LANES;
 
+        // A published retune winner beats the override; otherwise the
+        // oneDNN-like partition cap stands in for wisdom — this executor
+        // models oneDNN's design, so it is never cost-model seeded.
+        let shape = self.gemm_shape();
+        let blocking = match ctx.tune.lookup(ctx.tier, &shape) {
+            Some(published) => published,
+            None => self
+                .blocking_override
+                .unwrap_or_else(|| self.onednn_like_blocking()),
+        };
+
         let ConvContext {
             pool,
             tier,
@@ -169,13 +180,8 @@ impl ConvExecutor for DownScaleConv {
         let vt = VecTier::for_simd(tier);
         let scratch: &ScratchArena = scratch;
 
-        // Plan stage ③ (the GEMM) with the oneDNN-like partition-capped
-        // blocking; the plan's exclusive borrow of `Z` lives through the
-        // whole fork-join.
-        let shape = self.gemm_shape();
-        let blocking = self
-            .blocking_override
-            .unwrap_or_else(|| self.onednn_like_blocking());
+        // Plan stage ③ (the GEMM) with the partition-capped blocking; the
+        // plan's exclusive borrow of `Z` lives through the whole fork-join.
         let vp: &VPanel = &self.v_panel;
         let qb: &AlignedBuf<i8> = &self.qbuf;
         let gemm = GemmTasks::plan(

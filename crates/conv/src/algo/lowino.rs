@@ -233,9 +233,7 @@ impl LoWinoConv {
         // -- Stage ②: batched low-precision GEMM.
         let start = Instant::now();
         let shape = self.gemm_shape();
-        let blocking = self
-            .blocking_override
-            .unwrap_or_else(|| ctx.wisdom.blocking_or_default(&shape));
+        let blocking = ctx.gemm_blocking(&shape, self.blocking_override);
         batched_gemm_u8i8(
             tier,
             &shape,
@@ -311,12 +309,21 @@ impl LoWinoConv {
         let alpha_v: &[f32] = &self.alpha_v;
         let inv_alpha: &[f32] = &self.inv_alpha;
 
+        // Resolve stage ②'s blocking (published winner → override → seed)
+        // before splitting the context.
+        let shape = GemmShape {
+            t: t_count,
+            n: geom.total,
+            c: spec.in_c,
+            k: spec.out_c,
+        };
+        let blocking = ctx.gemm_blocking(&shape, self.blocking_override);
+
         // Split the context so the pool (`&mut`) and the shared arena can
         // be used simultaneously.
         let ConvContext {
             pool,
             tier,
-            wisdom,
             scratch,
             ..
         } = ctx;
@@ -326,15 +333,6 @@ impl LoWinoConv {
 
         // Plan stage ② up front; the plan's exclusive borrow of `Z` lives
         // through the whole fork-join (phase ③ reads it via `z()`).
-        let shape = GemmShape {
-            t: t_count,
-            n: geom.total,
-            c: spec.in_c,
-            k: spec.out_c,
-        };
-        let blocking = self
-            .blocking_override
-            .unwrap_or_else(|| wisdom.blocking_or_default(&shape));
         let vp: &VPanel = &self.v_panel;
         let gemm = GemmTasks::plan(
             tier,
@@ -523,6 +521,15 @@ impl ConvExecutor for LoWinoConv {
             }
         }
         Some((sat, (t * n * c) as u64))
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        // Qualified call: the inherent method shadows the trait's.
+        Some(LoWinoConv::gemm_shape(self))
+    }
+
+    fn set_blocking(&mut self, b: Blocking) {
+        LoWinoConv::set_blocking(self, b);
     }
 }
 

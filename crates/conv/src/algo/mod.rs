@@ -223,6 +223,19 @@ pub trait ConvExecutor {
     fn saturation(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// The stage-② GEMM shape this executor runs, when it is GEMM-backed
+    /// and open to tuner seeding. `None` (the default) means "nothing to
+    /// seed" — true for direct/f32 executors and for `DownScaleConv`,
+    /// whose blocking deliberately models oneDNN's partition design.
+    fn gemm_shape(&self) -> Option<lowino_gemm::GemmShape> {
+        None
+    }
+
+    /// Install a tuner-chosen blocking for the stage-② GEMM. Executors
+    /// that report a shape from [`Self::gemm_shape`] accept the seed;
+    /// everyone else ignores it.
+    fn set_blocking(&mut self, _b: lowino_gemm::Blocking) {}
 }
 
 /// Shared input/output validation for all executors: dimension check plus

@@ -139,6 +139,56 @@ fn pipelined_multi_block_steady_state_allocates_nothing() {
     }
 }
 
+/// Autotuner 2.0 extension of the zero-alloc invariant: the `Background`
+/// lookup path (published-table probe + hot-shape counter bump) and a
+/// published-winner hit must both stay heap-free in steady state — the
+/// retuner's whole point is free swaps, not per-execute overhead. The
+/// runtime is built without a thread (`retune: None`) so the counting
+/// allocator, which counts every thread's allocations, sees only the
+/// execute path; a winner is published by hand to exercise the table hit.
+#[test]
+fn background_lookup_and_published_hit_stay_allocation_free() {
+    use lowino_gemm::{GemmShape, TunePolicy, Wisdom};
+    use lowino_simd::SimdTier;
+
+    let spec = ConvShape::same(2, 16, 16, 12, 3).validate().unwrap();
+    let img = test_image(&spec);
+    let weights = test_weights(&spec);
+    let cal = calibrate_winograd_domain(&spec, 4, std::slice::from_ref(&img)).unwrap();
+    let mut conv = LoWinoConv::new(spec, 4, &weights, cal).unwrap();
+    let mut out = BlockedImage::zeros(2, 16, 12, 12);
+
+    let tier = SimdTier::detect();
+    let mut ctx =
+        ConvContext::with_tuning(2, tier, TunePolicy::Background, Wisdom::new(), None);
+    let geom = spec.tiles(4).unwrap();
+    let shape = GemmShape { t: geom.t(), n: geom.total, c: spec.in_c, k: spec.out_c };
+
+    // Warm-up: grows the arenas AND inserts the shape's hot-counter entry
+    // (the only allocation the note path ever performs).
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+
+    // Steady state on the cost-model-seed path (nothing published yet).
+    let allocs = count_allocs(|| {
+        for _ in 0..3 {
+            conv.execute(&img, &mut out, &mut ctx).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "Background lookup+note path must not touch the heap");
+
+    // Publish a winner (as the retuner would) and hit the table instead.
+    ctx.tune
+        .shared()
+        .publish(tier, &shape, lowino_gemm::Blocking::default_for(&shape));
+    conv.execute(&img, &mut out, &mut ctx).unwrap();
+    let allocs = count_allocs(|| {
+        for _ in 0..3 {
+            conv.execute(&img, &mut out, &mut ctx).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "published-winner hit must not touch the heap");
+}
+
 #[test]
 fn every_executor_is_one_fork_join_per_execute() {
     let spec = ConvShape::same(1, 8, 8, 10, 3).validate().unwrap();

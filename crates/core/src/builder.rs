@@ -6,13 +6,18 @@
 //! calibration the chosen scheme needs, packing the filters, and allocating
 //! workspaces — into a reusable [`Layer`].
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use lowino_conv::{
     calibrate_spatial, calibrate_winograd_domain, Algorithm, ConvContext, ConvError,
     ConvExecutor, DirectF32Conv, DirectInt8Conv, DownScaleConv, ExecError, LoWinoConv,
     StageTimings, UpCastConv, WinogradF32Conv,
 };
 use lowino_conv::calibrate::calibrate_winograd_domain_per_position;
+use lowino_gemm::{RetuneConfig, TunePolicy, Wisdom};
 use lowino_quant::QParams;
+use lowino_simd::SimdTier;
 use lowino_tensor::{BlockedImage, ConvShape, Tensor4};
 
 use crate::select::select_algorithm;
@@ -46,9 +51,26 @@ impl Engine {
         }
     }
 
+    /// Start configuring an engine explicitly: tier, tuning policy,
+    /// wisdom file, background retuning.
+    pub fn builder(threads: usize) -> EngineBuilder {
+        EngineBuilder {
+            threads,
+            tier: None,
+            policy: None,
+            wisdom_path: None,
+            retune_interval: None,
+        }
+    }
+
     /// The underlying context (advanced use: wisdom, tier inspection).
     pub fn context_mut(&mut self) -> &mut ConvContext {
         &mut self.ctx
+    }
+
+    /// The underlying context, read-only (tuner seeding, tier queries).
+    pub fn context(&self) -> &ConvContext {
+        &self.ctx
     }
 
     /// Allocate a correctly-shaped blocked output for a layer spec.
@@ -65,6 +87,80 @@ impl Engine {
         output: &mut BlockedImage,
     ) -> Result<StageTimings, ExecError> {
         layer.exec.execute(input, output, &mut self.ctx)
+    }
+}
+
+/// Configures an [`Engine`] with explicit autotuning behaviour.
+///
+/// ```no_run
+/// # use lowino::Engine;
+/// # use lowino_gemm::TunePolicy;
+/// let engine = Engine::builder(4)
+///     .tune_policy(TunePolicy::Background)
+///     .wisdom_path("model.wisdom")
+///     .build();
+/// ```
+pub struct EngineBuilder {
+    threads: usize,
+    tier: Option<SimdTier>,
+    policy: Option<TunePolicy>,
+    wisdom_path: Option<PathBuf>,
+    retune_interval: Option<Duration>,
+}
+
+impl EngineBuilder {
+    /// Pin the SIMD tier (default: [`SimdTier::detect`]).
+    pub fn tier(mut self, tier: SimdTier) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+
+    /// Set the tuning policy (default: `LOWINO_RETUNE`, falling back to
+    /// [`TunePolicy::SeedOnly`]).
+    pub fn tune_policy(mut self, policy: TunePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Wisdom file to seed from — and, under
+    /// [`TunePolicy::Background`], to merge retune winners back into
+    /// (default: `LOWINO_WISDOM` if set). Unreadable files degrade to
+    /// empty wisdom.
+    pub fn wisdom_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.wisdom_path = Some(path.into());
+        self
+    }
+
+    /// Idle interval of the background retuner (only meaningful under
+    /// [`TunePolicy::Background`]; default 100 ms).
+    pub fn retune_interval(mut self, interval: Duration) -> Self {
+        self.retune_interval = Some(interval);
+        self
+    }
+
+    /// Construct the engine. Under [`TunePolicy::Background`] this spawns
+    /// the retuner thread; it is joined when the engine (context) drops.
+    pub fn build(self) -> Engine {
+        let tier = self.tier.unwrap_or_else(SimdTier::detect);
+        let policy = self.policy.unwrap_or_else(TunePolicy::from_env);
+        let wisdom_path = self
+            .wisdom_path
+            .or_else(|| std::env::var("LOWINO_WISDOM").ok().map(PathBuf::from));
+        let wisdom = wisdom_path
+            .as_deref()
+            .and_then(|p| Wisdom::load(p).ok())
+            .unwrap_or_default();
+        let retune = (policy == TunePolicy::Background).then(|| {
+            let mut cfg = RetuneConfig::new(tier);
+            if let Some(interval) = self.retune_interval {
+                cfg.interval = interval;
+            }
+            cfg.wisdom_path = wisdom_path;
+            cfg
+        });
+        Engine {
+            ctx: ConvContext::with_tuning(self.threads, tier, policy, wisdom, retune),
+        }
     }
 }
 
@@ -140,8 +236,10 @@ impl<'w> LayerBuilder<'w> {
         self
     }
 
-    /// Plan the layer.
-    pub fn build(self, _engine: &Engine) -> Result<Layer, ConvError> {
+    /// Plan the layer. GEMM-backed executors get their stage-② blocking
+    /// seeded from the engine's tuner (exact wisdom → shape-class wisdom →
+    /// cost model) — a first execute never stalls on a measurement sweep.
+    pub fn build(self, engine: &Engine) -> Result<Layer, ConvError> {
         let spec = self.spec.validate()?;
         let algo = match self.algo {
             AlgoChoice::Fixed(a) => a,
@@ -199,6 +297,10 @@ impl<'w> LayerBuilder<'w> {
                 }
             }
         };
+        let mut exec = exec;
+        if let Some(shape) = exec.gemm_shape() {
+            exec.set_blocking(engine.ctx.seed_blocking(&shape));
+        }
         Ok(Layer { exec })
     }
 }

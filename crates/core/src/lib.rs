@@ -51,7 +51,7 @@ pub mod builder;
 pub mod resilient;
 pub mod select;
 
-pub use builder::{AlgoChoice, Engine, Layer, LayerBuilder};
+pub use builder::{AlgoChoice, Engine, EngineBuilder, Layer, LayerBuilder};
 pub use resilient::{Demotion, DemotionReason, HealthPolicy, ResilientConv};
 pub use select::{estimate_cost, select_algorithm, CostModel};
 
@@ -60,7 +60,10 @@ pub use lowino_conv::{
     ConvError, ConvExecutor, ConvPostOps, DirectF32Conv, DirectInt8Conv, DownScaleConv,
     ExecError, LoWinoConv, NonFinitePolicy, StageTimings, UpCastConv, WinogradF32Conv,
 };
-pub use lowino_gemm::{Blocking, GemmShape, Wisdom};
+pub use lowino_gemm::{
+    Blocking, GemmCostModel, GemmShape, RetuneConfig, SeedSource, ShapeClass, TunePolicy,
+    Wisdom,
+};
 pub use lowino_quant::QParams;
 pub use lowino_simd::{dpbusd, SimdTier};
 pub use lowino_tensor::{AlignedBuf, BlockedImage, ConvShape, Tensor4, TileGeometry, LANES};

@@ -110,6 +110,9 @@ pub struct ResilientConv {
     remaining: Vec<Algorithm>,
     exec: Box<dyn ConvExecutor + Send>,
     demotions: Vec<Demotion>,
+    /// Whether [`Self::seed_blocking`] was called — demoted rungs are then
+    /// re-seeded so a rebuilt executor keeps tuner-chosen blockings.
+    seeded: bool,
 }
 
 impl ResilientConv {
@@ -174,6 +177,7 @@ impl ResilientConv {
                 remaining,
                 exec,
                 demotions,
+                seeded: false,
             }),
             // Even DirectF32 failed: nothing to serve from.
             None => Err(pending.expect("chain was non-empty").1),
@@ -198,6 +202,20 @@ impl ResilientConv {
     /// The active health policy.
     pub fn policy(&self) -> &HealthPolicy {
         &self.policy
+    }
+
+    /// Seed the serving executor's GEMM blocking from the context's tuner
+    /// (exact wisdom → shape class → cost model; never a measurement).
+    /// Demotions after this call re-seed the rebuilt rung automatically.
+    pub fn seed_blocking(&mut self, ctx: &ConvContext) {
+        self.seeded = true;
+        self.apply_seed(ctx);
+    }
+
+    fn apply_seed(&mut self, ctx: &ConvContext) {
+        if let Some(shape) = self.exec.gemm_shape() {
+            self.exec.set_blocking(ctx.seed_blocking(&shape));
+        }
     }
 
     /// Run the layer, demoting down the ladder until a rung produces a
@@ -239,6 +257,9 @@ impl ResilientConv {
                 }
                 // Caller errors: every rung would reject them identically.
                 Err(err) => return Err(err.into()),
+            }
+            if self.seeded {
+                self.apply_seed(ctx);
             }
         }
     }

@@ -43,7 +43,7 @@ use crate::kernel::{microkernel, Blocking, Seed, MAX_COL_BLK, MAX_ROW_BLK};
 use crate::panels::{UPanel, VPanel, ZPanel};
 
 /// Logical dimensions of a batched Winograd GEMM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GemmShape {
     /// Batch size `T = (m+r−1)²` (tile positions).
     pub t: usize,

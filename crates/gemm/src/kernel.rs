@@ -34,7 +34,10 @@ pub enum Seed {
 }
 
 /// Cache- and register-blocking parameters (paper §4.3.4's tuning space).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The `Ord`/`Hash` derives give candidate sets a canonical order so the
+/// tuner can sort+dedup its lattice and wisdom files serialise stably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Blocking {
     /// Rows of `V` per cache block (`N_blk`).
     pub n_blk: usize,

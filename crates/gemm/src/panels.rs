@@ -261,6 +261,11 @@ impl ZPanel {
         (self.t, self.n, self.k, self.kg)
     }
 
+    /// The whole panel as one flat slice (snapshot/diff in tests).
+    pub fn as_slice(&self) -> &[i32] {
+        self.buf.as_slice()
+    }
+
     /// The contiguous `T × 64` i32 block for (k-group, tile) — exactly what
     /// the output transform consumes.
     #[inline]

@@ -1,0 +1,455 @@
+//! Online retuning (Autotuner 2.0, layer 3): a std-only background thread
+//! that re-measures hot GEMM shapes at idle and publishes winners through
+//! an atomically swapped table the drivers read on every execute.
+//!
+//! The pieces:
+//!
+//! * [`TunePolicy`] — how much tuning machinery a context runs: `Off`
+//!   (pre-autotuner behaviour), `SeedOnly` (cost-model/wisdom seeding,
+//!   no thread — the default), `Background` (seeding + the retuner).
+//!   Selected per context or via `LOWINO_RETUNE=off|seed|background`.
+//! * [`TuneShared`] — the state shared between executing drivers and the
+//!   retuner: the published [`TuneTable`] behind a mutex-guarded
+//!   `Arc` (publish clones the table, builds the new `Arc`, and swaps it
+//!   under the lock; readers take the lock only long enough to copy a
+//!   40-byte `Blocking`, so a swap is atomic from their point of view
+//!   and the steady state allocates nothing), plus hot-shape counters
+//!   fed by [`TuneRuntime::lookup`] under the `Background` policy.
+//! * [`TuneRuntime`] — the per-context handle: policy + shared state +
+//!   the optional retuner thread. Dropping the runtime (or calling
+//!   [`TuneRuntime::stop_retuner`]) signals and *joins* the thread, so
+//!   no thread ever outlives its context.
+//!
+//! The retuner wakes every [`RetuneConfig::interval`], takes the hottest
+//! not-yet-retuned shape (by accumulated MAC count), measures the cost
+//! model's top-K candidates on its own single-worker pool (emitting the
+//! usual `tune/measurement` instants plus one `tune/retune` instant per
+//! shape), publishes the winner (`tune/swap` instant, payload =
+//! publication generation), and — when a wisdom path is configured —
+//! persists it with [`Wisdom::merge_save`] so concurrent writers keep
+//! both sets of entries.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use lowino_parallel::StaticPool;
+use lowino_simd::SimdTier;
+
+use crate::cost::GemmCostModel;
+use crate::driver::GemmShape;
+use crate::kernel::Blocking;
+use crate::tune::{measure_candidates, Wisdom, TUNE_TOP_K};
+
+/// How much autotuning machinery a context runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TunePolicy {
+    /// No seeding, no published table, no thread: exact-wisdom hit or the
+    /// static default, exactly as before Autotuner 2.0.
+    Off,
+    /// Zero-stall seeding from wisdom + cost model; no background thread.
+    /// The default.
+    #[default]
+    SeedOnly,
+    /// Seeding plus the background retuner thread.
+    Background,
+}
+
+impl TunePolicy {
+    /// Parse `LOWINO_RETUNE` (`off` / `seed` / `background`, case-
+    /// insensitive); unset or unrecognised values give the default.
+    pub fn from_env() -> Self {
+        match std::env::var("LOWINO_RETUNE") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "off" => TunePolicy::Off,
+                "background" => TunePolicy::Background,
+                _ => TunePolicy::SeedOnly,
+            },
+            Err(_) => TunePolicy::SeedOnly,
+        }
+    }
+
+    /// Stable name (env-var spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            TunePolicy::Off => "off",
+            TunePolicy::SeedOnly => "seed",
+            TunePolicy::Background => "background",
+        }
+    }
+}
+
+type Key = (SimdTier, [usize; 4]);
+
+fn key(tier: SimdTier, shape: &GemmShape) -> Key {
+    (tier, [shape.t, shape.n, shape.c, shape.k])
+}
+
+/// The published winners: an immutable snapshot the drivers read.
+#[derive(Debug, Clone, Default)]
+pub struct TuneTable {
+    entries: HashMap<Key, Blocking>,
+}
+
+impl TuneTable {
+    /// Look up the published blocking for a `(tier, shape)`.
+    pub fn get(&self, tier: SimdTier, shape: &GemmShape) -> Option<Blocking> {
+        self.entries.get(&key(tier, shape)).copied()
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HotStat {
+    /// Accumulated MACs of every execute that looked this shape up.
+    macs: u64,
+    /// Already picked up by the retuner (one retune per shape per run).
+    tuned: bool,
+}
+
+/// State shared between executing drivers and the retuner thread.
+#[derive(Debug, Default)]
+pub struct TuneShared {
+    published: Mutex<Arc<TuneTable>>,
+    hot: Mutex<HashMap<Key, HotStat>>,
+    generation: AtomicU64,
+}
+
+impl TuneShared {
+    /// Snapshot the published table (an `Arc` clone; the snapshot stays
+    /// valid across concurrent publishes).
+    pub fn snapshot(&self) -> Arc<TuneTable> {
+        self.published.lock().unwrap().clone()
+    }
+
+    /// Copy out the published blocking for a `(tier, shape)`, if any.
+    /// Steady-state allocation-free: the lock is held only for the map
+    /// probe and the 40-byte copy.
+    pub fn lookup(&self, tier: SimdTier, shape: &GemmShape) -> Option<Blocking> {
+        self.published.lock().unwrap().get(tier, shape)
+    }
+
+    /// Publish a winner: clone-modify-swap of the table `Arc` under the
+    /// lock. Readers either see the whole old table or the whole new one.
+    /// Emits a `tune/swap` instant; returns the new generation.
+    pub fn publish(&self, tier: SimdTier, shape: &GemmShape, blocking: Blocking) -> u64 {
+        let mut guard = self.published.lock().unwrap();
+        let mut next = TuneTable::clone(&guard);
+        next.entries.insert(key(tier, shape), blocking);
+        *guard = Arc::new(next);
+        drop(guard);
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        lowino_trace::instant("tune/swap", generation);
+        generation
+    }
+
+    /// Number of publishes so far.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Record one execute of `shape` on `tier` for hotness ranking.
+    /// Allocates only the first time a shape is seen; afterwards it is a
+    /// counter bump under a lock.
+    pub fn note(&self, tier: SimdTier, shape: &GemmShape) {
+        let mut hot = self.hot.lock().unwrap();
+        let stat = hot.entry(key(tier, shape)).or_default();
+        stat.macs = stat.macs.saturating_add(shape.macs());
+    }
+
+    /// Take (and mark) up to `max` of the hottest not-yet-retuned shapes.
+    fn take_hottest(&self, max: usize) -> Vec<Key> {
+        let mut hot = self.hot.lock().unwrap();
+        let mut pending: Vec<(u64, Key)> = hot
+            .iter()
+            .filter(|(_, s)| !s.tuned)
+            .map(|(k, s)| (s.macs, *k))
+            .collect();
+        pending.sort_unstable_by(|a, b| b.cmp(a));
+        pending.truncate(max);
+        for (_, k) in &pending {
+            hot.get_mut(k).expect("key just seen").tuned = true;
+        }
+        pending.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+/// Configuration of the background retuner thread.
+#[derive(Debug, Clone)]
+pub struct RetuneConfig {
+    /// Tier the measurements run on (must match the executing context's
+    /// tier, or the published winners are meaningless).
+    pub tier: SimdTier,
+    /// Idle wait between retune cycles.
+    pub interval: Duration,
+    /// Best-of-`repeats` per measured candidate.
+    pub repeats: usize,
+    /// How many cost-model candidates to measure per shape.
+    pub top_k: usize,
+    /// Worker count of the retuner's own measurement pool.
+    pub threads: usize,
+    /// Shapes retuned per wake-up.
+    pub max_shapes_per_cycle: usize,
+    /// Wisdom file to `merge_save` winners into (`None`: in-memory only).
+    pub wisdom_path: Option<PathBuf>,
+}
+
+impl RetuneConfig {
+    /// Defaults for a tier: 100 ms idle interval, best-of-2, top-5, one
+    /// single-threaded measurement per cycle, no persistence.
+    pub fn new(tier: SimdTier) -> Self {
+        Self {
+            tier,
+            interval: Duration::from_millis(100),
+            repeats: 2,
+            top_k: TUNE_TOP_K,
+            threads: 1,
+            max_shapes_per_cycle: 1,
+            wisdom_path: None,
+        }
+    }
+}
+
+/// Stop signal: a flag under a mutex plus a condvar so the retuner's idle
+/// wait wakes immediately on shutdown instead of finishing its interval.
+#[derive(Debug, Default)]
+struct StopFlag {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopFlag {
+    /// Idle-wait for `interval`; returns `true` if a stop was requested.
+    fn wait_interval(&self, interval: Duration) -> bool {
+        let guard = self.stop.lock().unwrap();
+        let (guard, _) = self
+            .cv
+            .wait_timeout_while(guard, interval, |stop| !*stop)
+            .unwrap();
+        *guard
+    }
+
+    fn is_set(&self) -> bool {
+        *self.stop.lock().unwrap()
+    }
+
+    fn set(&self) {
+        *self.stop.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Retuner {
+    stop: Arc<StopFlag>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// Per-context autotuning handle: policy, shared state, optional retuner.
+pub struct TuneRuntime {
+    policy: TunePolicy,
+    shared: Arc<TuneShared>,
+    retuner: Option<Retuner>,
+}
+
+impl std::fmt::Debug for TuneRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuneRuntime")
+            .field("policy", &self.policy)
+            .field("retuning", &self.retuner.is_some())
+            .finish()
+    }
+}
+
+impl Default for TuneRuntime {
+    fn default() -> Self {
+        Self::new(TunePolicy::default())
+    }
+}
+
+impl TuneRuntime {
+    /// A runtime with the given policy and no thread (spawn one with
+    /// [`Self::start_retuner`] when the policy is `Background`).
+    pub fn new(policy: TunePolicy) -> Self {
+        Self {
+            policy,
+            shared: Arc::new(TuneShared::default()),
+            retuner: None,
+        }
+    }
+
+    /// A runtime with the `LOWINO_RETUNE` policy (no thread yet).
+    pub fn from_env() -> Self {
+        Self::new(TunePolicy::from_env())
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> TunePolicy {
+        self.policy
+    }
+
+    /// The shared published-table / hot-counter state.
+    pub fn shared(&self) -> &Arc<TuneShared> {
+        &self.shared
+    }
+
+    /// Is a retuner thread currently running?
+    pub fn is_retuning(&self) -> bool {
+        self.retuner.is_some()
+    }
+
+    /// The driver-side lookup: `None` unless a winner has been published
+    /// for this `(tier, shape)`. Under `Background` the call also feeds
+    /// the hot-shape counters. `Off` disables the table entirely.
+    pub fn lookup(&self, tier: SimdTier, shape: &GemmShape) -> Option<Blocking> {
+        match self.policy {
+            TunePolicy::Off => None,
+            TunePolicy::SeedOnly => self.shared.lookup(tier, shape),
+            TunePolicy::Background => {
+                self.shared.note(tier, shape);
+                self.shared.lookup(tier, shape)
+            }
+        }
+    }
+
+    /// Spawn the background retuner (policy must be `Background`; at most
+    /// one thread per runtime). `wisdom` seeds the thread's private copy —
+    /// winners are merged back into `cfg.wisdom_path` if set. Returns
+    /// whether a thread was started.
+    pub fn start_retuner(&mut self, cfg: RetuneConfig, wisdom: Wisdom) -> bool {
+        if self.policy != TunePolicy::Background || self.retuner.is_some() {
+            return false;
+        }
+        let stop = Arc::new(StopFlag::default());
+        let stop2 = Arc::clone(&stop);
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name("lowino-retune".into())
+            .spawn(move || retune_loop(&shared, &stop2, &cfg, wisdom))
+            .expect("spawn retune thread");
+        self.retuner = Some(Retuner { stop, handle });
+        true
+    }
+
+    /// Signal and **join** the retuner. Returns whether a thread was
+    /// actually stopped (and is now provably gone). Idempotent.
+    pub fn stop_retuner(&mut self) -> bool {
+        match self.retuner.take() {
+            Some(r) => {
+                r.stop.set();
+                r.handle.join().expect("retune thread panicked");
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for TuneRuntime {
+    fn drop(&mut self) {
+        self.stop_retuner();
+    }
+}
+
+fn retune_loop(shared: &TuneShared, stop: &StopFlag, cfg: &RetuneConfig, mut wisdom: Wisdom) {
+    let mut pool = StaticPool::new(cfg.threads.max(1));
+    let model = GemmCostModel::new();
+    loop {
+        if stop.wait_interval(cfg.interval) {
+            return;
+        }
+        for (tier, [t, n, c, k]) in shared.take_hottest(cfg.max_shapes_per_cycle.max(1)) {
+            let shape = GemmShape { t, n, c, k };
+            let candidates = model.top_k(tier, &shape, cfg.top_k.max(1));
+            lowino_trace::instant("tune/retune", candidates.len() as u64);
+            let (best, _log) =
+                measure_candidates(tier, &shape, &candidates, &mut pool, cfg.repeats);
+            wisdom.insert(tier, &shape, best);
+            shared.publish(tier, &shape, best);
+            if let Some(path) = &cfg.wisdom_path {
+                // Persistence is best-effort: a failed save never takes
+                // down the retuner (the table swap already happened).
+                let _ = wisdom.merge_save(path);
+            }
+            if stop.is_set() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B1: Blocking = Blocking { n_blk: 96, c_blk: 64, k_blk: 64, row_blk: 6, col_blk: 4 };
+
+    #[test]
+    fn policy_from_name_spellings() {
+        assert_eq!(TunePolicy::default(), TunePolicy::SeedOnly);
+        for p in [TunePolicy::Off, TunePolicy::SeedOnly, TunePolicy::Background] {
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn publish_swaps_snapshots_atomically() {
+        let shared = TuneShared::default();
+        let shape = GemmShape { t: 4, n: 64, c: 32, k: 64 };
+        let before = shared.snapshot();
+        assert!(before.is_empty());
+        assert_eq!(shared.publish(SimdTier::Avx2, &shape, B1), 1);
+        // The old snapshot is untouched; a fresh one sees the entry.
+        assert!(before.is_empty());
+        assert_eq!(shared.lookup(SimdTier::Avx2, &shape), Some(B1));
+        assert_eq!(shared.lookup(SimdTier::Scalar, &shape), None, "tier-keyed");
+        assert_eq!(shared.generation(), 1);
+    }
+
+    #[test]
+    fn hotness_ranks_by_macs_and_marks_tuned() {
+        let shared = TuneShared::default();
+        let small = GemmShape { t: 2, n: 8, c: 4, k: 64 };
+        let big = GemmShape { t: 16, n: 512, c: 256, k: 256 };
+        shared.note(SimdTier::Avx2, &small);
+        shared.note(SimdTier::Avx2, &big);
+        shared.note(SimdTier::Avx2, &small);
+        let hottest = shared.take_hottest(1);
+        assert_eq!(hottest, vec![key(SimdTier::Avx2, &big)]);
+        // `big` is marked; the next take returns the remaining shape.
+        assert_eq!(shared.take_hottest(4), vec![key(SimdTier::Avx2, &small)]);
+        assert!(shared.take_hottest(4).is_empty());
+    }
+
+    #[test]
+    fn seed_only_runtime_reads_table_but_never_notes() {
+        let rt = TuneRuntime::new(TunePolicy::SeedOnly);
+        let shape = GemmShape { t: 4, n: 64, c: 32, k: 64 };
+        assert_eq!(rt.lookup(SimdTier::Avx2, &shape), None);
+        rt.shared().publish(SimdTier::Avx2, &shape, B1);
+        assert_eq!(rt.lookup(SimdTier::Avx2, &shape), Some(B1));
+        assert!(rt.shared().take_hottest(8).is_empty(), "seed-only never notes");
+        // `Off` ignores even a published table.
+        let off = TuneRuntime::new(TunePolicy::Off);
+        off.shared().publish(SimdTier::Avx2, &shape, B1);
+        assert_eq!(off.lookup(SimdTier::Avx2, &shape), None);
+    }
+
+    #[test]
+    fn start_requires_background_policy() {
+        let mut rt = TuneRuntime::new(TunePolicy::SeedOnly);
+        assert!(!rt.start_retuner(RetuneConfig::new(SimdTier::Scalar), Wisdom::new()));
+        assert!(!rt.is_retuning());
+        assert!(!rt.stop_retuner());
+    }
+}

@@ -1,16 +1,40 @@
-//! Auto-tuning of the blocking parameters and wisdom persistence
-//! (paper §4.3.4).
+//! Measured tuning of the blocking parameters and wisdom persistence
+//! (paper §4.3.4, rebuilt as Autotuner 2.0's layers 2 and 3).
 //!
-//! The tuner measures every candidate `(N_blk, C_blk, K_blk, row_blk,
-//! col_blk)` from a pruned search space on the actual GEMM shape and keeps
-//! the fastest — "the optimal parameters are saved into a wisdom file and
-//! used in inference". The wisdom file is a plain line-oriented text format
-//! (no extra dependencies):
+//! The paper tunes by exhaustively measuring every candidate per exact
+//! GEMM shape. Here measurement only *ranks*: [`tune_blocking`] times the
+//! analytic cost model's top-K candidates ([`crate::GemmCostModel`],
+//! `K =` [`TUNE_TOP_K`]) and keeps the fastest; [`tune_blocking_full`]
+//! retains the exhaustive sweep for ablations and for the release-mode
+//! guard test that the top-K set still contains the measured winner.
+//!
+//! Results persist in a [`Wisdom`] file keyed by **SIMD tier** and shape.
+//! Two granularities coexist: *exact* entries win when the precise shape
+//! was tuned, and *class* entries generalise each tuning to every shape in
+//! the same geometric bucket (per-dimension `⌈log₂⌉`, see [`ShapeClass`]),
+//! so an unseen-but-similar shape resolves instantly. The lookup ladder
+//! ([`Wisdom::blocking_for`]) is exact hit → class hit → cost-model
+//! argmin — never a measurement stall on the execute path.
+//!
+//! # Wisdom file format
+//!
+//! Line-oriented text, no external dependencies. The v2 format is:
 //!
 //! ```text
-//! # lowino wisdom v1
-//! t n c k -> n_blk c_blk k_blk row_blk col_blk
+//! # lowino wisdom v2
+//! <tier> exact <t> <n> <c> <k> -> <n_blk> <c_blk> <k_blk> <row_blk> <col_blk>
+//! <tier> class <tb> <nb> <cb> <kb> -> <n_blk> <c_blk> <k_blk> <row_blk> <col_blk>
 //! ```
+//!
+//! where `<tier>` is a [`SimdTier::from_name`] spelling (`scalar`, `avx2`,
+//! `avx512-vnni`), `exact` keys are the literal `t n c k` dimensions and
+//! `class` keys are the per-dimension bucket exponents
+//! (`bucket(x) = ⌈log₂ x⌉`). Legacy v1 lines — a bare `t n c k` key with
+//! no tier token — still parse and are kept as tierless exact entries
+//! that any tier may fall back to (they were measured on an unknown
+//! tier, so they rank below tier-qualified entries). Blank lines and
+//! `#` comments are ignored; anything else is rejected with its line
+//! number.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -19,17 +43,14 @@ use std::time::{Duration, Instant};
 
 use lowino_parallel::StaticPool;
 use lowino_simd::SimdTier;
-use lowino_tensor::round_up;
 
-use crate::driver::{batched_gemm_u8i8, normalize_blocking, GemmShape};
+use crate::cost::{candidate_lattice, GemmCostModel};
+use crate::driver::{batched_gemm_u8i8, GemmShape};
 use crate::kernel::Blocking;
 use crate::panels::{UPanel, VPanel, ZPanel};
 
-/// Candidate register tiles, best-throughput-first on VNNI hardware.
-const REGISTER_TILES: &[(usize, usize)] = &[(6, 4), (4, 4), (2, 4), (8, 2), (6, 2), (4, 2), (8, 1)];
-
-/// Candidate `N_blk` values.
-const N_BLKS: &[usize] = &[48, 96, 192];
+/// How many cost-model candidates [`tune_blocking`] measures.
+pub const TUNE_TOP_K: usize = 5;
 
 /// One measured tuning candidate.
 #[derive(Debug, Clone)]
@@ -40,17 +61,48 @@ pub struct Measurement {
     pub time: Duration,
 }
 
-/// Tune the blocking for a GEMM shape by direct measurement on synthetic
-/// operands. Returns the winner and the full measurement log (for the
-/// ablation bench).
-pub fn tune_blocking(
+/// Where a seeded blocking came from (the payload of the `tune/seeded`
+/// trace instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedSource {
+    /// Exact-shape wisdom hit (tier-qualified or legacy v1).
+    Exact,
+    /// Shape-class wisdom hit.
+    Class,
+    /// Cost-model argmin (no wisdom for the shape or its class).
+    Model,
+    /// Static [`Blocking::default_for`] (tuning policy is `Off`).
+    Default,
+}
+
+impl SeedSource {
+    /// Stable numeric code for trace payloads.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            SeedSource::Exact => 0,
+            SeedSource::Class => 1,
+            SeedSource::Model => 2,
+            SeedSource::Default => 3,
+        }
+    }
+}
+
+/// Measure `candidates` on synthetic operands of `shape` and return the
+/// fastest (plus the full log). Every timed candidate is emitted as a
+/// `tune/measurement` trace instant (payload: best-of-repeats ns) — the
+/// zero-stall acceptance test greps for exactly this event to prove no
+/// measurement ever runs on the execute path.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn measure_candidates(
     tier: SimdTier,
     shape: &GemmShape,
+    candidates: &[Blocking],
     pool: &mut StaticPool,
     repeats: usize,
 ) -> (Blocking, Vec<Measurement>) {
-    let cp = round_up(shape.c, 4);
-    let kp = round_up(shape.k, 64);
     let mut v = VPanel::new(shape.t, shape.n, shape.c);
     // Deterministic non-trivial fill (content doesn't affect timing).
     for t in 0..shape.t {
@@ -64,32 +116,9 @@ pub fn tune_blocking(
     u.finalize_compensation();
     let mut z = ZPanel::new(shape.t, shape.n, shape.k);
 
-    let mut candidates: Vec<Blocking> = Vec::new();
-    for &(row_blk, col_blk) in REGISTER_TILES {
-        for &n_blk in N_BLKS {
-            for c_blk in [cp.min(64), cp.min(256), cp] {
-                for k_blk in [kp.min(64), kp.min(256), kp] {
-                    let b = normalize_blocking(
-                        &Blocking {
-                            n_blk,
-                            c_blk,
-                            k_blk,
-                            row_blk,
-                            col_blk,
-                        },
-                        shape,
-                    );
-                    if b.validate().is_ok() && !candidates.contains(&b) {
-                        candidates.push(b);
-                    }
-                }
-            }
-        }
-    }
-
     let mut log = Vec::with_capacity(candidates.len());
     let mut best: Option<(Duration, Blocking)> = None;
-    for b in candidates {
+    for &b in candidates {
         // Warm-up once, then best-of-`repeats`.
         batched_gemm_u8i8(tier, shape, &b, &v, &u, &mut z, pool);
         let mut t_best = Duration::MAX;
@@ -101,9 +130,6 @@ pub fn tune_blocking(
         if best.as_ref().is_none_or(|(t, _)| t_best < *t) {
             best = Some((t_best, b));
         }
-        // Every candidate measurement lands in the trace as an instant
-        // event (payload = best-of-repeats nanoseconds), so a traced tuning
-        // run shows the whole search, not just the winner.
         lowino_trace::instant("tune/measurement", t_best.as_nanos() as u64);
         log.push(Measurement {
             blocking: b,
@@ -113,10 +139,77 @@ pub fn tune_blocking(
     (best.expect("non-empty candidate set").1, log)
 }
 
-/// Persistent tuning results keyed by GEMM shape (§4.3.4's wisdom file).
+/// Tune the blocking for a GEMM shape: the cost model ranks the full
+/// candidate lattice and only its top-[`TUNE_TOP_K`] candidates are
+/// measured. Returns the winner and the measurement log.
+pub fn tune_blocking(
+    tier: SimdTier,
+    shape: &GemmShape,
+    pool: &mut StaticPool,
+    repeats: usize,
+) -> (Blocking, Vec<Measurement>) {
+    let model = GemmCostModel::new();
+    let candidates = model.top_k(tier, shape, TUNE_TOP_K);
+    measure_candidates(tier, shape, &candidates, pool, repeats)
+}
+
+/// Exhaustively measure the *entire* candidate lattice (the paper's
+/// original sweep). Kept for the ablation bench and the guard test that
+/// [`tune_blocking`]'s pruning never loses the winner.
+pub fn tune_blocking_full(
+    tier: SimdTier,
+    shape: &GemmShape,
+    pool: &mut StaticPool,
+    repeats: usize,
+) -> (Blocking, Vec<Measurement>) {
+    let candidates = candidate_lattice(shape);
+    measure_candidates(tier, shape, &candidates, pool, repeats)
+}
+
+/// Geometric shape bucket: each dimension maps to its `⌈log₂⌉` exponent,
+/// so shapes within a power-of-two band share a class and one tuning
+/// generalises across them (e.g. every `n ∈ 1025..=2048` buckets to 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapeClass {
+    /// `⌈log₂ t⌉`.
+    pub t: u8,
+    /// `⌈log₂ n⌉`.
+    pub n: u8,
+    /// `⌈log₂ c⌉`.
+    pub c: u8,
+    /// `⌈log₂ k⌉`.
+    pub k: u8,
+}
+
+impl ShapeClass {
+    /// The class of a shape.
+    pub fn of(shape: &GemmShape) -> Self {
+        fn bucket(x: usize) -> u8 {
+            x.max(1).next_power_of_two().trailing_zeros() as u8
+        }
+        Self {
+            t: bucket(shape.t),
+            n: bucket(shape.n),
+            c: bucket(shape.c),
+            k: bucket(shape.k),
+        }
+    }
+}
+
+type ExactKey = (SimdTier, [usize; 4]);
+
+fn exact_key(tier: SimdTier, shape: &GemmShape) -> ExactKey {
+    (tier, [shape.t, shape.n, shape.c, shape.k])
+}
+
+/// Persistent tuning results (§4.3.4's wisdom file, v2: tier-qualified
+/// exact and shape-class entries plus tierless v1 fallbacks). See the
+/// module docs for the on-disk format.
 #[derive(Debug, Clone, Default)]
 pub struct Wisdom {
-    entries: HashMap<(usize, usize, usize, usize), Blocking>,
+    exact: HashMap<ExactKey, Blocking>,
+    class: HashMap<(SimdTier, ShapeClass), Blocking>,
+    legacy: HashMap<[usize; 4], Blocking>,
 }
 
 impl Wisdom {
@@ -125,87 +218,188 @@ impl Wisdom {
         Self::default()
     }
 
-    /// Number of remembered shapes.
+    /// Number of remembered exact shapes (tier-qualified + legacy v1).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.exact.len() + self.legacy.len()
     }
 
-    /// Whether no shapes are remembered.
+    /// Number of remembered shape classes.
+    pub fn class_len(&self) -> usize {
+        self.class.len()
+    }
+
+    /// Whether nothing is remembered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.exact.is_empty() && self.class.is_empty() && self.legacy.is_empty()
     }
 
-    /// Look up the tuned blocking for a shape.
-    pub fn get(&self, shape: &GemmShape) -> Option<Blocking> {
-        self.entries
-            .get(&(shape.t, shape.n, shape.c, shape.k))
+    /// Exact-shape lookup: a tier-qualified entry, else a legacy v1 entry
+    /// (tierless, so any tier may use it as a last exact resort).
+    pub fn get(&self, tier: SimdTier, shape: &GemmShape) -> Option<Blocking> {
+        self.exact
+            .get(&exact_key(tier, shape))
+            .or_else(|| self.legacy.get(&[shape.t, shape.n, shape.c, shape.k]))
             .copied()
     }
 
-    /// Remember a tuned blocking.
-    pub fn insert(&mut self, shape: &GemmShape, blocking: Blocking) {
-        self.entries
-            .insert((shape.t, shape.n, shape.c, shape.k), blocking);
+    /// Shape-class lookup for the shape's bucket.
+    pub fn get_class(&self, tier: SimdTier, shape: &GemmShape) -> Option<Blocking> {
+        self.class.get(&(tier, ShapeClass::of(shape))).copied()
     }
 
-    /// Blocking for a shape: remembered, or the static default.
-    pub fn blocking_or_default(&self, shape: &GemmShape) -> Blocking {
-        self.get(shape)
+    /// Remember a tuned blocking: as the shape's exact entry *and* as its
+    /// class's entry (latest tuning wins the class).
+    pub fn insert(&mut self, tier: SimdTier, shape: &GemmShape, blocking: Blocking) {
+        self.exact.insert(exact_key(tier, shape), blocking);
+        self.class.insert((tier, ShapeClass::of(shape)), blocking);
+    }
+
+    /// The zero-stall resolution ladder: exact hit → class hit →
+    /// cost-model argmin. Never measures, never returns a default guess
+    /// when the model can do better.
+    pub fn blocking_for(&self, tier: SimdTier, shape: &GemmShape) -> (Blocking, SeedSource) {
+        if let Some(b) = self.get(tier, shape) {
+            return (b, SeedSource::Exact);
+        }
+        if let Some(b) = self.get_class(tier, shape) {
+            return (b, SeedSource::Class);
+        }
+        (GemmCostModel::new().seed(tier, shape), SeedSource::Model)
+    }
+
+    /// Pre-v2 behaviour: exact hit or the static default (used when the
+    /// tuning policy is `Off`).
+    pub fn blocking_or_default(&self, tier: SimdTier, shape: &GemmShape) -> Blocking {
+        self.get(tier, shape)
             .unwrap_or_else(|| Blocking::default_for(shape))
     }
 
-    /// Serialise to the line format.
-    pub fn to_string_format(&self) -> String {
-        let mut lines: Vec<String> = self
-            .entries
-            .iter()
-            .map(|((t, n, c, k), b)| {
-                format!(
-                    "{t} {n} {c} {k} -> {} {} {} {} {}",
-                    b.n_blk, b.c_blk, b.k_blk, b.row_blk, b.col_blk
-                )
-            })
-            .collect();
-        lines.sort();
-        format!("# lowino wisdom v1\n{}\n", lines.join("\n"))
+    /// Union `other` into `self`; on a conflicting key `other`'s entry
+    /// wins (it is the newer measurement on the save path).
+    pub fn merge(&mut self, other: &Wisdom) {
+        for (k, v) in &other.exact {
+            self.exact.insert(*k, *v);
+        }
+        for (k, v) in &other.class {
+            self.class.insert(*k, *v);
+        }
+        for (k, v) in &other.legacy {
+            self.legacy.insert(*k, *v);
+        }
     }
 
-    /// Parse the line format; unknown or malformed lines are rejected.
+    /// Serialise to the v2 line format (legacy entries keep their v1
+    /// spelling, so a loaded v1 file round-trips).
+    pub fn to_string_format(&self) -> String {
+        let fmt_b = |b: &Blocking| {
+            format!(
+                "{} {} {} {} {}",
+                b.n_blk, b.c_blk, b.k_blk, b.row_blk, b.col_blk
+            )
+        };
+        let mut lines: Vec<String> = Vec::with_capacity(self.len() + self.class.len());
+        for ((tier, d), b) in &self.exact {
+            lines.push(format!(
+                "{} exact {} {} {} {} -> {}",
+                tier.name(),
+                d[0],
+                d[1],
+                d[2],
+                d[3],
+                fmt_b(b)
+            ));
+        }
+        for ((tier, cls), b) in &self.class {
+            lines.push(format!(
+                "{} class {} {} {} {} -> {}",
+                tier.name(),
+                cls.t,
+                cls.n,
+                cls.c,
+                cls.k,
+                fmt_b(b)
+            ));
+        }
+        for (d, b) in &self.legacy {
+            lines.push(format!("{} {} {} {} -> {}", d[0], d[1], d[2], d[3], fmt_b(b)));
+        }
+        lines.sort();
+        format!("# lowino wisdom v2\n{}\n", lines.join("\n"))
+    }
+
+    /// Parse the line format (v2 and v1); malformed lines are rejected
+    /// with their line number.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut w = Wisdom::new();
         for (lineno, line) in text.lines().enumerate() {
+            let lineno = lineno + 1;
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let (key, val) = line
                 .split_once("->")
-                .ok_or_else(|| format!("line {}: missing '->'", lineno + 1))?;
+                .ok_or_else(|| format!("line {lineno}: missing '->'"))?;
             let parse_nums = |s: &str, want: usize| -> Result<Vec<usize>, String> {
                 let nums: Result<Vec<usize>, _> =
                     s.split_whitespace().map(str::parse::<usize>).collect();
-                let nums = nums.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let nums = nums.map_err(|e| format!("line {lineno}: {e}"))?;
                 if nums.len() != want {
                     return Err(format!(
-                        "line {}: expected {want} numbers, got {}",
-                        lineno + 1,
+                        "line {lineno}: expected {want} numbers, got {}",
                         nums.len()
                     ));
                 }
                 Ok(nums)
             };
-            let k = parse_nums(key, 4)?;
             let v = parse_nums(val, 5)?;
-            w.entries.insert(
-                (k[0], k[1], k[2], k[3]),
-                Blocking {
-                    n_blk: v[0],
-                    c_blk: v[1],
-                    k_blk: v[2],
-                    row_blk: v[3],
-                    col_blk: v[4],
-                },
-            );
+            let blocking = Blocking {
+                n_blk: v[0],
+                c_blk: v[1],
+                k_blk: v[2],
+                row_blk: v[3],
+                col_blk: v[4],
+            };
+            let mut key_toks = key.split_whitespace();
+            let first = key_toks
+                .next()
+                .ok_or_else(|| format!("line {lineno}: empty key"))?;
+            if first.parse::<usize>().is_ok() {
+                // v1: bare `t n c k` key, no tier.
+                let d = parse_nums(key, 4)?;
+                w.legacy.insert([d[0], d[1], d[2], d[3]], blocking);
+                continue;
+            }
+            let tier = SimdTier::from_name(first)
+                .ok_or_else(|| format!("line {lineno}: unknown tier '{first}'"))?;
+            let kind = key_toks
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing 'exact'/'class' tag"))?;
+            let rest = key_toks.collect::<Vec<_>>().join(" ");
+            let d = parse_nums(&rest, 4)?;
+            match kind {
+                "exact" => {
+                    w.exact.insert((tier, [d[0], d[1], d[2], d[3]]), blocking);
+                }
+                "class" => {
+                    let to_u8 = |x: usize| -> Result<u8, String> {
+                        u8::try_from(x)
+                            .map_err(|_| format!("line {lineno}: class exponent {x} out of range"))
+                    };
+                    let cls = ShapeClass {
+                        t: to_u8(d[0])?,
+                        n: to_u8(d[1])?,
+                        c: to_u8(d[2])?,
+                        k: to_u8(d[3])?,
+                    };
+                    w.class.insert((tier, cls), blocking);
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: expected 'exact' or 'class', got '{other}'"
+                    ))
+                }
+            }
         }
         Ok(w)
     }
@@ -264,25 +458,48 @@ impl Wisdom {
         }
         result
     }
+
+    /// Concurrent-writer save: re-load the file, merge `self`'s entries
+    /// over it, and [`Wisdom::save`] the union — so two processes (or the
+    /// background retuner and a foreground tuner) saving interleaved keep
+    /// *both* writers' entries instead of last-writer-wins clobbering.
+    /// A missing or unparseable on-disk file contributes nothing (a
+    /// corrupt file is already lost; this path replaces it with good
+    /// data). Inherits `save`'s crash safety and its fault site.
+    pub fn merge_save(&self, path: &Path) -> Result<(), String> {
+        let mut merged = Self::load(path).unwrap_or_default();
+        merged.merge(self);
+        merged.save(path)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const B1: Blocking = Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 };
+    const B2: Blocking = Blocking { n_blk: 48, c_blk: 512, k_blk: 64, row_blk: 8, col_blk: 2 };
+
     #[test]
-    fn tuner_returns_valid_blocking() {
+    fn tuner_returns_valid_blocking_from_topk() {
         let shape = GemmShape { t: 4, n: 64, c: 32, k: 64 };
         let mut pool = StaticPool::new(1);
         let (best, log) = tune_blocking(SimdTier::detect(), &shape, &mut pool, 1);
         assert!(best.validate().is_ok());
         assert!(!log.is_empty());
+        assert!(log.len() <= TUNE_TOP_K, "tuner must only measure the top-K");
         // The winner is the measured minimum.
         let min = log.iter().map(|m| m.time).min().unwrap();
-        assert_eq!(
-            log.iter().find(|m| m.time == min).unwrap().blocking,
-            best
-        );
+        assert_eq!(log.iter().find(|m| m.time == min).unwrap().blocking, best);
+    }
+
+    #[test]
+    fn full_sweep_measures_the_whole_lattice() {
+        let shape = GemmShape { t: 2, n: 32, c: 16, k: 64 };
+        let mut pool = StaticPool::new(1);
+        let (best, log) = tune_blocking_full(SimdTier::detect(), &shape, &mut pool, 1);
+        assert!(best.validate().is_ok());
+        assert_eq!(log.len(), crate::cost::candidate_lattice(&shape).len());
     }
 
     #[test]
@@ -290,14 +507,96 @@ mod tests {
         let mut w = Wisdom::new();
         let s1 = GemmShape { t: 16, n: 4096, c: 256, k: 256 };
         let s2 = GemmShape { t: 36, n: 1024, c: 512, k: 512 };
-        w.insert(&s1, Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 });
-        w.insert(&s2, Blocking { n_blk: 48, c_blk: 512, k_blk: 64, row_blk: 8, col_blk: 2 });
+        w.insert(SimdTier::Avx512Vnni, &s1, B1);
+        w.insert(SimdTier::Avx2, &s2, B2);
         let text = w.to_string_format();
+        assert!(text.starts_with("# lowino wisdom v2\n"));
         let back = Wisdom::parse(&text).unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!(back.get(&s1), w.get(&s1));
-        assert_eq!(back.get(&s2), w.get(&s2));
-        assert_eq!(back.get(&GemmShape { t: 1, n: 1, c: 1, k: 1 }), None);
+        assert_eq!(back.class_len(), 2);
+        assert_eq!(back.get(SimdTier::Avx512Vnni, &s1), Some(B1));
+        assert_eq!(back.get(SimdTier::Avx2, &s2), Some(B2));
+        assert_eq!(back.get(SimdTier::Avx2, &GemmShape { t: 1, n: 1, c: 1, k: 1 }), None);
+    }
+
+    #[test]
+    fn wisdom_is_tier_keyed_and_never_reused_across_tiers() {
+        // The satellite bugfix: a file tuned under one tier must not hand
+        // its blocking to a different tier (neither exact nor class).
+        let mut w = Wisdom::new();
+        let s = GemmShape { t: 16, n: 1024, c: 256, k: 256 };
+        w.insert(SimdTier::Avx512Vnni, &s, B1);
+        assert_eq!(w.get(SimdTier::Avx512Vnni, &s), Some(B1));
+        assert_eq!(w.get(SimdTier::Avx2, &s), None);
+        assert_eq!(w.get(SimdTier::Scalar, &s), None);
+        assert_eq!(w.get_class(SimdTier::Avx2, &s), None);
+        // And the same holds after a disk round trip.
+        let back = Wisdom::parse(&w.to_string_format()).unwrap();
+        assert_eq!(back.get(SimdTier::Avx512Vnni, &s), Some(B1));
+        assert_eq!(back.get(SimdTier::Avx2, &s), None);
+        let (b, src) = back.blocking_for(SimdTier::Avx2, &s);
+        assert_eq!(src, SeedSource::Model, "foreign tier must re-derive");
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn v1_files_still_parse_as_tierless_fallbacks() {
+        let text = "# lowino wisdom v1\n16 100 64 128 -> 48 64 128 4 4\n";
+        let w = Wisdom::parse(text).unwrap();
+        assert_eq!(w.len(), 1);
+        let s = GemmShape { t: 16, n: 100, c: 64, k: 128 };
+        let want = Blocking { n_blk: 48, c_blk: 64, k_blk: 128, row_blk: 4, col_blk: 4 };
+        // Any tier may use the legacy entry for its exact shape…
+        for tier in [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512Vnni] {
+            assert_eq!(w.get(tier, &s), Some(want));
+        }
+        // …but it contributes no class generalisation.
+        assert_eq!(w.class_len(), 0);
+        // And it survives a v2 re-serialisation.
+        let back = Wisdom::parse(&w.to_string_format()).unwrap();
+        assert_eq!(back.get(SimdTier::Avx2, &s), Some(want));
+    }
+
+    #[test]
+    fn blocking_for_ladder_exact_class_model() {
+        let mut w = Wisdom::new();
+        let tuned = GemmShape { t: 16, n: 1000, c: 200, k: 200 };
+        w.insert(SimdTier::Avx512Vnni, &tuned, B1);
+
+        // Exact shape wins.
+        let (b, src) = w.blocking_for(SimdTier::Avx512Vnni, &tuned);
+        assert_eq!((b, src), (B1, SeedSource::Exact));
+
+        // A different shape in the same class (same ⌈log₂⌉ buckets) gets
+        // the class entry.
+        let neighbour = GemmShape { t: 16, n: 513, c: 129, k: 129 };
+        assert_eq!(ShapeClass::of(&neighbour), ShapeClass::of(&tuned));
+        let (b, src) = w.blocking_for(SimdTier::Avx512Vnni, &neighbour);
+        assert_eq!((b, src), (B1, SeedSource::Class));
+
+        // A shape in a different class falls through to the cost model.
+        let far = GemmShape { t: 16, n: 8192, c: 16, k: 1024 };
+        let (b, src) = w.blocking_for(SimdTier::Avx512Vnni, &far);
+        assert_eq!(src, SeedSource::Model);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_keeps_both_writers_entries() {
+        let s1 = GemmShape { t: 16, n: 100, c: 64, k: 128 };
+        let s2 = GemmShape { t: 36, n: 200, c: 128, k: 64 };
+        let mut a = Wisdom::new();
+        a.insert(SimdTier::Avx2, &s1, B1);
+        let mut b = Wisdom::new();
+        b.insert(SimdTier::Avx2, &s2, B2);
+        a.merge(&b);
+        assert_eq!(a.get(SimdTier::Avx2, &s1), Some(B1));
+        assert_eq!(a.get(SimdTier::Avx2, &s2), Some(B2));
+        // Conflicts: the merged-in (newer) writer wins.
+        let mut c = Wisdom::new();
+        c.insert(SimdTier::Avx2, &s1, B2);
+        a.merge(&c);
+        assert_eq!(a.get(SimdTier::Avx2, &s1), Some(B2));
     }
 
     #[test]
@@ -305,10 +604,16 @@ mod tests {
         assert!(Wisdom::parse("1 2 3 4 5 6").is_err()); // no arrow
         assert!(Wisdom::parse("1 2 3 -> 1 2 3 4 5").is_err()); // short key
         assert!(Wisdom::parse("1 2 3 4 -> 1 2 3").is_err()); // short value
-        assert!(Wisdom::parse("a b c d -> 1 2 3 4 5").is_err()); // not numbers
-        // Comments and blanks are fine.
-        let w = Wisdom::parse("# comment\n\n1 2 3 4 -> 5 6 7 8 9\n").unwrap();
-        assert_eq!(w.len(), 1);
+        assert!(Wisdom::parse("sse9 exact 1 2 3 4 -> 1 2 3 4 5").is_err()); // bad tier
+        assert!(Wisdom::parse("avx2 blah 1 2 3 4 -> 1 2 3 4 5").is_err()); // bad tag
+        assert!(Wisdom::parse("avx2 exact 1 2 3 -> 1 2 3 4 5").is_err()); // short key
+        assert!(Wisdom::parse("avx2 class 1 2 3 999 -> 1 2 3 4 5").is_err()); // exponent range
+        // Comments and blanks are fine; both line dialects parse.
+        let w = Wisdom::parse(
+            "# comment\n\n1 2 3 4 -> 5 6 7 8 9\navx2 exact 1 2 3 4 -> 5 6 7 8 9\n",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
     }
 
     /// Serialises the tests that call `Wisdom::save`: the `wisdom/save`
@@ -325,10 +630,10 @@ mod tests {
         let path = dir.join("wisdom.txt");
         let mut w = Wisdom::new();
         let s = GemmShape { t: 16, n: 100, c: 64, k: 128 };
-        w.insert(&s, Blocking { n_blk: 48, c_blk: 64, k_blk: 128, row_blk: 4, col_blk: 4 });
+        w.insert(SimdTier::Avx512Vnni, &s, B1);
         w.save(&path).unwrap();
         let back = Wisdom::load(&path).unwrap();
-        assert_eq!(back.get(&s), w.get(&s));
+        assert_eq!(back.get(SimdTier::Avx512Vnni, &s), w.get(SimdTier::Avx512Vnni, &s));
         std::fs::remove_file(&path).ok();
         // Missing file -> empty wisdom, not an error.
         let empty = Wisdom::load(&path).unwrap();
@@ -349,15 +654,12 @@ mod tests {
         // Persist a first generation of wisdom normally.
         let mut old = Wisdom::new();
         let s_old = GemmShape { t: 16, n: 100, c: 64, k: 128 };
-        old.insert(&s_old, Blocking { n_blk: 48, c_blk: 64, k_blk: 128, row_blk: 4, col_blk: 4 });
+        old.insert(SimdTier::Avx2, &s_old, B1);
         old.save(&path).unwrap();
 
         // A crash mid-save of a *new* generation must not corrupt it.
         let mut new = Wisdom::new();
-        new.insert(
-            &GemmShape { t: 36, n: 1024, c: 512, k: 512 },
-            Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 },
-        );
+        new.insert(SimdTier::Avx2, &GemmShape { t: 36, n: 1024, c: 512, k: 512 }, B2);
         WISDOM_SAVE.arm();
         let err = new.save(&path).expect_err("armed fault must fail the save");
         assert!(err.contains("injected fault: wisdom/save"), "got: {err}");
@@ -365,13 +667,60 @@ mod tests {
 
         let back = Wisdom::load(&path).expect("old file must still parse");
         assert_eq!(back.len(), 1);
-        assert_eq!(back.get(&s_old), old.get(&s_old), "old wisdom corrupted");
+        assert_eq!(back.get(SimdTier::Avx2, &s_old), old.get(SimdTier::Avx2, &s_old));
 
         // Disarmed retry succeeds and replaces the file atomically.
         new.save(&path).expect("disarmed save succeeds");
         let back = Wisdom::load(&path).unwrap();
         assert_eq!(back.len(), 1);
-        assert_eq!(back.get(&s_old), None);
+        assert_eq!(back.get(SimdTier::Avx2, &s_old), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_merge_save_keeps_both_writers_entries() {
+        use lowino_testkit::faults::WISDOM_SAVE;
+        let _guard = SAVE_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "lowino-wisdom-merge-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+        std::fs::remove_file(&path).ok();
+
+        // Two independent writers (e.g. the background retuner and a
+        // foreground tuning run) save interleaved: both entries survive.
+        let s_a = GemmShape { t: 16, n: 100, c: 64, k: 128 };
+        let s_b = GemmShape { t: 36, n: 1024, c: 512, k: 512 };
+        let mut a = Wisdom::new();
+        a.insert(SimdTier::Avx2, &s_a, B1);
+        let mut b = Wisdom::new();
+        b.insert(SimdTier::Avx512Vnni, &s_b, B2);
+        a.merge_save(&path).unwrap();
+        b.merge_save(&path).unwrap();
+        let disk = Wisdom::load(&path).unwrap();
+        assert_eq!(disk.len(), 2, "merge_save must union, not clobber");
+        assert_eq!(disk.get(SimdTier::Avx2, &s_a), Some(B1));
+        assert_eq!(disk.get(SimdTier::Avx512Vnni, &s_b), Some(B2));
+
+        // A crash mid-merge-save (the crash-safe path's fault site) leaves
+        // the union intact on disk; the disarmed retry lands the third
+        // writer's entry without losing the first two.
+        let mut c = Wisdom::new();
+        let s_c = GemmShape { t: 4, n: 64, c: 32, k: 64 };
+        c.insert(SimdTier::Scalar, &s_c, B1);
+        WISDOM_SAVE.arm();
+        let err = c.merge_save(&path).expect_err("armed fault fails the save");
+        assert!(err.contains("injected fault: wisdom/save"), "{err}");
+        let disk = Wisdom::load(&path).expect("file must stay loadable");
+        assert_eq!(disk.len(), 2, "crashed merge_save must not lose entries");
+        c.merge_save(&path).expect("disarmed retry");
+        let disk = Wisdom::load(&path).unwrap();
+        assert_eq!(disk.len(), 3);
+        assert_eq!(disk.get(SimdTier::Avx2, &s_a), Some(B1));
+        assert_eq!(disk.get(SimdTier::Avx512Vnni, &s_b), Some(B2));
+        assert_eq!(disk.get(SimdTier::Scalar, &s_c), Some(B1));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -379,7 +728,10 @@ mod tests {
     fn blocking_or_default_falls_back() {
         let w = Wisdom::new();
         let s = GemmShape { t: 16, n: 128, c: 64, k: 64 };
-        assert_eq!(w.blocking_or_default(&s), Blocking::default_for(&s));
+        assert_eq!(
+            w.blocking_or_default(SimdTier::Avx2, &s),
+            Blocking::default_for(&s)
+        );
     }
 
     use lowino_testkit::{prop_assert, property, vec_of};
@@ -392,14 +744,8 @@ mod tests {
             // Start from a valid file and flip 1–8 arbitrary bytes
             // (arbitrary values, including non-UTF-8 and control bytes).
             let mut w = Wisdom::new();
-            w.insert(
-                &GemmShape { t: 16, n: 4096, c: 256, k: 256 },
-                Blocking { n_blk: 96, c_blk: 256, k_blk: 256, row_blk: 6, col_blk: 4 },
-            );
-            w.insert(
-                &GemmShape { t: 36, n: 1024, c: 512, k: 512 },
-                Blocking { n_blk: 48, c_blk: 512, k_blk: 64, row_blk: 8, col_blk: 2 },
-            );
+            w.insert(SimdTier::Avx512Vnni, &GemmShape { t: 16, n: 4096, c: 256, k: 256 }, B1);
+            w.insert(SimdTier::Avx2, &GemmShape { t: 36, n: 1024, c: 512, k: 512 }, B2);
             let mut bytes = w.to_string_format().into_bytes();
             let len = bytes.len();
             for &(pos, byte) in &muts {

@@ -1,0 +1,178 @@
+//! Online-retune integration: atomic publication under load with bitwise
+//! output stability, retuner lifecycle/shutdown, and the release-mode
+//! guard that cost-model pruning keeps the measured winner.
+//!
+//! The swap-under-load test leans on a structural fact of the INT8 GEMM:
+//! integer accumulation is exact and associative, so the blocking changes
+//! scheduling but **never** the numbers in `Z`. A forward loop that keeps
+//! executing while the retuner publishes new blockings must therefore
+//! produce bitwise-identical output every iteration — any divergence means
+//! a torn table read or a blocking-dependent result, both bugs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lowino_gemm::{
+    batched_gemm_u8i8, tune_blocking, tune_blocking_full, Blocking, GemmShape, RetuneConfig,
+    TunePolicy, TuneRuntime, UPanel, VPanel, Wisdom, ZPanel, TUNE_TOP_K,
+};
+use lowino_parallel::StaticPool;
+use lowino_simd::SimdTier;
+
+fn fill_panels(shape: &GemmShape) -> (VPanel, UPanel) {
+    let mut v = VPanel::new(shape.t, shape.n, shape.c);
+    for t in 0..shape.t {
+        for n in 0..shape.n {
+            for (c, x) in v.row_mut(t, n).iter_mut().enumerate() {
+                *x = ((t * 13 + n * 31 + c * 7) % 253) as u8;
+            }
+        }
+    }
+    let mut u = UPanel::new(shape.t, shape.c, shape.k);
+    for t in 0..shape.t {
+        for c in 0..shape.c {
+            for k in 0..shape.k {
+                u.set(t, c, k, (((t * 5 + c * 3 + k) % 255) as i16 - 127) as i8);
+            }
+        }
+    }
+    u.finalize_compensation();
+    (v, u)
+}
+
+#[test]
+fn background_retuner_swaps_atomically_under_load_with_bitwise_identical_output() {
+    let tier = SimdTier::detect();
+    let shape = GemmShape { t: 4, n: 96, c: 32, k: 64 };
+    let (v, u) = fill_panels(&shape);
+
+    let mut rt = TuneRuntime::new(TunePolicy::Background);
+    let mut cfg = RetuneConfig::new(tier);
+    cfg.interval = Duration::from_millis(1);
+    cfg.repeats = 1;
+    assert!(rt.start_retuner(cfg, Wisdom::new()));
+    assert!(rt.is_retuning());
+
+    // Reference output with the default blocking, before any publication.
+    let mut pool = StaticPool::new(2);
+    let mut z = ZPanel::new(shape.t, shape.n, shape.k);
+    batched_gemm_u8i8(tier, &shape, &Blocking::default_for(&shape), &v, &u, &mut z, &mut pool);
+    let reference: Vec<i32> = z.as_slice().to_vec();
+
+    // Drive the forward loop: every lookup under `Background` also feeds
+    // the hot-shape counter, so the retuner measures and publishes this
+    // shape. Keep executing through the swap.
+    let shared: Arc<_> = Arc::clone(rt.shared());
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut iterations = 0u32;
+    while shared.generation() == 0 || iterations < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "retuner never published (generation still 0 after {iterations} iterations)"
+        );
+        let blocking = rt
+            .lookup(tier, &shape)
+            .unwrap_or_else(|| Blocking::default_for(&shape));
+        batched_gemm_u8i8(tier, &shape, &blocking, &v, &u, &mut z, &mut pool);
+        assert_eq!(z.as_slice(), reference.as_slice(), "iteration {iterations} diverged");
+        iterations += 1;
+    }
+    // A winner was published and consumed by the loop above.
+    assert!(shared.generation() >= 1);
+    let published = rt.lookup(tier, &shape).expect("winner published");
+    assert!(published.validate().is_ok());
+
+    // One more execute with the published winner: still bitwise identical.
+    batched_gemm_u8i8(tier, &shape, &published, &v, &u, &mut z, &mut pool);
+    assert_eq!(z.as_slice(), reference.as_slice());
+
+    // Shutdown joins the thread; the second stop is a no-op.
+    assert!(rt.stop_retuner());
+    assert!(!rt.is_retuning());
+    assert!(!rt.stop_retuner());
+}
+
+#[test]
+fn retuner_merges_winners_into_the_wisdom_file() {
+    let tier = SimdTier::detect();
+    let dir = std::env::temp_dir().join(format!("lowino_retune_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wisdom.txt");
+
+    // Pre-existing wisdom from "another writer": must survive the merge.
+    let other_shape = GemmShape { t: 2, n: 48, c: 16, k: 64 };
+    let mut other = Wisdom::new();
+    other.insert(tier, &other_shape, Blocking::default_for(&other_shape));
+    other.save(&path).unwrap();
+
+    let mut rt = TuneRuntime::new(TunePolicy::Background);
+    let mut cfg = RetuneConfig::new(tier);
+    cfg.interval = Duration::from_millis(1);
+    cfg.repeats = 1;
+    cfg.wisdom_path = Some(path.clone());
+    assert!(rt.start_retuner(cfg, Wisdom::new()));
+
+    let shape = GemmShape { t: 2, n: 64, c: 16, k: 64 };
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while rt.lookup(tier, &shape).is_none() {
+        assert!(std::time::Instant::now() < deadline, "no publication within deadline");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(rt.stop_retuner());
+
+    let merged = Wisdom::load(&path).unwrap();
+    assert!(merged.get(tier, &shape).is_some(), "retuned entry missing from file");
+    assert!(merged.get(tier, &other_shape).is_some(), "other writer's entry lost");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropping_the_runtime_joins_the_thread() {
+    let mut rt = TuneRuntime::new(TunePolicy::Background);
+    let mut cfg = RetuneConfig::new(SimdTier::detect());
+    cfg.interval = Duration::from_millis(1);
+    assert!(rt.start_retuner(cfg, Wisdom::new()));
+    // No explicit stop: Drop must signal + join without hanging the test.
+    drop(rt);
+}
+
+/// Acceptance guard (ISSUE 8): on the three bench GEMM shapes, measuring
+/// only the cost model's top-K must reach ≥90% of the full-lattice-sweep
+/// winner's throughput. Timing-sensitive, so it is `#[ignore]`d under the
+/// plain (debug) test run and executed release-mode by `ci/check.sh`.
+#[test]
+#[ignore = "timing-sensitive; run release-mode via ci/check.sh"]
+fn topk_pruning_keeps_at_least_90_percent_of_full_sweep_throughput() {
+    let tier = SimdTier::detect();
+    // ResNet-50_b, ResNet-50_c, VGG16_c stage-② shapes (F(2,3), batch 1;
+    // n reduced to keep the full sweep affordable in CI).
+    let shapes = [
+        ("ResNet-50_b", GemmShape { t: 16, n: 196, c: 256, k: 256 }),
+        ("ResNet-50_c", GemmShape { t: 16, n: 64, c: 512, k: 512 }),
+        ("VGG16_c", GemmShape { t: 16, n: 128, c: 512, k: 512 }),
+    ];
+    let mut pool = StaticPool::new(2);
+    for (name, shape) in shapes {
+        let (full_best, full_log) = tune_blocking_full(tier, &shape, &mut pool, 3);
+        let (topk_best, topk_log) = tune_blocking(tier, &shape, &mut pool, 3);
+        assert!(topk_log.len() <= TUNE_TOP_K);
+        assert!(topk_log.len() < full_log.len(), "{name}: pruning pruned nothing");
+        if topk_best == full_best {
+            println!("{name}: top-K winner is the full-sweep winner ({topk_best:?})");
+            continue;
+        }
+        // The sweeps time each candidate best-of-3 — too noisy on a
+        // shared core to decide a 90% bar between two near-equal
+        // blockings. Re-measure only the two finalists head-to-head at
+        // higher repeats and judge on that.
+        let (_, duel) =
+            lowino_gemm::measure_candidates(tier, &shape, &[full_best, topk_best], &mut pool, 7);
+        let ratio = duel[1].time.as_secs_f64() / duel[0].time.as_secs_f64();
+        println!("{name}: full winner {full_best:?}, top-K winner {topk_best:?} ({ratio:.3}x)");
+        assert!(
+            ratio <= 1.0 / 0.9,
+            "{name}: top-K winner reaches only {:.1}% of full-sweep throughput",
+            100.0 / ratio
+        );
+    }
+}

@@ -71,7 +71,9 @@ enum GraphOp {
     /// Convolution with fused post-ops (bias always; ReLU and residual
     /// skip-add when folded in by the compiler).
     Conv {
-        conv: ResilientConv,
+        /// Boxed: `ResilientConv` dwarfs every other variant, and one
+        /// pointer chase per conv per forward is free next to the conv.
+        conv: Box<ResilientConv>,
         /// Per-output-channel bias, zero-padded to `k_blocks · LANES`.
         bias: Vec<f32>,
         relu: bool,
@@ -141,6 +143,7 @@ pub struct CompiledGraph {
 /// Intermediate compile state: ops + slot table under construction.
 struct GraphBuilder {
     spec: GraphSpec,
+    health: HealthPolicy,
     ops: Vec<GraphOp>,
     slots: Vec<SlotInfo>,
 }
@@ -283,13 +286,14 @@ impl GraphBuilder {
             pad: (conv.filter() - 1) / 2,
         };
         let samples = rebatch_for_calibration(act, self.spec.batch);
-        let resilient = ResilientConv::new(shape, self.spec.m, &conv.weights, samples)?;
+        let resilient =
+            ResilientConv::with_policy(shape, self.spec.m, &conv.weights, samples, self.health)?;
         let k_blocks = conv.out_channels().div_ceil(LANES);
         let mut bias = vec![0.0f32; k_blocks * LANES];
         bias[..conv.out_channels()].copy_from_slice(&conv.bias);
         let dst = self.add_slot(conv.out_channels(), h, w);
         self.ops.push(GraphOp::Conv {
-            conv: resilient,
+            conv: Box::new(resilient),
             bias,
             relu,
             residual: None,
@@ -339,17 +343,38 @@ impl CompiledGraph {
         calib_x: &Tensor4,
         spec: &GraphSpec,
     ) -> Result<Self, ConvError> {
+        Self::compile_with_health(model, calib_x, spec, HealthPolicy::default())
+    }
+
+    /// [`Self::compile`] with an explicit per-conv [`HealthPolicy`] —
+    /// ablation benches disable the post-execute health scans with it to
+    /// isolate their cost (see `EXPERIMENTS.md`, PR 8).
+    pub fn compile_with_health(
+        model: &mut Model,
+        calib_x: &Tensor4,
+        spec: &GraphSpec,
+        health: HealthPolicy,
+    ) -> Result<Self, ConvError> {
         let _sp = lowino_trace::span("graph/compile");
         let engine = Engine::new(spec.threads);
         let (_, c, h, w) = calib_x.dims();
         let mut builder = GraphBuilder {
             spec: *spec,
+            health,
             ops: Vec::new(),
             slots: Vec::new(),
         };
         let input_slot = builder.add_slot(c, h, w);
         let mut act = calib_x.clone();
         let output_slot = builder.lower(&mut model.layers, &mut act, input_slot)?;
+        // Seed every conv's GEMM blocking from the engine's tuner (exact
+        // wisdom → shape class → cost model) — the graph's first forward
+        // never stalls on a measurement sweep, and demoted rungs re-seed.
+        for op in &mut builder.ops {
+            if let GraphOp::Conv { conv, .. } = op {
+                conv.seed_blocking(engine.context());
+            }
+        }
         let reqs = builder.liveness(input_slot, output_slot);
         let plan = plan_slots(&reqs, PLAN_ALIGN);
         lowino_trace::counter("graph/plan_bytes", plan.bytes() as u64);

@@ -69,7 +69,9 @@ fn wisdom_blocking_is_consumed_by_the_engine() {
         c: spec.in_c,
         k: spec.out_c,
     };
+    let tier = engine.context().tier;
     engine.context_mut().wisdom.insert(
+        tier,
         &gemm_shape,
         Blocking {
             n_blk: 3,
