@@ -118,12 +118,42 @@ cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$tune_tra
 grep -q '"tune/seeded"' "$tune_trace"
 grep -q '"tune/swap"' "$tune_trace"
 
+# Serving smoke, two layers. First the sustained-load bench in its
+# seconds-long smoke configuration (seeded Poisson arrivals over
+# in-memory duplex streams, LoadStats percentile report). Then the
+# serve_smoke binary over a real loopback TCP port: batched inference
+# from concurrent clients, a malformed request and a wrong-shape body
+# (both must answer 4xx without wedging the connection), /healthz and
+# /stats, and a drained shutdown whose accounting must close. The traced
+# run must carry the serving observability events — request spans, batch
+# spans with occupancy, and the queue-depth instants — alongside the
+# kernel spans, validated by trace_check.
+echo "==> serve bench smoke (Poisson load, LOWINO_BENCH_SMOKE=1)"
+LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench serve
+echo "==> serve smoke (real TCP loopback, LOWINO_TRACE set)"
+serve_trace="$(mktemp -t lowino-serve-trace-XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$models_trace" "$tune_trace" "$serve_trace"' EXIT
+LOWINO_TRACE="$serve_trace" \
+    cargo run -q --release --offline -p lowino-bench --bin serve_smoke
+cargo run -q --release --offline -p lowino-bench --bin trace_check -- "$serve_trace"
+grep -q '"serve/request"' "$serve_trace"
+grep -q '"serve/batch"' "$serve_trace"
+grep -q '"serve/queue_depth"' "$serve_trace"
+grep -q '"serve/batch_occupancy"' "$serve_trace"
+
 # Release-mode acceptance guard (timing-sensitive, so #[ignore]d in the
 # debug suite): measuring only the cost model's top-K candidates must
 # reach >=90% of the full-lattice sweep's best throughput on the three
 # bench GEMM shapes.
 echo "==> top-K pruning guard (release, --ignored)"
 cargo test -q --release --offline -p lowino-gemm --test retune -- --ignored
+
+# PR-8 ablation regression guard (also timing-sensitive, release-only):
+# the graph engine's accepted ~2-4% per-op bookkeeping overhead versus
+# the per-layer interpreter must not silently widen (bound and rationale
+# in tests/graph_overhead.rs and EXPERIMENTS.md).
+echo "==> graph overhead guard (release, --ignored)"
+cargo test -q --release --offline -p lowino-nn --test graph_overhead -- --ignored
 
 if [[ "$run_lint" == 1 ]]; then
     if cargo clippy --version >/dev/null 2>&1; then

@@ -1,0 +1,169 @@
+//! Sustained-load bench for the batched inference server: seeded Poisson
+//! arrivals against a live `lowino-serve` instance, reporting throughput
+//! and latency percentiles (p50/p99/p999) per shard count.
+//!
+//! The load generator is **open-loop**: every client thread draws its
+//! arrival schedule up front from [`lowino_testkit::PoissonArrivals`]
+//! (seeded, so the offered load is identical run to run) and measures
+//! each request from its *scheduled* arrival instant, not from when the
+//! client got around to sending it. A closed-loop generator would pause
+//! the schedule whenever the server stalls, hiding exactly the queueing
+//! delay a latency bench exists to measure (coordinated omission).
+//!
+//! Requests ride over in-memory duplex connections — the same code path
+//! as TCP minus the kernel — so the numbers isolate the server stack:
+//! HTTP parse, admission, coalescing, shard dispatch, graph execute.
+//! 503s (admission rejections) are counted separately and excluded from
+//! the latency population.
+//!
+//! Run with `cargo bench --bench serve`; `LOWINO_BENCH_JSON=<path>`
+//! accumulates the JSON-line log (BENCH_PR9.json is this bench's
+//! snapshot) and `LOWINO_BENCH_SMOKE=1` selects a seconds-long CI
+//! configuration.
+
+use std::io::{BufReader, Write};
+use std::time::{Duration, Instant};
+
+use lowino::prelude::HealthPolicy;
+use lowino::Tensor4;
+use lowino_nn::{mini_vgg, CompiledGraph, GraphSpec};
+use lowino_serve::http::read_response;
+use lowino_serve::{GraphModel, ServeConfig, Server};
+use lowino_testkit::{LoadStats, PoissonArrivals, Rng};
+
+struct Config {
+    smoke: bool,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        Self {
+            smoke: std::env::var("LOWINO_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
+        }
+    }
+}
+
+const IN_C: usize = 3;
+const HW: usize = 8;
+const BATCH: usize = 4;
+
+fn build_model(shard: usize) -> GraphModel {
+    let mut model = mini_vgg(IN_C, 8, 3, 31 + shard as u64);
+    let calib = Tensor4::from_fn(2, IN_C, HW, HW, |b, c, y, x| {
+        ((b * 31 + c * 7 + y * 3 + x) as f32 * 0.37).sin()
+    });
+    let spec = GraphSpec { m: 2, batch: BATCH, threads: 1 };
+    let graph =
+        CompiledGraph::compile_with_health(&mut model, &calib, &spec, HealthPolicy::default())
+            .expect("bench graph compiles");
+    GraphModel::new(graph)
+}
+
+/// One client: pre-drawn Poisson schedule, open-loop send, latency
+/// measured from the scheduled arrival. Returns `(latencies, rejected)`.
+fn run_client(
+    server: &Server,
+    t0: Instant,
+    seed: u64,
+    n: usize,
+    mean_gap_ns: u64,
+) -> (Vec<u64>, u64) {
+    let (il, _) = server.dims();
+    let mut arrivals = PoissonArrivals::new(seed, mean_gap_ns);
+    let schedule = arrivals.take_times(n);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9E37);
+    let mut input = vec![0.0f32; il];
+    rng.fill_f32(&mut input, -1.0, 1.0);
+    let body: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let head = format!("POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len());
+
+    let mut conn = BufReader::new(server.connect());
+    let mut lats = Vec::with_capacity(n);
+    let mut rejected = 0u64;
+    for &at_ns in &schedule {
+        let scheduled = t0 + Duration::from_nanos(at_ns);
+        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        conn.get_mut().write_all(head.as_bytes()).expect("send head");
+        conn.get_mut().write_all(&body).expect("send body");
+        let resp = read_response(&mut conn).expect("response");
+        // Latency from the *scheduled* arrival: running behind schedule
+        // is server-induced queueing and must show up in the tail.
+        let lat = Instant::now().duration_since(scheduled).as_nanos() as u64;
+        match resp.status {
+            200 => lats.push(lat),
+            503 => rejected += 1,
+            s => panic!("unexpected status {s}"),
+        }
+    }
+    (lats, rejected)
+}
+
+fn bench_shards(shards: usize, clients: usize, n_per_client: usize, mean_gap_ns: u64) {
+    let cfg = ServeConfig {
+        shards,
+        threads_per_shard: 1,
+        max_batch: BATCH,
+        max_delay_ns: 1_000_000,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, build_model).expect("server starts");
+
+    // Warm every shard outside the timed window (first execute after the
+    // dims handshake still touches cold caches).
+    let (lats, _) = run_client(&server, Instant::now(), 7, shards * BATCH, 1);
+    assert!(!lats.is_empty(), "warm-up failed");
+
+    let t0 = Instant::now();
+    let (mut all_lats, mut rejected) = (Vec::new(), 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = &server;
+                scope.spawn(move || {
+                    run_client(server, t0, 0xBEEF + c as u64, n_per_client, mean_gap_ns)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lats, rej) = h.join().expect("client thread");
+            all_lats.extend(lats);
+            rejected += rej;
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let snap = server.shutdown();
+    assert_eq!(snap.conn_panics, 0, "bench panicked a connection");
+    assert_eq!(
+        snap.accepted,
+        snap.completed + snap.failed,
+        "bench dropped requests: {snap:?}"
+    );
+
+    LoadStats::from_latencies(
+        format!("serve/poisson/s{shards}"),
+        &mut all_lats,
+        rejected,
+        wall_ns,
+    )
+    .report();
+    lowino_trace::instant("serve/bench_mean_occupancy", snap.mean_occupancy as u64);
+}
+
+fn main() {
+    lowino_trace::init_from_env();
+    let cfg = Config::from_env();
+    if cfg.smoke {
+        // Seconds-long CI cell: one shard, light load, same code path.
+        bench_shards(1, 2, 15, 4_000_000);
+        lowino_trace::flush_to_env();
+        return;
+    }
+    // The acceptance grid: sustained Poisson load at >=2 shard counts.
+    for &shards in &[1usize, 2] {
+        bench_shards(shards, 3, 250, 6_000_000);
+    }
+    lowino_trace::flush_to_env();
+}

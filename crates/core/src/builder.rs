@@ -73,6 +73,15 @@ impl Engine {
         &self.ctx
     }
 
+    /// Persist this engine's accumulated wisdom into `path` via the
+    /// crash-safe merge-save (read-merge, tmp file, fsync, rename — the
+    /// `wisdom/save` fault site). What a serving shard calls at shutdown
+    /// so tuned blockings survive restarts; safe to call concurrently
+    /// from engines sharing one file.
+    pub fn save_wisdom(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        self.ctx.wisdom.merge_save(path.as_ref())
+    }
+
     /// Allocate a correctly-shaped blocked output for a layer spec.
     pub fn alloc_output(&self, spec: &ConvShape) -> BlockedImage {
         BlockedImage::zeros(spec.batch, spec.out_c, spec.out_h(), spec.out_w())

@@ -355,8 +355,22 @@ impl CompiledGraph {
         spec: &GraphSpec,
         health: HealthPolicy,
     ) -> Result<Self, ConvError> {
+        Self::compile_with_engine(Engine::new(spec.threads), model, calib_x, spec, health)
+    }
+
+    /// [`Self::compile_with_health`] onto a caller-built [`Engine`] — a
+    /// serving shard configures its engine first (pinned tier, wisdom
+    /// file, tune policy via [`Engine::builder`]) and hands it over; the
+    /// graph takes ownership. `spec.threads` is ignored in this variant
+    /// (the engine already owns its pool).
+    pub fn compile_with_engine(
+        engine: Engine,
+        model: &mut Model,
+        calib_x: &Tensor4,
+        spec: &GraphSpec,
+        health: HealthPolicy,
+    ) -> Result<Self, ConvError> {
         let _sp = lowino_trace::span("graph/compile");
-        let engine = Engine::new(spec.threads);
         let (_, c, h, w) = calib_x.dims();
         let mut builder = GraphBuilder {
             spec: *spec,
@@ -401,6 +415,34 @@ impl CompiledGraph {
     /// The planned inference batch size.
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// Input image dims `(C, H, W)` the graph was compiled for.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        self.in_dims
+    }
+
+    /// Borrow the engine (tier/wisdom inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutably borrow the engine (wisdom persistence, context access).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The **currently active** algorithm of every conv ladder, in op
+    /// order — after demotions this reflects the rung actually executing,
+    /// which is what a serving `/stats` endpoint reports per shard.
+    pub fn conv_algorithms(&self) -> Vec<Algorithm> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                GraphOp::Conv { conv, .. } => Some(conv.algorithm()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Arena size in bytes (what `graph/plan_bytes` reported at compile).

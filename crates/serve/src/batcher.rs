@@ -1,0 +1,231 @@
+//! The coalescing/deadline/backpressure state machine — the heart of the
+//! server, kept **pure** so it is exhaustively testable.
+//!
+//! [`BatcherCore`] never reads a clock, never touches a socket, never
+//! blocks: every transition takes an explicit `now_ns`. The threaded
+//! server wraps it in a mutex and feeds it real time; the property tests
+//! (`tests/batcher_prop.rs`) feed it a virtual clock and seeded Poisson
+//! arrivals and check the invariants the server's guarantees rest on:
+//!
+//! * **admission** — [`BatcherCore::offer`] accepts iff the queue is
+//!   below its bound; a rejected payload is handed back (the server
+//!   turns it into a 503, never silently dropping it);
+//! * **dispatch** — [`BatcherCore::take_batch`] releases a batch only
+//!   when it is *ready*: either `max_batch` requests are waiting (size
+//!   bound) or the oldest has waited `max_delay_ns` (deadline bound);
+//! * **exactly-once** — every accepted id leaves in exactly one batch.
+
+use std::collections::VecDeque;
+
+/// Coalescing bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Dispatch as soon as this many requests are queued (must be ≥ 1 and
+    /// ≤ the model's planned batch capacity).
+    pub max_batch: usize,
+    /// Dispatch when the oldest queued request is this old, even if the
+    /// batch is not full — the latency the server is willing to spend
+    /// waiting for co-riders.
+    pub max_delay_ns: u64,
+    /// Admission bound: offers beyond this queue depth are rejected.
+    pub queue_cap: usize,
+}
+
+/// One queued request: its admission id, arrival stamp and payload.
+#[derive(Debug)]
+pub struct Pending<T> {
+    /// Dense id assigned at admission (0, 1, 2, …).
+    pub id: u64,
+    /// The `now_ns` passed to the accepting [`BatcherCore::offer`].
+    pub enqueued_ns: u64,
+    /// The caller's request data.
+    pub payload: T,
+}
+
+/// Counters the batcher maintains as it runs (snapshot via
+/// [`BatcherCore::stats`]; `/stats` reports them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatcherStats {
+    /// Offers admitted.
+    pub accepted: u64,
+    /// Offers rejected by the queue bound.
+    pub rejected: u64,
+    /// Requests released in batches.
+    pub dispatched: u64,
+    /// Batches released.
+    pub batches: u64,
+    /// Sum of batch occupancies (`occupancy_sum / batches` = mean).
+    pub occupancy_sum: u64,
+    /// High-water queue depth.
+    pub max_depth: usize,
+}
+
+impl BatcherStats {
+    /// Mean requests per released batch (0 before the first batch).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The pure batching state machine. `T` is the request payload.
+#[derive(Debug)]
+pub struct BatcherCore<T> {
+    cfg: BatchConfig,
+    queue: VecDeque<Pending<T>>,
+    next_id: u64,
+    stats: BatcherStats,
+}
+
+impl<T> BatcherCore<T> {
+    /// A fresh batcher. Panics on degenerate bounds (zero batch size or
+    /// queue capacity) — those are configuration bugs, not load states.
+    pub fn new(cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be >= 1");
+        assert!(cfg.queue_cap >= 1, "queue_cap must be >= 1");
+        Self {
+            cfg,
+            queue: VecDeque::new(),
+            next_id: 0,
+            stats: BatcherStats::default(),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> BatchConfig {
+        self.cfg
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BatcherStats {
+        self.stats
+    }
+
+    /// Offer a request at time `now_ns`. Admitted requests get a dense
+    /// id; a rejected payload is returned to the caller (queue at
+    /// capacity — the server answers 503).
+    pub fn offer(&mut self, payload: T, now_ns: u64) -> Result<u64, T> {
+        if self.queue.len() >= self.cfg.queue_cap {
+            self.stats.rejected += 1;
+            return Err(payload);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending { id, enqueued_ns: now_ns, payload });
+        self.stats.accepted += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.queue.len());
+        Ok(id)
+    }
+
+    /// When the oldest queued request's coalescing deadline expires
+    /// (`None` when idle) — what the dispatcher sleeps until.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.queue
+            .front()
+            .map(|p| p.enqueued_ns.saturating_add(self.cfg.max_delay_ns))
+    }
+
+    /// Is a batch releasable at `now_ns`? True when `max_batch` requests
+    /// are queued, or the oldest has aged past `max_delay_ns`.
+    pub fn ready(&self, now_ns: u64) -> bool {
+        self.queue.len() >= self.cfg.max_batch
+            || self.next_deadline().is_some_and(|d| now_ns >= d)
+    }
+
+    /// Release the oldest up-to-`max_batch` requests if a batch is ready
+    /// at `now_ns`; empty vec otherwise.
+    pub fn take_batch(&mut self, now_ns: u64) -> Vec<Pending<T>> {
+        if !self.ready(now_ns) {
+            return Vec::new();
+        }
+        self.force_take()
+    }
+
+    /// Release the oldest up-to-`max_batch` requests unconditionally —
+    /// the shutdown flush, so every accepted request is still answered.
+    pub fn force_take(&mut self) -> Vec<Pending<T>> {
+        let n = self.queue.len().min(self.cfg.max_batch);
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch: Vec<Pending<T>> = self.queue.drain(..n).collect();
+        self.stats.batches += 1;
+        self.stats.dispatched += batch.len() as u64;
+        self.stats.occupancy_sum += batch.len() as u64;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_batch: usize, max_delay_ns: u64, queue_cap: usize) -> BatchConfig {
+        BatchConfig { max_batch, max_delay_ns, queue_cap }
+    }
+
+    #[test]
+    fn size_bound_triggers_dispatch() {
+        let mut b = BatcherCore::new(cfg(3, 1_000_000, 10));
+        assert!(b.offer("a", 0).is_ok());
+        assert!(b.offer("b", 1).is_ok());
+        assert!(!b.ready(2), "two of three queued");
+        assert!(b.take_batch(2).is_empty());
+        assert!(b.offer("c", 2).is_ok());
+        assert!(b.ready(2), "size bound reached");
+        let batch = b.take_batch(2);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(b.depth(), 0);
+    }
+
+    #[test]
+    fn deadline_triggers_partial_dispatch() {
+        let mut b = BatcherCore::new(cfg(8, 100, 10));
+        b.offer(1u32, 50).unwrap();
+        b.offer(2u32, 60).unwrap();
+        assert_eq!(b.next_deadline(), Some(150));
+        assert!(!b.ready(149));
+        assert!(b.ready(150), "oldest aged past max_delay");
+        let batch = b.take_batch(150);
+        assert_eq!(batch.len(), 2, "partial batch at deadline");
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn queue_bound_rejects_and_returns_payload() {
+        let mut b = BatcherCore::new(cfg(4, 100, 2));
+        b.offer("x", 0).unwrap();
+        b.offer("y", 0).unwrap();
+        let back = b.offer("z", 0).expect_err("queue full");
+        assert_eq!(back, "z");
+        let s = b.stats();
+        assert_eq!((s.accepted, s.rejected), (2, 1));
+        // Draining frees capacity again.
+        assert_eq!(b.force_take().len(), 2);
+        assert!(b.offer("z", 1).is_ok());
+    }
+
+    #[test]
+    fn oversize_backlog_releases_in_max_batch_chunks() {
+        let mut b = BatcherCore::new(cfg(2, 1_000, 10));
+        for i in 0..5 {
+            b.offer(i, 0).unwrap();
+        }
+        assert_eq!(b.take_batch(0).len(), 2, "size-ready despite young age");
+        assert_eq!(b.take_batch(0).len(), 2);
+        assert!(b.take_batch(0).is_empty(), "one left, not aged");
+        assert_eq!(b.take_batch(1_000).len(), 1, "deadline flushes the tail");
+        let s = b.stats();
+        assert_eq!((s.dispatched, s.batches), (5, 3));
+        assert_eq!(s.max_depth, 5);
+    }
+}

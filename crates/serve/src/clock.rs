@@ -1,0 +1,72 @@
+//! Time as a capability.
+//!
+//! The batcher core takes explicit timestamps, but the threaded server
+//! still needs *some* source of "now". [`Clock`] abstracts it:
+//! [`SystemClock`] (monotonic `Instant` against a per-clock epoch) in
+//! production, the testkit [`VirtualClock`] in deterministic tests —
+//! both yield nanoseconds since an arbitrary epoch, which is all the
+//! deadline arithmetic needs.
+
+use std::time::Instant;
+
+use lowino_testkit::VirtualClock;
+
+/// A nanosecond-resolution monotonic clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's (arbitrary) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real time: a monotonic `Instant` epoch captured at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates after ~584 years of uptime; acceptable.
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        VirtualClock::now_ns(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_satisfies_the_trait() {
+        let v = VirtualClock::starting_at(5);
+        let c: &dyn Clock = &v;
+        assert_eq!(c.now_ns(), 5);
+        v.advance(10);
+        assert_eq!(c.now_ns(), 15);
+    }
+}

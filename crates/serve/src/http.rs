@@ -1,0 +1,415 @@
+//! A minimal, hardened HTTP/1.1 subset — just enough protocol for an
+//! inference endpoint, with hard limits everywhere untrusted bytes flow.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (1.1 default, `Connection:` override), pipelining (the
+//! server reads requests back-to-back from one `BufReader`). Everything
+//! else — chunked transfer, upgrades, HTTP/2 — is deliberately refused
+//! with the correct status rather than half-implemented.
+//!
+//! The error contract the fuzz tests pin down: malformed input yields
+//! [`HttpError::Bad`] (a 4xx/5xx status to write before closing), a
+//! truncated stream yields [`HttpError::Io`] (close silently), a clean
+//! EOF between requests yields [`HttpError::Closed`]. Never a panic.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard limits on untrusted input.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Longest accepted request/header line in bytes (431 beyond).
+    pub max_line: usize,
+    /// Most headers per request (431 beyond).
+    pub max_headers: usize,
+    /// Largest accepted body in bytes (413 beyond).
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self { max_line: 4096, max_headers: 64, max_body: 1 << 22 }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, always starting with `/`.
+    pub path: String,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection persists after the response (HTTP/1.1
+    /// default, overridden by `Connection: close` / `keep-alive`).
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before any request byte — the keep-alive loop's normal
+    /// exit.
+    Closed,
+    /// The stream failed (or ended mid-request): close without a
+    /// response.
+    Io(io::Error),
+    /// Protocol violation: send `status`, then close.
+    Bad { status: u16, reason: &'static str },
+}
+
+impl HttpError {
+    fn bad(status: u16, reason: &'static str) -> Self {
+        HttpError::Bad { status, reason }
+    }
+}
+
+/// Read one line (up to `\n`, stripping `\r\n`) with a hard byte cap.
+/// `Ok(None)` means EOF before any byte of this line.
+fn read_line_limited(
+    r: &mut impl BufRead,
+    max: usize,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(HttpError::Io)?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-line",
+                )))
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if line.len() + i > max {
+                    return Err(HttpError::bad(431, "line too long"));
+                }
+                line.extend_from_slice(&buf[..i]);
+                r.consume(i + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > max {
+                    return Err(HttpError::bad(431, "line too long"));
+                }
+                line.extend_from_slice(buf);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Parse one request off the stream. Blocking; returns when a full
+/// request (line + headers + body) has been consumed, so the next call
+/// starts at the next pipelined request.
+pub fn read_request(
+    r: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<Request, HttpError> {
+    let line = match read_line_limited(r, limits.max_line)? {
+        None => return Err(HttpError::Closed),
+        Some(l) => l,
+    };
+    let line = std::str::from_utf8(&line)
+        .map_err(|_| HttpError::bad(400, "request line is not utf-8"))?;
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
+        _ => return Err(HttpError::bad(400, "malformed request line")),
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::bad(400, "malformed method"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::bad(400, "target must be absolute path"));
+    }
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::bad(505, "http version not supported")),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut n_headers = 0usize;
+    loop {
+        let hline = read_line_limited(r, limits.max_line)?.ok_or_else(|| {
+            HttpError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))
+        })?;
+        if hline.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > limits.max_headers {
+            return Err(HttpError::bad(431, "too many headers"));
+        }
+        let hline = std::str::from_utf8(&hline)
+            .map_err(|_| HttpError::bad(400, "header is not utf-8"))?;
+        let Some((name, value)) = hline.split_once(':') else {
+            return Err(HttpError::bad(400, "malformed header"));
+        };
+        if name.is_empty() || name.ends_with(' ') || name.ends_with('\t') {
+            // RFC 7230: no whitespace between field name and colon.
+            return Err(HttpError::bad(400, "malformed header name"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let len: usize = value
+                .parse()
+                .map_err(|_| HttpError::bad(400, "bad content-length"))?;
+            if content_length.is_some_and(|prev| prev != len) {
+                return Err(HttpError::bad(400, "conflicting content-length"));
+            }
+            content_length = Some(len);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::bad(501, "transfer-encoding not supported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let body = match content_length {
+        None if method == "POST" || method == "PUT" => {
+            return Err(HttpError::bad(411, "length required"));
+        }
+        None | Some(0) => Vec::new(),
+        Some(len) => {
+            if len > limits.max_body {
+                return Err(HttpError::bad(413, "payload too large"));
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body).map_err(HttpError::Io)?;
+            body
+        }
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+/// Write one response (status + `Content-Length` framing + body).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Write a plain-text error response.
+pub fn write_error(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let body = format!("{reason}\n");
+    write_response(w, status, "text/plain", body.as_bytes(), keep_alive)
+}
+
+/// A client-side parsed response (what the tests and benches read back).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Client-side: read one response off the stream.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let invalid = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let limits = HttpLimits::default();
+    let line = read_line_limited(r, limits.max_line)
+        .map_err(|_| invalid("bad status line"))?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof before status"))?;
+    let line = String::from_utf8(line).map_err(|_| invalid("status line not utf-8"))?;
+    let mut parts = line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("not an http response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status code"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let hline = read_line_limited(r, limits.max_line)
+            .map_err(|_| invalid("bad header"))?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
+        if hline.is_empty() {
+            break;
+        }
+        let hline = String::from_utf8(hline).map_err(|_| invalid("header not utf-8"))?;
+        if let Some((name, value)) = hline.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Response { status, body, keep_alive })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /infer HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/infer");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_pipelined_requests() {
+        let bytes: &[u8] =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /infer HTTP/1.0\r\nContent-Length: 2\r\n\r\nhi";
+        let mut r = BufReader::new(bytes);
+        let limits = HttpLimits::default();
+        let a = read_request(&mut r, &limits).unwrap();
+        assert_eq!((a.method.as_str(), a.path.as_str()), ("GET", "/healthz"));
+        let b = read_request(&mut r, &limits).unwrap();
+        assert_eq!(b.body, b"hi");
+        assert!(!b.keep_alive, "1.0 defaults to close");
+        assert!(matches!(read_request(&mut r, &limits), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn connection_header_overrides_default() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_statuses() {
+        let cases: [(&[u8], u16); 8] = [
+            (b"GARBAGE\r\n\r\n", 400),
+            (b"get / HTTP/1.1\r\n\r\n", 400),
+            (b"GET noslash HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"POST /infer HTTP/1.1\r\n\r\n", 411),
+            (b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400),
+        ];
+        for (bytes, want) in cases {
+            match parse(bytes) {
+                Err(HttpError::Bad { status, .. }) => {
+                    assert_eq!(status, want, "{:?}", String::from_utf8_lossy(bytes))
+                }
+                other => panic!(
+                    "{:?}: expected {want}, got {other:?}",
+                    String::from_utf8_lossy(bytes)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = HttpLimits { max_line: 64, max_headers: 2, max_body: 8 };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        match read_request(&mut BufReader::new(long.as_bytes()), &limits) {
+            Err(HttpError::Bad { status: 431, .. }) => {}
+            other => panic!("long line: {other:?}"),
+        }
+        let many = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        match read_request(&mut BufReader::new(&many[..]), &limits) {
+            Err(HttpError::Bad { status: 431, .. }) => {}
+            other => panic!("many headers: {other:?}"),
+        }
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        match read_request(&mut BufReader::new(&big[..]), &limits) {
+            Err(HttpError::Bad { status: 413, .. }) => {}
+            other => panic!("big body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        match parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort") {
+            Err(HttpError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "application/octet-stream", b"\x01\x02", true).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, [1, 2]);
+        assert!(resp.keep_alive);
+
+        let mut wire = Vec::new();
+        write_error(&mut wire, 503, "queue full", false).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(!resp.keep_alive);
+        assert_eq!(resp.body, b"queue full\n");
+    }
+}

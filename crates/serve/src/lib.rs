@@ -1,0 +1,51 @@
+//! `lowino-serve` — a batched inference server over the whole-model graph
+//! engine, std-only like the rest of the workspace.
+//!
+//! The server answers `POST /infer` requests (raw little-endian `f32`
+//! tensors) by **coalescing** concurrent requests into batches — up to a
+//! size bound or a deadline, whichever comes first — and dispatching each
+//! batch to one of N engine *shards*, each a [`lowino_nn::CompiledGraph`]
+//! owning its own thread pool. Batching is where the paper's Winograd
+//! wins compound: tile counts per fork-join grow with batch size,
+//! amortizing the barrier costs that dominate small shapes.
+//!
+//! Architecture (one type per concern, composed in [`server`]):
+//!
+//! * [`batcher`] — the coalescing/deadline/backpressure state machine.
+//!   **Pure**: it never reads a clock or touches a socket; every
+//!   transition takes an explicit `now_ns`, so the property tests drive
+//!   it under a virtual clock with seeded Poisson arrivals.
+//! * [`http`] — a minimal, hardened HTTP/1.1 subset: request parsing
+//!   with hard limits (line length, header count, body size), keep-alive
+//!   and pipelining, and malformed input mapped to clean 4xx responses.
+//! * [`transport`] — an in-memory duplex byte stream implementing
+//!   `Read + Write`, so the full server (threads and all) is testable
+//!   hermetically without TCP; the real listener speaks the same code
+//!   path over `TcpStream`.
+//! * [`model`] — the [`model::BatchModel`] trait the shards execute, and
+//!   [`model::GraphModel`] adapting a compiled graph to it.
+//! * [`server`] — the threaded composition: connection handlers feed the
+//!   shared batcher, a dispatcher thread flushes ready batches
+//!   round-robin to shard workers, admission control returns 503 when
+//!   the bounded queue overflows, and `/stats` reports queue depth,
+//!   batch occupancy and per-shard demotion state as JSON.
+//! * [`clock`] — the `Clock` abstraction ([`clock::SystemClock`] in
+//!   production, the testkit `VirtualClock` in tests).
+//!
+//! Tracing: `serve/request` spans per handled request, `serve/batch`
+//! spans (arg = occupancy) per shard execution, `serve/queue_depth` and
+//! `serve/batch_occupancy` instants, a `serve/requests` counter.
+
+pub mod batcher;
+pub mod clock;
+pub mod http;
+pub mod model;
+pub mod server;
+pub mod transport;
+
+pub use batcher::{BatchConfig, BatcherCore, BatcherStats, Pending};
+pub use clock::{Clock, SystemClock};
+pub use http::{HttpLimits, Request, Response};
+pub use model::{BatchModel, GraphModel};
+pub use server::{ServeConfig, Server};
+pub use transport::{duplex_pair, DuplexStream};

@@ -1,0 +1,933 @@
+//! The threaded server: connection handlers feed one shared
+//! [`BatcherCore`], a dispatcher thread releases ready batches
+//! round-robin to shard workers, each shard runs its own
+//! [`BatchModel`] on its own engine (and thread pool), and `/stats`
+//! reports the whole state as JSON.
+//!
+//! Thread/ownership layout:
+//!
+//! ```text
+//! conn threads ──offer──▶ BatcherCore (Mutex) ◀──take── dispatcher ──▶ shard 0 worker
+//!      ▲                        │ Condvar                    │          shard 1 worker …
+//!      └──── oneshot reply ◀────┴────── bounded channels ────┘
+//! ```
+//!
+//! Guarantees the tests pin down:
+//!
+//! * **backpressure, not loss** — the batcher queue is bounded (503 on
+//!   overflow) and shard channels are bounded (a slow shard backs the
+//!   queue up into 503s); an *accepted* request always gets a response,
+//!   including across shutdown (the dispatcher force-flushes the queue
+//!   before exiting).
+//! * **panic isolation** — each connection handler runs under
+//!   `catch_unwind` (counted in `/stats`), and shard inference panics
+//!   are converted into 500 responses rather than hangs.
+//! * **observability** — `serve/request` and `serve/batch` spans,
+//!   `serve/queue_depth` and `serve/batch_occupancy` instants, and the
+//!   `serve/requests` counter; `/stats` serves the counters as JSON.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::batcher::{BatchConfig, BatcherCore, Pending};
+use crate::clock::{Clock, SystemClock};
+use crate::http::{self, HttpError, HttpLimits};
+use crate::model::BatchModel;
+use crate::transport::{duplex_pair, DuplexStream};
+
+/// Server configuration (see `README.md` for the matching env vars).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Engine shards: independent models, each with its own thread pool.
+    pub shards: usize,
+    /// Worker threads per shard's engine.
+    pub threads_per_shard: usize,
+    /// Batch size bound (must be ≤ the model's planned batch capacity).
+    pub max_batch: usize,
+    /// Coalescing deadline: dispatch a partial batch once its oldest
+    /// request is this old.
+    pub max_delay_ns: u64,
+    /// Admission bound on the shared queue (503 beyond).
+    pub queue_cap: usize,
+    /// Batches in flight per shard before backpressure reaches the
+    /// queue.
+    pub shard_queue: usize,
+    /// HTTP input limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            threads_per_shard: 1,
+            max_batch: 4,
+            max_delay_ns: 2_000_000, // 2 ms
+            queue_cap: 64,
+            shard_queue: 2,
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `LOWINO_SERVE_SHARDS`, `LOWINO_SERVE_BATCH`,
+    /// `LOWINO_SERVE_DEADLINE_US` and `LOWINO_SERVE_QUEUE`. Unparseable
+    /// values panic loudly — a half-applied serving config is worse than
+    /// no server.
+    pub fn from_env() -> Self {
+        fn env_usize(name: &str, default: usize) -> usize {
+            match std::env::var(name) {
+                Ok(v) => v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name}={v:?} is not a number")),
+                Err(_) => default,
+            }
+        }
+        let d = Self::default();
+        Self {
+            shards: env_usize("LOWINO_SERVE_SHARDS", d.shards).max(1),
+            threads_per_shard: d.threads_per_shard,
+            max_batch: env_usize("LOWINO_SERVE_BATCH", d.max_batch).max(1),
+            max_delay_ns: env_usize(
+                "LOWINO_SERVE_DEADLINE_US",
+                (d.max_delay_ns / 1_000) as usize,
+            ) as u64
+                * 1_000,
+            queue_cap: env_usize("LOWINO_SERVE_QUEUE", d.queue_cap).max(1),
+            shard_queue: d.shard_queue,
+            limits: HttpLimits::default(),
+        }
+    }
+
+    fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            max_batch: self.max_batch,
+            max_delay_ns: self.max_delay_ns,
+            queue_cap: self.queue_cap,
+        }
+    }
+}
+
+/// One queued inference: decoded input plus the reply channel back to
+/// the connection thread.
+struct Job {
+    input: Vec<f32>,
+    resp: SyncSender<Result<Vec<f32>, String>>,
+}
+
+type Batch = Vec<Pending<Job>>;
+
+#[derive(Default)]
+struct ShardStats {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    demotions: AtomicU64,
+    wisdom_errors: AtomicU64,
+    algorithms: Mutex<Vec<String>>,
+}
+
+struct Shared {
+    batcher: Mutex<BatcherCore<Job>>,
+    dispatch_cv: Condvar,
+    clock: Arc<dyn Clock>,
+    shutdown: AtomicBool,
+    limits: HttpLimits,
+    /// `(input_len, output_len)` reported by the shard models.
+    dims: OnceLock<(usize, usize)>,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    http_errors: AtomicU64,
+    conn_panics: AtomicU64,
+    shutdown_rejects: AtomicU64,
+    open_conns: AtomicUsize,
+    shards: Vec<ShardStats>,
+}
+
+/// Point-in-time view of every counter (also what `/stats` serializes).
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// 503s from the queue bound.
+    pub rejected: u64,
+    /// 503s because shutdown had begun.
+    pub shutdown_rejects: u64,
+    /// 200s delivered.
+    pub completed: u64,
+    /// 500s delivered (inference errors/panics).
+    pub failed: u64,
+    /// Batches released by the batcher.
+    pub batches: u64,
+    /// Requests released in those batches.
+    pub dispatched: u64,
+    /// Mean batch occupancy.
+    pub mean_occupancy: f64,
+    /// Queue depth right now.
+    pub queue_depth: usize,
+    /// High-water queue depth.
+    pub max_queue_depth: usize,
+    /// Malformed / mis-shaped requests answered 4xx.
+    pub http_errors: u64,
+    /// Connection handlers that panicked (should stay 0).
+    pub conn_panics: u64,
+    /// Total demotions across all shard ladders.
+    pub demotions: u64,
+    /// Per-shard detail.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+/// Per-shard counters.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Requests this shard answered.
+    pub requests: u64,
+    /// Batches this shard executed.
+    pub batches: u64,
+    /// Demotions taken by this shard's ladders.
+    pub demotions: u64,
+    /// Failed shutdown wisdom saves.
+    pub wisdom_errors: u64,
+    /// Active algorithm per conv, in op order.
+    pub algorithms: Vec<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl StatsSnapshot {
+    /// Serialize for the `/stats` endpoint.
+    pub fn to_json(&self) -> String {
+        let per_shard: Vec<String> = self
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let algos: Vec<String> = s
+                    .algorithms
+                    .iter()
+                    .map(|a| format!("\"{}\"", json_escape(a)))
+                    .collect();
+                format!(
+                    "{{\"shard\":{},\"requests\":{},\"batches\":{},\"demotions\":{},\
+                     \"wisdom_errors\":{},\"algorithms\":[{}]}}",
+                    i,
+                    s.requests,
+                    s.batches,
+                    s.demotions,
+                    s.wisdom_errors,
+                    algos.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"shards\":{},\"accepted\":{},\"rejected\":{},\"shutdown_rejects\":{},\
+             \"completed\":{},\"failed\":{},\"batches\":{},\"dispatched\":{},\
+             \"mean_occupancy\":{:.3},\"queue_depth\":{},\"max_queue_depth\":{},\
+             \"http_errors\":{},\"conn_panics\":{},\"demotions\":{},\"per_shard\":[{}]}}",
+            self.per_shard.len(),
+            self.accepted,
+            self.rejected,
+            self.shutdown_rejects,
+            self.completed,
+            self.failed,
+            self.batches,
+            self.dispatched,
+            self.mean_occupancy,
+            self.queue_depth,
+            self.max_queue_depth,
+            self.http_errors,
+            self.conn_panics,
+            self.demotions,
+            per_shard.join(",")
+        )
+    }
+}
+
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    let (bs, depth) = {
+        let b = shared.batcher.lock().unwrap_or_else(|e| e.into_inner());
+        (b.stats(), b.depth())
+    };
+    let per_shard: Vec<ShardSnapshot> = shared
+        .shards
+        .iter()
+        .map(|s| ShardSnapshot {
+            requests: s.requests.load(Ordering::Acquire),
+            batches: s.batches.load(Ordering::Acquire),
+            demotions: s.demotions.load(Ordering::Acquire),
+            wisdom_errors: s.wisdom_errors.load(Ordering::Acquire),
+            algorithms: s
+                .algorithms
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        })
+        .collect();
+    StatsSnapshot {
+        accepted: bs.accepted,
+        rejected: bs.rejected,
+        shutdown_rejects: shared.shutdown_rejects.load(Ordering::Acquire),
+        completed: shared.completed.load(Ordering::Acquire),
+        failed: shared.failed.load(Ordering::Acquire),
+        batches: bs.batches,
+        dispatched: bs.dispatched,
+        mean_occupancy: bs.mean_occupancy(),
+        queue_depth: depth,
+        max_queue_depth: bs.max_depth,
+        http_errors: shared.http_errors.load(Ordering::Acquire),
+        conn_panics: shared.conn_panics.load(Ordering::Acquire),
+        demotions: per_shard.iter().map(|s| s.demotions).sum(),
+        per_shard,
+    }
+}
+
+/// The running server. Dropping it (or calling [`Server::shutdown`])
+/// drains the queue, answers every accepted request, persists shard
+/// state and joins every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    accept_handle: Option<JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Start shards and the dispatcher under the real-time clock.
+    /// `factory(shard_index)` is called **inside** each shard's thread to
+    /// build its model — models never cross threads.
+    pub fn start<M, F>(cfg: ServeConfig, factory: F) -> Result<Self, String>
+    where
+        M: BatchModel + 'static,
+        F: Fn(usize) -> M + Send + Sync + 'static,
+    {
+        Self::start_with_clock(cfg, factory, Arc::new(SystemClock::new()))
+    }
+
+    /// [`Server::start`] with an explicit [`Clock`] (virtual in tests).
+    pub fn start_with_clock<M, F>(
+        cfg: ServeConfig,
+        factory: F,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, String>
+    where
+        M: BatchModel + 'static,
+        F: Fn(usize) -> M + Send + Sync + 'static,
+    {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let shared = Arc::new(Shared {
+            batcher: Mutex::new(BatcherCore::new(cfg.batch_config())),
+            dispatch_cv: Condvar::new(),
+            clock,
+            shutdown: AtomicBool::new(false),
+            limits: cfg.limits,
+            dims: OnceLock::new(),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            conn_panics: AtomicU64::new(0),
+            shutdown_rejects: AtomicU64::new(0),
+            open_conns: AtomicUsize::new(0),
+            shards: (0..cfg.shards).map(|_| ShardStats::default()).collect(),
+        });
+
+        let factory = Arc::new(factory);
+        let (dims_tx, dims_rx) = mpsc::channel::<(usize, usize, usize)>();
+        let mut senders: Vec<SyncSender<Batch>> = Vec::with_capacity(cfg.shards);
+        let mut shard_handles = Vec::with_capacity(cfg.shards);
+        for idx in 0..cfg.shards {
+            let (tx, rx) = mpsc::sync_channel::<Batch>(cfg.shard_queue.max(1));
+            senders.push(tx);
+            let shared2 = Arc::clone(&shared);
+            let factory2 = Arc::clone(&factory);
+            let dims_tx2 = dims_tx.clone();
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lowino-shard-{idx}"))
+                    .spawn(move || shard_worker(shared2, idx, rx, factory2(idx), dims_tx2))
+                    .map_err(|e| format!("spawning shard {idx}: {e}"))?,
+            );
+        }
+        drop(dims_tx);
+
+        // Handshake: every shard reports its model's shape before the
+        // server accepts traffic; inconsistent factories are a hard
+        // start-up error, not a runtime surprise.
+        let mut dims: Option<(usize, usize, usize)> = None;
+        for _ in 0..cfg.shards {
+            let got = dims_rx
+                .recv()
+                .map_err(|_| "a shard died during model construction".to_string())?;
+            match dims {
+                None => dims = Some(got),
+                Some(d) if d != got => {
+                    drop(senders);
+                    for h in shard_handles {
+                        let _ = h.join();
+                    }
+                    return Err(format!("shard models disagree on shape: {d:?} vs {got:?}"));
+                }
+                Some(_) => {}
+            }
+        }
+        let (il, ol, model_batch) = dims.expect("cfg.shards >= 1");
+        if cfg.max_batch > model_batch {
+            drop(senders);
+            for h in shard_handles {
+                let _ = h.join();
+            }
+            return Err(format!(
+                "max_batch {} exceeds the model's planned batch {}",
+                cfg.max_batch, model_batch
+            ));
+        }
+        shared.dims.set((il, ol)).expect("dims set once");
+
+        let shared2 = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("lowino-dispatch".into())
+            .spawn(move || dispatcher_loop(shared2, senders))
+            .map_err(|e| format!("spawning dispatcher: {e}"))?;
+
+        Ok(Self {
+            shared,
+            dispatcher: Some(dispatcher),
+            shard_handles,
+            accept_handle: None,
+            local_addr: None,
+        })
+    }
+
+    /// `(input_len, output_len)` in `f32`s, as reported by the shards.
+    pub fn dims(&self) -> (usize, usize) {
+        *self.shared.dims.get().expect("set during start")
+    }
+
+    /// Counter snapshot (the same data `/stats` serves).
+    pub fn stats(&self) -> StatsSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Serve one already-connected byte stream on a detached thread —
+    /// the hermetic entry point ([`Server::connect`] wraps it; the TCP
+    /// accept loop uses it too).
+    pub fn serve_stream<S>(&self, stream: S)
+    where
+        S: Read + Write + Send + 'static,
+    {
+        spawn_connection(Arc::clone(&self.shared), stream);
+    }
+
+    /// Open an in-memory connection to this server.
+    pub fn connect(&self) -> DuplexStream {
+        let (client, server_end) = duplex_pair();
+        self.serve_stream(server_end);
+        client
+    }
+
+    /// Bind a TCP listener (e.g. `127.0.0.1:0`) and accept connections
+    /// until shutdown. Returns the bound address.
+    pub fn bind(&mut self, addr: &str) -> Result<SocketAddr, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name("lowino-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => spawn_connection(Arc::clone(&shared), s),
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| format!("spawning acceptor: {e}"))?;
+        self.accept_handle = Some(handle);
+        self.local_addr = Some(local);
+        Ok(local)
+    }
+
+    /// Stop accepting, flush the queue (every accepted request is still
+    /// answered), run shard shutdown hooks and join all threads.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner();
+        snapshot(&self.shared)
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.dispatch_cv.notify_all();
+        if let Some(h) = self.accept_handle.take() {
+            // Wake the blocking accept with a throwaway connection.
+            if let Some(addr) = self.local_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+        // In-flight responses are already sent; give connection threads
+        // a bounded window to finish writing and notice client EOFs.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.open_conns.load(Ordering::Acquire) > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.dispatcher.is_some() || !self.shard_handles.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn spawn_connection<S>(shared: Arc<Shared>, stream: S)
+where
+    S: Read + Write + Send + 'static,
+{
+    shared.open_conns.fetch_add(1, Ordering::AcqRel);
+    let shared2 = Arc::clone(&shared);
+    let res = std::thread::Builder::new()
+        .name("lowino-conn".into())
+        .spawn(move || {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                handle_connection(&shared2, stream);
+            }));
+            if caught.is_err() {
+                shared2.conn_panics.fetch_add(1, Ordering::AcqRel);
+            }
+            shared2.open_conns.fetch_sub(1, Ordering::AcqRel);
+        });
+    if res.is_err() {
+        // Spawn failed (OS thread exhaustion): the thread never ran, so
+        // undo its count and drop the stream (hard disconnect).
+        shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn handle_connection<S: Read + Write>(shared: &Arc<Shared>, stream: S) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader, &shared.limits) {
+            Ok(r) => r,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
+            Err(HttpError::Bad { status, reason }) => {
+                shared.http_errors.fetch_add(1, Ordering::AcqRel);
+                let _ = http::write_error(reader.get_mut(), status, reason, false);
+                break;
+            }
+        };
+        let _sp = lowino_trace::span("serve/request");
+        let keep = req.keep_alive;
+        let ok = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/infer") => handle_infer(shared, &mut reader, &req),
+            ("GET", "/stats") => {
+                let json = snapshot(shared).to_json();
+                http::write_response(
+                    reader.get_mut(),
+                    200,
+                    "application/json",
+                    json.as_bytes(),
+                    keep,
+                )
+                .is_ok()
+            }
+            ("GET", "/healthz") => {
+                http::write_response(reader.get_mut(), 200, "text/plain", b"ok\n", keep)
+                    .is_ok()
+            }
+            ("GET" | "POST", _) => {
+                shared.http_errors.fetch_add(1, Ordering::AcqRel);
+                http::write_error(reader.get_mut(), 404, "no such endpoint", keep).is_ok()
+            }
+            _ => {
+                shared.http_errors.fetch_add(1, Ordering::AcqRel);
+                http::write_error(reader.get_mut(), 405, "method not allowed", keep)
+                    .is_ok()
+            }
+        };
+        if !ok || !keep {
+            break;
+        }
+    }
+}
+
+/// Handle one `/infer`: decode, offer, await the shard's reply, respond.
+/// Returns false when the connection should close (write failure).
+fn handle_infer<S: Read + Write>(
+    shared: &Arc<Shared>,
+    reader: &mut BufReader<S>,
+    req: &http::Request,
+) -> bool {
+    let (il, ol) = *shared.dims.get().expect("dims set before serving");
+    let keep = req.keep_alive;
+    if req.body.len() != il * 4 {
+        shared.http_errors.fetch_add(1, Ordering::AcqRel);
+        return http::write_error(
+            reader.get_mut(),
+            400,
+            "body must be input_len f32s (little-endian)",
+            keep,
+        )
+        .is_ok();
+    }
+    let input: Vec<f32> = req
+        .body
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
+    let (tx, rx) = mpsc::sync_channel::<Result<Vec<f32>, String>>(1);
+    let job = Job { input, resp: tx };
+    let verdict = {
+        let mut b = shared.batcher.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.shutdown.load(Ordering::Acquire) {
+            shared.shutdown_rejects.fetch_add(1, Ordering::AcqRel);
+            Err(())
+        } else {
+            let now = shared.clock.now_ns();
+            let r = b.offer(job, now).map(|_| ()).map_err(|_| ());
+            lowino_trace::instant("serve/queue_depth", b.depth() as u64);
+            r
+        }
+    };
+    if verdict.is_err() {
+        return http::write_error(reader.get_mut(), 503, "queue full", keep).is_ok();
+    }
+    lowino_trace::counter("serve/requests", 1);
+    // The batch this request joined may now be full — wake the
+    // dispatcher so the size bound triggers without waiting a deadline.
+    shared.dispatch_cv.notify_all();
+    match rx.recv() {
+        Ok(Ok(out)) => {
+            debug_assert_eq!(out.len(), ol);
+            let mut bytes = Vec::with_capacity(out.len() * 4);
+            for v in &out {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            shared.completed.fetch_add(1, Ordering::AcqRel);
+            http::write_response(
+                reader.get_mut(),
+                200,
+                "application/octet-stream",
+                &bytes,
+                keep,
+            )
+            .is_ok()
+        }
+        Ok(Err(msg)) => {
+            shared.failed.fetch_add(1, Ordering::AcqRel);
+            http::write_error(reader.get_mut(), 500, &msg, keep).is_ok()
+        }
+        Err(_) => {
+            // Reply sender dropped without a response: shard worker died.
+            shared.failed.fetch_add(1, Ordering::AcqRel);
+            http::write_error(reader.get_mut(), 500, "shard unavailable", keep).is_ok()
+        }
+    }
+}
+
+fn dispatcher_loop(shared: Arc<Shared>, senders: Vec<SyncSender<Batch>>) {
+    let mut rr = 0usize;
+    loop {
+        let mut exit = false;
+        let batch: Batch = {
+            let mut b = shared.batcher.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // Force-flush: accepted requests are answered even
+                    // though their deadline hasn't expired.
+                    let v = b.force_take();
+                    exit = v.is_empty();
+                    break v;
+                }
+                let now = shared.clock.now_ns();
+                if b.ready(now) {
+                    break b.take_batch(now);
+                }
+                // Sleep to the deadline, capped so virtual-clock tests
+                // (where wall sleeps don't advance "now") still poll.
+                let wait_ns = match b.next_deadline() {
+                    Some(dl) => dl.saturating_sub(now).clamp(100_000, 5_000_000),
+                    None => 50_000_000,
+                };
+                b = shared
+                    .dispatch_cv
+                    .wait_timeout(b, Duration::from_nanos(wait_ns))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        if exit {
+            break;
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        lowino_trace::instant("serve/batch_occupancy", batch.len() as u64);
+        let shard = rr % senders.len();
+        rr = rr.wrapping_add(1);
+        // Bounded send: a slow shard blocks us here, the queue fills,
+        // and admission control turns the pressure into 503s.
+        if let Err(mpsc::SendError(batch)) = senders[shard].send(batch) {
+            for p in batch {
+                let _ = p.payload.resp.send(Err("shard unavailable".into()));
+            }
+        }
+    }
+}
+
+fn shard_worker<M: BatchModel>(
+    shared: Arc<Shared>,
+    idx: usize,
+    rx: Receiver<Batch>,
+    mut model: M,
+    dims_tx: mpsc::Sender<(usize, usize, usize)>,
+) {
+    let il = model.input_len();
+    let ol = model.output_len();
+    let cap = model.max_batch();
+    let _ = dims_tx.send((il, ol, cap));
+    drop(dims_tx);
+    let stats = &shared.shards[idx];
+    let mut inputs = vec![0f32; cap * il];
+    let mut outputs = vec![0f32; cap * ol];
+    let mut last_demotions = usize::MAX; // force one initial algorithms publish
+    while let Ok(batch) = rx.recv() {
+        let n = batch.len();
+        let _sp = lowino_trace::span_arg("serve/batch", n as u64);
+        debug_assert!(n >= 1 && n <= cap, "dispatcher respects max_batch");
+        for (i, p) in batch.iter().enumerate() {
+            inputs[i * il..(i + 1) * il].copy_from_slice(&p.payload.input);
+        }
+        // A panic inside inference (an armed fault the ladder could not
+        // absorb) must not strand the batch's callers.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model.infer(&inputs[..n * il], n, &mut outputs[..n * ol])
+        }))
+        .unwrap_or_else(|_| Err("inference panicked".into()));
+        match result {
+            Ok(()) => {
+                for (i, p) in batch.into_iter().enumerate() {
+                    let _ = p
+                        .payload
+                        .resp
+                        .send(Ok(outputs[i * ol..(i + 1) * ol].to_vec()));
+                }
+            }
+            Err(msg) => {
+                for p in batch {
+                    let _ = p.payload.resp.send(Err(msg.clone()));
+                }
+            }
+        }
+        stats.requests.fetch_add(n as u64, Ordering::AcqRel);
+        stats.batches.fetch_add(1, Ordering::AcqRel);
+        let demos = model.demotions();
+        stats.demotions.store(demos as u64, Ordering::Release);
+        if demos != last_demotions {
+            last_demotions = demos;
+            *stats.algorithms.lock().unwrap_or_else(|e| e.into_inner()) =
+                model.algorithms();
+        }
+    }
+    if model.on_shutdown().is_err() {
+        stats.wisdom_errors.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity-ish model: output = [sum of inputs]; optional failure.
+    struct EchoModel {
+        il: usize,
+        fail: bool,
+    }
+
+    impl BatchModel for EchoModel {
+        fn input_len(&self) -> usize {
+            self.il
+        }
+        fn output_len(&self) -> usize {
+            1
+        }
+        fn max_batch(&self) -> usize {
+            4
+        }
+        fn infer(
+            &mut self,
+            inputs: &[f32],
+            count: usize,
+            outputs: &mut [f32],
+        ) -> Result<(), String> {
+            if self.fail {
+                return Err("deliberate".into());
+            }
+            for i in 0..count {
+                outputs[i] = inputs[i * self.il..(i + 1) * self.il].iter().sum();
+            }
+            Ok(())
+        }
+    }
+
+    fn post_infer(conn: &mut BufReader<DuplexStream>, vals: &[f32]) -> http::Response {
+        let mut body = Vec::new();
+        for v in vals {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        let head = format!(
+            "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.get_mut().write_all(head.as_bytes()).unwrap();
+        conn.get_mut().write_all(&body).unwrap();
+        http::read_response(conn).unwrap()
+    }
+
+    #[test]
+    fn serves_infer_stats_and_errors_over_duplex() {
+        let cfg = ServeConfig {
+            shards: 2,
+            max_batch: 2,
+            max_delay_ns: 500_000,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, |_| EchoModel { il: 3, fail: false }).unwrap();
+        assert_eq!(server.dims(), (3, 1));
+        let mut conn = BufReader::new(server.connect());
+        let r = post_infer(&mut conn, &[1.0, 2.0, 3.5]);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.len(), 4);
+        let sum = f32::from_le_bytes([r.body[0], r.body[1], r.body[2], r.body[3]]);
+        assert_eq!(sum, 6.5);
+
+        // Wrong body size → 400, connection stays usable.
+        conn.get_mut()
+            .write_all(b"POST /infer HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc")
+            .unwrap();
+        assert_eq!(http::read_response(&mut conn).unwrap().status, 400);
+
+        // /stats parses and reflects the completed request.
+        conn.get_mut()
+            .write_all(b"GET /stats HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let stats = http::read_response(&mut conn).unwrap();
+        assert_eq!(stats.status, 200);
+        let json = String::from_utf8(stats.body).unwrap();
+        lowino_testkit::validate_json(&json).unwrap();
+        assert!(json.contains("\"completed\":1"), "{json}");
+
+        // Unknown path → 404; /healthz → 200.
+        conn.get_mut()
+            .write_all(b"GET /nope HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap();
+        assert_eq!(http::read_response(&mut conn).unwrap().status, 404);
+        assert_eq!(http::read_response(&mut conn).unwrap().status, 200);
+
+        drop(conn);
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.conn_panics, 0);
+        assert_eq!(snap.http_errors, 2, "400 + 404");
+    }
+
+    #[test]
+    fn inference_failure_maps_to_500_not_a_hang() {
+        let server = Server::start(
+            ServeConfig { max_delay_ns: 100_000, ..ServeConfig::default() },
+            |_| EchoModel { il: 2, fail: true },
+        )
+        .unwrap();
+        let mut conn = BufReader::new(server.connect());
+        let r = post_infer(&mut conn, &[1.0, 2.0]);
+        assert_eq!(r.status, 500);
+        drop(conn);
+        let snap = server.shutdown();
+        assert_eq!((snap.completed, snap.failed), (0, 1));
+    }
+
+    #[test]
+    fn mismatched_shard_factories_fail_startup() {
+        let res = Server::start(
+            ServeConfig { shards: 2, ..ServeConfig::default() },
+            |i| EchoModel { il: 2 + i, fail: false },
+        );
+        match res {
+            Err(err) => assert!(err.contains("disagree"), "{err}"),
+            Ok(_) => panic!("shards disagreeing on input_len must fail startup"),
+        }
+    }
+
+    #[test]
+    fn oversized_max_batch_fails_startup() {
+        let res = Server::start(
+            ServeConfig { max_batch: 9, ..ServeConfig::default() },
+            |_| EchoModel { il: 2, fail: false },
+        );
+        match res {
+            Err(err) => assert!(err.contains("exceeds"), "{err}"),
+            Ok(_) => panic!("max_batch beyond the model's capacity must fail startup"),
+        }
+    }
+
+    #[test]
+    fn serves_over_real_tcp_loopback() {
+        let mut server = Server::start(
+            ServeConfig { max_delay_ns: 100_000, ..ServeConfig::default() },
+            |_| EchoModel { il: 2, fail: false },
+        )
+        .unwrap();
+        let addr = server.bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut conn = BufReader::new(stream);
+        let mut body = Vec::new();
+        for v in [2.0f32, 3.0] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        conn.get_mut()
+            .write_all(
+                format!("POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len())
+                    .as_bytes(),
+            )
+            .unwrap();
+        conn.get_mut().write_all(&body).unwrap();
+        let r = http::read_response(&mut conn).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            f32::from_le_bytes([r.body[0], r.body[1], r.body[2], r.body[3]]),
+            5.0
+        );
+        drop(conn);
+        server.shutdown();
+    }
+}

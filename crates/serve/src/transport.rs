@@ -1,0 +1,158 @@
+//! In-memory duplex byte streams — the socket abstraction that makes the
+//! whole server hermetically testable.
+//!
+//! [`duplex_pair`] returns two connected endpoints, each `Read + Write`
+//! exactly like a `TcpStream`: what one writes, the other reads, with
+//! blocking reads and EOF-on-close semantics. The server's connection
+//! handler is generic over `Read + Write`, so tests and benches run the
+//! *identical* code path over these pipes that production runs over TCP
+//! — no loopback ports, no flaky bind races, no OS socket buffers in the
+//! timing.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One direction of the duplex: an unbounded byte queue with EOF.
+#[derive(Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+impl Pipe {
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+        }
+        s.buf.extend(data);
+        self.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !s.buf.is_empty() {
+                let n = s.buf.len().min(out.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = s.buf.pop_front().expect("n <= len");
+                }
+                return Ok(n);
+            }
+            if s.closed {
+                return Ok(0); // EOF
+            }
+            s = self.readable.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One endpoint of an in-memory connection. Dropping it closes the
+/// connection: the peer's reads drain then return EOF and its writes
+/// fail — the same shutdown shape a closed TCP socket gives a server.
+pub struct DuplexStream {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+/// A connected pair of in-memory streams.
+pub fn duplex_pair() -> (DuplexStream, DuplexStream) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (
+        DuplexStream { rx: Arc::clone(&a), tx: Arc::clone(&b) },
+        DuplexStream { rx: b, tx: a },
+    )
+}
+
+impl DuplexStream {
+    /// Close both directions immediately (a hard disconnect; plain drop
+    /// closes only the outgoing side).
+    pub fn shutdown(&self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl Read for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Close both directions: the peer's reads drain whatever we
+        // already wrote and then see EOF, and the peer's writes fail
+        // fast instead of filling a buffer nobody will read.
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_both_directions() {
+        let (mut a, mut b) = duplex_pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn drop_yields_eof_after_drain() {
+        let (mut a, mut b) = duplex_pair();
+        a.write_all(b"tail").unwrap();
+        drop(a);
+        let mut all = Vec::new();
+        b.read_to_end(&mut all).unwrap();
+        assert_eq!(all, b"tail", "buffered bytes drain before EOF");
+        assert!(b.write_all(b"x").is_err(), "write to dropped peer fails");
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_write() {
+        let (mut a, mut b) = duplex_pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        a.write_all(b"abc").unwrap();
+        assert_eq!(&t.join().unwrap(), b"abc");
+    }
+}

@@ -1,0 +1,238 @@
+//! Corrupt-input fuzzing for the HTTP layer (the PR-4 wisdom-fuzzer
+//! pattern applied to the wire): random bytes, mutated valid requests,
+//! oversized inputs and pipelined streams must all yield a clean
+//! outcome — a parsed request, a 4xx/5xx status, or a closed
+//! connection — and **never** a panic, at the parser level and through
+//! the full threaded server.
+
+use std::io::{BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lowino_serve::http::{read_request, read_response, HttpError};
+use lowino_serve::{BatchModel, HttpLimits, ServeConfig, Server};
+use lowino_testkit::prop::vec_of;
+use lowino_testkit::{prop_assert, property, Rng};
+
+/// Parse and classify: Ok(request), clean error, or panic (the bug).
+fn parse_outcome(bytes: &[u8]) -> Result<Option<(u16, bool)>, String> {
+    let limits = HttpLimits::default();
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        let mut r = BufReader::new(bytes);
+        read_request(&mut r, &limits)
+    }));
+    match res {
+        Err(_) => Err("parser panicked".to_string()),
+        Ok(Ok(_)) => Ok(None),
+        Ok(Err(HttpError::Closed)) | Ok(Err(HttpError::Io(_))) => Ok(Some((0, true))),
+        Ok(Err(HttpError::Bad { status, .. })) => Ok(Some((status, false))),
+    }
+}
+
+/// A valid request to mutate.
+fn valid_request() -> Vec<u8> {
+    b"POST /infer HTTP/1.1\r\nContent-Length: 8\r\nConnection: keep-alive\r\n\r\nabcdefgh"
+        .to_vec()
+}
+
+property! {
+    /// Pure noise: any byte soup must parse or fail cleanly.
+    #[cases(256)]
+    fn random_bytes_never_panic_the_parser(
+        bytes in vec_of(0u16..256, 0..200),
+    ) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        match parse_outcome(&bytes) {
+            Err(e) => return Err(format!("{e} on {bytes:?}")),
+            Ok(Some((status, closed))) => {
+                prop_assert!(
+                    closed || (400..=505).contains(&status),
+                    "non-error status {status} for garbage"
+                );
+            }
+            Ok(None) => {} // random bytes that happen to be a valid request
+        }
+    }
+
+    /// Structured corruption: take a valid request and truncate it, flip
+    /// bytes, or splice junk in. The parser must stay panic-free and
+    /// classify every corruption as success, 4xx/5xx, or closed.
+    #[cases(192)]
+    fn mutated_requests_fail_cleanly(
+        seed in 0u64..1_000_000,
+        n_mutations in 1usize..6,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut bytes = valid_request();
+        for _ in 0..n_mutations {
+            match rng.range_usize(0, 4) {
+                0 if !bytes.is_empty() => {
+                    // Truncate somewhere.
+                    bytes.truncate(rng.range_usize(0, bytes.len() + 1));
+                }
+                1 if !bytes.is_empty() => {
+                    // Flip one byte to anything.
+                    let i = rng.range_usize(0, bytes.len());
+                    bytes[i] = rng.u8();
+                }
+                2 => {
+                    // Insert a junk byte.
+                    let i = rng.range_usize(0, bytes.len() + 1);
+                    bytes.insert(i, rng.u8());
+                }
+                _ if bytes.len() > 1 => {
+                    // Delete one byte.
+                    let i = rng.range_usize(0, bytes.len());
+                    bytes.remove(i);
+                }
+                _ => {}
+            }
+        }
+        if let Err(e) = parse_outcome(&bytes) {
+            return Err(format!("{e} after {n_mutations} mutations: {bytes:?}"));
+        }
+    }
+
+    /// Pipelined well-formed requests all parse, in order, off one
+    /// buffered stream.
+    #[cases(32)]
+    fn pipelined_requests_all_parse(k in 1usize..6, body_len in 0usize..40) {
+        let mut wire = Vec::new();
+        for i in 0..k {
+            let body: Vec<u8> = (0..body_len).map(|j| (i * 7 + j) as u8).collect();
+            wire.extend_from_slice(
+                format!("POST /r{i} HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len())
+                    .as_bytes(),
+            );
+            wire.extend_from_slice(&body);
+        }
+        let limits = HttpLimits::default();
+        let mut r = BufReader::new(&wire[..]);
+        for i in 0..k {
+            match read_request(&mut r, &limits) {
+                Ok(req) => {
+                    prop_assert!(req.path == format!("/r{i}"), "path {} at {i}", req.path);
+                    prop_assert!(req.body.len() == body_len, "body len at {i}");
+                }
+                Err(e) => return Err(format!("request {i} failed: {e:?}")),
+            }
+        }
+        prop_assert!(
+            matches!(read_request(&mut r, &limits), Err(HttpError::Closed)),
+            "stream must end cleanly after {k} requests"
+        );
+    }
+}
+
+#[test]
+fn oversized_inputs_hit_the_limits_not_the_allocator() {
+    let limits = HttpLimits::default();
+    // A request line far past max_line.
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(limits.max_line * 2));
+    match read_request(&mut BufReader::new(long.as_bytes()), &limits) {
+        Err(HttpError::Bad { status: 431, .. }) => {}
+        other => panic!("long line: {other:?}"),
+    }
+    // More headers than allowed.
+    let mut many = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..(limits.max_headers + 4) {
+        many.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    many.push_str("\r\n");
+    match read_request(&mut BufReader::new(many.as_bytes()), &limits) {
+        Err(HttpError::Bad { status: 431, .. }) => {}
+        other => panic!("many headers: {other:?}"),
+    }
+    // A declared body beyond max_body must be refused before allocation.
+    let big = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+    match read_request(&mut BufReader::new(big.as_bytes()), &limits) {
+        Err(HttpError::Bad { status: 413, .. }) => {}
+        other => panic!("huge body: {other:?}"),
+    }
+}
+
+/// Trivial model so the full server can sit behind the fuzzer.
+struct SumModel;
+
+impl BatchModel for SumModel {
+    fn input_len(&self) -> usize {
+        2
+    }
+    fn output_len(&self) -> usize {
+        1
+    }
+    fn max_batch(&self) -> usize {
+        4
+    }
+    fn infer(&mut self, inputs: &[f32], count: usize, outputs: &mut [f32]) -> Result<(), String> {
+        for i in 0..count {
+            outputs[i] = inputs[2 * i] + inputs[2 * i + 1];
+        }
+        Ok(())
+    }
+}
+
+/// End-to-end: a live threaded server fed seeded garbage on many
+/// connections answers 4xx or closes — and its panic counter stays 0.
+/// A well-formed request afterwards proves the server is still healthy.
+#[test]
+fn live_server_survives_garbage_connections() {
+    let server = Server::start(
+        ServeConfig { max_delay_ns: 200_000, ..ServeConfig::default() },
+        |_| SumModel,
+    )
+    .unwrap();
+    let mut rng = Rng::seed_from_u64(0xF022);
+    for round in 0..40 {
+        let mut conn = server.connect();
+        let n = rng.range_usize(1, 120);
+        let junk: Vec<u8> = match round % 3 {
+            0 => (0..n).map(|_| rng.u8()).collect(),
+            1 => {
+                // Mutated near-valid request.
+                let mut v =
+                    b"POST /infer HTTP/1.1\r\nContent-Length: 8\r\n\r\nabcdefgh".to_vec();
+                let i = rng.range_usize(0, v.len());
+                v[i] = rng.u8();
+                v
+            }
+            _ => {
+                // Truncated valid request (dies mid-body or mid-header).
+                let v = b"POST /infer HTTP/1.1\r\nContent-Length: 8\r\n\r\nabcdefgh".to_vec();
+                let keep = rng.range_usize(1, v.len());
+                v[..keep].to_vec()
+            }
+        };
+        // Write and hang up. Reading the reply would wedge on junk that
+        // parses as a valid keep-alive request (the server rightly waits
+        // for the next one); the parser-level properties above already
+        // pin the 4xx/close classification. Here we only care that 40
+        // abrupt garbage connections leave the server healthy.
+        let _ = conn.write_all(&junk);
+        drop(conn);
+    }
+    // Give the handlers a beat to observe the hangups.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    // The server still answers a well-formed request.
+    let mut conn = BufReader::new(server.connect());
+    let body = [1.0f32.to_le_bytes(), 2.0f32.to_le_bytes()].concat();
+    conn.get_mut()
+        .write_all(
+            format!("POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len()).as_bytes(),
+        )
+        .unwrap();
+    conn.get_mut().write_all(&body).unwrap();
+    let resp = read_response(&mut conn).unwrap();
+    assert_eq!(resp.status, 200);
+    drop(conn);
+    let snap = server.shutdown();
+    assert_eq!(snap.conn_panics, 0, "a fuzzed connection panicked its handler");
+    // Some mutations only touch bytes the parser doesn't care about (body
+    // contents, header values), so a few junk rounds legitimately complete
+    // inference. At minimum the final well-formed request did.
+    assert!(snap.completed >= 1, "final request not counted: {snap:?}");
+    assert_eq!(
+        snap.accepted,
+        snap.completed + snap.failed,
+        "accepted requests must all resolve: {snap:?}"
+    );
+}

@@ -76,6 +76,102 @@ impl Stats {
     }
 }
 
+/// Tail-latency summary of a sustained-load run (the serving analogue of
+/// [`Stats`]): request latencies collapse to p50/p99/p999/max and the run
+/// reports throughput instead of ns/iter. Shares the `BENCH_JSON` line
+/// protocol and the `LOWINO_BENCH_JSON` append path with [`Stats`], so one
+/// `BENCH_*.json` log can hold both kernel medians and load percentiles.
+#[derive(Debug, Clone)]
+pub struct LoadStats {
+    /// Benchmark identifier, `group/name`.
+    pub id: String,
+    /// Requests that received a successful response.
+    pub requests: u64,
+    /// Requests rejected by admission control (503).
+    pub rejected: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall_ns: u64,
+    /// Median request latency.
+    pub p50_ns: u64,
+    /// 99th-percentile request latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile request latency.
+    pub p999_ns: u64,
+    /// Worst observed request latency.
+    pub max_ns: u64,
+}
+
+impl LoadStats {
+    /// Summarise a run from its raw per-request latencies (ns). Sorts the
+    /// slice in place. `latencies` must be non-empty.
+    pub fn from_latencies(
+        id: impl Into<String>,
+        latencies: &mut [u64],
+        rejected: u64,
+        wall_ns: u64,
+    ) -> Self {
+        assert!(!latencies.is_empty(), "LoadStats: no completed requests");
+        latencies.sort_unstable();
+        Self {
+            id: id.into(),
+            requests: latencies.len() as u64,
+            rejected,
+            wall_ns,
+            p50_ns: percentile_ns(latencies, 0.50),
+            p99_ns: percentile_ns(latencies, 0.99),
+            p999_ns: percentile_ns(latencies, 0.999),
+            max_ns: *latencies.last().expect("non-empty"),
+        }
+    }
+
+    /// Successful responses per second over the wall-clock window.
+    pub fn throughput_rps(&self) -> f64 {
+        self.requests as f64 * 1e9 / (self.wall_ns.max(1)) as f64
+    }
+
+    /// The JSON object line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"requests\":{},\"rejected\":{},\"wall_ns\":{},\
+             \"throughput_rps\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
+             \"max_ns\":{}}}",
+            escape_json(&self.id),
+            self.requests,
+            self.rejected,
+            self.wall_ns,
+            self.throughput_rps(),
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.max_ns,
+        )
+    }
+
+    /// Print the human line + `BENCH_JSON` line (and append to
+    /// `LOWINO_BENCH_JSON` when set), exactly like a finished [`Stats`].
+    pub fn report(&self) {
+        println!(
+            "{:<44} {:.0} req/s  p50 {}  p99 {}  p999 {}  ({} ok, {} rejected)",
+            self.id,
+            self.throughput_rps(),
+            fmt_ns(self.p50_ns as f64),
+            fmt_ns(self.p99_ns as f64),
+            fmt_ns(self.p999_ns as f64),
+            self.requests,
+            self.rejected,
+        );
+        emit_json_line(&self.to_json());
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 1]`).
+pub fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice not sorted");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn escape_json(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -202,7 +298,12 @@ fn report(s: &Stats) {
         }
     }
     println!("{line}");
-    let json = s.to_json();
+    emit_json_line(&s.to_json());
+}
+
+/// Print one `BENCH_JSON` line and append it to `LOWINO_BENCH_JSON` when
+/// that names a file (shared by [`Stats`] and [`LoadStats`]).
+fn emit_json_line(json: &str) {
     println!("BENCH_JSON {json}");
     if let Ok(path) = std::env::var("LOWINO_BENCH_JSON") {
         if !path.is_empty() {
@@ -288,6 +389,35 @@ mod tests {
         assert_eq!(fmt_ns(12.34), "12.3ns/iter");
         assert_eq!(fmt_ns(4321.0), "4.32us/iter");
         assert_eq!(fmt_ns(7_654_321.0), "7.654ms/iter");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 0.50), 50);
+        assert_eq!(percentile_ns(&sorted, 0.99), 99);
+        assert_eq!(percentile_ns(&sorted, 0.999), 100);
+        assert_eq!(percentile_ns(&sorted, 0.0), 1);
+        assert_eq!(percentile_ns(&sorted, 1.0), 100);
+        assert_eq!(percentile_ns(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn load_stats_json_and_throughput() {
+        let mut lat: Vec<u64> = (1..=1000).rev().collect();
+        let s = LoadStats::from_latencies("serve/poisson_s2", &mut lat, 3, 2_000_000_000);
+        assert_eq!(s.requests, 1000);
+        assert_eq!(s.p50_ns, 500);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.p999_ns, 999);
+        assert_eq!(s.max_ns, 1000);
+        assert!((s.throughput_rps() - 500.0).abs() < 1e-9);
+        let json = s.to_json();
+        assert!(json.starts_with("{\"bench\":\"serve/poisson_s2\""), "{json}");
+        for key in ["throughput_rps", "p50_ns", "p99_ns", "p999_ns", "rejected"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        crate::json::validate_json(&json).expect("valid JSON");
     }
 
     #[test]

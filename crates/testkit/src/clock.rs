@@ -1,0 +1,154 @@
+//! Virtual time for deterministic concurrency tests.
+//!
+//! The serving stack's batching state machine is driven entirely by
+//! timestamps ("dispatch when the oldest request is `max_delay` old"), so
+//! its tests must control time, not sample it. [`VirtualClock`] is a
+//! shared monotonic nanosecond counter that only advances when a test says
+//! so; [`PoissonArrivals`] turns the testkit PRNG into a reproducible
+//! Poisson-process arrival stream (exponential inter-arrival gaps), the
+//! standard open-loop load model for sustained-traffic benchmarks.
+//!
+//! Neither type knows about the serving crate: `lowino-serve` defines the
+//! `Clock` trait and implements it for [`VirtualClock`], keeping this
+//! crate dependency-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::rng::Rng;
+
+/// A shared, manually-advanced monotonic clock (nanoseconds since an
+/// arbitrary epoch). Clones observe the same time.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `start_ns`.
+    pub fn starting_at(start_ns: u64) -> Self {
+        let c = Self::new();
+        c.ns.store(start_ns, Ordering::Release);
+        c
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Acquire)
+    }
+
+    /// Advance time by `delta_ns`, returning the new now.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.ns.fetch_add(delta_ns, Ordering::AcqRel) + delta_ns
+    }
+
+    /// Jump time forward to `t_ns`. Monotonic: a target in the past is
+    /// ignored (time never rewinds). Returns the resulting now.
+    pub fn advance_to(&self, t_ns: u64) -> u64 {
+        self.ns.fetch_max(t_ns, Ordering::AcqRel).max(t_ns)
+    }
+}
+
+/// A reproducible Poisson-process arrival stream: an infinite iterator of
+/// absolute arrival times (ns) whose gaps are i.i.d. exponential with the
+/// configured mean.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: Rng,
+    mean_gap_ns: f64,
+    next_ns: u64,
+}
+
+impl PoissonArrivals {
+    /// Arrivals starting at t = 0 with the given mean inter-arrival gap
+    /// (so the arrival rate is `1e9 / mean_gap_ns` requests per second).
+    /// A zero mean gap is clamped to 1 ns — a zero-gap process would pin
+    /// every arrival to the epoch.
+    pub fn new(seed: u64, mean_gap_ns: u64) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(seed),
+            mean_gap_ns: (mean_gap_ns.max(1)) as f64,
+            next_ns: 0,
+        }
+    }
+
+    /// The next arrival time in nanoseconds.
+    pub fn next_arrival_ns(&mut self) -> u64 {
+        // Exponential gap, rounded up so consecutive arrivals are strictly
+        // ordered (a batcher keyed on timestamps must see distinct times).
+        let gap = self.rng.exp_f64(self.mean_gap_ns).ceil() as u64;
+        self.next_ns = self.next_ns.saturating_add(gap.max(1));
+        self.next_ns
+    }
+
+    /// The first `n` arrival times.
+    pub fn take_times(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_arrival_ns()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.now_ns(), 10);
+        assert_eq!(c.advance_to(50), 50);
+        // Never rewinds.
+        assert_eq!(c.advance_to(20), 50);
+        assert_eq!(c.now_ns(), 50);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::starting_at(7);
+        let b = a.clone();
+        a.advance(3);
+        assert_eq!(b.now_ns(), 10);
+        b.advance(5);
+        assert_eq!(a.now_ns(), 15);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_deterministic() {
+        let mut a = PoissonArrivals::new(42, 1_000);
+        let mut b = PoissonArrivals::new(42, 1_000);
+        let ta = a.take_times(500);
+        let tb = b.take_times(500);
+        assert_eq!(ta, tb, "same seed, same stream");
+        for w in ta.windows(2) {
+            assert!(w[0] < w[1], "arrivals must be strictly ordered: {w:?}");
+        }
+        assert_ne!(ta, PoissonArrivals::new(43, 1_000).take_times(500));
+    }
+
+    #[test]
+    fn mean_gap_is_roughly_honoured() {
+        let mut p = PoissonArrivals::new(9, 10_000);
+        let n = 20_000;
+        let last = p.take_times(n)[n - 1];
+        let mean = last as f64 / n as f64;
+        assert!(
+            (8_000.0..12_000.0).contains(&mean),
+            "empirical mean gap {mean} vs configured 10000"
+        );
+    }
+
+    #[test]
+    fn zero_gap_is_clamped() {
+        let mut p = PoissonArrivals::new(1, 0);
+        let t = p.take_times(10);
+        for w in t.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

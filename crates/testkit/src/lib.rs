@@ -16,7 +16,10 @@
 //!   the "is this emitted artifact well-formed?" assertions);
 //! * [`faults`] — the fault-injection registry: named sites compiled into
 //!   the production crates (zero-cost while disarmed), armed by tests or
-//!   `LOWINO_FAULT` to prove the graceful-degradation paths.
+//!   `LOWINO_FAULT` to prove the graceful-degradation paths;
+//! * [`clock`] — virtual time ([`clock::VirtualClock`]) and a seeded
+//!   Poisson arrival stream ([`clock::PoissonArrivals`]) so the serving
+//!   stack's deadline/batching state machine is testable deterministically.
 //!
 //! Correctness of the numeric kernels is LoWino's whole claim (bit-exact
 //! integer semantics across SIMD tiers, bounded Winograd-domain
@@ -25,12 +28,14 @@
 //! dependency-free.
 
 pub mod bench;
+pub mod clock;
 pub mod faults;
 pub mod json;
 pub mod prop;
 pub mod rng;
 
-pub use bench::{black_box, BenchGroup, Stats};
+pub use bench::{black_box, percentile_ns, BenchGroup, LoadStats, Stats};
+pub use clock::{PoissonArrivals, VirtualClock};
 pub use json::validate_json;
 pub use prop::{one_of, run_property, vec_of, Config, Strategy};
 pub use rng::{splitmix64, Rng};

@@ -146,6 +146,16 @@ impl Rng {
         }
     }
 
+    /// Exponential deviate with the given mean (inverse-CDF transform).
+    /// The inter-arrival gap of a Poisson process with rate `1/mean` —
+    /// what the serving load tests use for open-loop request streams.
+    #[inline]
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exp_f64: non-positive mean {mean}");
+        // 1 - f64() is in (0, 1], so ln() is finite and non-positive.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
     /// Sum of four centred uniforms — a cheap bell-ish distribution for
     /// synthetic activations (what the bench harness feeds calibration).
     #[inline]
@@ -244,6 +254,20 @@ mod tests {
             seen_pos |= v > 0;
         }
         assert!(seen_neg && seen_pos);
+    }
+
+    #[test]
+    fn exponential_has_the_right_mean_and_sign() {
+        let mut rng = Rng::seed_from_u64(17);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.exp_f64(250.0);
+            assert!(v >= 0.0 && v.is_finite(), "{v}");
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((235.0..265.0).contains(&mean), "empirical mean {mean}");
     }
 
     #[test]
