@@ -120,15 +120,21 @@ grep -q '"tune/swap"' "$tune_trace"
 
 # Serving smoke, two layers. First the sustained-load bench in its
 # seconds-long smoke configuration (seeded Poisson arrivals over
-# in-memory duplex streams, LoadStats percentile report). Then the
-# serve_smoke binary over a real loopback TCP port: batched inference
-# from concurrent clients, a malformed request and a wrong-shape body
-# (both must answer 4xx without wedging the connection), /healthz and
-# /stats, and a drained shutdown whose accounting must close. The traced
-# run must carry the serving observability events — request spans, batch
-# spans with occupancy, and the queue-depth instants — alongside the
-# kernel spans, validated by trace_check.
-echo "==> serve bench smoke (Poisson load, LOWINO_BENCH_SMOKE=1)"
+# in-memory duplex streams, LoadStats percentile report, plus the
+# kill-loop cell: a shard worker wedged over and over while the
+# supervisor detects/steals/respawns and the served p99 is reported
+# against the no-fault baseline). Then the serve_smoke binary over a
+# real loopback TCP port: batched inference from concurrent clients, a
+# malformed request and a wrong-shape body (both must answer 4xx
+# without wedging the connection), /healthz and /stats, a mid-batch
+# worker wedge that must end in a restart and a replayed 200, an
+# expired-on-arrival request that must be shed 504 at admission, and a
+# drained shutdown whose accounting must close. The traced run must
+# carry the serving observability events — request spans, batch spans
+# with occupancy, the queue-depth instants, and the supervision
+# instants (shard restarts, deadline sheds, brownout rung changes) —
+# alongside the kernel spans, validated by trace_check.
+echo "==> serve bench smoke (Poisson load + kill-loop, LOWINO_BENCH_SMOKE=1)"
 LOWINO_BENCH_SMOKE=1 cargo bench -q --offline -p lowino-bench --bench serve
 echo "==> serve smoke (real TCP loopback, LOWINO_TRACE set)"
 serve_trace="$(mktemp -t lowino-serve-trace-XXXXXX.json)"
@@ -140,6 +146,9 @@ grep -q '"serve/request"' "$serve_trace"
 grep -q '"serve/batch"' "$serve_trace"
 grep -q '"serve/queue_depth"' "$serve_trace"
 grep -q '"serve/batch_occupancy"' "$serve_trace"
+grep -q '"serve/shard_restart"' "$serve_trace"
+grep -q '"serve/deadline_shed"' "$serve_trace"
+grep -q '"serve/brownout"' "$serve_trace"
 
 # Release-mode acceptance guard (timing-sensitive, so #[ignore]d in the
 # debug suite): measuring only the cost model's top-K candidates must

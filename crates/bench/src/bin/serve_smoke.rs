@@ -5,10 +5,15 @@
 //!
 //! The hermetic test batteries cover the same logic over in-memory
 //! duplex streams; this binary is the one place the acceptor thread,
-//! real sockets and port binding are exercised end to end. With
-//! `LOWINO_TRACE=<path>` the run emits the `serve/request`,
-//! `serve/batch` and `serve/queue_depth` events that ci/check.sh greps
-//! and validates with `trace_check`.
+//! real sockets and port binding are exercised end to end. It also
+//! drives the supervision story over real sockets: a worker is wedged
+//! mid-batch (`shard/wedge` fault) and must be detected, stolen from
+//! and respawned while the client still gets its 200; an
+//! already-expired request (`X-Lowino-Deadline-Us: 0`) must be shed
+//! with a 504 before costing shard work. With `LOWINO_TRACE=<path>` the
+//! run emits the `serve/request`, `serve/batch`, `serve/queue_depth`,
+//! `serve/shard_restart`, `serve/deadline_shed` and `serve/brownout`
+//! events that ci/check.sh greps and validates with `trace_check`.
 //!
 //! The bind address comes from `LOWINO_SERVE_ADDR` (default
 //! `127.0.0.1:0` — an OS-assigned free port, so parallel CI runs never
@@ -22,6 +27,7 @@ use lowino::Tensor4;
 use lowino_nn::{mini_vgg, CompiledGraph, GraphSpec};
 use lowino_serve::http::read_response;
 use lowino_serve::{GraphModel, ServeConfig, Server};
+use lowino_testkit::faults;
 use lowino_testkit::Rng;
 
 const IN_C: usize = 3;
@@ -60,6 +66,8 @@ fn main() {
         max_batch: BATCH,
         max_delay_ns: 500_000,
         queue_cap: 32,
+        wedge_timeout_ns: 25_000_000, // 25 ms: the wedge phase stays quick
+        restart_backoff_ns: 1_000_000,
         ..ServeConfig::default()
     };
     let mut server = Server::start(cfg, build_model).expect("server starts");
@@ -135,17 +143,80 @@ fn main() {
         assert!(body.contains("\"per_shard\""), "stats shape: {body}");
     }
 
+    // Self-healing over real TCP: wedge the only worker mid-batch. The
+    // supervisor must abandon it, steal the in-flight batch, respawn the
+    // shard and replay — the client's connection just sees a slow 200.
+    {
+        faults::SHARD_WEDGE.arm();
+        let stream = TcpStream::connect(bound).expect("connect");
+        let mut conn = BufReader::new(stream);
+        let wire = infer_request(il, 8888);
+        conn.get_mut().write_all(&wire).expect("send into the wedge");
+        let resp = read_response(&mut conn).expect("replayed response");
+        assert_eq!(resp.status, 200, "wedged request not replayed");
+        assert_eq!(resp.body.len(), ol * 4, "replayed payload shape");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.stats().per_shard[0].restarts == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no shard restart after the wedge: {:?}",
+                server.stats()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        faults::disarm_all();
+    }
+
+    // Per-request deadline: already expired on arrival → 504 at
+    // admission, before any queue or shard work; the connection stays
+    // usable and a fresh request still completes.
+    {
+        let stream = TcpStream::connect(bound).expect("connect");
+        let mut conn = BufReader::new(stream);
+        let mut rng = Rng::seed_from_u64(9999);
+        let mut input = vec![0.0f32; il];
+        rng.fill_f32(&mut input, -1.0, 1.0);
+        let body: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let head = format!(
+            "POST /infer HTTP/1.1\r\nX-Lowino-Deadline-Us: 0\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.get_mut().write_all(head.as_bytes()).expect("send expired request");
+        conn.get_mut().write_all(&body).expect("send expired body");
+        let resp = read_response(&mut conn).expect("504 response");
+        assert_eq!(resp.status, 504, "expired-on-arrival must be shed with 504");
+        let wire = infer_request(il, 10_000);
+        conn.get_mut().write_all(&wire).expect("send valid after 504");
+        let resp = read_response(&mut conn).expect("response after 504");
+        assert_eq!(resp.status, 200, "keep-alive after deadline shed");
+    }
+
     let snap = server.shutdown();
-    let expect = (clients * per_client + 1) as u64;
+    let expect = (clients * per_client + 1 + 2) as u64; // + wedge + post-504
     assert_eq!(snap.completed, expect, "completed: {snap:?}");
-    assert_eq!(snap.accepted, snap.completed + snap.failed, "accounting: {snap:?}");
+    assert_eq!(
+        snap.accepted,
+        snap.completed + snap.failed + snap.timed_out + snap.unavailable,
+        "accounting: {snap:?}"
+    );
     assert_eq!(snap.failed, 0, "failures: {snap:?}");
     assert_eq!(snap.conn_panics, 0, "panics: {snap:?}");
+    assert_eq!(snap.deadline_rejects, 1, "admission shed not counted: {snap:?}");
     assert!(snap.http_errors >= 2, "error paths unexercised: {snap:?}");
     assert!(snap.batches >= 1, "no batches dispatched: {snap:?}");
+    assert!(
+        snap.per_shard[0].restarts >= 1,
+        "supervisor never restarted the wedged shard: {snap:?}"
+    );
     println!(
-        "serve_smoke: ok ({} completed, {} batches, mean occupancy {:.2}, {} http errors)",
-        snap.completed, snap.batches, snap.mean_occupancy, snap.http_errors
+        "serve_smoke: ok ({} completed, {} batches, mean occupancy {:.2}, {} http errors, \
+         {} restarts, {} deadline sheds)",
+        snap.completed,
+        snap.batches,
+        snap.mean_occupancy,
+        snap.http_errors,
+        snap.per_shard[0].restarts,
+        snap.deadline_rejects
     );
     lowino_trace::flush_to_env();
 }

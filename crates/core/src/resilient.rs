@@ -52,6 +52,20 @@ impl Default for HealthPolicy {
     }
 }
 
+impl HealthPolicy {
+    /// The overload-brownout policy: every post-execute health scan is
+    /// disabled, so an execute costs no extra passes over the output and
+    /// numerics alone never trigger a demotion rebuild. A browned-out
+    /// server deliberately trades the §9 quality guards for latency
+    /// headroom; hard failures (worker panics, build errors) still demote.
+    pub fn relaxed() -> Self {
+        Self {
+            max_saturation_ratio: f64::INFINITY,
+            check_output_finite: false,
+        }
+    }
+}
+
 /// Why a demotion happened.
 #[derive(Debug)]
 pub enum DemotionReason {
@@ -202,6 +216,14 @@ impl ResilientConv {
     /// The active health policy.
     pub fn policy(&self) -> &HealthPolicy {
         &self.policy
+    }
+
+    /// Swap the health policy live — the serving brownout controller
+    /// relaxes the per-execute health scans under overload and restores
+    /// them when pressure clears. Takes effect from the next execute;
+    /// demotions already taken stay (the ladder is sticky by design).
+    pub fn set_policy(&mut self, policy: HealthPolicy) {
+        self.policy = policy;
     }
 
     /// Seed the serving executor's GEMM blocking from the context's tuner

@@ -455,6 +455,19 @@ impl CompiledGraph {
         self.plan.degraded
     }
 
+    /// Swap every conv ladder's [`HealthPolicy`] live. The serving
+    /// brownout controller uses this to relax the post-execute health
+    /// scans under overload (`HealthPolicy::relaxed()`) and restore the
+    /// compile-time policy when pressure clears; demotions already taken
+    /// are sticky and unaffected.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        for op in &mut self.ops {
+            if let GraphOp::Conv { conv, .. } = op {
+                conv.set_policy(policy);
+            }
+        }
+    }
+
     /// Total demotions taken across every conv ladder in the graph.
     pub fn demotion_count(&self) -> usize {
         self.ops

@@ -12,10 +12,24 @@
 //!   turns it into a 503, never silently dropping it);
 //! * **dispatch** — [`BatcherCore::take_batch`] releases a batch only
 //!   when it is *ready*: either `max_batch` requests are waiting (size
-//!   bound) or the oldest has waited `max_delay_ns` (deadline bound);
-//! * **exactly-once** — every accepted id leaves in exactly one batch.
+//!   bound), the oldest has waited `max_delay_ns` (coalescing deadline),
+//!   or the most urgent queued request is within `expiry_margin_ns` of
+//!   its *request* deadline (stop coalescing rather than blow it);
+//! * **deadlines** — every request carries an absolute `deadline_ns`;
+//!   [`BatcherCore::take_batch`] sheds expired requests instead of ever
+//!   including one in a batch (the server answers 504 — a request is
+//!   **never dispatched after its deadline**, so a doomed request costs
+//!   no shard work);
+//! * **exactly-once** — every accepted id leaves in exactly one batch
+//!   (or exactly one shed list). [`BatcherCore::requeue_front`] puts a
+//!   supervisor-stolen in-flight batch back at the head of the queue
+//!   with ids and stamps intact, so a replay after a shard death keeps
+//!   FIFO order and the exactly-once accounting.
 
 use std::collections::VecDeque;
+
+/// Sentinel deadline for "no deadline" (never expires, never sheds).
+pub const NO_DEADLINE: u64 = u64::MAX;
 
 /// Coalescing bounds.
 #[derive(Debug, Clone, Copy)]
@@ -29,15 +43,34 @@ pub struct BatchConfig {
     pub max_delay_ns: u64,
     /// Admission bound: offers beyond this queue depth are rejected.
     pub queue_cap: usize,
+    /// Stop coalescing when any queued request is within this margin of
+    /// its request deadline — dispatching a partial batch beats shedding
+    /// a request that was dispatchable when it arrived.
+    pub expiry_margin_ns: u64,
 }
 
-/// One queued request: its admission id, arrival stamp and payload.
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 4,
+            max_delay_ns: 2_000_000,
+            queue_cap: 64,
+            expiry_margin_ns: 500_000,
+        }
+    }
+}
+
+/// One queued request: its admission id, arrival stamp, absolute
+/// deadline and payload.
 #[derive(Debug)]
 pub struct Pending<T> {
     /// Dense id assigned at admission (0, 1, 2, …).
     pub id: u64,
     /// The `now_ns` passed to the accepting [`BatcherCore::offer`].
     pub enqueued_ns: u64,
+    /// Absolute request deadline ([`NO_DEADLINE`] = none). At or past
+    /// this instant the request is shed (504), never dispatched.
+    pub deadline_ns: u64,
     /// The caller's request data.
     pub payload: T,
 }
@@ -58,6 +91,10 @@ pub struct BatcherStats {
     pub occupancy_sum: u64,
     /// High-water queue depth.
     pub max_depth: usize,
+    /// Requests shed because their deadline expired before dispatch.
+    pub shed: u64,
+    /// Requests re-enqueued by the supervisor after a shard death/wedge.
+    pub replayed: u64,
 }
 
 impl BatcherStats {
@@ -68,6 +105,24 @@ impl BatcherStats {
         } else {
             self.occupancy_sum as f64 / self.batches as f64
         }
+    }
+}
+
+/// What one [`BatcherCore::take_batch`] call released: a (possibly
+/// empty) batch to dispatch plus the requests it shed as expired. The
+/// caller owes every shed request a 504.
+#[derive(Debug)]
+pub struct Taken<T> {
+    /// The dispatchable batch (empty when nothing was ready).
+    pub batch: Vec<Pending<T>>,
+    /// Requests whose deadline expired while queued — shed, never
+    /// dispatched.
+    pub expired: Vec<Pending<T>>,
+}
+
+impl<T> Default for Taken<T> {
+    fn default() -> Self {
+        Self { batch: Vec::new(), expired: Vec::new() }
     }
 }
 
@@ -99,6 +154,15 @@ impl<T> BatcherCore<T> {
         self.cfg
     }
 
+    /// Override the coalescing bounds live — the brownout controller
+    /// steps `max_batch` / `max_delay_ns` down under pressure and back up
+    /// when it clears. The admission bound (`queue_cap`) is not touched:
+    /// shrinking it mid-flight would strand already-admitted requests.
+    pub fn set_limits(&mut self, max_batch: usize, max_delay_ns: u64) {
+        self.cfg.max_batch = max_batch.max(1);
+        self.cfg.max_delay_ns = max_delay_ns;
+    }
+
     /// Current queue depth.
     pub fn depth(&self) -> usize {
         self.queue.len()
@@ -109,48 +173,100 @@ impl<T> BatcherCore<T> {
         self.stats
     }
 
-    /// Offer a request at time `now_ns`. Admitted requests get a dense
+    /// Offer a request at time `now_ns` with an absolute request
+    /// deadline ([`NO_DEADLINE`] = none). Admitted requests get a dense
     /// id; a rejected payload is returned to the caller (queue at
     /// capacity — the server answers 503).
-    pub fn offer(&mut self, payload: T, now_ns: u64) -> Result<u64, T> {
+    pub fn offer(&mut self, payload: T, now_ns: u64, deadline_ns: u64) -> Result<u64, T> {
         if self.queue.len() >= self.cfg.queue_cap {
             self.stats.rejected += 1;
             return Err(payload);
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.queue.push_back(Pending { id, enqueued_ns: now_ns, payload });
+        self.queue.push_back(Pending { id, enqueued_ns: now_ns, deadline_ns, payload });
         self.stats.accepted += 1;
         self.stats.max_depth = self.stats.max_depth.max(self.queue.len());
         Ok(id)
     }
 
-    /// When the oldest queued request's coalescing deadline expires
-    /// (`None` when idle) — what the dispatcher sleeps until.
+    /// Put supervisor-stolen in-flight requests back at the **head** of
+    /// the queue, ids and stamps intact (they are the oldest work in the
+    /// system, so FIFO order is preserved). Replay may transiently push
+    /// the depth past `queue_cap` — an accepted request is never dropped
+    /// to make room for admission control.
+    pub fn requeue_front(&mut self, batch: Vec<Pending<T>>) {
+        self.stats.replayed += batch.len() as u64;
+        for p in batch.into_iter().rev() {
+            self.queue.push_front(p);
+        }
+        self.stats.max_depth = self.stats.max_depth.max(self.queue.len());
+    }
+
+    /// When the dispatcher next has cause to act (`None` when idle): the
+    /// earlier of the oldest request's coalescing deadline and the most
+    /// urgent request's expiry margin — what the dispatcher sleeps until.
     pub fn next_deadline(&self) -> Option<u64> {
-        self.queue
+        let coalesce = self
+            .queue
             .front()
-            .map(|p| p.enqueued_ns.saturating_add(self.cfg.max_delay_ns))
+            .map(|p| p.enqueued_ns.saturating_add(self.cfg.max_delay_ns));
+        let expiry = self
+            .queue
+            .iter()
+            .map(|p| p.deadline_ns.saturating_sub(self.cfg.expiry_margin_ns))
+            .min();
+        match (coalesce, expiry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Is a batch releasable at `now_ns`? True when `max_batch` requests
-    /// are queued, or the oldest has aged past `max_delay_ns`.
+    /// are queued, the oldest has aged past `max_delay_ns`, or any
+    /// queued request is within `expiry_margin_ns` of its deadline.
     pub fn ready(&self, now_ns: u64) -> bool {
         self.queue.len() >= self.cfg.max_batch
             || self.next_deadline().is_some_and(|d| now_ns >= d)
     }
 
-    /// Release the oldest up-to-`max_batch` requests if a batch is ready
-    /// at `now_ns`; empty vec otherwise.
-    pub fn take_batch(&mut self, now_ns: u64) -> Vec<Pending<T>> {
-        if !self.ready(now_ns) {
+    /// Shed every queued request whose deadline has passed (the caller
+    /// answers 504). Shedding can un-ready the batcher — expired
+    /// requests no longer count toward the size bound.
+    pub fn shed_expired(&mut self, now_ns: u64) -> Vec<Pending<T>> {
+        if self
+            .queue
+            .iter()
+            .all(|p| p.deadline_ns == NO_DEADLINE || now_ns < p.deadline_ns)
+        {
             return Vec::new();
         }
-        self.force_take()
+        let mut expired = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.queue.len());
+        for p in self.queue.drain(..) {
+            if p.deadline_ns != NO_DEADLINE && now_ns >= p.deadline_ns {
+                expired.push(p);
+            } else {
+                keep.push_back(p);
+            }
+        }
+        self.queue = keep;
+        self.stats.shed += expired.len() as u64;
+        expired
+    }
+
+    /// Shed expired requests, then release the oldest up-to-`max_batch`
+    /// live requests if a batch is (still) ready at `now_ns`. The batch
+    /// never contains a request past its deadline.
+    pub fn take_batch(&mut self, now_ns: u64) -> Taken<T> {
+        let expired = self.shed_expired(now_ns);
+        let batch = if self.ready(now_ns) { self.force_take() } else { Vec::new() };
+        Taken { batch, expired }
     }
 
     /// Release the oldest up-to-`max_batch` requests unconditionally —
-    /// the shutdown flush, so every accepted request is still answered.
+    /// the shutdown flush, so every accepted request is still answered
+    /// (an expired request is answered 504 downstream, not dropped).
     pub fn force_take(&mut self) -> Vec<Pending<T>> {
         let n = self.queue.len().min(self.cfg.max_batch);
         if n == 0 {
@@ -169,63 +285,149 @@ mod tests {
     use super::*;
 
     fn cfg(max_batch: usize, max_delay_ns: u64, queue_cap: usize) -> BatchConfig {
-        BatchConfig { max_batch, max_delay_ns, queue_cap }
+        BatchConfig { max_batch, max_delay_ns, queue_cap, expiry_margin_ns: 0 }
     }
 
     #[test]
     fn size_bound_triggers_dispatch() {
         let mut b = BatcherCore::new(cfg(3, 1_000_000, 10));
-        assert!(b.offer("a", 0).is_ok());
-        assert!(b.offer("b", 1).is_ok());
+        assert!(b.offer("a", 0, NO_DEADLINE).is_ok());
+        assert!(b.offer("b", 1, NO_DEADLINE).is_ok());
         assert!(!b.ready(2), "two of three queued");
-        assert!(b.take_batch(2).is_empty());
-        assert!(b.offer("c", 2).is_ok());
+        assert!(b.take_batch(2).batch.is_empty());
+        assert!(b.offer("c", 2, NO_DEADLINE).is_ok());
         assert!(b.ready(2), "size bound reached");
-        let batch = b.take_batch(2);
-        assert_eq!(batch.len(), 3);
-        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
+        let t = b.take_batch(2);
+        assert_eq!(t.batch.len(), 3);
+        assert!(t.expired.is_empty());
+        assert_eq!(t.batch.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
         assert_eq!(b.depth(), 0);
     }
 
     #[test]
     fn deadline_triggers_partial_dispatch() {
         let mut b = BatcherCore::new(cfg(8, 100, 10));
-        b.offer(1u32, 50).unwrap();
-        b.offer(2u32, 60).unwrap();
+        b.offer(1u32, 50, NO_DEADLINE).unwrap();
+        b.offer(2u32, 60, NO_DEADLINE).unwrap();
         assert_eq!(b.next_deadline(), Some(150));
         assert!(!b.ready(149));
         assert!(b.ready(150), "oldest aged past max_delay");
-        let batch = b.take_batch(150);
-        assert_eq!(batch.len(), 2, "partial batch at deadline");
+        let t = b.take_batch(150);
+        assert_eq!(t.batch.len(), 2, "partial batch at deadline");
         assert_eq!(b.next_deadline(), None);
     }
 
     #[test]
     fn queue_bound_rejects_and_returns_payload() {
         let mut b = BatcherCore::new(cfg(4, 100, 2));
-        b.offer("x", 0).unwrap();
-        b.offer("y", 0).unwrap();
-        let back = b.offer("z", 0).expect_err("queue full");
+        b.offer("x", 0, NO_DEADLINE).unwrap();
+        b.offer("y", 0, NO_DEADLINE).unwrap();
+        let back = b.offer("z", 0, NO_DEADLINE).expect_err("queue full");
         assert_eq!(back, "z");
         let s = b.stats();
         assert_eq!((s.accepted, s.rejected), (2, 1));
         // Draining frees capacity again.
         assert_eq!(b.force_take().len(), 2);
-        assert!(b.offer("z", 1).is_ok());
+        assert!(b.offer("z", 1, NO_DEADLINE).is_ok());
     }
 
     #[test]
     fn oversize_backlog_releases_in_max_batch_chunks() {
         let mut b = BatcherCore::new(cfg(2, 1_000, 10));
         for i in 0..5 {
-            b.offer(i, 0).unwrap();
+            b.offer(i, 0, NO_DEADLINE).unwrap();
         }
-        assert_eq!(b.take_batch(0).len(), 2, "size-ready despite young age");
-        assert_eq!(b.take_batch(0).len(), 2);
-        assert!(b.take_batch(0).is_empty(), "one left, not aged");
-        assert_eq!(b.take_batch(1_000).len(), 1, "deadline flushes the tail");
+        assert_eq!(b.take_batch(0).batch.len(), 2, "size-ready despite young age");
+        assert_eq!(b.take_batch(0).batch.len(), 2);
+        assert!(b.take_batch(0).batch.is_empty(), "one left, not aged");
+        assert_eq!(b.take_batch(1_000).batch.len(), 1, "deadline flushes the tail");
         let s = b.stats();
         assert_eq!((s.dispatched, s.batches), (5, 3));
         assert_eq!(s.max_depth, 5);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_not_dispatched() {
+        let mut b = BatcherCore::new(cfg(4, 1_000_000, 10));
+        b.offer("lives", 0, 500).unwrap();
+        b.offer("dies", 10, 100).unwrap();
+        // At t=100 the second request is exactly at its deadline: shed.
+        let t = b.take_batch(100);
+        assert_eq!(t.expired.len(), 1);
+        assert_eq!(t.expired[0].payload, "dies");
+        // The survivor is within its expiry margin at t=500 → dispatched,
+        // never after its deadline.
+        assert!(t.batch.is_empty(), "one live young request is not ready");
+        let t = b.take_batch(499);
+        assert!(t.expired.is_empty());
+        assert!(t.batch.is_empty(), "t=499 < deadline-with-zero-margin");
+        // (t=500 is the deadline itself: shed, not dispatched.)
+        let t = b.take_batch(500);
+        assert_eq!(t.expired.len(), 1);
+        assert!(t.batch.is_empty());
+        let s = b.stats();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.dispatched, 0);
+    }
+
+    #[test]
+    fn expiry_margin_stops_coalescing_early() {
+        let mut b = BatcherCore::new(BatchConfig {
+            max_batch: 8,
+            max_delay_ns: 1_000_000,
+            queue_cap: 10,
+            expiry_margin_ns: 50,
+        });
+        b.offer("urgent", 0, 200).unwrap();
+        // Far from the coalescing deadline (1ms) but within margin of the
+        // request deadline at t=150.
+        assert!(!b.ready(149));
+        assert!(b.ready(150), "deadline - margin reached");
+        let t = b.take_batch(150);
+        assert_eq!(t.batch.len(), 1, "dispatched before expiry, not shed");
+        assert!(t.expired.is_empty());
+    }
+
+    #[test]
+    fn shedding_can_unready_the_size_bound() {
+        let mut b = BatcherCore::new(cfg(2, 1_000_000, 10));
+        b.offer("a", 0, 10).unwrap();
+        b.offer("b", 0, NO_DEADLINE).unwrap();
+        assert!(b.ready(50), "two queued hits the size bound");
+        let t = b.take_batch(50);
+        assert_eq!(t.expired.len(), 1, "a expired");
+        assert!(t.batch.is_empty(), "b alone is below the size bound and young");
+        assert_eq!(b.depth(), 1);
+    }
+
+    #[test]
+    fn requeue_front_preserves_ids_and_order() {
+        let mut b = BatcherCore::new(cfg(3, 1_000, 10));
+        for name in ["a", "b", "c", "d"] {
+            b.offer(name, 0, NO_DEADLINE).unwrap();
+        }
+        let t = b.take_batch(0);
+        assert_eq!(t.batch.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
+        // The shard died holding [a,b,c]; replay puts them back ahead of d.
+        b.requeue_front(t.batch);
+        assert_eq!(b.depth(), 4);
+        let t = b.take_batch(0);
+        assert_eq!(t.batch.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(t.batch.iter().map(|p| p.payload).collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(b.stats().replayed, 3);
+        // New offers keep the dense id stream (no id reuse after replay).
+        assert_eq!(b.offer("e", 1, NO_DEADLINE).unwrap(), 4);
+    }
+
+    #[test]
+    fn set_limits_applies_live() {
+        let mut b = BatcherCore::new(cfg(4, 1_000_000, 10));
+        b.offer("a", 0, NO_DEADLINE).unwrap();
+        b.offer("b", 0, NO_DEADLINE).unwrap();
+        assert!(!b.ready(10), "below size bound, young");
+        b.set_limits(2, 1_000_000);
+        assert!(b.ready(10), "brownout-shrunk size bound reached");
+        b.set_limits(4, 5);
+        assert_eq!(b.take_batch(10).batch.len(), 2, "shrunk coalescing delay");
     }
 }

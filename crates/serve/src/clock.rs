@@ -15,6 +15,14 @@ use lowino_testkit::VirtualClock;
 pub trait Clock: Send + Sync {
     /// Nanoseconds since this clock's (arbitrary) epoch.
     fn now_ns(&self) -> u64;
+
+    /// Age of a past stamp: `now - since`, saturating at zero (a stamp
+    /// "from the future" — e.g. taken between virtual-clock advances —
+    /// reads as age 0 rather than wrapping). Heartbeat-staleness checks
+    /// and `/stats` use this.
+    fn age_ns(&self, since_ns: u64) -> u64 {
+        self.now_ns().saturating_sub(since_ns)
+    }
 }
 
 /// Real time: a monotonic `Instant` epoch captured at construction.

@@ -43,6 +43,11 @@ pub struct Request {
     /// Whether the connection persists after the response (HTTP/1.1
     /// default, overridden by `Connection: close` / `keep-alive`).
     pub keep_alive: bool,
+    /// Relative request deadline in microseconds from the
+    /// `X-Lowino-Deadline-Us` header (`None` when absent — the server
+    /// then applies its configured default). `0` means "already expired":
+    /// admission sheds it immediately with a 504.
+    pub deadline_us: Option<u64>,
 }
 
 /// Why a request could not be parsed.
@@ -138,6 +143,7 @@ pub fn read_request(
     };
 
     let mut content_length: Option<usize> = None;
+    let mut deadline_us: Option<u64> = None;
     let mut n_headers = 0usize;
     loop {
         let hline = read_line_limited(r, limits.max_line)?.ok_or_else(|| {
@@ -170,6 +176,11 @@ pub fn read_request(
             content_length = Some(len);
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(HttpError::bad(501, "transfer-encoding not supported"));
+        } else if name.eq_ignore_ascii_case("x-lowino-deadline-us") {
+            let us: u64 = value
+                .parse()
+                .map_err(|_| HttpError::bad(400, "bad x-lowino-deadline-us"))?;
+            deadline_us = Some(us);
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
@@ -198,6 +209,7 @@ pub fn read_request(
         path: path.to_string(),
         body,
         keep_alive,
+        deadline_us,
     })
 }
 
@@ -214,12 +226,39 @@ pub fn status_text(status: u16) -> &'static str {
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Status",
     }
 }
 
+/// Drive `buf` to the writer in full, surviving short writes and
+/// `Interrupted`. A writer that accepts zero bytes without erroring is
+/// reported as `WriteZero`; a broken pipe surfaces as its own `Err` —
+/// either way the caller closes the connection, it never panics.
+fn write_full(w: &mut impl Write, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "client stopped accepting bytes mid-response",
+                ));
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Write one response (status + `Content-Length` framing + body).
+///
+/// The whole response is assembled into one buffer and pushed with
+/// [`write_full`], so a slow or dying client yields an `Err` (the
+/// connection closes cleanly) rather than a partially-framed response
+/// or a panic in the connection thread.
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
@@ -227,16 +266,18 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    write!(
-        w,
+    let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         status_text(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    )?;
-    w.write_all(body)?;
+    );
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body);
+    write_full(w, &wire)?;
     w.flush()
 }
 
@@ -336,6 +377,22 @@ mod tests {
     }
 
     #[test]
+    fn deadline_header_is_parsed() {
+        let req = parse(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.deadline_us, None);
+        let req =
+            parse(b"POST /infer HTTP/1.1\r\nX-Lowino-Deadline-Us: 2500\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.deadline_us, Some(2500));
+        let req = parse(b"GET / HTTP/1.1\r\nx-lowino-deadline-us: 0\r\n\r\n").unwrap();
+        assert_eq!(req.deadline_us, Some(0), "case-insensitive, zero allowed");
+        match parse(b"GET / HTTP/1.1\r\nX-Lowino-Deadline-Us: soon\r\n\r\n") {
+            Err(HttpError::Bad { status: 400, .. }) => {}
+            other => panic!("non-numeric deadline: {other:?}"),
+        }
+    }
+
+    #[test]
     fn connection_header_overrides_default() {
         let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
@@ -394,6 +451,84 @@ mod tests {
             Err(HttpError::Io(_)) => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Accepts at most one byte per call and injects a spurious
+    /// `Interrupted` before every other byte — the worst legal `Write`.
+    struct TrickleWriter {
+        wire: Vec<u8>,
+        interrupt_next: bool,
+    }
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.interrupt_next = true;
+            match buf.first() {
+                Some(&b) => {
+                    self.wire.push(b);
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Accepts `cap` bytes, then reports a broken pipe.
+    struct DyingWriter {
+        cap: usize,
+        written: usize,
+    }
+
+    impl Write for DyingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written >= self.cap {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "client gone"));
+            }
+            let n = buf.len().min(self.cap - self.written);
+            self.written += n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_and_interrupts_still_deliver_the_full_response() {
+        let mut w = TrickleWriter { wire: Vec::new(), interrupt_next: false };
+        write_response(&mut w, 200, "application/octet-stream", b"\x09\x08\x07", true).unwrap();
+        let resp = read_response(&mut BufReader::new(&w.wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, [9, 8, 7]);
+    }
+
+    #[test]
+    fn broken_pipe_mid_body_is_an_error_not_a_panic() {
+        let mut w = DyingWriter { cap: 20, written: 0 };
+        let err = write_response(&mut w, 200, "text/plain", b"hello", true)
+            .expect_err("pipe broke mid-headers");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+
+        // A writer that silently accepts nothing maps to WriteZero.
+        struct ZeroWriter;
+        impl Write for ZeroWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_response(&mut ZeroWriter, 200, "text/plain", b"hello", true)
+            .expect_err("zero-accepting writer");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 
     #[test]

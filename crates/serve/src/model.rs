@@ -13,7 +13,7 @@
 
 use std::path::PathBuf;
 
-use lowino::Tensor4;
+use lowino::{HealthPolicy, Tensor4};
 use lowino_nn::CompiledGraph;
 
 /// A model that answers fixed-shape requests in batches.
@@ -42,6 +42,10 @@ pub trait BatchModel {
     fn on_shutdown(&mut self) -> Result<(), String> {
         Ok(())
     }
+    /// Brownout hook: `true` relaxes post-execute health scans so each
+    /// batch costs less under overload, `false` restores them. Default:
+    /// no-op (trivial test models have no health policy to relax).
+    fn set_degraded(&mut self, _degraded: bool) {}
 }
 
 /// A [`CompiledGraph`] serving NCHW image requests.
@@ -130,6 +134,15 @@ impl BatchModel for GraphModel {
             Some(path) => self.graph.engine().save_wisdom(path),
             None => Ok(()),
         }
+    }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        let policy = if degraded {
+            HealthPolicy::relaxed()
+        } else {
+            HealthPolicy::default()
+        };
+        self.graph.set_health_policy(policy);
     }
 }
 

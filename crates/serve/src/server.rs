@@ -1,45 +1,89 @@
 //! The threaded server: connection handlers feed one shared
-//! [`BatcherCore`], a dispatcher thread releases ready batches
-//! round-robin to shard workers, each shard runs its own
-//! [`BatchModel`] on its own engine (and thread pool), and `/stats`
-//! reports the whole state as JSON.
+//! [`BatcherCore`], a dispatcher thread releases ready batches to the
+//! shortest-backlog shard, each shard runs its own [`BatchModel`] on its
+//! own engine (and thread pool), and a supervisor thread keeps the
+//! shards alive: it detects dead and wedged workers, steals their
+//! in-flight work for exactly-once replay, respawns them with
+//! exponential backoff, and runs the overload-brownout controller.
 //!
 //! Thread/ownership layout:
 //!
 //! ```text
-//! conn threads ──offer──▶ BatcherCore (Mutex) ◀──take── dispatcher ──▶ shard 0 worker
-//!      ▲                        │ Condvar                    │          shard 1 worker …
-//!      └──── oneshot reply ◀────┴────── bounded channels ────┘
+//! conn threads ──offer──▶ BatcherCore (Mutex) ◀──take── dispatcher ──▶ shard slot 0 ─ worker 0
+//!      ▲                        │ Condvar                    │          shard slot 1 ─ worker 1 …
+//!      └──── oneshot reply ◀────┤                            │ (min-depth pick)
+//!                               │    supervisor ──heartbeats/steal/respawn──▶ slots
+//!                               └──requeue_front── supervisor (replay)
 //! ```
 //!
 //! Guarantees the tests pin down:
 //!
 //! * **backpressure, not loss** — the batcher queue is bounded (503 on
-//!   overflow) and shard channels are bounded (a slow shard backs the
-//!   queue up into 503s); an *accepted* request always gets a response,
-//!   including across shutdown (the dispatcher force-flushes the queue
-//!   before exiting).
+//!   overflow) and shard mailboxes are bounded (a slow shard backs the
+//!   queue up into 503s); an *accepted* request always gets exactly one
+//!   response — 200, 500, 504 or 503 — including across shard deaths,
+//!   wedges and shutdown: `accepted == completed + failed + timed_out +
+//!   unavailable`.
+//! * **deadlines** — requests carry an absolute deadline
+//!   (`X-Lowino-Deadline-Us`, default `LOWINO_SERVE_TIMEOUT_US`); an
+//!   expired request is shed with a 504 *before* it costs shard work.
+//! * **self-healing** — shard workers heartbeat; the supervisor abandons
+//!   a wedged worker (stale heartbeat with work pending), steals its
+//!   in-flight batch, replays it FIFO, and respawns via the model
+//!   factory with exponential backoff, giving up (state `Dead`, traffic
+//!   routed to survivors) after `max_restarts`.
+//! * **brownout** — under queue-depth or p99-vs-deadline pressure the
+//!   [`BrownoutPolicy`] steps `max_batch`/`max_delay_ns` down (and, at
+//!   the last rung, relaxes shard health policies), hysteretically
+//!   stepping back up when pressure clears.
 //! * **panic isolation** — each connection handler runs under
 //!   `catch_unwind` (counted in `/stats`), and shard inference panics
 //!   are converted into 500 responses rather than hangs.
 //! * **observability** — `serve/request` and `serve/batch` spans,
-//!   `serve/queue_depth` and `serve/batch_occupancy` instants, and the
-//!   `serve/requests` counter; `/stats` serves the counters as JSON.
+//!   `serve/queue_depth`, `serve/batch_occupancy`, `serve/shard_restart`,
+//!   `serve/deadline_shed` and `serve/brownout` instants, the
+//!   `serve/requests` counter; `/stats` serves everything as JSON and
+//!   `/healthz` turns 503 when every shard is dead.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::batcher::{BatchConfig, BatcherCore, Pending};
+use crate::batcher::{BatchConfig, BatcherCore, Pending, NO_DEADLINE};
+use crate::brownout::{BrownoutConfig, BrownoutInput, BrownoutPolicy, BrownoutStep};
 use crate::clock::{Clock, SystemClock};
 use crate::http::{self, HttpError, HttpLimits};
 use crate::model::BatchModel;
+use crate::supervisor::{backoff_ns, Recv, ShardSlot, ShardState};
 use crate::transport::{duplex_pair, DuplexStream};
+
+use lowino_testkit::faults::{SHARD_SPAWN, SHARD_WEDGE};
+
+/// How often an idle shard worker wakes to heartbeat (wall time). The
+/// wedge detector tolerates one missed period, so `wedge_timeout` must
+/// sit well above this.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(2);
+
+/// Wall pacing of the supervisor's detection loop.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(1);
+
+/// Restart backoff ceiling.
+const BACKOFF_CAP_NS: u64 = 1_000_000_000; // 1 s
+
+/// During shutdown the virtual clock may be frozen, so wedge detection
+/// falls back to wall time: a worker whose progress counter has not
+/// moved for this many supervisor ticks while work is pending is
+/// abandoned so shutdown can complete.
+const SHUTDOWN_STAGNANT_TICKS: u32 = 200;
+
+/// Recent-latency window feeding the brownout p99 estimate.
+const LATENCY_WINDOW: usize = 512;
 
 /// Server configuration (see `README.md` for the matching env vars).
 #[derive(Debug, Clone)]
@@ -60,6 +104,18 @@ pub struct ServeConfig {
     pub shard_queue: usize,
     /// HTTP input limits.
     pub limits: HttpLimits,
+    /// Default relative request deadline for requests without an
+    /// `X-Lowino-Deadline-Us` header ([`NO_DEADLINE`] = none).
+    pub default_deadline_ns: u64,
+    /// No heartbeat for this long while work is pending ⇒ the shard is
+    /// wedged: abandon, steal, respawn.
+    pub wedge_timeout_ns: u64,
+    /// Respawns per shard before it is declared `Dead` for good.
+    pub max_restarts: u64,
+    /// Base restart backoff (doubles per restart, capped at 1 s).
+    pub restart_backoff_ns: u64,
+    /// Overload-brownout thresholds.
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -72,17 +128,23 @@ impl Default for ServeConfig {
             queue_cap: 64,
             shard_queue: 2,
             limits: HttpLimits::default(),
+            default_deadline_ns: NO_DEADLINE,
+            wedge_timeout_ns: 500_000_000, // 500 ms
+            max_restarts: 5,
+            restart_backoff_ns: 10_000_000, // 10 ms
+            brownout: BrownoutConfig::default(),
         }
     }
 }
 
 impl ServeConfig {
     /// Defaults overridden by `LOWINO_SERVE_SHARDS`, `LOWINO_SERVE_BATCH`,
-    /// `LOWINO_SERVE_DEADLINE_US` and `LOWINO_SERVE_QUEUE`. Unparseable
-    /// values panic loudly — a half-applied serving config is worse than
-    /// no server.
+    /// `LOWINO_SERVE_DEADLINE_US`, `LOWINO_SERVE_QUEUE`,
+    /// `LOWINO_SERVE_TIMEOUT_US`, `LOWINO_SERVE_WEDGE_US` and
+    /// `LOWINO_SERVE_MAX_RESTARTS`. Unparseable values panic loudly — a
+    /// half-applied serving config is worse than no server.
     pub fn from_env() -> Self {
-        fn env_usize(name: &str, default: usize) -> usize {
+        fn env_u64(name: &str, default: u64) -> u64 {
             match std::env::var(name) {
                 Ok(v) => v
                     .trim()
@@ -93,17 +155,23 @@ impl ServeConfig {
         }
         let d = Self::default();
         Self {
-            shards: env_usize("LOWINO_SERVE_SHARDS", d.shards).max(1),
+            shards: (env_u64("LOWINO_SERVE_SHARDS", d.shards as u64) as usize).max(1),
             threads_per_shard: d.threads_per_shard,
-            max_batch: env_usize("LOWINO_SERVE_BATCH", d.max_batch).max(1),
-            max_delay_ns: env_usize(
-                "LOWINO_SERVE_DEADLINE_US",
-                (d.max_delay_ns / 1_000) as usize,
-            ) as u64
-                * 1_000,
-            queue_cap: env_usize("LOWINO_SERVE_QUEUE", d.queue_cap).max(1),
+            max_batch: (env_u64("LOWINO_SERVE_BATCH", d.max_batch as u64) as usize).max(1),
+            max_delay_ns: env_u64("LOWINO_SERVE_DEADLINE_US", d.max_delay_ns / 1_000) * 1_000,
+            queue_cap: (env_u64("LOWINO_SERVE_QUEUE", d.queue_cap as u64) as usize).max(1),
             shard_queue: d.shard_queue,
             limits: HttpLimits::default(),
+            // 0 (or absent) = no default deadline.
+            default_deadline_ns: match env_u64("LOWINO_SERVE_TIMEOUT_US", 0) {
+                0 => NO_DEADLINE,
+                us => us.saturating_mul(1_000),
+            },
+            wedge_timeout_ns: env_u64("LOWINO_SERVE_WEDGE_US", d.wedge_timeout_ns / 1_000)
+                .saturating_mul(1_000),
+            max_restarts: env_u64("LOWINO_SERVE_MAX_RESTARTS", d.max_restarts),
+            restart_backoff_ns: d.restart_backoff_ns,
+            brownout: BrownoutConfig::default(),
         }
     }
 
@@ -112,18 +180,41 @@ impl ServeConfig {
             max_batch: self.max_batch,
             max_delay_ns: self.max_delay_ns,
             queue_cap: self.queue_cap,
+            ..BatchConfig::default()
         }
     }
+}
+
+/// The response a shard (or the lifecycle machinery) owes a request.
+enum Reply {
+    /// Inference output → 200.
+    Output(Vec<f32>),
+    /// Inference error or panic → 500.
+    Failed(String),
+    /// Deadline expired before execution → 504.
+    Expired,
+    /// No shard could run it (all dead, or stolen at shutdown) → 503.
+    Unavailable,
 }
 
 /// One queued inference: decoded input plus the reply channel back to
 /// the connection thread.
 struct Job {
     input: Vec<f32>,
-    resp: SyncSender<Result<Vec<f32>, String>>,
+    resp: SyncSender<Reply>,
 }
 
 type Batch = Vec<Pending<Job>>;
+
+/// What the dispatcher and supervisor put in a shard's mailbox.
+enum ShardMsg {
+    /// A batch to execute.
+    Batch(Batch),
+    /// Brownout toggle: relax/restore the model's health policy.
+    SetDegraded(bool),
+}
+
+type Slot = ShardSlot<ShardMsg, Batch>;
 
 #[derive(Default)]
 struct ShardStats {
@@ -134,21 +225,94 @@ struct ShardStats {
     algorithms: Mutex<Vec<String>>,
 }
 
+/// What the supervisor observed (virtual-clock timestamps — the
+/// property tests assert detection latencies against these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorEventKind {
+    /// Heartbeat stale with work pending: worker abandoned.
+    WedgeDetected,
+    /// Worker thread exited outside shutdown.
+    DeathDetected,
+    /// A replacement worker was spawned.
+    Respawned,
+    /// Restart budget exhausted: shard is `Dead` for good.
+    GaveUp,
+}
+
+/// One supervisor observation, stamped with the supervising clock.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorEvent {
+    /// Which shard.
+    pub shard: usize,
+    /// What happened.
+    pub kind: SupervisorEventKind,
+    /// `clock.now_ns()` at the observation (virtual under `VirtualClock`).
+    pub at_ns: u64,
+}
+
 struct Shared {
     batcher: Mutex<BatcherCore<Job>>,
     dispatch_cv: Condvar,
     clock: Arc<dyn Clock>,
     shutdown: AtomicBool,
     limits: HttpLimits,
+    default_deadline_ns: u64,
+    wedge_timeout_ns: u64,
+    max_restarts: u64,
+    restart_backoff_ns: u64,
+    shard_queue: usize,
+    queue_cap: usize,
     /// `(input_len, output_len)` reported by the shard models.
     dims: OnceLock<(usize, usize)>,
     completed: AtomicU64,
     failed: AtomicU64,
+    timed_out: AtomicU64,
+    unavailable: AtomicU64,
     http_errors: AtomicU64,
     conn_panics: AtomicU64,
     shutdown_rejects: AtomicU64,
+    deadline_rejects: AtomicU64,
     open_conns: AtomicUsize,
     shards: Vec<ShardStats>,
+    slots: Vec<Slot>,
+    /// Recent end-to-end latencies (brownout p99 input).
+    latency: Mutex<VecDeque<u64>>,
+    /// Current brownout rung, published for `/stats`.
+    brownout_rung: AtomicU64,
+    sup_stop: Mutex<bool>,
+    sup_cv: Condvar,
+    events: Mutex<Vec<SupervisorEvent>>,
+}
+
+impl Shared {
+    fn record_latency(&self, ns: u64) {
+        let mut w = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        if w.len() >= LATENCY_WINDOW {
+            w.pop_front();
+        }
+        w.push_back(ns);
+    }
+
+    fn latency_p99(&self) -> Option<u64> {
+        let w = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        if w.len() < 20 {
+            return None;
+        }
+        let mut v: Vec<u64> = w.iter().copied().collect();
+        v.sort_unstable();
+        Some(v[((v.len() * 99) / 100).min(v.len() - 1)])
+    }
+
+    fn log_event(&self, shard: usize, kind: SupervisorEventKind, at_ns: u64) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SupervisorEvent { shard, kind, at_ns });
+    }
+
+    fn all_dead(&self) -> bool {
+        self.slots.iter().all(|s| s.state() == ShardState::Dead)
+    }
 }
 
 /// Point-in-time view of every counter (also what `/stats` serializes).
@@ -160,14 +324,25 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// 503s because shutdown had begun.
     pub shutdown_rejects: u64,
+    /// 504s at admission (already expired on arrival — never accepted,
+    /// so not part of the `accepted` accounting identity).
+    pub deadline_rejects: u64,
     /// 200s delivered.
     pub completed: u64,
     /// 500s delivered (inference errors/panics).
     pub failed: u64,
+    /// 504s delivered (deadline expired before execution).
+    pub timed_out: u64,
+    /// 503s delivered to *accepted* requests (no shard could run them).
+    pub unavailable: u64,
     /// Batches released by the batcher.
     pub batches: u64,
     /// Requests released in those batches.
     pub dispatched: u64,
+    /// Requests shed from the queue as expired.
+    pub shed: u64,
+    /// Requests re-enqueued (shard replay or dispatch deferral).
+    pub replayed: u64,
     /// Mean batch occupancy.
     pub mean_occupancy: f64,
     /// Queue depth right now.
@@ -180,11 +355,13 @@ pub struct StatsSnapshot {
     pub conn_panics: u64,
     /// Total demotions across all shard ladders.
     pub demotions: u64,
+    /// Current brownout rung (0 = healthy).
+    pub brownout_rung: u64,
     /// Per-shard detail.
     pub per_shard: Vec<ShardSnapshot>,
 }
 
-/// Per-shard counters.
+/// Per-shard counters and supervision state.
 #[derive(Debug, Clone)]
 pub struct ShardSnapshot {
     /// Requests this shard answered.
@@ -197,6 +374,20 @@ pub struct ShardSnapshot {
     pub wisdom_errors: u64,
     /// Active algorithm per conv, in op order.
     pub algorithms: Vec<String>,
+    /// Supervision state (`healthy`/`wedged`/`restarting`/`dead`).
+    pub state: &'static str,
+    /// Is the worker thread running right now?
+    pub alive: bool,
+    /// Is the worker still building its model (alive, not yet serving)?
+    pub warming: bool,
+    /// Completed respawns.
+    pub restarts: u64,
+    /// Requests stolen from this shard and replayed.
+    pub replayed: u64,
+    /// `now - last_heartbeat` on the server's clock.
+    pub heartbeat_age_ns: u64,
+    /// Mailbox backlog right now.
+    pub queue_depth: usize,
 }
 
 fn json_escape(s: &str) -> String {
@@ -227,35 +418,54 @@ impl StatsSnapshot {
                     .collect();
                 format!(
                     "{{\"shard\":{},\"requests\":{},\"batches\":{},\"demotions\":{},\
-                     \"wisdom_errors\":{},\"algorithms\":[{}]}}",
+                     \"wisdom_errors\":{},\"state\":\"{}\",\"alive\":{},\"warming\":{},\
+                     \"restarts\":{},\
+                     \"replayed\":{},\"heartbeat_age_ns\":{},\"queue_depth\":{},\
+                     \"algorithms\":[{}]}}",
                     i,
                     s.requests,
                     s.batches,
                     s.demotions,
                     s.wisdom_errors,
+                    s.state,
+                    s.alive,
+                    s.warming,
+                    s.restarts,
+                    s.replayed,
+                    s.heartbeat_age_ns,
+                    s.queue_depth,
                     algos.join(",")
                 )
             })
             .collect();
         format!(
             "{{\"shards\":{},\"accepted\":{},\"rejected\":{},\"shutdown_rejects\":{},\
-             \"completed\":{},\"failed\":{},\"batches\":{},\"dispatched\":{},\
+             \"deadline_rejects\":{},\
+             \"completed\":{},\"failed\":{},\"timed_out\":{},\"unavailable\":{},\
+             \"batches\":{},\"dispatched\":{},\"shed\":{},\"replayed\":{},\
              \"mean_occupancy\":{:.3},\"queue_depth\":{},\"max_queue_depth\":{},\
-             \"http_errors\":{},\"conn_panics\":{},\"demotions\":{},\"per_shard\":[{}]}}",
+             \"http_errors\":{},\"conn_panics\":{},\"demotions\":{},\"brownout_rung\":{},\
+             \"per_shard\":[{}]}}",
             self.per_shard.len(),
             self.accepted,
             self.rejected,
             self.shutdown_rejects,
+            self.deadline_rejects,
             self.completed,
             self.failed,
+            self.timed_out,
+            self.unavailable,
             self.batches,
             self.dispatched,
+            self.shed,
+            self.replayed,
             self.mean_occupancy,
             self.queue_depth,
             self.max_queue_depth,
             self.http_errors,
             self.conn_panics,
             self.demotions,
+            self.brownout_rung,
             per_shard.join(",")
         )
     }
@@ -269,7 +479,8 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
     let per_shard: Vec<ShardSnapshot> = shared
         .shards
         .iter()
-        .map(|s| ShardSnapshot {
+        .zip(&shared.slots)
+        .map(|(s, slot)| ShardSnapshot {
             requests: s.requests.load(Ordering::Acquire),
             batches: s.batches.load(Ordering::Acquire),
             demotions: s.demotions.load(Ordering::Acquire),
@@ -279,22 +490,35 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
+            state: slot.state().as_str(),
+            alive: slot.is_alive(),
+            warming: slot.is_warming(),
+            restarts: slot.restarts(),
+            replayed: slot.replayed(),
+            heartbeat_age_ns: shared.clock.age_ns(slot.last_beat_ns()),
+            queue_depth: slot.depth(),
         })
         .collect();
     StatsSnapshot {
         accepted: bs.accepted,
         rejected: bs.rejected,
         shutdown_rejects: shared.shutdown_rejects.load(Ordering::Acquire),
+        deadline_rejects: shared.deadline_rejects.load(Ordering::Acquire),
         completed: shared.completed.load(Ordering::Acquire),
         failed: shared.failed.load(Ordering::Acquire),
+        timed_out: shared.timed_out.load(Ordering::Acquire),
+        unavailable: shared.unavailable.load(Ordering::Acquire),
         batches: bs.batches,
         dispatched: bs.dispatched,
+        shed: bs.shed,
+        replayed: bs.replayed,
         mean_occupancy: bs.mean_occupancy(),
         queue_depth: depth,
         max_queue_depth: bs.max_depth,
         http_errors: shared.http_errors.load(Ordering::Acquire),
         conn_panics: shared.conn_panics.load(Ordering::Acquire),
         demotions: per_shard.iter().map(|s| s.demotions).sum(),
+        brownout_rung: shared.brownout_rung.load(Ordering::Acquire),
         per_shard,
     }
 }
@@ -305,15 +529,16 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
 pub struct Server {
     shared: Arc<Shared>,
     dispatcher: Option<JoinHandle<()>>,
-    shard_handles: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     accept_handle: Option<JoinHandle<()>>,
     local_addr: Option<SocketAddr>,
 }
 
 impl Server {
-    /// Start shards and the dispatcher under the real-time clock.
-    /// `factory(shard_index)` is called **inside** each shard's thread to
-    /// build its model — models never cross threads.
+    /// Start shards, dispatcher and supervisor under the real-time
+    /// clock. `factory(shard_index)` is called **inside** each shard's
+    /// thread to build its model — models never cross threads — and
+    /// again on every supervised respawn.
     pub fn start<M, F>(cfg: ServeConfig, factory: F) -> Result<Self, String>
     where
         M: BatchModel + 'static,
@@ -333,70 +558,90 @@ impl Server {
         F: Fn(usize) -> M + Send + Sync + 'static,
     {
         assert!(cfg.shards >= 1, "need at least one shard");
+        let now = clock.now_ns();
         let shared = Arc::new(Shared {
             batcher: Mutex::new(BatcherCore::new(cfg.batch_config())),
             dispatch_cv: Condvar::new(),
             clock,
             shutdown: AtomicBool::new(false),
             limits: cfg.limits,
+            default_deadline_ns: cfg.default_deadline_ns,
+            wedge_timeout_ns: cfg.wedge_timeout_ns.max(1),
+            max_restarts: cfg.max_restarts,
+            restart_backoff_ns: cfg.restart_backoff_ns.max(1),
+            shard_queue: cfg.shard_queue.max(1),
+            queue_cap: cfg.queue_cap,
             dims: OnceLock::new(),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             conn_panics: AtomicU64::new(0),
             shutdown_rejects: AtomicU64::new(0),
+            deadline_rejects: AtomicU64::new(0),
             open_conns: AtomicUsize::new(0),
             shards: (0..cfg.shards).map(|_| ShardStats::default()).collect(),
+            slots: (0..cfg.shards).map(|_| Slot::new()).collect(),
+            latency: Mutex::new(VecDeque::new()),
+            brownout_rung: AtomicU64::new(0),
+            sup_stop: Mutex::new(false),
+            sup_cv: Condvar::new(),
+            events: Mutex::new(Vec::new()),
         });
+        // Heartbeat stamps start at "now" so a fresh shard is never
+        // instantly stale under a virtual clock far from zero.
+        for slot in &shared.slots {
+            slot.beat(now);
+        }
 
         let factory = Arc::new(factory);
         let (dims_tx, dims_rx) = mpsc::channel::<(usize, usize, usize)>();
-        let mut senders: Vec<SyncSender<Batch>> = Vec::with_capacity(cfg.shards);
-        let mut shard_handles = Vec::with_capacity(cfg.shards);
         for idx in 0..cfg.shards {
-            let (tx, rx) = mpsc::sync_channel::<Batch>(cfg.shard_queue.max(1));
-            senders.push(tx);
-            let shared2 = Arc::clone(&shared);
-            let factory2 = Arc::clone(&factory);
-            let dims_tx2 = dims_tx.clone();
-            shard_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("lowino-shard-{idx}"))
-                    .spawn(move || shard_worker(shared2, idx, rx, factory2(idx), dims_tx2))
-                    .map_err(|e| format!("spawning shard {idx}: {e}"))?,
-            );
+            spawn_shard_worker(&shared, &factory, idx, Some(dims_tx.clone()))
+                .map_err(|e| format!("spawning shard {idx}: {e}"))?;
         }
         drop(dims_tx);
 
         // Handshake: every shard reports its model's shape before the
         // server accepts traffic; inconsistent factories are a hard
         // start-up error, not a runtime surprise.
+        let fail_startup = |shared: &Arc<Shared>, msg: String| -> String {
+            shared.shutdown.store(true, Ordering::Release);
+            for slot in &shared.slots {
+                slot.close();
+            }
+            for slot in &shared.slots {
+                if let Some(h) = slot.handle().take() {
+                    let _ = h.join();
+                }
+            }
+            msg
+        };
         let mut dims: Option<(usize, usize, usize)> = None;
         for _ in 0..cfg.shards {
-            let got = dims_rx
-                .recv()
-                .map_err(|_| "a shard died during model construction".to_string())?;
+            let got = dims_rx.recv().map_err(|_| {
+                fail_startup(&shared, "a shard died during model construction".into())
+            })?;
             match dims {
                 None => dims = Some(got),
                 Some(d) if d != got => {
-                    drop(senders);
-                    for h in shard_handles {
-                        let _ = h.join();
-                    }
-                    return Err(format!("shard models disagree on shape: {d:?} vs {got:?}"));
+                    return Err(fail_startup(
+                        &shared,
+                        format!("shard models disagree on shape: {d:?} vs {got:?}"),
+                    ));
                 }
                 Some(_) => {}
             }
         }
         let (il, ol, model_batch) = dims.expect("cfg.shards >= 1");
         if cfg.max_batch > model_batch {
-            drop(senders);
-            for h in shard_handles {
-                let _ = h.join();
-            }
-            return Err(format!(
-                "max_batch {} exceeds the model's planned batch {}",
-                cfg.max_batch, model_batch
+            return Err(fail_startup(
+                &shared,
+                format!(
+                    "max_batch {} exceeds the model's planned batch {}",
+                    cfg.max_batch, model_batch
+                ),
             ));
         }
         shared.dims.set((il, ol)).expect("dims set once");
@@ -404,13 +649,21 @@ impl Server {
         let shared2 = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("lowino-dispatch".into())
-            .spawn(move || dispatcher_loop(shared2, senders))
+            .spawn(move || dispatcher_loop(shared2))
             .map_err(|e| format!("spawning dispatcher: {e}"))?;
+
+        let shared2 = Arc::clone(&shared);
+        let factory2 = Arc::clone(&factory);
+        let brownout = BrownoutPolicy::new(cfg.brownout, cfg.max_batch, cfg.max_delay_ns);
+        let supervisor = std::thread::Builder::new()
+            .name("lowino-supervise".into())
+            .spawn(move || supervisor_loop(shared2, factory2, brownout))
+            .map_err(|e| format!("spawning supervisor: {e}"))?;
 
         Ok(Self {
             shared,
             dispatcher: Some(dispatcher),
-            shard_handles,
+            supervisor: Some(supervisor),
             accept_handle: None,
             local_addr: None,
         })
@@ -424,6 +677,21 @@ impl Server {
     /// Counter snapshot (the same data `/stats` serves).
     pub fn stats(&self) -> StatsSnapshot {
         snapshot(&self.shared)
+    }
+
+    /// Current supervision state per shard.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.shared.slots.iter().map(|s| s.state()).collect()
+    }
+
+    /// Everything the supervisor observed so far, clock-stamped (the
+    /// property tests assert detection and backoff timing on this).
+    pub fn supervisor_events(&self) -> Vec<SupervisorEvent> {
+        self.shared
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Serve one already-connected byte stream on a detached thread —
@@ -478,6 +746,7 @@ impl Server {
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.dispatch_cv.notify_all();
+        self.shared.sup_cv.notify_all();
         if let Some(h) = self.accept_handle.take() {
             // Wake the blocking accept with a throwaway connection.
             if let Some(addr) = self.local_addr {
@@ -488,14 +757,45 @@ impl Server {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
-        for h in self.shard_handles.drain(..) {
+        // Close mailboxes: live workers drain what is queued and exit;
+        // the supervisor steals from the rest (answering 503) and
+        // wall-abandons anything wedged so this wait terminates.
+        for slot in &self.shared.slots {
+            slot.close();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.slots.iter().any(|s| s.is_alive()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let mut stop = self
+                .shared
+                .sup_stop
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *stop = true;
+            self.shared.sup_cv.notify_all();
+        }
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
+        }
+        for slot in &self.shared.slots {
+            let handle = slot.handle().take();
+            if let Some(h) = handle {
+                if slot.is_alive() {
+                    // Genuinely stuck thread (never returned from the
+                    // model): detach rather than hang shutdown. Its
+                    // epoch is stale, so it can never answer anything.
+                    drop(h);
+                } else {
+                    let _ = h.join();
+                }
+            }
         }
         // In-flight responses are already sent; give connection threads
         // a bounded window to finish writing and notice client EOFs.
         let deadline = Instant::now() + Duration::from_secs(5);
-        while self.shared.open_conns.load(Ordering::Acquire) > 0
-            && Instant::now() < deadline
+        while self.shared.open_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -504,9 +804,188 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.dispatcher.is_some() || !self.shard_handles.is_empty() {
+        if self.dispatcher.is_some() || self.supervisor.is_some() {
             self.shutdown_inner();
         }
+    }
+}
+
+/// Clears the slot's alive flag when the worker thread exits — by
+/// return *or* unwind — unless the worker was already abandoned (stale
+/// epoch), in which case the flag belongs to its replacement.
+struct WorkerExitGuard {
+    shared: Arc<Shared>,
+    idx: usize,
+    epoch: u64,
+}
+
+impl Drop for WorkerExitGuard {
+    fn drop(&mut self) {
+        self.shared.slots[self.idx].mark_exited(self.epoch);
+    }
+}
+
+/// Spawn (or respawn) shard `idx`'s worker at the slot's current epoch.
+/// `dims_tx` is only passed on the initial spawn (the startup
+/// handshake); respawns assert against the recorded dims instead.
+fn spawn_shard_worker<M, F>(
+    shared: &Arc<Shared>,
+    factory: &Arc<F>,
+    idx: usize,
+    dims_tx: Option<mpsc::Sender<(usize, usize, usize)>>,
+) -> std::io::Result<()>
+where
+    M: BatchModel + 'static,
+    F: Fn(usize) -> M + Send + Sync + 'static,
+{
+    let slot = &shared.slots[idx];
+    let epoch = slot.current_epoch();
+    slot.mark_alive();
+    slot.set_warming(true);
+    let shared2 = Arc::clone(shared);
+    let factory2 = Arc::clone(factory);
+    let res = std::thread::Builder::new()
+        .name(format!("lowino-shard-{idx}"))
+        .spawn(move || run_shard(shared2, factory2, idx, epoch, dims_tx));
+    match res {
+        Ok(h) => {
+            *slot.handle() = Some(h);
+            Ok(())
+        }
+        Err(e) => {
+            slot.clear_alive();
+            Err(e)
+        }
+    }
+}
+
+/// The shard worker body: build the model (inside this thread), then
+/// drain the mailbox — heartbeating every wake — until closed or
+/// abandoned.
+fn run_shard<M, F>(
+    shared: Arc<Shared>,
+    factory: Arc<F>,
+    idx: usize,
+    my_epoch: u64,
+    dims_tx: Option<mpsc::Sender<(usize, usize, usize)>>,
+) where
+    M: BatchModel + 'static,
+    F: Fn(usize) -> M + Send + Sync + 'static,
+{
+    let _guard = WorkerExitGuard { shared: Arc::clone(&shared), idx, epoch: my_epoch };
+    if SHARD_SPAWN.fire() {
+        panic!("injected fault: shard/spawn (shard {idx})");
+    }
+    let mut model = factory(idx);
+    let il = model.input_len();
+    let ol = model.output_len();
+    let cap = model.max_batch();
+    match dims_tx {
+        Some(tx) => {
+            let _ = tx.send((il, ol, cap));
+        }
+        None => {
+            // Respawn: same factory must mean same shape.
+            let (eil, eol) = *shared.dims.get().expect("dims set before respawns");
+            assert_eq!((il, ol), (eil, eol), "factory changed shape across respawn");
+        }
+    }
+    let slot = &shared.slots[idx];
+    // First beat: the model is built, the worker is genuinely serving —
+    // this is what ends a respawn's warm-up grace. Clearing `warming`
+    // lets the dispatcher route here again (it prefers warmed shards:
+    // a batch sent into a ~100ms model build would just sit there).
+    slot.beat(shared.clock.now_ns());
+    slot.set_warming(false);
+    let stats = &shared.shards[idx];
+    let mut inputs = vec![0f32; cap * il];
+    let mut outputs = vec![0f32; cap * ol];
+    let mut last_demotions = usize::MAX; // force one initial algorithms publish
+    loop {
+        match slot.recv(my_epoch, HEARTBEAT_PERIOD) {
+            Recv::Stop => break,
+            Recv::Idle => slot.beat(shared.clock.now_ns()),
+            Recv::Msg(ShardMsg::SetDegraded(d)) => {
+                model.set_degraded(d);
+                slot.beat(shared.clock.now_ns());
+            }
+            Recv::Msg(ShardMsg::Batch(batch)) => {
+                let now = shared.clock.now_ns();
+                slot.beat(now);
+                // Last line of deadline defense: anything that expired
+                // while riding the mailbox is shed, not executed.
+                let mut live: Batch = Vec::with_capacity(batch.len());
+                for p in batch {
+                    if p.deadline_ns != NO_DEADLINE && now >= p.deadline_ns {
+                        let _ = p.payload.resp.send(Reply::Expired);
+                    } else {
+                        live.push(p);
+                    }
+                }
+                if live.is_empty() {
+                    continue;
+                }
+                let n = live.len();
+                debug_assert!(n <= cap, "dispatcher respects max_batch");
+                for (i, p) in live.iter().enumerate() {
+                    inputs[i * il..(i + 1) * il].copy_from_slice(&p.payload.input);
+                }
+                // Park the batch where the supervisor can steal it, then
+                // probe the wedge fault: a triggered wedge stops
+                // heartbeating and holds the batch until abandoned —
+                // exactly what a model stuck in native code looks like.
+                slot.set_active(live);
+                if SHARD_WEDGE.fire() {
+                    while slot.current_epoch() == my_epoch {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    return; // abandoned; the batch was stolen for replay
+                }
+                let _sp = lowino_trace::span_arg("serve/batch", n as u64);
+                // A panic inside inference (an armed fault the ladder
+                // could not absorb) must not strand the batch's callers.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    model.infer(&inputs[..n * il], n, &mut outputs[..n * ol])
+                }))
+                .unwrap_or_else(|_| Err("inference panicked".into()));
+                // Reclaim the batch. `None` means the supervisor stole
+                // it mid-flight (we were declared wedged): the thief
+                // owns the replies now — exit without answering.
+                let Some(live) = slot.take_active_if_current(my_epoch) else {
+                    return;
+                };
+                match result {
+                    Ok(()) => {
+                        for (i, p) in live.into_iter().enumerate() {
+                            let _ = p
+                                .payload
+                                .resp
+                                .send(Reply::Output(outputs[i * ol..(i + 1) * ol].to_vec()));
+                        }
+                    }
+                    Err(msg) => {
+                        for p in live {
+                            let _ = p.payload.resp.send(Reply::Failed(msg.clone()));
+                        }
+                    }
+                }
+                stats.requests.fetch_add(n as u64, Ordering::AcqRel);
+                stats.batches.fetch_add(1, Ordering::AcqRel);
+                let demos = model.demotions();
+                stats.demotions.store(demos as u64, Ordering::Release);
+                if demos != last_demotions {
+                    last_demotions = demos;
+                    *stats.algorithms.lock().unwrap_or_else(|e| e.into_inner()) =
+                        model.algorithms();
+                }
+                slot.beat(shared.clock.now_ns());
+            }
+        }
+    }
+    // Clean drain exit only (an abandoned worker must not race the
+    // replacement's wisdom writes).
+    if slot.current_epoch() == my_epoch && model.on_shutdown().is_err() {
+        stats.wisdom_errors.fetch_add(1, Ordering::AcqRel);
     }
 }
 
@@ -562,8 +1041,13 @@ fn handle_connection<S: Read + Write>(shared: &Arc<Shared>, stream: S) {
                 .is_ok()
             }
             ("GET", "/healthz") => {
-                http::write_response(reader.get_mut(), 200, "text/plain", b"ok\n", keep)
-                    .is_ok()
+                if shared.all_dead() {
+                    http::write_error(reader.get_mut(), 503, "all shards dead", keep)
+                        .is_ok()
+                } else {
+                    http::write_response(reader.get_mut(), 200, "text/plain", b"ok\n", keep)
+                        .is_ok()
+                }
             }
             ("GET" | "POST", _) => {
                 shared.http_errors.fetch_add(1, Ordering::AcqRel);
@@ -581,8 +1065,9 @@ fn handle_connection<S: Read + Write>(shared: &Arc<Shared>, stream: S) {
     }
 }
 
-/// Handle one `/infer`: decode, offer, await the shard's reply, respond.
-/// Returns false when the connection should close (write failure).
+/// Handle one `/infer`: decode, stamp a deadline, offer, await the
+/// reply, respond. Returns false when the connection should close
+/// (write failure).
 fn handle_infer<S: Read + Write>(
     shared: &Arc<Shared>,
     reader: &mut BufReader<S>,
@@ -605,7 +1090,22 @@ fn handle_infer<S: Read + Write>(
         .chunks_exact(4)
         .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         .collect();
-    let (tx, rx) = mpsc::sync_channel::<Result<Vec<f32>, String>>(1);
+    let start = shared.clock.now_ns();
+    let deadline_ns = match req.deadline_us {
+        Some(us) => start.saturating_add(us.saturating_mul(1_000)),
+        None if shared.default_deadline_ns == NO_DEADLINE => NO_DEADLINE,
+        None => start.saturating_add(shared.default_deadline_ns),
+    };
+    if deadline_ns != NO_DEADLINE && start >= deadline_ns {
+        // `X-Lowino-Deadline-Us: 0` — expired on arrival; shed at
+        // admission, before it can cost queue space or shard work. Not
+        // counted in `timed_out`: the request was never accepted, so it
+        // is outside the accepted-accounting identity (like `rejected`).
+        shared.deadline_rejects.fetch_add(1, Ordering::AcqRel);
+        lowino_trace::instant("serve/deadline_shed", 1);
+        return http::write_error(reader.get_mut(), 504, "deadline expired", keep).is_ok();
+    }
+    let (tx, rx) = mpsc::sync_channel::<Reply>(1);
     let job = Job { input, resp: tx };
     let verdict = {
         let mut b = shared.batcher.lock().unwrap_or_else(|e| e.into_inner());
@@ -613,8 +1113,7 @@ fn handle_infer<S: Read + Write>(
             shared.shutdown_rejects.fetch_add(1, Ordering::AcqRel);
             Err(())
         } else {
-            let now = shared.clock.now_ns();
-            let r = b.offer(job, now).map(|_| ()).map_err(|_| ());
+            let r = b.offer(job, start, deadline_ns).map(|_| ()).map_err(|_| ());
             lowino_trace::instant("serve/queue_depth", b.depth() as u64);
             r
         }
@@ -626,8 +1125,10 @@ fn handle_infer<S: Read + Write>(
     // The batch this request joined may now be full — wake the
     // dispatcher so the size bound triggers without waiting a deadline.
     shared.dispatch_cv.notify_all();
-    match rx.recv() {
-        Ok(Ok(out)) => {
+    let reply = rx.recv().unwrap_or(Reply::Unavailable);
+    shared.record_latency(shared.clock.age_ns(start));
+    match reply {
+        Reply::Output(out) => {
             debug_assert_eq!(out.len(), ol);
             let mut bytes = Vec::with_capacity(out.len() * 4);
             for v in &out {
@@ -643,35 +1144,70 @@ fn handle_infer<S: Read + Write>(
             )
             .is_ok()
         }
-        Ok(Err(msg)) => {
+        Reply::Failed(msg) => {
             shared.failed.fetch_add(1, Ordering::AcqRel);
             http::write_error(reader.get_mut(), 500, &msg, keep).is_ok()
         }
-        Err(_) => {
-            // Reply sender dropped without a response: shard worker died.
-            shared.failed.fetch_add(1, Ordering::AcqRel);
-            http::write_error(reader.get_mut(), 500, "shard unavailable", keep).is_ok()
+        Reply::Expired => {
+            shared.timed_out.fetch_add(1, Ordering::AcqRel);
+            lowino_trace::instant("serve/deadline_shed", 1);
+            http::write_error(reader.get_mut(), 504, "deadline exceeded", keep).is_ok()
+        }
+        Reply::Unavailable => {
+            shared.unavailable.fetch_add(1, Ordering::AcqRel);
+            http::write_error(reader.get_mut(), 503, "shard unavailable", keep).is_ok()
         }
     }
 }
 
-fn dispatcher_loop(shared: Arc<Shared>, senders: Vec<SyncSender<Batch>>) {
+/// Queue-depth-weighted dispatch order: every *alive and warmed* slot,
+/// cheapest load first (mailbox backlog plus the batch the worker
+/// currently executes), round-robin tie-broken so equal-load shards
+/// share traffic. Warming shards (alive, but still rebuilding their
+/// model after a respawn — ~100ms) get no traffic at all: their empty
+/// mailbox makes them look ideal by depth, yet a batch routed there
+/// rots for the whole build while warmed survivors free up in
+/// single-digit milliseconds. An empty order therefore means "retry
+/// shortly", which the caller's requeue path already handles.
+fn pick_order(shared: &Shared, rr: usize, order: &mut Vec<usize>) {
+    order.clear();
+    let n = shared.slots.len();
+    // (load, rr-rotated position) ascending.
+    let mut keyed: Vec<((usize, usize), usize)> = Vec::with_capacity(n);
+    for k in 0..n {
+        let i = (rr + k) % n;
+        let slot = &shared.slots[i];
+        if !slot.is_alive() || slot.is_warming() {
+            continue;
+        }
+        let load = slot.depth() + slot.has_active() as usize;
+        keyed.push(((load, k), i));
+    }
+    keyed.sort_unstable_by_key(|&(key, _)| key);
+    order.extend(keyed.into_iter().map(|(_, i)| i));
+}
+
+fn dispatcher_loop(shared: Arc<Shared>) {
     let mut rr = 0usize;
-    loop {
-        let mut exit = false;
-        let batch: Batch = {
+    'outer: loop {
+        let mut flushing = false;
+        let taken = {
             let mut b = shared.batcher.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     // Force-flush: accepted requests are answered even
-                    // though their deadline hasn't expired.
-                    let v = b.force_take();
-                    exit = v.is_empty();
-                    break v;
+                    // though their coalescing deadline hasn't expired
+                    // (expired ones get their 504 at the shard).
+                    flushing = true;
+                    break crate::batcher::Taken {
+                        batch: b.force_take(),
+                        expired: Vec::new(),
+                    };
                 }
                 let now = shared.clock.now_ns();
-                if b.ready(now) {
-                    break b.take_batch(now);
+                let t = b.take_batch(now);
+                if !t.batch.is_empty() || !t.expired.is_empty() {
+                    break t;
                 }
                 // Sleep to the deadline, capped so virtual-clock tests
                 // (where wall sleeps don't advance "now") still poll.
@@ -686,81 +1222,312 @@ fn dispatcher_loop(shared: Arc<Shared>, senders: Vec<SyncSender<Batch>>) {
                     .0;
             }
         };
-        if exit {
-            break;
+        // Queue sheds: the 504s are owed *now*, before any dispatch.
+        for p in taken.expired {
+            let _ = p.payload.resp.send(Reply::Expired);
         }
+        let mut batch = taken.batch;
         if batch.is_empty() {
+            if flushing {
+                break;
+            }
             continue;
         }
         lowino_trace::instant("serve/batch_occupancy", batch.len() as u64);
-        let shard = rr % senders.len();
-        rr = rr.wrapping_add(1);
-        // Bounded send: a slow shard blocks us here, the queue fills,
-        // and admission control turns the pressure into 503s.
-        if let Err(mpsc::SendError(batch)) = senders[shard].send(batch) {
-            for p in batch {
-                let _ = p.payload.resp.send(Err("shard unavailable".into()));
+        let mut order = Vec::new();
+        'send: loop {
+            pick_order(&shared, rr, &mut order);
+            if order.is_empty() {
+                // No live worker. Permanently dead (or shutting down
+                // with nothing coming back): answer 503. Otherwise the
+                // supervisor is mid-restart — put the batch back (ids
+                // intact) and retry shortly.
+                if shared.all_dead() || shared.shutdown.load(Ordering::Acquire) {
+                    for p in batch {
+                        let _ = p.payload.resp.send(Reply::Unavailable);
+                    }
+                } else {
+                    shared
+                        .batcher
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .requeue_front(batch);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                continue 'outer;
             }
+            rr = rr.wrapping_add(1);
+            // Non-blocking bounded sends, cheapest shard first. A full
+            // or just-died shard hands the batch back and the next one
+            // is tried — one unresponsive worker (wedged but not yet
+            // detected) must never stall the dispatch loop for the
+            // survivors' traffic. Only when *every* live mailbox is at
+            // cap do we wait: that is genuine backpressure, and the
+            // admission queue upstream is what turns it into 503s.
+            for &idx in &order {
+                match shared.slots[idx].try_send(ShardMsg::Batch(batch), shared.shard_queue) {
+                    Ok(()) => break 'send,
+                    Err(ShardMsg::Batch(b)) => batch = b,
+                    Err(ShardMsg::SetDegraded(_)) => unreachable!("sent a batch"),
+                }
+            }
+            // Stalled on backpressure — but the 504s owed elsewhere
+            // don't stop being owed. Shed what has expired in the
+            // admission queue and in the batch in hand, so a stall
+            // delays dispatch, never deadline replies (a late 504 also
+            // blocks that client's connection, compounding the stall
+            // into its later requests).
+            let now = shared.clock.now_ns();
+            let queue_expired = shared
+                .batcher
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .shed_expired(now);
+            for p in queue_expired {
+                let _ = p.payload.resp.send(Reply::Expired);
+            }
+            let (live, expired): (Vec<_>, Vec<_>) = batch.into_iter().partition(|p| {
+                p.deadline_ns == crate::batcher::NO_DEADLINE || now < p.deadline_ns
+            });
+            for p in expired {
+                let _ = p.payload.resp.send(Reply::Expired);
+            }
+            batch = live;
+            if batch.is_empty() {
+                continue 'outer;
+            }
+            std::thread::sleep(Duration::from_micros(500));
         }
     }
 }
 
-fn shard_worker<M: BatchModel>(
-    shared: Arc<Shared>,
-    idx: usize,
-    rx: Receiver<Batch>,
-    mut model: M,
-    dims_tx: mpsc::Sender<(usize, usize, usize)>,
-) {
-    let il = model.input_len();
-    let ol = model.output_len();
-    let cap = model.max_batch();
-    let _ = dims_tx.send((il, ol, cap));
-    drop(dims_tx);
-    let stats = &shared.shards[idx];
-    let mut inputs = vec![0f32; cap * il];
-    let mut outputs = vec![0f32; cap * ol];
-    let mut last_demotions = usize::MAX; // force one initial algorithms publish
-    while let Ok(batch) = rx.recv() {
-        let n = batch.len();
-        let _sp = lowino_trace::span_arg("serve/batch", n as u64);
-        debug_assert!(n >= 1 && n <= cap, "dispatcher respects max_batch");
-        for (i, p) in batch.iter().enumerate() {
-            inputs[i * il..(i + 1) * il].copy_from_slice(&p.payload.input);
-        }
-        // A panic inside inference (an armed fault the ladder could not
-        // absorb) must not strand the batch's callers.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            model.infer(&inputs[..n * il], n, &mut outputs[..n * ol])
-        }))
-        .unwrap_or_else(|_| Err("inference panicked".into()));
-        match result {
-            Ok(()) => {
-                for (i, p) in batch.into_iter().enumerate() {
-                    let _ = p
-                        .payload
-                        .resp
-                        .send(Ok(outputs[i * ol..(i + 1) * ol].to_vec()));
-                }
-            }
-            Err(msg) => {
-                for p in batch {
-                    let _ = p.payload.resp.send(Err(msg.clone()));
-                }
-            }
-        }
-        stats.requests.fetch_add(n as u64, Ordering::AcqRel);
-        stats.batches.fetch_add(1, Ordering::AcqRel);
-        let demos = model.demotions();
-        stats.demotions.store(demos as u64, Ordering::Release);
-        if demos != last_demotions {
-            last_demotions = demos;
-            *stats.algorithms.lock().unwrap_or_else(|e| e.into_inner()) =
-                model.algorithms();
+/// Steal a gone worker's in-flight batch and queued mailbox, and give
+/// the requests their future: replay through the batcher (ids and FIFO
+/// order intact), or a direct 503 during shutdown when nothing will
+/// come back up.
+fn steal_and_replay(shared: &Shared, idx: usize, shutting_down: bool) {
+    let slot = &shared.slots[idx];
+    let (active, queued) = slot.steal_work();
+    let mut pending: Batch = Vec::new();
+    if let Some(b) = active {
+        pending.extend(b);
+    }
+    for msg in queued {
+        if let ShardMsg::Batch(b) = msg {
+            pending.extend(b);
         }
     }
-    if model.on_shutdown().is_err() {
-        stats.wisdom_errors.fetch_add(1, Ordering::AcqRel);
+    if pending.is_empty() {
+        return;
+    }
+    slot.count_replayed(pending.len() as u64);
+    if shutting_down {
+        for p in pending {
+            let _ = p.payload.resp.send(Reply::Unavailable);
+        }
+    } else {
+        shared
+            .batcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .requeue_front(pending);
+        shared.dispatch_cv.notify_all();
+    }
+}
+
+/// After a death or abandonment: schedule the respawn (exponential
+/// backoff) or declare the shard `Dead` when the budget is spent.
+fn schedule_or_give_up(shared: &Shared, idx: usize, now: u64) {
+    let slot = &shared.slots[idx];
+    if slot.restarts() >= shared.max_restarts {
+        slot.set_state(ShardState::Dead);
+        shared.log_event(idx, SupervisorEventKind::GaveUp, now);
+        // Wake the dispatcher: if this was the last shard, waiting
+        // batches must be answered 503, not parked forever.
+        shared.dispatch_cv.notify_all();
+    } else {
+        let backoff = backoff_ns(shared.restart_backoff_ns, slot.restarts(), BACKOFF_CAP_NS);
+        slot.set_next_restart_at_ns(now.saturating_add(backoff));
+        slot.set_state(ShardState::Restarting);
+    }
+}
+
+/// The supervisor: wall-paced detection loop reading clock-stamped
+/// heartbeats, plus the brownout controller.
+fn supervisor_loop<M, F>(shared: Arc<Shared>, factory: Arc<F>, mut brownout: BrownoutPolicy)
+where
+    M: BatchModel + 'static,
+    F: Fn(usize) -> M + Send + Sync + 'static,
+{
+    // One rung-0 instant up front so a traced healthy run still shows
+    // the controller existed.
+    lowino_trace::instant("serve/brownout", 0);
+    let n = shared.slots.len();
+    let mut last_progress: Vec<u64> = shared.slots.iter().map(|s| s.progress()).collect();
+    let mut stagnant: Vec<u32> = vec![0; n];
+    // Warm-up grace: a respawned worker rebuilds its model before it can
+    // heartbeat, which may take longer than `wedge_timeout` — and the
+    // dispatcher may already have queued work on it. Until the worker's
+    // first own beat moves the progress counter past the spawn stamp,
+    // the wedge detector stands down (death detection and the shutdown
+    // wall-fallback still apply). Initial spawns don't need this: the
+    // dims handshake blocks serving until every model is built.
+    let mut spawn_progress: Vec<Option<u64>> = vec![None; n];
+    loop {
+        {
+            let stop = shared.sup_stop.lock().unwrap_or_else(|e| e.into_inner());
+            if *stop {
+                break;
+            }
+            let _ = shared.sup_cv.wait_timeout(stop, SUPERVISOR_TICK);
+        }
+        let now = shared.clock.now_ns();
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        for idx in 0..n {
+            let slot = &shared.slots[idx];
+            let state = slot.state();
+            if shutting_down && !slot.is_alive() {
+                // Nothing respawns during shutdown; anything stranded
+                // in this mailbox gets its 503 now.
+                steal_and_replay(&shared, idx, true);
+                continue;
+            }
+            if slot.is_alive() {
+                if state != ShardState::Healthy {
+                    continue;
+                }
+                // Wedge detection: work pending but no heartbeat for
+                // wedge_timeout (clock domain — virtual in tests). At
+                // shutdown a frozen virtual clock can't advance, so a
+                // wall-tick stagnation fallback keeps shutdown live.
+                let pending = slot.has_active() || slot.depth() > 0;
+                let progress = slot.progress();
+                let stalled = progress == last_progress[idx];
+                if !stalled {
+                    last_progress[idx] = progress;
+                    stagnant[idx] = 0;
+                } else if pending {
+                    stagnant[idx] = stagnant[idx].saturating_add(1);
+                }
+                let warming = match spawn_progress[idx] {
+                    Some(sp) if progress == sp => true,
+                    Some(_) => {
+                        spawn_progress[idx] = None; // first beat: warmed up
+                        false
+                    }
+                    None => false,
+                };
+                let stale_clock = !warming
+                    && pending
+                    && now.saturating_sub(slot.last_beat_ns()) > shared.wedge_timeout_ns;
+                let stale_wall = shutting_down && pending && stagnant[idx] > SHUTDOWN_STAGNANT_TICKS;
+                if stale_clock || stale_wall {
+                    slot.set_state(ShardState::Wedged);
+                    shared.log_event(idx, SupervisorEventKind::WedgeDetected, now);
+                    // Abandon: stale-epoch the worker, take the flag
+                    // back, detach the thread (it may never return),
+                    // steal its work for replay.
+                    slot.bump_epoch();
+                    slot.clear_alive();
+                    let _ = slot.handle().take();
+                    steal_and_replay(&shared, idx, shutting_down);
+                    if shutting_down {
+                        slot.set_state(ShardState::Restarting);
+                    } else {
+                        schedule_or_give_up(&shared, idx, now);
+                    }
+                }
+            } else {
+                match state {
+                    ShardState::Healthy => {
+                        // Unexpected worker death (spawn fault, panic).
+                        shared.log_event(idx, SupervisorEventKind::DeathDetected, now);
+                        slot.bump_epoch();
+                        if let Some(h) = slot.handle().take() {
+                            let _ = h.join();
+                        }
+                        steal_and_replay(&shared, idx, false);
+                        schedule_or_give_up(&shared, idx, now);
+                    }
+                    ShardState::Restarting => {
+                        if now >= slot.next_restart_at_ns() {
+                            slot.count_restart();
+                            match spawn_shard_worker(&shared, &factory, idx, None) {
+                                Ok(()) => {
+                                    slot.set_state(ShardState::Healthy);
+                                    slot.beat(now);
+                                    // Stamp *after* the beat above so the
+                                    // grace lifts only on the worker's
+                                    // own first heartbeat.
+                                    spawn_progress[idx] = Some(slot.progress());
+                                    shared.log_event(
+                                        idx,
+                                        SupervisorEventKind::Respawned,
+                                        now,
+                                    );
+                                    lowino_trace::instant("serve/shard_restart", 1);
+                                    if brownout.degraded() {
+                                        let _ = slot.send(
+                                            ShardMsg::SetDegraded(true),
+                                            shared.shard_queue + 2,
+                                        );
+                                    }
+                                    shared.dispatch_cv.notify_all();
+                                }
+                                Err(_) => {
+                                    // OS-level spawn failure: burn a
+                                    // restart and back off again.
+                                    schedule_or_give_up(&shared, idx, now);
+                                }
+                            }
+                        }
+                    }
+                    ShardState::Wedged | ShardState::Dead => {}
+                }
+            }
+        }
+        // Brownout tick: queue pressure and p99-vs-deadline headroom.
+        let depth = {
+            let b = shared.batcher.lock().unwrap_or_else(|e| e.into_inner());
+            b.depth()
+        };
+        let was_degraded = brownout.degraded();
+        let step = brownout.tick(BrownoutInput {
+            depth,
+            queue_cap: shared.queue_cap,
+            p99_ns: shared.latency_p99(),
+            deadline_ns: if shared.default_deadline_ns == NO_DEADLINE {
+                None
+            } else {
+                Some(shared.default_deadline_ns)
+            },
+        });
+        if step != BrownoutStep::Hold {
+            let (max_batch, max_delay_ns) = brownout.limits();
+            shared
+                .batcher
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .set_limits(max_batch, max_delay_ns);
+            shared
+                .brownout_rung
+                .store(brownout.rung() as u64, Ordering::Release);
+            lowino_trace::instant("serve/brownout", brownout.rung() as u64);
+            if brownout.degraded() != was_degraded {
+                // Crossing the last rung: flip shard health policies.
+                // cap+2 leaves headroom over the dispatcher's bound, so
+                // this never blocks the supervisor.
+                for slot in &shared.slots {
+                    if slot.is_alive() {
+                        let _ = slot.send(
+                            ShardMsg::SetDegraded(brownout.degraded()),
+                            shared.shard_queue + 2,
+                        );
+                    }
+                }
+            }
+            shared.dispatch_cv.notify_all();
+        }
     }
 }
 
@@ -801,12 +1568,24 @@ mod tests {
     }
 
     fn post_infer(conn: &mut BufReader<DuplexStream>, vals: &[f32]) -> http::Response {
+        post_infer_with(conn, vals, None)
+    }
+
+    fn post_infer_with(
+        conn: &mut BufReader<DuplexStream>,
+        vals: &[f32],
+        deadline_us: Option<u64>,
+    ) -> http::Response {
         let mut body = Vec::new();
         for v in vals {
             body.extend_from_slice(&v.to_le_bytes());
         }
+        let deadline = match deadline_us {
+            Some(us) => format!("X-Lowino-Deadline-Us: {us}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            "POST /infer HTTP/1.1\r\n{deadline}Content-Length: {}\r\n\r\n",
             body.len()
         );
         conn.get_mut().write_all(head.as_bytes()).unwrap();
@@ -837,7 +1616,8 @@ mod tests {
             .unwrap();
         assert_eq!(http::read_response(&mut conn).unwrap().status, 400);
 
-        // /stats parses and reflects the completed request.
+        // /stats parses and reflects the completed request plus the new
+        // supervision fields.
         conn.get_mut()
             .write_all(b"GET /stats HTTP/1.1\r\n\r\n")
             .unwrap();
@@ -846,8 +1626,11 @@ mod tests {
         let json = String::from_utf8(stats.body).unwrap();
         lowino_testkit::validate_json(&json).unwrap();
         assert!(json.contains("\"completed\":1"), "{json}");
+        assert!(json.contains("\"state\":\"healthy\""), "{json}");
+        assert!(json.contains("\"brownout_rung\":0"), "{json}");
+        assert!(json.contains("\"timed_out\":0"), "{json}");
 
-        // Unknown path → 404; /healthz → 200.
+        // Unknown path → 404; /healthz → 200 while shards live.
         conn.get_mut()
             .write_all(b"GET /nope HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n")
             .unwrap();
@@ -859,6 +1642,10 @@ mod tests {
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.conn_panics, 0);
         assert_eq!(snap.http_errors, 2, "400 + 404");
+        assert_eq!(
+            snap.accepted,
+            snap.completed + snap.failed + snap.timed_out + snap.unavailable
+        );
     }
 
     #[test]
@@ -874,6 +1661,32 @@ mod tests {
         drop(conn);
         let snap = server.shutdown();
         assert_eq!((snap.completed, snap.failed), (0, 1));
+    }
+
+    #[test]
+    fn zero_deadline_is_shed_at_admission_with_504() {
+        let server = Server::start(
+            ServeConfig { max_delay_ns: 100_000, ..ServeConfig::default() },
+            |_| EchoModel { il: 2, fail: false },
+        )
+        .unwrap();
+        let mut conn = BufReader::new(server.connect());
+        let r = post_infer_with(&mut conn, &[1.0, 2.0], Some(0));
+        assert_eq!(r.status, 504, "expired on arrival");
+        // A generous deadline still completes.
+        let r = post_infer_with(&mut conn, &[1.0, 2.0], Some(5_000_000));
+        assert_eq!(r.status, 200);
+        drop(conn);
+        let snap = server.shutdown();
+        assert_eq!((snap.completed, snap.deadline_rejects), (1, 1));
+        assert_eq!(snap.timed_out, 0, "admission sheds are not timed_out");
+        assert_eq!(snap.accepted, 1, "the shed request never entered the queue");
+        assert_eq!(snap.dispatched, 1, "no shard work for the shed request");
+        assert_eq!(
+            snap.accepted,
+            snap.completed + snap.failed + snap.timed_out + snap.unavailable,
+            "the accepted identity holds even with admission sheds"
+        );
     }
 
     #[test]

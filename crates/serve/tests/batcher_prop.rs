@@ -6,18 +6,21 @@
 //! configurations, the invariants the server's guarantees rest on:
 //!
 //! * every accepted request leaves in **exactly one** batch (no loss, no
-//!   duplication), in FIFO order;
+//!   duplication), in FIFO order — or, once requests carry deadlines, in
+//!   exactly one batch *or* exactly one shed, never both;
 //! * no batch exceeds the size bound;
 //! * with a free consumer, no request waits past the coalescing deadline
 //!   (and its completion lands within deadline + its batch's service
 //!   time);
+//! * a request is **never dispatched at or past its deadline**, and is
+//!   shed **iff** it expired while queued;
 //! * the queue never exceeds its admission bound, and an offer is
 //!   rejected **iff** the queue is at that bound.
 //!
 //! Failures shrink via the testkit harness and replay with
 //! `LOWINO_PROP_SEED`.
 
-use lowino_serve::batcher::{BatchConfig, BatcherCore, Pending};
+use lowino_serve::batcher::{BatchConfig, BatcherCore, Pending, NO_DEADLINE};
 use lowino_serve::Clock;
 use lowino_testkit::{prop_assert, property, PoissonArrivals, VirtualClock};
 
@@ -33,19 +36,24 @@ struct SimOutcome {
     /// Arrival indices whose offers were rejected.
     rejected: Vec<usize>,
     dispatched: Vec<Dispatched>,
+    /// `(shed_at_ns, request)` for every deadline-shed request.
+    shed: Vec<(u64, Pending<usize>)>,
 }
 
 /// Simulate the batcher under Poisson arrivals with a single consumer
-/// that takes `service_ns` per batch (0 = always-free consumer). The
-/// virtual clock is the only time source; batches are taken at the
-/// earliest instant the consumer is free **and** the batcher is ready —
-/// exactly the threaded dispatcher's contract, minus the threads.
+/// that takes `service_ns` per batch (0 = always-free consumer). Every
+/// request carries deadline `enqueue + deadline_rel_ns`
+/// ([`NO_DEADLINE`] disables deadlines). The virtual clock is the only
+/// time source; batches are taken at the earliest instant the consumer
+/// is free **and** the batcher is ready — exactly the threaded
+/// dispatcher's contract, minus the threads.
 fn run_sim(
     seed: u64,
     cfg: BatchConfig,
     n: usize,
     mean_gap_ns: u64,
     service_ns: u64,
+    deadline_rel_ns: u64,
 ) -> Result<SimOutcome, String> {
     let clock = VirtualClock::new();
     let mut arrivals = PoissonArrivals::new(seed, mean_gap_ns);
@@ -54,6 +62,7 @@ fn run_sim(
         accepted: Vec::new(),
         rejected: Vec::new(),
         dispatched: Vec::new(),
+        shed: Vec::new(),
     };
     let mut busy_until = 0u64;
 
@@ -65,7 +74,7 @@ fn run_sim(
         busy_until: &mut u64,
         service_ns: u64,
         horizon: u64,
-        out: &mut Vec<Dispatched>,
+        out: &mut SimOutcome,
     ) -> Result<(), String> {
         loop {
             let ready_at = if b.depth() >= b.config().max_batch {
@@ -81,24 +90,34 @@ fn run_sim(
                 return Ok(());
             }
             clock.advance_to(at);
-            let batch = b.take_batch(clock.now_ns());
-            if batch.is_empty() {
+            let taken = b.take_batch(clock.now_ns());
+            if taken.batch.is_empty() && taken.expired.is_empty() {
                 return Err(format!(
-                    "ready batcher returned an empty batch at t={}",
+                    "ready batcher returned nothing at t={}",
                     clock.now_ns()
                 ));
             }
-            *busy_until = at + service_ns;
-            out.push(Dispatched { at_ns: at, batch });
+            for p in taken.expired {
+                out.shed.push((at, p));
+            }
+            if !taken.batch.is_empty() {
+                *busy_until = at + service_ns;
+                out.dispatched.push(Dispatched { at_ns: at, batch: taken.batch });
+            }
         }
     }
 
     for i in 0..n {
         let t = arrivals.next_arrival_ns();
-        drain(&mut b, &clock, &mut busy_until, service_ns, t, &mut out.dispatched)?;
+        drain(&mut b, &clock, &mut busy_until, service_ns, t, &mut out)?;
         clock.advance_to(t);
+        let deadline = if deadline_rel_ns == NO_DEADLINE {
+            NO_DEADLINE
+        } else {
+            t.saturating_add(deadline_rel_ns)
+        };
         let depth_before = b.depth();
-        match b.offer(i, t) {
+        match b.offer(i, t, deadline) {
             Ok(id) => out.accepted.push((id, t)),
             Err(p) => {
                 if depth_before != cfg.queue_cap {
@@ -114,7 +133,7 @@ fn run_sim(
             return Err(format!("depth {} exceeds cap {}", b.depth(), cfg.queue_cap));
         }
     }
-    drain(&mut b, &clock, &mut busy_until, service_ns, u64::MAX, &mut out.dispatched)?;
+    drain(&mut b, &clock, &mut busy_until, service_ns, u64::MAX, &mut out)?;
     if b.depth() != 0 {
         return Err(format!("{} requests stranded after drain", b.depth()));
     }
@@ -122,7 +141,8 @@ fn run_sim(
 }
 
 /// The invariants every simulation must uphold, whatever the consumer's
-/// speed: exactly-once, FIFO, size bound, full accounting.
+/// speed: each accepted request dispatched exactly once **or** shed
+/// exactly once, FIFO among dispatched, size bound, full accounting.
 fn check_core_invariants(cfg: &BatchConfig, n: usize, out: &SimOutcome) -> Result<(), String> {
     let mut seen: Vec<u64> = Vec::new();
     let mut last_id: Option<u64> = None;
@@ -155,12 +175,20 @@ fn check_core_invariants(cfg: &BatchConfig, n: usize, out: &SimOutcome) -> Resul
             seen.push(p.id);
         }
     }
-    let accepted_ids: Vec<u64> = out.accepted.iter().map(|&(id, _)| id).collect();
-    if seen != accepted_ids {
+    let mut resolved: Vec<u64> = seen
+        .iter()
+        .copied()
+        .chain(out.shed.iter().map(|(_, p)| p.id))
+        .collect();
+    resolved.sort_unstable();
+    let mut accepted_ids: Vec<u64> = out.accepted.iter().map(|&(id, _)| id).collect();
+    accepted_ids.sort_unstable();
+    if resolved != accepted_ids {
         return Err(format!(
-            "dispatched ids != accepted ids ({} vs {})",
+            "dispatched+shed ids != accepted ids ({} + {} vs {})",
             seen.len(),
-            accepted_ids.len()
+            out.shed.len(),
+            out.accepted.len()
         ));
     }
     if out.accepted.len() + out.rejected.len() != n {
@@ -174,10 +202,10 @@ fn check_core_invariants(cfg: &BatchConfig, n: usize, out: &SimOutcome) -> Resul
 }
 
 property! {
-    /// Free consumer (service = 0): on top of the core invariants, no
-    /// request may wait past the coalescing deadline, and every
-    /// completion lands within deadline + its batch's (zero) service
-    /// time.
+    /// Free consumer (service = 0), no request deadlines: on top of the
+    /// core invariants, no request may wait past the coalescing
+    /// deadline, nothing is ever shed, and every completion lands within
+    /// deadline + its batch's (zero) service time.
     #[cases(48)]
     fn free_consumer_never_misses_a_deadline(
         seed in 0u64..1_000_000,
@@ -191,9 +219,11 @@ property! {
             max_batch,
             max_delay_ns: delay_us * 1_000,
             queue_cap,
+            ..BatchConfig::default()
         };
-        let out = run_sim(seed, cfg, n, mean_gap_us * 1_000, 0)?;
+        let out = run_sim(seed, cfg, n, mean_gap_us * 1_000, 0, NO_DEADLINE)?;
         check_core_invariants(&cfg, n, &out)?;
+        prop_assert!(out.shed.is_empty(), "shed without deadlines");
         for d in &out.dispatched {
             for p in &d.batch {
                 let wait = d.at_ns - p.enqueued_ns;
@@ -231,8 +261,9 @@ property! {
             max_batch,
             max_delay_ns: delay_us * 1_000,
             queue_cap,
+            ..BatchConfig::default()
         };
-        let out = run_sim(seed, cfg, n, mean_gap_us * 1_000, service_us * 1_000)?;
+        let out = run_sim(seed, cfg, n, mean_gap_us * 1_000, service_us * 1_000, NO_DEADLINE)?;
         check_core_invariants(&cfg, n, &out)?;
         // Sanity on the load model itself: with service >> gap and a
         // deep request stream, the bounded queue must actually have
@@ -241,6 +272,67 @@ property! {
             prop_assert!(
                 !out.rejected.is_empty(),
                 "overload never tripped admission control (n={n}, cap={queue_cap})"
+            );
+        }
+    }
+
+    /// Request deadlines, consumer of every speed: a request is never
+    /// dispatched at or past its deadline, a request is shed only at or
+    /// past its deadline, and under an overwhelmed consumer the shed
+    /// path actually fires.
+    #[cases(48)]
+    fn requests_are_shed_iff_expired_and_never_dispatched_late(
+        seed in 0u64..1_000_000,
+        max_batch in 1usize..9,
+        delay_us in 1u64..100,
+        queue_cap in 2usize..17,
+        n in 1usize..200,
+        mean_gap_us in 1u64..30,
+        service_us in 0u64..300,
+        deadline_us in 5u64..500,
+    ) {
+        let cfg = BatchConfig {
+            max_batch,
+            max_delay_ns: delay_us * 1_000,
+            queue_cap,
+            // Keep the margin below the deadline so coalescing can
+            // still happen at all under the tightest sampled deadlines.
+            expiry_margin_ns: 1_000,
+        };
+        let out = run_sim(
+            seed,
+            cfg,
+            n,
+            mean_gap_us * 1_000,
+            service_us * 1_000,
+            deadline_us * 1_000,
+        )?;
+        check_core_invariants(&cfg, n, &out)?;
+        for d in &out.dispatched {
+            for p in &d.batch {
+                prop_assert!(
+                    d.at_ns < p.deadline_ns,
+                    "id {} dispatched at {} at/past its deadline {}",
+                    p.id,
+                    d.at_ns,
+                    p.deadline_ns
+                );
+            }
+        }
+        for (at, p) in &out.shed {
+            prop_assert!(
+                *at >= p.deadline_ns,
+                "id {} shed at {at} before its deadline {}",
+                p.id,
+                p.deadline_ns
+            );
+        }
+        // Load-model sanity: a consumer far slower than the deadline
+        // budget with a steady stream must shed something.
+        if n >= 150 && service_us >= 200 && mean_gap_us <= 5 && deadline_us <= 100 {
+            prop_assert!(
+                !out.shed.is_empty(),
+                "overwhelmed consumer never shed (n={n}, deadline={deadline_us}us)"
             );
         }
     }

@@ -171,8 +171,20 @@ pub static TIER_DETECT: FaultSite = FaultSite::new("tier/detect");
 /// no-offset-reuse disjoint layout instead of failing the compile).
 pub static GRAPH_PLAN: FaultSite = FaultSite::new("graph/plan");
 
+/// Shard worker death at (re)spawn: probed at shard-worker entry in
+/// `lowino-serve` before the model is built; a trigger panics the worker
+/// thread, which the supervisor must detect and respawn with backoff.
+pub static SHARD_SPAWN: FaultSite = FaultSite::new("shard/spawn");
+
+/// Shard worker wedge: probed after a shard worker claims a batch and
+/// before it runs inference; a trigger makes the worker stop heartbeating
+/// (it parks until the supervisor abandons it), simulating a hang the
+/// supervisor must detect, steal the in-flight batch from, and respawn
+/// around.
+pub static SHARD_WEDGE: FaultSite = FaultSite::new("shard/wedge");
+
 /// Every registered site (closed set — `LOWINO_FAULT` typos fail loudly).
-pub fn all() -> [&'static FaultSite; 6] {
+pub fn all() -> [&'static FaultSite; 8] {
     [
         &WISDOM_SAVE,
         &POOL_PHASE,
@@ -180,6 +192,8 @@ pub fn all() -> [&'static FaultSite; 6] {
         &CALIBRATE_SAMPLES,
         &TIER_DETECT,
         &GRAPH_PLAN,
+        &SHARD_SPAWN,
+        &SHARD_WEDGE,
     ]
 }
 
